@@ -1,0 +1,173 @@
+(* Benchmark harness.
+
+   Two halves:
+   1. Experiment regeneration: every table and figure of the paper's
+      evaluation (section 7), the protocol illustrations (Figures 2-3)
+      and the section 5.2 history ablation, printed as ASCII tables by
+      Ldap_eval.Figures.
+   2. Bechamel micro-benchmarks backing the section 7.4 claims about
+      query-processing cost: template vs general containment, index
+      lookup cost as the number of stored filters grows, plus substrate
+      primitives (filter parse/eval, DN algebra, indexed search).
+
+   Usage: main.exe [--quick] [--micro-only | --figures-only] *)
+
+open Bechamel
+open Ldap
+module C = Ldap_containment
+module Eval = Ldap_eval
+
+(* --- Micro-benchmark fixtures ---------------------------------------- *)
+
+let schema = Schema.default
+
+let fixture_entry =
+  Entry.make
+    (Dn.of_string_exn "cn=john doe 0456,c=aa,o=xyz")
+    [
+      ("objectclass", [ "inetOrgPerson" ]);
+      ("cn", [ "john doe 0456" ]);
+      ("sn", [ "doe" ]);
+      ("serialNumber", [ "0400456" ]);
+      ("mail", [ "jd8f3a21@aa.xyz.com" ]);
+      ("departmentNumber", [ "2406" ]);
+      ("age", [ "42" ]);
+    ]
+
+let serial_filter = Filter.of_string_exn "(serialNumber=0400456)"
+let dept_filter = Filter.of_string_exn "(&(departmentNumber=2406)(divisionNumber=24))"
+let prefix_filter = Filter.of_string_exn "(serialNumber=04004*)"
+let complex_filter =
+  Filter.of_string_exn "(&(objectclass=inetOrgPerson)(|(sn=doe)(sn=smith))(age>=30))"
+
+let filter_string = "(&(objectclass=inetOrgPerson)(|(sn=doe)(sn=smith))(age>=30))"
+
+let dn_string = "cn=john doe 0456,ou=research,c=us,o=xyz"
+let base_dn = Dn.of_string_exn "o=xyz"
+let deep_dn = Dn.of_string_exn dn_string
+
+(* A populated index with [n] stored serial-prefix queries, plus one
+   query that hits and one that misses. *)
+let make_index n =
+  let index = C.Containment_index.create schema in
+  for i = 0 to n - 1 do
+    let filter = Filter.of_string_exn (Printf.sprintf "(serialNumber=%05d*)" i) in
+    C.Containment_index.add index (Query.make ~base:base_dn filter) i
+  done;
+  index
+
+let hit_query n = Query.make ~base:base_dn
+    (Filter.of_string_exn (Printf.sprintf "(serialNumber=%05d99)" (n / 2)))
+
+let miss_query = Query.make ~base:base_dn (Filter.of_string_exn "(serialNumber=99999x)")
+
+let compiled_condition =
+  let left = C.Template.of_string_exn "(serialnumber=_)" in
+  let right = C.Template.of_string_exn "(serialnumber=_*)" in
+  match C.Symbolic.compile schema ~left ~right with
+  | Some c -> c
+  | None -> failwith "compile failed"
+
+let small_backend =
+  let b = Backend.create ~indexed:[ "serialnumber" ] schema in
+  (match
+     Backend.add_context b
+       (Entry.make base_dn [ ("objectclass", [ "organization" ]); ("o", [ "xyz" ]) ])
+   with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  for i = 0 to 4999 do
+    let cn = Printf.sprintf "p%05d" i in
+    let e =
+      Entry.make
+        (Dn.child_ava base_dn "cn" cn)
+        [
+          ("objectclass", [ "inetOrgPerson" ]);
+          ("cn", [ cn ]); ("sn", [ cn ]);
+          ("serialNumber", [ Printf.sprintf "%07d" i ]);
+        ]
+    in
+    match Backend.apply b (Update.add e) with
+    | Ok _ -> ()
+    | Error msg -> failwith msg
+  done;
+  b
+
+let indexed_search_query =
+  Query.make ~base:base_dn (Filter.of_string_exn "(serialNumber=0002500)")
+
+let micro_tests =
+  let open Staged in
+  [
+    Test.make ~name:"filter/parse" (stage (fun () -> Filter.of_string_exn filter_string));
+    Test.make ~name:"filter/eval" (stage (fun () -> Filter.matches schema complex_filter fixture_entry));
+    Test.make ~name:"filter/normalize" (stage (fun () -> Filter.normalize complex_filter));
+    Test.make ~name:"dn/parse" (stage (fun () -> Dn.of_string_exn dn_string));
+    Test.make ~name:"dn/ancestor" (stage (fun () -> Dn.ancestor_of base_dn deep_dn));
+    Test.make ~name:"containment/same-template (Prop 3)"
+      (stage (fun () -> C.Filter_containment.contained schema serial_filter serial_filter));
+    Test.make ~name:"containment/cross-template compiled (Prop 2)"
+      (stage (fun () ->
+           C.Symbolic.eval schema compiled_condition ~left:[| "0400456" |] ~right:[| "04004" |]));
+    Test.make ~name:"containment/general (Prop 1)"
+      (stage (fun () -> C.Filter_containment.contained_general schema serial_filter prefix_filter));
+    Test.make ~name:"containment/general conjunctive"
+      (stage (fun () -> C.Filter_containment.contained_general schema dept_filter dept_filter));
+    Test.make ~name:"backend/indexed search"
+      (stage (fun () -> Backend.search small_backend indexed_search_query));
+  ]
+
+let index_tests =
+  List.concat_map
+    (fun n ->
+      let index = make_index n in
+      let hit = hit_query n in
+      [
+        Test.make ~name:(Printf.sprintf "index/find hit (%d filters)" n)
+          (Staged.stage (fun () -> C.Containment_index.find_container index hit));
+        Test.make ~name:(Printf.sprintf "index/find miss (%d filters)" n)
+          (Staged.stage (fun () -> C.Containment_index.find_container index miss_query));
+      ])
+    [ 50; 200; 800 ]
+
+let run_micro () =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let test = Test.make_grouped ~name:"micro" (micro_tests @ index_tests) in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (v :: _) -> Printf.sprintf "%.1f" v
+          | Some [] | None -> "n/a"
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols with
+          | Some v -> Printf.sprintf "%.4f" v
+          | None -> "n/a"
+        in
+        [ name; ns; r2 ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  Eval.Report.print
+    (Eval.Report.make ~title:"Micro-benchmarks (section 7.4 processing costs)"
+       ~notes:
+         [
+           "template-based containment (Props 2-3) should be far cheaper than the";
+           "general Prop 1 procedure; index lookups should scale with filter count";
+         ]
+       ~columns:[ "benchmark"; "ns/run"; "r^2" ] ~rows ())
+
+(* --- Entry point ------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let micro_only = List.mem "--micro-only" args in
+  let figures_only = List.mem "--figures-only" args in
+  if not micro_only then Eval.Figures.all ~quick ();
+  if not figures_only then run_micro ()

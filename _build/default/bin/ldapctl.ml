@@ -1,0 +1,376 @@
+(* ldapctl: command-line driver for the filter-based replication
+   library.
+
+   Subcommands:
+     gen        - build a synthetic enterprise directory and print stats
+     search     - run an LDAP search against a generated directory
+     contains   - check semantic containment of two queries
+     condition  - show the compiled cross-template containment CNF
+     resync     - run a scripted ReSync session against a tiny master
+     workload   - generate a workload and print its distribution
+     experiment - run one of the paper's tables/figures *)
+
+open Cmdliner
+open Ldap
+module C = Ldap_containment
+module Dirgen = Ldap_dirgen
+module Eval = Ldap_eval
+
+let schema = Schema.default
+
+(* --- Shared argument converters --------------------------------------- *)
+
+let query_conv ~base ~filter ~scope =
+  match Scope.of_string scope with
+  | None -> Error (Printf.sprintf "invalid scope %S (base|one|sub)" scope)
+  | Some scope -> Query.of_strings ~scope ~base filter
+
+let employees_arg =
+  let doc = "Number of employee entries in the generated directory." in
+  Arg.(value & opt int 20_000 & info [ "employees"; "n" ] ~doc)
+
+let seed_arg =
+  let doc = "Deterministic seed for directory and workload generation." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let enterprise_config employees seed =
+  { Dirgen.Enterprise.default_config with Dirgen.Enterprise.employees; seed }
+
+(* --- gen --------------------------------------------------------------- *)
+
+let gen_cmd =
+  let run employees seed =
+    let e = Dirgen.Enterprise.build (enterprise_config employees seed) in
+    let b = Dirgen.Enterprise.backend e in
+    Printf.printf "directory built: %d entries total\n" (Backend.total_entries b);
+    Printf.printf "  persons:   %d\n" (Dirgen.Enterprise.person_count e);
+    Printf.printf "  countries: %d (target geography: %d)\n"
+      (Dirgen.Enterprise.config e).Dirgen.Enterprise.countries
+      (Dirgen.Enterprise.config e).Dirgen.Enterprise.target_countries;
+    Printf.printf "  departments: %d\n"
+      (Array.length (Dirgen.Enterprise.dept_numbers e));
+    Printf.printf "  locations: %d\n"
+      (Array.length (Dirgen.Enterprise.location_names e))
+  in
+  let doc = "Build the synthetic enterprise directory and print statistics." in
+  Cmd.v (Cmd.info "gen" ~doc) Term.(const run $ employees_arg $ seed_arg)
+
+(* --- search ------------------------------------------------------------ *)
+
+let search_cmd =
+  let base =
+    Arg.(value & opt string "o=xyz" & info [ "base"; "b" ] ~doc:"Search base DN.")
+  in
+  let scope =
+    Arg.(value & opt string "sub" & info [ "scope"; "s" ] ~doc:"base | one | sub.")
+  in
+  let filter =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILTER" ~doc:"RFC 2254 filter.")
+  in
+  let limit =
+    Arg.(value & opt int 10 & info [ "limit" ] ~doc:"Max entries to print.")
+  in
+  let sort =
+    Arg.(value & opt (some string) None
+         & info [ "sort" ] ~doc:"Server-side sort keys (RFC 2891), e.g. 'sn,-age'.")
+  in
+  let run employees seed base scope filter limit sort =
+    match query_conv ~base ~filter ~scope with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok q -> (
+        let keys =
+          match sort with
+          | None -> []
+          | Some spec -> (
+              match Sort_control.keys_of_string spec with
+              | Ok keys -> keys
+              | Error e ->
+                  prerr_endline e;
+                  exit 1)
+        in
+        let enterprise = Dirgen.Enterprise.build (enterprise_config employees seed) in
+        let backend = Dirgen.Enterprise.backend enterprise in
+        match Backend.search backend q with
+        | Error (Backend.No_such_object dn) ->
+            Printf.printf "noSuchObject: %s\n" (Dn.to_string dn)
+        | Error (Backend.Base_referral { urls; _ }) ->
+            Printf.printf "referral: %s\n" (String.concat ", " urls)
+        | Ok { Backend.entries; references } ->
+            let entries =
+              if keys = [] then entries else Sort_control.sort schema ~keys entries
+            in
+            Printf.printf "%d entries (%d references)\n" (List.length entries)
+              (List.length references);
+            List.iteri
+              (fun i e -> if i < limit then Format.printf "%a@\n@\n" Entry.pp e)
+              entries)
+  in
+  let doc = "Search a generated directory." in
+  Cmd.v (Cmd.info "search" ~doc)
+    Term.(const run $ employees_arg $ seed_arg $ base $ scope $ filter $ limit $ sort)
+
+(* --- export -------------------------------------------------------------- *)
+
+let export_cmd =
+  let base =
+    Arg.(value & opt string "o=xyz" & info [ "base"; "b" ] ~doc:"Search base DN.")
+  in
+  let filter =
+    Arg.(value & opt string "(objectclass=*)" & info [ "filter"; "f" ] ~doc:"RFC 2254 filter.")
+  in
+  let run employees seed base filter =
+    match query_conv ~base ~filter ~scope:"sub" with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok q -> (
+        let enterprise = Dirgen.Enterprise.build (enterprise_config employees seed) in
+        match Backend.search (Dirgen.Enterprise.backend enterprise) q with
+        | Error _ ->
+            prerr_endline "search failed";
+            exit 1
+        | Ok { Backend.entries; _ } -> print_string (Ldif.entries_to_string entries))
+  in
+  let doc = "Export matching entries of a generated directory as LDIF." in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(const run $ employees_arg $ seed_arg $ base $ filter)
+
+(* --- contains ----------------------------------------------------------- *)
+
+let contains_cmd =
+  let q1 = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"Incoming filter.") in
+  let q2 = Arg.(required & pos 1 (some string) None & info [] ~docv:"STORED" ~doc:"Stored filter.") in
+  let base1 = Arg.(value & opt string "o=xyz" & info [ "base1" ] ~doc:"Incoming base DN.") in
+  let base2 = Arg.(value & opt string "o=xyz" & info [ "base2" ] ~doc:"Stored base DN.") in
+  let run f1 f2 base1 base2 =
+    match (Query.of_strings ~base:base1 f1, Query.of_strings ~base:base2 f2) with
+    | Error e, _ | _, Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok query, Ok stored ->
+        let result = C.Query_containment.contained schema ~query ~stored in
+        Printf.printf "%s\n  contained in\n%s\n=> %b\n" (Query.to_string query)
+          (Query.to_string stored) result
+  in
+  let doc = "Decide semantic containment of one query in another (algorithm QC)." in
+  Cmd.v (Cmd.info "contains" ~doc) Term.(const run $ q1 $ q2 $ base1 $ base2)
+
+(* --- compare --------------------------------------------------------------- *)
+
+let compare_cmd =
+  let target = Arg.(required & pos 0 (some string) None & info [] ~docv:"DN" ~doc:"Entry DN.") in
+  let attr = Arg.(required & pos 1 (some string) None & info [] ~docv:"ATTR" ~doc:"Attribute.") in
+  let value = Arg.(required & pos 2 (some string) None & info [] ~docv:"VALUE" ~doc:"Assertion value.") in
+  let run employees seed target attr value =
+    match Dn.of_string target with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok dn -> (
+        let enterprise = Dirgen.Enterprise.build (enterprise_config employees seed) in
+        match Backend.compare_values (Dirgen.Enterprise.backend enterprise) dn ~attr ~value with
+        | Ok result -> Printf.printf "compare%s\n" (if result then "True" else "False")
+        | Error e ->
+            prerr_endline e;
+            exit 1)
+  in
+  let doc = "LDAP compare operation against a generated directory." in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const run $ employees_arg $ seed_arg $ target $ attr $ value)
+
+(* --- condition ----------------------------------------------------------- *)
+
+let condition_cmd =
+  let t1 =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"LEFT" ~doc:"Contained-side template, e.g. '(serialnumber=_)'.")
+  in
+  let t2 =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"RIGHT" ~doc:"Containing-side template, e.g. '(serialnumber=_*)'.")
+  in
+  let run left right =
+    match (C.Template.of_string left, C.Template.of_string right) with
+    | Error e, _ | _, Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok left, Ok right -> (
+        match C.Symbolic.compile schema ~left ~right with
+        | None -> print_endline "condition: (compilation infeasible; runtime check)"
+        | Some cond ->
+            Printf.printf "containment condition (Proposition 2 CNF):\n  %s\n"
+              (C.Symbolic.to_string cond))
+  in
+  let doc = "Compile and print the cross-template containment condition." in
+  Cmd.v (Cmd.info "condition" ~doc) Term.(const run $ t1 $ t2)
+
+(* --- resync -------------------------------------------------------------- *)
+
+let resync_cmd =
+  let run () = Eval.Report.print (Eval.Figures.figure3 ()) in
+  let doc = "Replay the paper's Figure 3 ReSync session and print the trace." in
+  Cmd.v (Cmd.info "resync" ~doc) Term.(const run $ const ())
+
+(* --- workload ------------------------------------------------------------ *)
+
+let workload_cmd =
+  let length =
+    Arg.(value & opt int 20_000 & info [ "length" ] ~doc:"Number of queries.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~doc:"Write the workload as a trace file.")
+  in
+  let run employees seed length out =
+    let enterprise = Dirgen.Enterprise.build (enterprise_config employees seed) in
+    let config = { Dirgen.Workload.default_config with Dirgen.Workload.length; seed } in
+    let items = Dirgen.Workload.generate enterprise config in
+    (match out with
+    | Some path ->
+        let oc = open_out path in
+        Dirgen.Trace.save oc items;
+        close_out oc;
+        Printf.printf "wrote %d queries to %s\n" (Array.length items) path
+    | None -> ());
+    List.iter
+      (fun (kind, share) ->
+        Printf.printf "%-14s %5.1f%%\n" (Dirgen.Workload.kind_name kind) (100.0 *. share))
+      (Dirgen.Workload.mix_of items);
+    print_endline "sample:";
+    Array.iteri
+      (fun i (item : Dirgen.Workload.item) ->
+        if i < 10 then
+          Printf.printf "  %s\n" (Filter.to_string item.Dirgen.Workload.query.Query.filter))
+      items
+  in
+  let doc = "Generate a Table 1 workload, print its mix, optionally save a trace." in
+  Cmd.v (Cmd.info "workload" ~doc) Term.(const run $ employees_arg $ seed_arg $ length $ out)
+
+(* --- replay ---------------------------------------------------------------- *)
+
+let replay_cmd =
+  let trace =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
+  in
+  let budget_pct =
+    Arg.(value & opt int 10 & info [ "budget" ] ~doc:"Replica entry budget, %% of persons.")
+  in
+  let cache =
+    Arg.(value & opt int 100 & info [ "cache" ] ~doc:"User-query cache window size.")
+  in
+  let run employees seed trace budget_pct cache =
+    let ic = open_in trace in
+    let items =
+      match Dirgen.Trace.load ic with
+      | Ok items -> items
+      | Error e ->
+          close_in ic;
+          prerr_endline e;
+          exit 1
+    in
+    close_in ic;
+    let scenario =
+      Eval.Scenario.setup ~config:(enterprise_config employees seed) ()
+    in
+    let persons = Dirgen.Enterprise.person_count scenario.Eval.Scenario.enterprise in
+    let budget = persons * budget_pct / 100 in
+    let n = Array.length items in
+    let train = Array.sub items 0 (n / 2) in
+    let eval = Array.sub items (n / 2) (n - (n / 2)) in
+    let replica =
+      Ldap_replication.Filter_replica.create ~cache_capacity:cache
+        scenario.Eval.Scenario.master
+    in
+    let rules =
+      [
+        Ldap_selection.Generalize.Prefix_value { attr = "serialnumber"; keep = 6 };
+        Ldap_selection.Generalize.Widen_to_presence { attr = "departmentnumber" };
+        Ldap_selection.Generalize.Prefix_value { attr = "mail"; keep = 3 };
+      ]
+    in
+    let filters = Eval.Scenario.select_static scenario ~rules ~train ~budget in
+    (match Ldap_selection.Selector.install_static replica filters with
+    | Ok () -> ()
+    | Error e ->
+        prerr_endline e;
+        exit 1);
+    Eval.Scenario.drive_filter scenario replica ~cache_misses:true
+      Eval.Scenario.no_updates eval;
+    let stats = Ldap_replication.Filter_replica.stats replica in
+    Printf.printf "trace: %d queries (%d train / %d eval)\n" n (Array.length train)
+      (Array.length eval);
+    Printf.printf "replica: %d filters, %d entries (budget %d)\n"
+      (List.length (Ldap_replication.Filter_replica.stored_filters replica))
+      (Ldap_replication.Filter_replica.size_entries replica)
+      budget;
+    Printf.printf "hit ratio: %.3f\n" (Ldap_replication.Stats.hit_ratio stats)
+  in
+  let doc = "Replay a workload trace against a filter replica and report hit ratio." in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(const run $ employees_arg $ seed_arg $ trace $ budget_pct $ cache)
+
+(* --- experiment ---------------------------------------------------------- *)
+
+let experiment_cmd =
+  let which =
+    let doc =
+      "Which experiment: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, \
+       fig9, location, consistency, rootbase, evolution, ablation, overhead, or all."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Shrink directory and workload sizes.")
+  in
+  let run which quick =
+    let config =
+      if quick then
+        { Dirgen.Enterprise.default_config with Dirgen.Enterprise.employees = 4_000 }
+      else Dirgen.Enterprise.default_config
+    in
+    let scenario () = Eval.Scenario.setup ~config () in
+    let scale = if quick then 0.2 else 1.0 in
+    let length n = int_of_float (scale *. float_of_int n) in
+    let intervals =
+      List.map (fun r -> max 1 (int_of_float (scale *. float_of_int r))) [ 10_000; 6_000 ]
+    in
+    match String.lowercase_ascii which with
+    | "table1" -> Eval.Report.print (Eval.Figures.table1 ~scale (scenario ()))
+    | "fig2" -> Eval.Report.print (Eval.Figures.figure2 ())
+    | "fig3" -> Eval.Report.print (Eval.Figures.figure3 ())
+    | "fig4" -> Eval.Report.print (Eval.Figures.figure4 ~length:(length 16_000) (scenario ()))
+    | "fig5" ->
+        Eval.Report.print
+          (Eval.Figures.figure5 ~length:(length 30_000) ~intervals (scenario ()))
+    | "fig6" -> Eval.Report.print (Eval.Figures.figure6 ~config ~length:(length 10_000) ())
+    | "fig7" ->
+        Eval.Report.print
+          (Eval.Figures.figure7 ~config ~length:(length 30_000) ~intervals ())
+    | "fig8" -> Eval.Report.print (Eval.Figures.figure8 ~length:(length 16_000) (scenario ()))
+    | "fig9" -> Eval.Report.print (Eval.Figures.figure9 ~length:(length 16_000) (scenario ()))
+    | "location" -> Eval.Report.print (Eval.Figures.location_replication (scenario ()))
+    | "consistency" -> Eval.Report.print (Eval.Figures.consistency_classes ())
+    | "rootbase" -> Eval.Report.print (Eval.Figures.root_base_ablation (scenario ()))
+    | "evolution" -> Eval.Report.print (Eval.Figures.evolution_ablation ())
+    | "ablation" -> Eval.Report.print (Eval.Figures.resync_ablation ())
+    | "overhead" -> Eval.Report.print (Eval.Figures.processing_overhead (scenario ()))
+    | "all" -> Eval.Figures.all ~quick ()
+    | other ->
+        Printf.eprintf "unknown experiment %S\n" other;
+        exit 1
+  in
+  let doc = "Run one of the paper's tables or figures." in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ which $ quick)
+
+let () =
+  let doc = "Filter-based LDAP directory replication (ICDCS 2005 reproduction)." in
+  let info = Cmd.info "ldapctl" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            gen_cmd; search_cmd; export_cmd; compare_cmd; contains_cmd;
+            condition_cmd; resync_cmd; workload_cmd; replay_cmd; experiment_cmd;
+          ]))

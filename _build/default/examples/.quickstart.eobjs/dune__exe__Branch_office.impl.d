@@ -1,0 +1,1 @@
+examples/branch_office.ml: Array Ldap_dirgen Ldap_eval Ldap_replication Ldap_selection List Printf

@@ -1,0 +1,1 @@
+examples/distributed.ml: Array Backend Ldap Ldap_dirgen Ldap_replication Ldap_resync Ldap_selection List Network Printf Referral Server

@@ -1,0 +1,1 @@
+examples/proxy_cache.ml: Array Backend Filter Ldap Ldap_containment Ldap_dirgen Ldap_replication List Printf Query Schema String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Backend Dn Entry Filter Ldap Ldap_containment Ldap_replication Ldap_resync List Printf Query Result Schema String Update

@@ -1,0 +1,1 @@
+examples/resync_wan.ml: Backend Dn Entry Filter Ldap Ldap_resync List Option Printf Query Schema Update

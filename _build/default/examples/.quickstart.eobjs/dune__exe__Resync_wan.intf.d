@@ -1,0 +1,1 @@
+examples/resync_wan.mli:

@@ -1,0 +1,1 @@
+lib/containment/containment_index.ml: Filter_containment Hashtbl Ldap List Query Query_containment Schema String Symbolic Template

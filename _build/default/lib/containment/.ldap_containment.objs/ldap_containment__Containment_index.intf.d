@@ -1,0 +1,1 @@
+lib/containment/containment_index.mli: Ldap Query Schema

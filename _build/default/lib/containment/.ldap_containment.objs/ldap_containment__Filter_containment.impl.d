@@ -1,0 +1,1 @@
+lib/containment/filter_containment.ml: Filter Ldap List Schema String Symbolic Value

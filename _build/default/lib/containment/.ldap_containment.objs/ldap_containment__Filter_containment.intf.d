@@ -1,0 +1,1 @@
+lib/containment/filter_containment.mli: Filter Ldap Schema

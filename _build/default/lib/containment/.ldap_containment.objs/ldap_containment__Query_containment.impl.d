@@ -1,0 +1,1 @@
+lib/containment/query_containment.ml: Filter_containment Ldap Query

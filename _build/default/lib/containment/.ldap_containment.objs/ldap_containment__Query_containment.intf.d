@@ -1,0 +1,1 @@
+lib/containment/query_containment.mli: Ldap Query Schema

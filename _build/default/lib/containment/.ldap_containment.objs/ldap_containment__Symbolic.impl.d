@@ -1,0 +1,1 @@
+lib/containment/symbolic.ml: Array Filter Ldap List Map Option Printf Schema String Template Value

@@ -1,0 +1,1 @@
+lib/containment/symbolic.mli: Filter Ldap Schema Template

@@ -1,0 +1,1 @@
+lib/containment/template.ml: Array Filter Format Hashtbl Ldap List Option Printf Schema String Value

@@ -1,0 +1,1 @@
+lib/containment/template.mli: Filter Format Ldap Schema

@@ -1,0 +1,1 @@
+lib/containment/template_registry.ml: Ldap List Option Query Schema Template

@@ -1,0 +1,1 @@
+lib/containment/template_registry.mli: Ldap Query Schema Template

@@ -1,0 +1,160 @@
+open Ldap
+
+type 'a stored = { query : Query.t; values : string array; payload : 'a }
+
+type 'a bucket = {
+  template : Template.t;
+  mutable entries : 'a stored list;
+}
+
+type 'a t = {
+  schema : Schema.t;
+  buckets : (string, 'a bucket) Hashtbl.t;  (* shape key -> bucket *)
+  conditions : (string * string, Symbolic.t option) Hashtbl.t;
+      (* (incoming shape, stored shape) -> compiled condition *)
+  mutable count : int;
+  mutable comparisons : int;
+}
+
+let create schema =
+  {
+    schema;
+    buckets = Hashtbl.create 64;
+    conditions = Hashtbl.create 256;
+    count = 0;
+    comparisons = 0;
+  }
+
+let decompose t (q : Query.t) =
+  let template = Template.of_filter q.Query.filter in
+  match Template.match_filter t.schema template q.Query.filter with
+  | Some values -> (template, values)
+  | None ->
+      (* A filter always matches its own full generalization. *)
+      assert false
+
+let add t q payload =
+  let template, values = decompose t q in
+  let key = Template.shape_key template in
+  let bucket =
+    match Hashtbl.find_opt t.buckets key with
+    | Some b -> b
+    | None ->
+        let b = { template; entries = [] } in
+        Hashtbl.replace t.buckets key b;
+        b
+  in
+  let fresh = { query = q; values; payload } in
+  let replaced = ref false in
+  bucket.entries <-
+    List.map
+      (fun s ->
+        if Query.equal s.query q then begin
+          replaced := true;
+          fresh
+        end
+        else s)
+      bucket.entries;
+  if not !replaced then begin
+    bucket.entries <- fresh :: bucket.entries;
+    t.count <- t.count + 1
+  end
+
+let remove t q =
+  let template, _ = decompose t q in
+  let key = Template.shape_key template in
+  match Hashtbl.find_opt t.buckets key with
+  | None -> ()
+  | Some bucket ->
+      let before = List.length bucket.entries in
+      bucket.entries <- List.filter (fun s -> not (Query.equal s.query q)) bucket.entries;
+      t.count <- t.count - (before - List.length bucket.entries);
+      if bucket.entries = [] then Hashtbl.remove t.buckets key
+
+let find t q =
+  let template, _ = decompose t q in
+  match Hashtbl.find_opt t.buckets (Template.shape_key template) with
+  | None -> None
+  | Some bucket ->
+      List.find_map
+        (fun s -> if Query.equal s.query q then Some s.payload else None)
+        bucket.entries
+
+let mem t q =
+  let template, _ = decompose t q in
+  match Hashtbl.find_opt t.buckets (Template.shape_key template) with
+  | None -> false
+  | Some bucket -> List.exists (fun s -> Query.equal s.query q) bucket.entries
+
+let length t = t.count
+
+let clear t =
+  Hashtbl.reset t.buckets;
+  t.count <- 0
+
+let condition t ~incoming_key ~incoming ~bucket_key ~bucket_template =
+  let key = (incoming_key, bucket_key) in
+  match Hashtbl.find_opt t.conditions key with
+  | Some c -> c
+  | None ->
+      let c = Symbolic.compile t.schema ~left:incoming ~right:bucket_template in
+      Hashtbl.replace t.conditions key c;
+      c
+
+let find_container_where t (q : Query.t) ~pred =
+  let template, values = decompose t q in
+  let incoming_key = Template.shape_key template in
+  let check_bucket bucket_key (bucket : 'a bucket) acc =
+    match acc with
+    | Some _ -> acc
+    | None -> (
+        match
+          condition t ~incoming_key ~incoming:template ~bucket_key
+            ~bucket_template:bucket.template
+        with
+        | Some Symbolic.Never -> None
+        | cond ->
+            List.find_map
+              (fun s ->
+                t.comparisons <- t.comparisons + 1;
+                if
+                  (not (pred s.query s.payload))
+                  || not (Query_containment.region_and_attrs_ok ~query:q ~stored:s.query)
+                then None
+                else
+                  let ok =
+                    match cond with
+                    | Some c -> Symbolic.eval t.schema c ~left:values ~right:s.values
+                    | None ->
+                        (* Compilation blew up: direct check. *)
+                        Filter_containment.contained t.schema q.Query.filter
+                          s.query.Query.filter
+                  in
+                  if ok then Some (s.query, s.payload) else None)
+              bucket.entries)
+  in
+  (* Same-template bucket first: it answers most hits cheaply. *)
+  let same =
+    match Hashtbl.find_opt t.buckets incoming_key with
+    | Some bucket -> check_bucket incoming_key bucket None
+    | None -> None
+  in
+  match same with
+  | Some _ as hit -> hit
+  | None ->
+      Hashtbl.fold
+        (fun key bucket acc ->
+          if String.equal key incoming_key then acc else check_bucket key bucket acc)
+        t.buckets None
+
+let find_container t q = find_container_where t q ~pred:(fun _ _ -> true)
+
+let fold t ~init ~f =
+  Hashtbl.fold
+    (fun _ bucket acc ->
+      List.fold_left (fun acc s -> f acc s.query s.payload) acc bucket.entries)
+    t.buckets init
+
+let iter t ~f = fold t ~init:() ~f:(fun () q p -> f q p)
+let comparisons t = t.comparisons
+let reset_comparisons t = t.comparisons <- 0

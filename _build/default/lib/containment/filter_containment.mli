@@ -1,0 +1,31 @@
+(** Filter containment: [F1 ⊆ F2] when no entry can satisfy [F1] but
+    not [F2] (section 4.1).
+
+    Three decision procedures, dispatched by {!contained}:
+    - structural equality of normalized filters;
+    - the same-template pointwise check of Proposition 3 (linear in
+      the number of predicates);
+    - the general Proposition 1 procedure via {!Symbolic.contained}.
+
+    All procedures are sound under multi-valued attribute semantics;
+    [false] answers may be conservative for filter classes outside the
+    paper's scope (see {!Symbolic}). *)
+
+open Ldap
+
+val pred_contained : Schema.t -> Filter.pred -> Filter.pred -> bool
+(** Containment of atomic predicates, e.g. [(age=30) ⊆ (age>=20)],
+    prefix assertions such as sn=smi... widening to sn=sm.... *)
+
+val same_shape_contained : Schema.t -> Filter.t -> Filter.t -> bool option
+(** Proposition 3: when the two normalized filters have the same shape
+    (same template), containment follows from pointwise containment of
+    corresponding predicates.  [None] when the shapes differ. *)
+
+val contained : Schema.t -> Filter.t -> Filter.t -> bool
+(** Full dispatch: equality, then same-shape, then the general
+    procedure. *)
+
+val contained_general : Schema.t -> Filter.t -> Filter.t -> bool
+(** The general Proposition 1 procedure only (exposed for testing and
+    benchmarking against the fast paths). *)

@@ -1,0 +1,78 @@
+(** Compiled filter-containment conditions (Propositions 1 and 2).
+
+    Proposition 1 reduces containment [F1 ⊆ F2] to the inconsistency
+    of [F1 ∧ ¬F2].  Proposition 2 observes that for positive filters
+    with equality/range predicates the inconsistency condition is a CNF
+    of simple comparisons between assertion values — which can be
+    computed {e once per template pair} and then evaluated per query by
+    plugging in assertion values.
+
+    This module implements that compilation.  Assertion values are
+    symbolic {!operand}s: hole [i] of the contained-side template
+    ([L i]), hole [i] of the containing-side template ([R i]), a
+    constant, or the successor of a prefix (used to interpret
+    [attr=p*] as the range [[p, succ p)]).
+
+    Soundness contract: {!eval} returning [true] implies real
+    containment under LDAP's multi-valued attribute semantics; [false]
+    may be conservative (the replica then generates a spurious
+    referral, never a wrong answer).  For positive filters over
+    single-valued attributes with equality/range predicates the
+    condition is also complete, matching the paper.  Attributes are
+    treated as single-valued when the schema says so. *)
+
+open Ldap
+
+type operand =
+  | L of int  (** Hole of the left (contained) template. *)
+  | R of int  (** Hole of the right (containing) template. *)
+  | C of string  (** Constant assertion value. *)
+  | Succ of operand  (** Successor of a prefix: upper end of [p*]. *)
+
+type atom =
+  | Empty_range of {
+      low : operand;
+      low_strict : bool;
+      high : operand;
+      high_strict : bool;
+    }  (** The range the conjunct imposes on the attribute is empty. *)
+  | Equal of operand * operand
+      (** An excluded point coincides with a required point. *)
+  | Point_excluded of { low : operand; high : operand; excl : operand }
+      (** The range is the single point [low = high] and it is
+          excluded. *)
+  | Has_prefix of operand * operand
+      (** [Has_prefix (p, v)]: [p] is a prefix of [v] — a negated
+          prefix assertion swallows the required region. *)
+
+type cond_atom = { attr : string; atom : atom }
+
+type clause = cond_atom list
+(** Disjunction; [[]] is FALSE (the conjunct cannot be shown
+    inconsistent for any values, so containment never holds). *)
+
+type t =
+  | Always  (** Contained for every assignment of hole values. *)
+  | Never  (** Not contained for any assignment (template-level
+              pruning: the paper's "(&(sn=_)(ou=_)) can not answer
+              (sn=_)"). *)
+  | Cnf of clause list  (** Conjunction of disjunctions of comparisons:
+                            exactly Proposition 2's form. *)
+
+val compile : Schema.t -> left:Template.t -> right:Template.t -> t option
+(** Containment condition for instances of [left] in instances of
+    [right].  [None] when compilation is infeasible (DNF blow-up
+    beyond internal limits); callers must then fall back to a direct
+    check or a conservative [false]. *)
+
+val eval : Schema.t -> t -> left:string array -> right:string array -> bool
+(** Evaluates a compiled condition on concrete hole values. *)
+
+val contained : Schema.t -> Filter.t -> Filter.t -> bool
+(** Direct (uncompiled) containment of concrete filters: compiles the
+    filters as constant-only templates, which folds every atom at
+    compile time.  This is the general Proposition 1 decision
+    procedure. *)
+
+val to_string : t -> string
+(** Human-readable CNF, for inspection and tests. *)

@@ -1,0 +1,1 @@
+lib/dirgen/enterprise.ml: Array Backend Char Csn Dn Entry Ldap List Namegen Printf Prng Schema Update

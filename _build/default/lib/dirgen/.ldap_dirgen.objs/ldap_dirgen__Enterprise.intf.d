@@ -1,0 +1,1 @@
+lib/dirgen/enterprise.mli: Backend Dn Ldap Schema

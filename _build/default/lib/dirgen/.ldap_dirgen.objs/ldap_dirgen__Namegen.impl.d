@@ -1,0 +1,1 @@
+lib/dirgen/namegen.ml: Hashtbl Printf Prng String

@@ -1,0 +1,1 @@
+lib/dirgen/prng.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/dirgen/trace.ml: Array Buffer Dn Filter Ldap List Printf Query Scope String Workload

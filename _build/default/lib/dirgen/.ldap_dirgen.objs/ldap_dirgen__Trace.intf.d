@@ -1,0 +1,1 @@
+lib/dirgen/trace.mli: Workload

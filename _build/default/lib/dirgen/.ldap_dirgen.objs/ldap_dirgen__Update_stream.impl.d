@@ -1,0 +1,1 @@
+lib/dirgen/update_stream.ml: Array Backend Dn Enterprise Entry Ldap Namegen Option Printf Prng String Update

@@ -1,0 +1,1 @@
+lib/dirgen/update_stream.mli: Enterprise

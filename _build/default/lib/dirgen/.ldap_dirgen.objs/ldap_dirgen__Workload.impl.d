@@ -1,0 +1,1 @@
+lib/dirgen/workload.ml: Array Enterprise Filter Float Ldap List Printf Prng Query String Zipf

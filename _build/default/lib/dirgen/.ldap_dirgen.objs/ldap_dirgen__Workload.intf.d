@@ -1,0 +1,1 @@
+lib/dirgen/workload.mli: Enterprise Ldap Query

@@ -1,0 +1,1 @@
+lib/dirgen/zipf.ml: Array Float Prng

@@ -1,0 +1,1 @@
+lib/dirgen/zipf.mli: Prng

@@ -1,0 +1,233 @@
+open Ldap
+
+type config = {
+  seed : int;
+  countries : int;
+  employees : int;
+  divisions : int;
+  departments_per_division : int;
+  locations : int;
+  target_countries : int;
+  target_share : float;
+}
+
+let default_config =
+  {
+    seed = 42;
+    countries = 20;
+    employees = 20_000;
+    divisions = 8;
+    departments_per_division = 50;
+    locations = 40;
+    target_countries = 5;
+    target_share = 0.30;
+  }
+
+type employee = {
+  emp_dn : Dn.t;
+  emp_country : int;
+  emp_seq : int;
+  emp_serial : string;
+  emp_mail : string;
+  emp_dept : string;
+}
+
+type t = {
+  config : config;
+  backend : Backend.t;
+  root : Dn.t;
+  country_dns : Dn.t array;
+  country_codes : string array;
+  by_country : employee array array;
+  all : employee array;
+  division_dns : Dn.t array;
+  depts : string array;
+  locations_base : Dn.t;
+  location_names : string array;
+}
+
+let serial_prefix_length = 7
+
+let code_of_country i =
+  Printf.sprintf "%c%c" (Char.chr (Char.code 'a' + (i / 26 mod 26))) (Char.chr (Char.code 'a' + (i mod 26)))
+
+let dept_number ~division ~dept = Printf.sprintf "%02d%02d" division dept
+
+let must = function Ok x -> x | Error e -> failwith ("Enterprise.build: " ^ e)
+let must_apply b op = ignore (must (Backend.apply b op))
+
+let build config =
+  let prng = Prng.create config.seed in
+  let schema = Schema.default in
+  let backend =
+    Backend.create
+      ~indexed:
+        [ "serialnumber"; "mail"; "departmentnumber"; "divisionnumber"; "uid"; "cn"; "location" ]
+      schema
+  in
+  let root = Dn.of_string_exn "o=xyz" in
+  must
+    (Backend.add_context backend
+       (Entry.make root [ ("objectclass", [ "organization" ]); ("o", [ "xyz" ]) ]));
+  (* Countries. *)
+  let country_codes = Array.init config.countries code_of_country in
+  let country_dns =
+    Array.map (fun code -> Dn.child_ava root "c" code) country_codes
+  in
+  Array.iter
+    (fun code ->
+      must_apply backend
+        (Update.add
+           (Entry.make
+              (Dn.child_ava root "c" code)
+              [ ("objectclass", [ "country" ]); ("c", [ code ]) ])))
+    country_codes;
+  (* Divisions and departments. *)
+  let divisions_base = Dn.child_ava root "ou" "divisions" in
+  must_apply backend
+    (Update.add
+       (Entry.make divisions_base
+          [ ("objectclass", [ "organizationalUnit" ]); ("ou", [ "divisions" ]) ]));
+  let division_dns =
+    Array.init config.divisions (fun d ->
+        Dn.child_ava divisions_base "ou" (Printf.sprintf "div-%02d" d))
+  in
+  Array.iteri
+    (fun d dn ->
+      must_apply backend
+        (Update.add
+           (Entry.make dn
+              [
+                ("objectclass", [ "organizationalUnit" ]);
+                ("ou", [ Printf.sprintf "div-%02d" d ]);
+                ("divisionNumber", [ Printf.sprintf "%02d" d ]);
+              ])))
+    division_dns;
+  let depts = ref [] in
+  Array.iteri
+    (fun d div_dn ->
+      for k = 0 to config.departments_per_division - 1 do
+        let number = dept_number ~division:d ~dept:k in
+        depts := number :: !depts;
+        must_apply backend
+          (Update.add
+             (Entry.make
+                (Dn.child_ava div_dn "ou" ("dept-" ^ number))
+                [
+                  ("objectclass", [ "organizationalUnit" ]);
+                  ("ou", [ "dept-" ^ number ]);
+                  ("departmentNumber", [ number ]);
+                  ("divisionNumber", [ Printf.sprintf "%02d" d ]);
+                  ("description", [ "department " ^ number ]);
+                ]))
+      done)
+    division_dns;
+  let depts = Array.of_list (List.rev !depts) in
+  (* Locations: a small, hot subtree (section 7.2(c)). *)
+  let locations_base = Dn.child_ava root "ou" "locations" in
+  must_apply backend
+    (Update.add
+       (Entry.make locations_base
+          [ ("objectclass", [ "organizationalUnit" ]); ("ou", [ "locations" ]) ]));
+  let location_names =
+    Array.init config.locations (fun i -> Printf.sprintf "site-%02d" i)
+  in
+  Array.iter
+    (fun name ->
+      must_apply backend
+        (Update.add
+           (Entry.make
+              (Dn.child_ava locations_base "l" name)
+              [
+                ("objectclass", [ "locality" ]);
+                ("l", [ name ]);
+                ("location", [ name ]);
+                ("description", [ "location " ^ name ]);
+              ])))
+    location_names;
+  (* Employees: target countries share [target_share] evenly, the rest
+     split the remainder. *)
+  let per_country =
+    Array.init config.countries (fun i ->
+        if i < config.target_countries then
+          int_of_float
+            (config.target_share *. float_of_int config.employees
+            /. float_of_int config.target_countries)
+        else
+          int_of_float
+            ((1.0 -. config.target_share) *. float_of_int config.employees
+            /. float_of_int (config.countries - config.target_countries)))
+  in
+  let by_country =
+    Array.mapi
+      (fun ci n ->
+        let cdn = country_dns.(ci) in
+        let code = country_codes.(ci) in
+        Array.init n (fun seq ->
+            let given = Namegen.given_name prng and sur = Namegen.surname prng in
+            let serial = Namegen.serial ~country_index:ci ~seq in
+            let local = Namegen.mail_local_part prng ~given ~sur ~seq in
+            let mail = Printf.sprintf "%s@%s.xyz.com" local code in
+            let division = Prng.int prng config.divisions in
+            let dept =
+              dept_number ~division ~dept:(Prng.int prng config.departments_per_division)
+            in
+            let cn = Printf.sprintf "%s %s %s" given sur serial in
+            let dn = Dn.child_ava cdn "cn" cn in
+            let entry =
+              Entry.make dn
+                [
+                  ("objectclass", [ "inetOrgPerson" ]);
+                  ("cn", [ cn ]);
+                  ("sn", [ sur ]);
+                  ("givenName", [ given ]);
+                  ("uid", [ Namegen.uid ~country_index:ci ~seq ]);
+                  ("mail", [ mail ]);
+                  ("serialNumber", [ serial ]);
+                  ("departmentNumber", [ dept ]);
+                  ("telephoneNumber",
+                   [ Printf.sprintf "%03d-%04d" (Prng.int prng 1000) (Prng.int prng 10000) ]);
+                  ("employeeType", [ (if Prng.bool prng 0.9 then "regular" else "contractor") ]);
+                  ("description", [ "employee record for " ^ cn ]);
+                ]
+            in
+            must_apply backend (Update.add entry);
+            { emp_dn = dn; emp_country = ci; emp_seq = seq; emp_serial = serial;
+              emp_mail = mail; emp_dept = dept })
+          )
+      per_country
+  in
+  (* Experiments measure only their own update streams. *)
+  Backend.trim_log backend ~before:(Csn.next (Backend.csn backend));
+  {
+    config;
+    backend;
+    root;
+    country_dns;
+    country_codes;
+    by_country;
+    all = Array.concat (Array.to_list by_country);
+    division_dns;
+    depts;
+    locations_base;
+    location_names;
+  }
+
+let config t = t.config
+let backend t = t.backend
+let schema t = Backend.schema t.backend
+let root_dn t = t.root
+let country_dn t i = t.country_dns.(i)
+let country_code t i = t.country_codes.(i)
+let division_dn t i = t.division_dns.(i)
+let locations_dn t = t.locations_base
+let location_names t = t.location_names
+let employees t = t.all
+let employees_of_country t i = t.by_country.(i)
+let person_count t = Array.length t.all
+let is_target_country t i = i < t.config.target_countries
+
+let target_countries t =
+  List.init t.config.target_countries (fun i -> i)
+
+let dept_numbers t = t.depts

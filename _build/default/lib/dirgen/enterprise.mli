@@ -1,0 +1,75 @@
+(** Synthetic enterprise directory modelled on the paper's case study
+    (section 7.1).
+
+    Shape: employees of each country are flat children of the country
+    entry (the flat-namespace situation of section 3.3); department
+    entries sit under their division entry; a small location subtree
+    has a high access rate.  Serial numbers are organized — a
+    fixed-width country-block prefix followed by a sequence — while
+    mail local parts are unorganized, reproducing why prefix filters
+    work for serialNumber but not for mail (section 7.2).
+
+    Department numbers embed the division ("2406" = division 24,
+    department 06), matching the paper's
+    (departmentNumber=240...) example of semantic locality that is not
+    spatial.
+
+    The first [target_countries] countries form the remote geography
+    (about 30% of employees by default) whose accesses the partial
+    replica is meant to serve. *)
+
+open Ldap
+
+type config = {
+  seed : int;
+  countries : int;
+  employees : int;
+  divisions : int;
+  departments_per_division : int;
+  locations : int;
+  target_countries : int;
+  target_share : float;  (** Fraction of employees in the geography. *)
+}
+
+val default_config : config
+(** 20 countries, 20000 employees, 8 divisions, 50 departments each,
+    40 locations, 5 target countries holding 30% of employees,
+    seed 42. *)
+
+type employee = {
+  emp_dn : Dn.t;
+  emp_country : int;
+  emp_seq : int;
+  emp_serial : string;
+  emp_mail : string;
+  emp_dept : string;  (** departmentNumber value, e.g. "2406". *)
+}
+
+type t
+
+val build : config -> t
+(** Constructs the whole DIT in a fresh indexed backend.  The build is
+    committed through normal update operations; the update log is
+    trimmed afterwards so experiments only observe their own update
+    streams. *)
+
+val config : t -> config
+val backend : t -> Backend.t
+val schema : t -> Schema.t
+val root_dn : t -> Dn.t
+val country_dn : t -> int -> Dn.t
+val country_code : t -> int -> string
+val division_dn : t -> int -> Dn.t
+val locations_dn : t -> Dn.t
+val location_names : t -> string array
+
+val employees : t -> employee array
+val employees_of_country : t -> int -> employee array
+val person_count : t -> int
+val is_target_country : t -> int -> bool
+val target_countries : t -> int list
+val dept_numbers : t -> string array
+(** All department numbers, grouped by division prefix. *)
+
+val serial_prefix_length : int
+(** Characters of a serial: 2 (country block) + 5 (sequence). *)

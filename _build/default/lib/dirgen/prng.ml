@@ -1,0 +1,59 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = Int64.to_int (next t) in
+  { state = Int64.of_int seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Shift by 2 so the value fits OCaml's 63-bit native int. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool t p = float t 1.0 < p
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_list t l = pick t (Array.of_list l)
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let weighted t items =
+  let total = List.fold_left (fun acc (_, w) -> acc +. max 0.0 w) 0.0 items in
+  if total <= 0.0 then invalid_arg "Prng.weighted: total weight must be positive";
+  let target = float t total in
+  let rec go acc = function
+    | [] -> fst (List.hd (List.rev items))
+    | (x, w) :: rest ->
+        let acc = acc +. max 0.0 w in
+        if target < acc then x else go acc rest
+  in
+  go 0.0 items

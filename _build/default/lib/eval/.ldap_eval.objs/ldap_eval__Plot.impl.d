@@ -1,0 +1,1 @@
+lib/eval/plot.ml: Array Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/eval/scenario.ml: Array Backend Dn Filter Float Hashtbl Ldap Ldap_dirgen Ldap_replication Ldap_resync Ldap_selection List Option Query

@@ -1,0 +1,1 @@
+lib/eval/scenario.mli: Dn Ldap Ldap_dirgen Ldap_replication Ldap_resync Ldap_selection Query

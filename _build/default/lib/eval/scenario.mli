@@ -1,0 +1,72 @@
+(** Shared experiment machinery: master setup, static filter selection,
+    subtree selection, and the query/update drive loop used by every
+    figure reproduction. *)
+
+open Ldap
+module Dirgen = Ldap_dirgen
+module Replication = Ldap_replication
+module Selection = Ldap_selection
+module Resync = Ldap_resync
+
+type t = {
+  enterprise : Dirgen.Enterprise.t;
+  master : Resync.Master.t;
+}
+
+val setup : ?config:Dirgen.Enterprise.config -> unit -> t
+
+val select_static :
+  ?max_filters:int ->
+  ?min_hits:int ->
+  t ->
+  rules:Selection.Generalize.rule list ->
+  train:Dirgen.Workload.item array ->
+  budget:int ->
+  Query.t list
+(** Generalizes every training query, ranks candidates by benefit/size
+    and greedily fills the entry budget — the static configuration of
+    section 6 used when dynamic selection is off.  [max_filters] caps
+    the number of selected filters (for the figure 8/9 sweeps over
+    filter counts); [min_hits] prunes cold candidates (default 2). *)
+
+val choose_subtrees :
+  t ->
+  roots:Dn.t array ->
+  train:Dirgen.Workload.item array ->
+  budget:int ->
+  Dn.t list
+(** Greedy subtree selection: candidate roots ranked by
+    (training accesses whose scoped base falls under the root) /
+    (entries in the subtree), filled under the entry budget. *)
+
+val subtree_size : t -> Dn.t -> int
+
+type drive = {
+  queries_between_syncs : int;  (** 0 disables periodic syncs. *)
+  updates_per_query : float;  (** Master update-stream interleave rate. *)
+}
+
+val no_updates : drive
+
+val drive_filter :
+  t ->
+  Replication.Filter_replica.t ->
+  ?selector:Selection.Selector.t ->
+  ?stream:Dirgen.Update_stream.t ->
+  ?cache_misses:bool ->
+  drive ->
+  Dirgen.Workload.item array ->
+  unit
+(** Runs the workload against a filter replica: root-based queries,
+    misses answered by the master (and optionally cached), interleaved
+    updates and periodic syncs, selector observation per query. *)
+
+val drive_subtree :
+  t ->
+  Replication.Subtree_replica.t ->
+  ?stream:Dirgen.Update_stream.t ->
+  drive ->
+  Dirgen.Workload.item array ->
+  unit
+(** Runs the workload against a subtree replica using the {e scoped}
+    query form (the generous assumption for the baseline). *)

@@ -1,0 +1,1 @@
+lib/ldap/backend.ml: Csn Dit Dn Entry Filter Index Int List Option Printf Query Schema Scope Update

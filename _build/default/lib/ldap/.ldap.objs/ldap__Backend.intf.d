@@ -1,0 +1,1 @@
+lib/ldap/backend.mli: Csn Dit Dn Entry Query Schema Stdlib Update

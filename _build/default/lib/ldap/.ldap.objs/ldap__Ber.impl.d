@@ -1,0 +1,1 @@
+lib/ldap/ber.ml: Dn Entry List String

@@ -1,0 +1,1 @@
+lib/ldap/ber.mli: Dn Entry

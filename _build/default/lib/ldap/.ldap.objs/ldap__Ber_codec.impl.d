@@ -1,0 +1,1 @@
+lib/ldap/ber_codec.ml: Buffer Char Dn Entry Filter List Printf Query Result Scope String

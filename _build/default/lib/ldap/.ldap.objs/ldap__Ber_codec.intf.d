@@ -1,0 +1,1 @@
+lib/ldap/ber_codec.mli: Dn Entry Query

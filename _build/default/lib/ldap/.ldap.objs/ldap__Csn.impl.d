@@ -1,0 +1,1 @@
+lib/ldap/csn.ml: Format Int

@@ -1,0 +1,1 @@
+lib/ldap/dit.ml: Dn Entry List Map Option String

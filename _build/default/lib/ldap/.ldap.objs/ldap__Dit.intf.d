@@ -1,0 +1,1 @@
+lib/ldap/dit.mli: Dn Entry

@@ -1,0 +1,1 @@
+lib/ldap/dn.ml: Buffer Char Format List Map Printf Set String Value

@@ -1,0 +1,1 @@
+lib/ldap/dn.mli: Format Map Set

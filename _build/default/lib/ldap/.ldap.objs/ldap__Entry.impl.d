@@ -1,0 +1,1 @@
+lib/ldap/entry.ml: Dn Format Hashtbl List Map Option Printf String Value

@@ -1,0 +1,1 @@
+lib/ldap/entry.mli: Dn Format Value

@@ -1,0 +1,1 @@
+lib/ldap/filter.ml: Buffer Char Entry Format Int List Option Printf Schema Stdlib String Value

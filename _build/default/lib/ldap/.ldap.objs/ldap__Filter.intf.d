@@ -1,0 +1,1 @@
+lib/ldap/filter.mli: Entry Format Schema

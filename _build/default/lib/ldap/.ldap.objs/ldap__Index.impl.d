@@ -1,0 +1,1 @@
+lib/ldap/index.ml: Dn Entry Hashtbl List Map Option Schema Seq String Value

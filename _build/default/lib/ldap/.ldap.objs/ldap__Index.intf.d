@@ -1,0 +1,1 @@
+lib/ldap/index.mli: Dn Entry Schema

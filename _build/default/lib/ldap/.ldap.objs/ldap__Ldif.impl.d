@@ -1,0 +1,1 @@
+lib/ldap/ldif.ml: Buffer Char Dn Entry List Printf Result String Update

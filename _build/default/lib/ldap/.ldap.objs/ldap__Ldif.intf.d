@@ -1,0 +1,1 @@
+lib/ldap/ldif.mli: Dn Entry Update

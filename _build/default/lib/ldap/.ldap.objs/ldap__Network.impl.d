@@ -1,0 +1,1 @@
+lib/ldap/network.ml: Ber Dn Hashtbl List Option Printf Query Referral Server

@@ -1,0 +1,1 @@
+lib/ldap/network.mli: Entry Query Server

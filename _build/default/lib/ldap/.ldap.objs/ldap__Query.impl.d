@@ -1,0 +1,1 @@
+lib/ldap/query.ml: Bool Dn Filter Format List Printf Scope Stdlib String

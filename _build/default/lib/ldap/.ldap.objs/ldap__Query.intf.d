@@ -1,0 +1,1 @@
+lib/ldap/query.mli: Dn Filter Format Scope

@@ -1,0 +1,1 @@
+lib/ldap/referral.ml: Dn Printf String

@@ -1,0 +1,1 @@
+lib/ldap/schema.ml: Hashtbl List Map String Value

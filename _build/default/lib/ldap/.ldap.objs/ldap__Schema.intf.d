@@ -1,0 +1,1 @@
+lib/ldap/schema.mli: Value

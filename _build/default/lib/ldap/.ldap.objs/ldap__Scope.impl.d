@@ -1,0 +1,1 @@
+lib/ldap/scope.ml: Format Int String

@@ -1,0 +1,1 @@
+lib/ldap/scope.mli: Format

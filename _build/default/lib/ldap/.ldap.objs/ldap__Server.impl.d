@@ -1,0 +1,1 @@
+lib/ldap/server.ml: Backend Dn Printf Query

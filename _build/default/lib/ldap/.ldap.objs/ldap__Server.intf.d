@@ -1,0 +1,1 @@
+lib/ldap/server.mli: Backend Dn Query Update

@@ -1,0 +1,1 @@
+lib/ldap/sort_control.ml: Entry List Schema String Value

@@ -1,0 +1,1 @@
+lib/ldap/sort_control.mli: Entry Schema

@@ -1,0 +1,1 @@
+lib/ldap/update.ml: Csn Dn Entry Format

@@ -1,0 +1,1 @@
+lib/ldap/update.mli: Csn Dn Entry Format

@@ -1,0 +1,1 @@
+lib/ldap/value.ml: Buffer Bytes Char Int String

@@ -1,0 +1,397 @@
+type t = {
+  schema : Schema.t;
+  mutable contexts : Dit.t list;  (* deepest suffix first *)
+  index : Index.t;
+  mutable referral_dns : Dn.Set.t;  (* referral objects, for references *)
+  mutable log : Update.record list;  (* newest first *)
+  mutable log_floor : Csn.t;  (* records <= floor have been trimmed *)
+  mutable csn : Csn.t;
+  mutable subscribers : (Update.record -> unit) list;
+}
+
+let create ?(indexed = []) schema =
+  {
+    schema;
+    contexts = [];
+    index = Index.create schema ~attrs:("objectclass" :: indexed);
+    referral_dns = Dn.Set.empty;
+    log = [];
+    log_floor = Csn.zero;
+    csn = Csn.zero;
+    subscribers = [];
+  }
+
+let schema t = t.schema
+
+let note_entry t entry ~add =
+  (if add then Index.insert else Index.remove) t.index entry;
+  if Entry.is_referral entry then
+    t.referral_dns <-
+      (if add then Dn.Set.add else Dn.Set.remove) (Entry.dn entry) t.referral_dns
+
+let add_context t entry =
+  let suffix = Entry.dn entry in
+  let clashes dit =
+    Dn.ancestor_of (Dit.suffix dit) suffix || Dn.ancestor_of suffix (Dit.suffix dit)
+  in
+  if List.exists clashes t.contexts then
+    Error
+      (Printf.sprintf "context %S overlaps an existing naming context"
+         (Dn.to_string suffix))
+  else begin
+    let by_depth a b = Int.compare (Dn.depth (Dit.suffix b)) (Dn.depth (Dit.suffix a)) in
+    t.contexts <- List.sort by_depth (Dit.create entry :: t.contexts);
+    note_entry t entry ~add:true;
+    Ok ()
+  end
+
+let contexts t = t.contexts
+
+let context_for t dn =
+  (* contexts are sorted deepest first, so the first covering context
+     is the most specific one. *)
+  List.find_opt (fun dit -> Dit.contains_dn dit dn) t.contexts
+
+let set_context t dit' =
+  t.contexts <-
+    List.map (fun dit -> if Dn.equal (Dit.suffix dit) (Dit.suffix dit') then dit' else dit)
+      t.contexts
+
+let find t dn =
+  match context_for t dn with None -> None | Some dit -> Dit.find dit dn
+
+let total_entries t = List.fold_left (fun acc dit -> acc + Dit.size dit) 0 t.contexts
+
+let fold_entries t ~init ~f =
+  List.fold_left (fun acc dit -> Dit.fold dit ~init:acc ~f) init t.contexts
+
+(* --- Search --------------------------------------------------------- *)
+
+type search_error =
+  | No_such_object of Dn.t
+  | Base_referral of { dn : Dn.t; urls : string list }
+
+type search_result = { entries : Entry.t list; references : string list list }
+
+(* Name resolution: walk from the context suffix down to [base]; if a
+   referral object sits at or above the base, the client must chase it. *)
+let resolve_base t dit base =
+  let rec ancestors acc dn =
+    if Dn.equal dn (Dit.suffix dit) then dn :: acc
+    else
+      match Dn.parent dn with
+      | None -> acc
+      | Some p -> ancestors (dn :: acc) p
+  in
+  let path = ancestors [] base in
+  let referral =
+    List.find_map
+      (fun dn ->
+        if Dn.Set.mem dn t.referral_dns then
+          Option.map (fun e -> (dn, Entry.referral_urls e)) (Dit.find dit dn)
+        else None)
+      path
+  in
+  match referral with
+  | Some (dn, urls) -> Error (Base_referral { dn; urls })
+  | None -> (
+      match Dit.find dit base with
+      | None -> Error (No_such_object base)
+      | Some entry -> Ok entry)
+
+(* Referral object strictly between [base] (exclusive) and [dn]
+   (exclusive)?  Used to cut off index candidates living under
+   subordinate referrals. *)
+let crosses_referral t ~base dn =
+  if Dn.Set.is_empty t.referral_dns then false
+  else
+    let rec go cur =
+      match Dn.parent cur with
+      | None -> false
+      | Some p ->
+          if Dn.equal p base then false
+          else Dn.Set.mem p t.referral_dns || go p
+    in
+    go dn
+
+(* Candidate DNs from indexes, if some indexed predicate must hold.
+   Returns [None] when no index applies (fall back to traversal). *)
+let rec index_candidates t filter =
+  match filter with
+  | Filter.Pred (Filter.Equality (a, v)) when Index.is_indexed t.index a ->
+      Some (Index.lookup_eq t.index ~attr:a v)
+  | Filter.Pred (Filter.Substrings (a, { initial = Some p; _ }))
+    when Index.is_indexed t.index a ->
+      Some (Index.lookup_prefix t.index ~attr:a p)
+  | Filter.And gs ->
+      (* Any conjunct's candidate set over-approximates the result;
+         pick the smallest available. *)
+      List.filter_map (index_candidates t) gs
+      |> List.fold_left
+           (fun best s ->
+             match best with
+             | None -> Some s
+             | Some b -> if Dn.Set.cardinal s < Dn.Set.cardinal b then Some s else Some b)
+           None
+  | Filter.Or gs ->
+      let sets = List.map (index_candidates t) gs in
+      if List.for_all Option.is_some sets then
+        Some
+          (List.fold_left
+             (fun acc s -> Dn.Set.union acc (Option.get s))
+             Dn.Set.empty sets)
+      else None
+  | Filter.Pred _ | Filter.Not _ -> None
+
+let in_scope_references t (q : Query.t) =
+  Dn.Set.fold
+    (fun dn acc -> if Query.in_scope q dn then dn :: acc else acc)
+    t.referral_dns []
+
+let requested_attrs (q : Query.t) = Query.attr_list q.attrs
+
+let search t (q : Query.t) =
+  match context_for t q.base with
+  | None -> Error (No_such_object q.base)
+  | Some dit -> (
+      let manage = q.Query.manage_dsa_it in
+      let resolved =
+        if manage then
+          (* manageDsaIT: name resolution sees referral objects as
+             plain entries. *)
+          match Dit.find dit q.base with
+          | None -> Error (No_such_object q.base)
+          | Some entry -> Ok entry
+        else resolve_base t dit q.base
+      in
+      match resolved with
+      | Error e -> Error e
+      | Ok _base_entry ->
+          let references =
+            if manage then []
+            else
+              List.filter_map
+                (fun dn -> Option.map Entry.referral_urls (Dit.find dit dn))
+                (in_scope_references t q)
+          in
+          let is_excluded entry =
+            (not manage)
+            && (Entry.is_referral entry
+               || crosses_referral t ~base:q.base (Entry.dn entry))
+          in
+          let matches entry =
+            (not (is_excluded entry)) && Filter.matches t.schema q.filter entry
+          in
+          let collect_traversal () =
+            match q.scope with
+            | Scope.Base -> (
+                match Dit.find dit q.base with
+                | Some e when matches e -> [ e ]
+                | Some _ | None -> [])
+            | Scope.One -> List.filter matches (Dit.children dit q.base)
+            | Scope.Sub ->
+                Dit.fold_subtree dit q.base ~init:[] ~f:(fun acc e ->
+                    if matches e then e :: acc else acc)
+          in
+          let collect_indexed candidates =
+            Dn.Set.fold
+              (fun dn acc ->
+                if not (Query.in_scope q dn) then acc
+                else
+                  match Dit.find dit dn with
+                  | Some e when matches e -> e :: acc
+                  | Some _ | None -> acc)
+              candidates []
+          in
+          let entries =
+            match index_candidates t q.filter with
+            | Some candidates -> collect_indexed candidates
+            | None -> collect_traversal ()
+          in
+          let entries = List.map (fun e -> Entry.select e (requested_attrs q)) entries in
+          Ok { entries; references })
+
+let compare_values t dn ~attr ~value =
+  match find t dn with
+  | None -> Error (Printf.sprintf "no such object: %s" (Dn.to_string dn))
+  | Some entry ->
+      Ok (Entry.has_value ~syntax:(Schema.syntax_of t.schema attr) entry attr value)
+
+let count_matching t q =
+  match search t { q with attrs = Query.Select [ "objectclass" ] } with
+  | Ok { entries; _ } -> List.length entries
+  | Error _ -> 0
+
+(* --- Updates -------------------------------------------------------- *)
+
+let naming_values_present entry =
+  match Dn.rdn (Entry.dn entry) with
+  | None -> entry
+  | Some avas ->
+      List.fold_left
+        (fun e (ava : Dn.ava) -> Entry.add_values e ava.attr [ ava.value ])
+        entry avas
+
+let validate_entry t entry =
+  ignore t;
+  if Entry.object_classes entry = [] then
+    Error (Printf.sprintf "entry %S has no objectClass" (Dn.to_string (Entry.dn entry)))
+  else Ok ()
+
+let apply_mod schema entry (item : Update.mod_item) =
+  let syntax = Schema.syntax_of schema item.mod_attr in
+  match item.mod_kind with
+  | Update.Add_values -> Ok (Entry.add_values ~syntax entry item.mod_attr item.mod_values)
+  | Update.Replace_values -> Ok (Entry.replace_values entry item.mod_attr item.mod_values)
+  | Update.Delete_values -> Entry.delete_values ~syntax entry item.mod_attr item.mod_values
+
+let commit t op ~before ~after ~(mutate : unit -> (unit, string) result) =
+  match mutate () with
+  | Error _ as e -> e
+  | Ok () ->
+      t.csn <- Csn.next t.csn;
+      let record = { Update.csn = t.csn; op; before; after } in
+      t.log <- record :: t.log;
+      List.iter (fun f -> f record) t.subscribers;
+      Ok record
+
+let dit_result dit_res ~on_ok =
+  match dit_res with
+  | Ok dit -> on_ok dit
+  | Error e -> Error (Dit.error_to_string e)
+
+let apply t op =
+  (* Post-images carry the committing CSN as modifyTimestamp, which the
+     degraded ReSync mode (eq. (3) of the paper) relies on. *)
+  let stamp e =
+    Entry.replace_values e "modifytimestamp" [ Csn.to_string (Csn.next t.csn) ]
+  in
+  match op with
+  | Update.Add entry -> (
+      let entry = stamp (naming_values_present entry) in
+      let dn = Entry.dn entry in
+      match validate_entry t entry with
+      | Error _ as e -> e
+      | Ok () -> (
+          match context_for t dn with
+          | None ->
+              Error (Printf.sprintf "no naming context for %S" (Dn.to_string dn))
+          | Some dit ->
+              commit t op ~before:None ~after:(Some entry) ~mutate:(fun () ->
+                  dit_result (Dit.add dit entry) ~on_ok:(fun dit' ->
+                      set_context t dit';
+                      note_entry t entry ~add:true;
+                      Ok ()))))
+  | Update.Delete dn -> (
+      match context_for t dn with
+      | None -> Error (Printf.sprintf "no naming context for %S" (Dn.to_string dn))
+      | Some dit -> (
+          match Dit.find dit dn with
+          | None -> Error (Printf.sprintf "no such object: %s" (Dn.to_string dn))
+          | Some before ->
+              commit t op ~before:(Some before) ~after:None ~mutate:(fun () ->
+                  dit_result (Dit.delete dit dn) ~on_ok:(fun dit' ->
+                      set_context t dit';
+                      note_entry t before ~add:false;
+                      Ok ()))))
+  | Update.Modify (dn, items) -> (
+      match context_for t dn with
+      | None -> Error (Printf.sprintf "no naming context for %S" (Dn.to_string dn))
+      | Some dit -> (
+          match Dit.find dit dn with
+          | None -> Error (Printf.sprintf "no such object: %s" (Dn.to_string dn))
+          | Some before -> (
+              let applied =
+                List.fold_left
+                  (fun acc item ->
+                    match acc with
+                    | Error _ as e -> e
+                    | Ok e -> apply_mod t.schema e item)
+                  (Ok before) items
+              in
+              match applied with
+              | Error _ as e -> e
+              | Ok after -> (
+                  let after = stamp after in
+                  match validate_entry t after with
+                  | Error _ as e -> e
+                  | Ok () ->
+                      commit t op ~before:(Some before) ~after:(Some after)
+                        ~mutate:(fun () ->
+                          dit_result (Dit.replace dit after) ~on_ok:(fun dit' ->
+                              set_context t dit';
+                              note_entry t before ~add:false;
+                              note_entry t after ~add:true;
+                              Ok ()))))))
+  | Update.Modify_dn { dn; new_rdn; delete_old_rdn; new_superior } -> (
+      match context_for t dn with
+      | None -> Error (Printf.sprintf "no naming context for %S" (Dn.to_string dn))
+      | Some dit -> (
+          match Dit.find dit dn with
+          | None -> Error (Printf.sprintf "no such object: %s" (Dn.to_string dn))
+          | Some before -> (
+              if Dit.children dit dn <> [] then
+                Error
+                  (Printf.sprintf "modifyDN on non-leaf entry: %s" (Dn.to_string dn))
+              else
+                let parent_dn =
+                  match new_superior with
+                  | Some sup -> sup
+                  | None -> Option.value ~default:Dn.root (Dn.parent dn)
+                in
+                let new_dn = Dn.child parent_dn new_rdn in
+                match context_for t new_dn with
+                | None ->
+                    Error
+                      (Printf.sprintf "no naming context for new DN %S"
+                         (Dn.to_string new_dn))
+                | Some target_dit -> (
+                    if not (Dn.equal (Dit.suffix target_dit) (Dit.suffix dit)) then
+                      Error "modifyDN across naming contexts is not supported"
+                    else if Dit.find dit new_dn <> None then
+                      Error
+                        (Printf.sprintf "entry already exists: %s" (Dn.to_string new_dn))
+                    else if Dit.find dit parent_dn = None then
+                      Error
+                        (Printf.sprintf "new superior does not exist: %s"
+                           (Dn.to_string parent_dn))
+                    else
+                      let stripped =
+                        if delete_old_rdn then
+                          match Dn.rdn dn with
+                          | None -> before
+                          | Some avas ->
+                              List.fold_left
+                                (fun e (ava : Dn.ava) ->
+                                  match Entry.delete_values e ava.attr [ ava.value ] with
+                                  | Ok e' -> e'
+                                  | Error _ -> e)
+                                before avas
+                        else before
+                      in
+                      let after =
+                        stamp (naming_values_present (Entry.with_dn stripped new_dn))
+                      in
+                      commit t op ~before:(Some before) ~after:(Some after)
+                        ~mutate:(fun () ->
+                          dit_result (Dit.delete dit dn) ~on_ok:(fun dit' ->
+                              dit_result (Dit.add dit' after) ~on_ok:(fun dit'' ->
+                                  set_context t dit'';
+                                  note_entry t before ~add:false;
+                                  note_entry t after ~add:true;
+                                  Ok ())))))))
+
+let csn t = t.csn
+
+let log_since t since =
+  List.filter (fun (r : Update.record) -> Csn.( < ) since r.csn) (List.rev t.log)
+
+let log_complete_since t since = Csn.( <= ) t.log_floor since
+
+let trim_log t ~before =
+  t.log <- List.filter (fun (r : Update.record) -> Csn.( <= ) before r.csn) t.log;
+  let floor = Csn.of_int (Csn.to_int before - 1) in
+  if Csn.( < ) t.log_floor floor then t.log_floor <- floor
+
+let log_length t = List.length t.log
+let subscribe t f = t.subscribers <- t.subscribers @ [ f ]

@@ -1,0 +1,82 @@
+(** A directory server backend: naming contexts, indexes, search
+    execution, update application and the committed-update log.
+
+    This is the building block for both masters and replicas.  It owns
+    one or more naming contexts (section 2.3), keeps equality/prefix
+    indexes on configured attributes, assigns a {!Csn.t} to every
+    committed update, records pre/post images in an update log and
+    notifies subscribers — which is how the ReSync master maintains
+    per-session history. *)
+
+type t
+
+val create : ?indexed:string list -> Schema.t -> t
+(** An empty backend.  [indexed] lists attributes to index (defaults
+    to none; [objectclass] is always added). *)
+
+val schema : t -> Schema.t
+
+val add_context : t -> Entry.t -> (unit, string) result
+(** Installs a new naming context whose suffix entry is given.  Fails
+    when the suffix is inside, or encloses, an existing context. *)
+
+val contexts : t -> Dit.t list
+val context_for : t -> Dn.t -> Dit.t option
+(** Most specific naming context whose namespace covers the DN. *)
+
+val find : t -> Dn.t -> Entry.t option
+val total_entries : t -> int
+val fold_entries : t -> init:'a -> f:('a -> Entry.t -> 'a) -> 'a
+
+(** {1 Search} *)
+
+type search_error =
+  | No_such_object of Dn.t
+      (** Base outside every context, or missing within one. *)
+  | Base_referral of { dn : Dn.t; urls : string list }
+      (** Name resolution hit a referral object at or above the base:
+          the client must continue there (Figure 2's first hop). *)
+
+type search_result = {
+  entries : Entry.t list;
+      (** Matching entries with attribute selection applied. *)
+  references : string list list;
+      (** Continuation references: the [ref] URLs of each referral
+          object found in the search scope (subordinate contexts). *)
+}
+
+val search : t -> Query.t -> (search_result, search_error) Stdlib.result
+
+val compare_values : t -> Dn.t -> attr:string -> value:string -> (bool, string) result
+(** The LDAP compare operation (section 2.2): does the entry carry the
+    asserted value under the attribute's matching rule?  [Error] when
+    the entry does not exist. *)
+
+val count_matching : t -> Query.t -> int
+(** Number of entries the query would return; 0 on search errors.
+    Used by the filter-selection algorithm as its size estimate. *)
+
+(** {1 Updates} *)
+
+val apply : t -> Update.op -> (Update.record, string) result
+(** Validates and commits an update, advancing the CSN, maintaining
+    indexes, appending to the log and notifying subscribers. *)
+
+val csn : t -> Csn.t
+(** CSN of the last committed update. *)
+
+val log_since : t -> Csn.t -> Update.record list
+(** Records with CSN strictly greater than the argument, oldest
+    first.  Empty when the log has been trimmed past that point (the
+    caller must then fall back to a degraded synchronization mode). *)
+
+val log_complete_since : t -> Csn.t -> bool
+(** Whether the log still reaches back to (exclusive) the given CSN. *)
+
+val trim_log : t -> before:Csn.t -> unit
+(** Drops records with CSN < [before]; models bounded history. *)
+
+val log_length : t -> int
+
+val subscribe : t -> (Update.record -> unit) -> unit
+(** Called synchronously, in commit order, after each commit. *)

@@ -1,0 +1,25 @@
+let message_overhead = 14
+
+(* Type + length bytes around a primitive of length [n]. *)
+let element n = n + 2
+
+let dn_size dn = element (String.length (Dn.to_string dn))
+
+let attrs_size attrs =
+  List.fold_left
+    (fun acc (name, values) ->
+      let values_size =
+        List.fold_left (fun a v -> a + element (String.length v)) 0 values
+      in
+      acc + element (element (String.length name) + element values_size))
+    0 attrs
+
+let entry_size e =
+  message_overhead + dn_size (Entry.dn e) + element (attrs_size (Entry.attributes e))
+
+let entry_size_selected e requested =
+  entry_size (Entry.select e requested)
+
+let referral_size urls =
+  message_overhead
+  + List.fold_left (fun acc u -> acc + element (String.length u)) 0 urls

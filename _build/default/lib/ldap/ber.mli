@@ -1,0 +1,20 @@
+(** Wire-size model.
+
+    The paper reports update traffic in entries; for the byte-level
+    ablations we also model PDU sizes roughly the way BER-encoded LDAP
+    messages grow: a fixed per-message envelope plus type/length bytes
+    around every element.  Absolute numbers are not calibrated to any
+    particular server — only relative comparisons are meaningful. *)
+
+val message_overhead : int
+(** Per-PDU envelope bytes (message id, operation tag, controls). *)
+
+val dn_size : Dn.t -> int
+val entry_size : Entry.t -> int
+(** Full entry PDU: DN plus every attribute name and value. *)
+
+val entry_size_selected : Entry.t -> string list option -> int
+(** Size after attribute selection ([None] = all attributes). *)
+
+val referral_size : string list -> int
+(** Referral PDU carrying the given LDAP URLs. *)

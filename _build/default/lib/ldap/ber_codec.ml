@@ -1,0 +1,415 @@
+type result_done = {
+  code : int;
+  matched : Dn.t;
+  diagnostic : string;
+  referral : string list;
+}
+
+type operation =
+  | Search_request of Query.t
+  | Search_result_entry of Entry.t
+  | Search_result_reference of string list
+  | Search_result_done of result_done
+
+type control = {
+  control_type : string;
+  criticality : bool;
+  control_value : string option;
+}
+
+type message = { id : int; op : operation; controls : control list }
+
+let manage_dsa_it_oid = "2.16.840.1.113730.3.4.2"
+let resync_oid = "1.3.6.1.4.1.4203.666.5.99"
+
+(* --- DER primitives ---------------------------------------------------- *)
+
+(* Tag bytes. *)
+let tag_boolean = 0x01
+let tag_integer = 0x02
+let tag_octet_string = 0x04
+let tag_enumerated = 0x0a
+let tag_sequence = 0x30
+let tag_set = 0x31
+let app tag = 0x60 lor tag (* application, constructed *)
+let ctx tag = 0x80 lor tag (* context, primitive *)
+let ctxc tag = 0xa0 lor tag (* context, constructed *)
+
+let encode_length n =
+  if n < 0x80 then String.make 1 (Char.chr n)
+  else begin
+    let rec bytes acc n = if n = 0 then acc else bytes (Char.chr (n land 0xff) :: acc) (n lsr 8) in
+    let bs = bytes [] n in
+    let b = Buffer.create 5 in
+    Buffer.add_char b (Char.chr (0x80 lor List.length bs));
+    List.iter (Buffer.add_char b) bs;
+    Buffer.contents b
+  end
+
+let tlv tag body =
+  let b = Buffer.create (String.length body + 4) in
+  Buffer.add_char b (Char.chr tag);
+  Buffer.add_string b (encode_length (String.length body));
+  Buffer.add_string b body;
+  Buffer.contents b
+
+let der_integer n =
+  (* Two's-complement big-endian, minimal length; non-negative only. *)
+  if n < 0 then invalid_arg "der_integer: negative";
+  let rec bytes acc n =
+    if n = 0 then acc else bytes (Char.chr (n land 0xff) :: acc) (n lsr 8)
+  in
+  let bs = match bytes [] n with [] -> [ '\000' ] | l -> l in
+  (* Leading bit set would read as negative: prepend 0x00. *)
+  let bs = match bs with c :: _ when Char.code c >= 0x80 -> '\000' :: bs | _ -> bs in
+  let b = Buffer.create 4 in
+  List.iter (Buffer.add_char b) bs;
+  tlv tag_integer (Buffer.contents b)
+
+let der_enum ?(tag = tag_enumerated) n = tlv tag (String.make 1 (Char.chr n))
+let der_bool v = tlv tag_boolean (String.make 1 (if v then '\xff' else '\x00'))
+let der_octets ?(tag = tag_octet_string) s = tlv tag s
+let der_seq ?(tag = tag_sequence) parts = tlv tag (String.concat "" parts)
+
+(* --- Filter encoding (RFC 2251 section 4.5.1) --------------------------- *)
+
+let rec encode_filter (f : Filter.t) =
+  match f with
+  | Filter.And gs -> der_seq ~tag:(ctxc 0) (List.map encode_filter gs)
+  | Filter.Or gs -> der_seq ~tag:(ctxc 1) (List.map encode_filter gs)
+  | Filter.Not g -> der_seq ~tag:(ctxc 2) [ encode_filter g ]
+  | Filter.Pred p -> encode_pred p
+
+and ava tag attr value =
+  der_seq ~tag [ der_octets attr; der_octets value ]
+
+and encode_pred = function
+  | Filter.Equality (a, v) -> ava (ctxc 3) a v
+  | Filter.Greater_eq (a, v) -> ava (ctxc 5) a v
+  | Filter.Less_eq (a, v) -> ava (ctxc 6) a v
+  | Filter.Approx (a, v) -> ava (ctxc 8) a v
+  | Filter.Present a -> der_octets ~tag:(ctx 7) a
+  | Filter.Substrings (a, { initial; any; final }) ->
+      let subs =
+        (match initial with Some s -> [ der_octets ~tag:(ctx 0) s ] | None -> [])
+        @ List.map (fun s -> der_octets ~tag:(ctx 1) s) any
+        @ match final with Some s -> [ der_octets ~tag:(ctx 2) s ] | None -> []
+      in
+      der_seq ~tag:(ctxc 4) [ der_octets a; der_seq subs ]
+
+(* --- Message encoding ---------------------------------------------------- *)
+
+let encode_control c =
+  der_seq
+    ([ der_octets c.control_type ]
+    @ (if c.criticality then [ der_bool true ] else [])
+    @ match c.control_value with Some v -> [ der_octets v ] | None -> [])
+
+let encode_search_request (q : Query.t) =
+  let attrs =
+    match q.Query.attrs with Query.All -> [] | Query.Select l -> l
+  in
+  der_seq ~tag:(app 3)
+    [
+      der_octets (Dn.to_string q.Query.base);
+      der_enum (Scope.to_int q.Query.scope);
+      der_enum 0 (* neverDerefAliases *);
+      der_integer 0 (* sizeLimit *);
+      der_integer 0 (* timeLimit *);
+      der_bool false (* typesOnly *);
+      encode_filter q.Query.filter;
+      der_seq (List.map (fun a -> der_octets a) attrs);
+    ]
+
+let encode_entry (e : Entry.t) =
+  der_seq ~tag:(app 4)
+    [
+      der_octets (Dn.to_string (Entry.dn e));
+      der_seq
+        (List.map
+           (fun (name, values) ->
+             der_seq
+               [ der_octets name; der_seq ~tag:tag_set (List.map (fun v -> der_octets v) values) ])
+           (Entry.attributes e));
+    ]
+
+let encode_done (r : result_done) =
+  der_seq ~tag:(app 5)
+    ([ der_enum r.code; der_octets (Dn.to_string r.matched); der_octets r.diagnostic ]
+    @
+    if r.referral = [] then []
+    else [ der_seq ~tag:(ctxc 3) (List.map (fun u -> der_octets u) r.referral) ])
+
+let encode_op = function
+  | Search_request q -> encode_search_request q
+  | Search_result_entry e -> encode_entry e
+  | Search_result_reference urls -> der_seq ~tag:(app 19) (List.map (fun u -> der_octets u) urls)
+  | Search_result_done r -> encode_done r
+
+let encode m =
+  der_seq
+    ([ der_integer m.id; encode_op m.op ]
+    @
+    if m.controls = [] then []
+    else [ der_seq ~tag:(ctxc 0) (List.map encode_control m.controls) ])
+
+let encoded_size m = String.length (encode m)
+
+(* --- Decoding ------------------------------------------------------------ *)
+
+exception Decode_error of string
+
+type cursor = { buf : string; mutable pos : int; limit : int }
+
+let sub_cursor c len =
+  if c.pos + len > c.limit then raise (Decode_error "truncated value");
+  let inner = { buf = c.buf; pos = c.pos; limit = c.pos + len } in
+  c.pos <- c.pos + len;
+  inner
+
+let byte c =
+  if c.pos >= c.limit then raise (Decode_error "unexpected end of input");
+  let v = Char.code c.buf.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let read_length c =
+  let first = byte c in
+  if first < 0x80 then first
+  else
+    let count = first land 0x7f in
+    if count = 0 || count > 4 then raise (Decode_error "unsupported length form")
+    else begin
+      let n = ref 0 in
+      for _ = 1 to count do
+        n := (!n lsl 8) lor byte c
+      done;
+      !n
+    end
+
+let read_tlv c =
+  let tag = byte c in
+  let len = read_length c in
+  (tag, sub_cursor c len)
+
+let expect_tag expected (tag, inner) =
+  if tag <> expected then
+    raise (Decode_error (Printf.sprintf "expected tag 0x%02x, got 0x%02x" expected tag));
+  inner
+
+let contents c = String.sub c.buf c.pos (c.limit - c.pos)
+
+let at_end c = c.pos >= c.limit
+
+let read_integer c =
+  let inner = expect_tag tag_integer (read_tlv c) in
+  let s = contents inner in
+  String.fold_left (fun acc ch -> (acc lsl 8) lor Char.code ch) 0 s
+
+let read_enum ?(tag = tag_enumerated) c =
+  let inner = expect_tag tag (read_tlv c) in
+  String.fold_left (fun acc ch -> (acc lsl 8) lor Char.code ch) 0 (contents inner)
+
+let read_bool c =
+  let inner = expect_tag tag_boolean (read_tlv c) in
+  contents inner <> "\x00"
+
+let read_octets ?(tag = tag_octet_string) c =
+  contents (expect_tag tag (read_tlv c))
+
+let read_dn s =
+  match Dn.of_string s with
+  | Ok dn -> dn
+  | Error e -> raise (Decode_error e)
+
+let rec decode_filter c =
+  let tag, inner = read_tlv c in
+  let read_ava () =
+    let a = read_octets inner in
+    let v = read_octets inner in
+    (a, v)
+  in
+  if tag = ctxc 0 then Filter.And (decode_filter_list inner)
+  else if tag = ctxc 1 then Filter.Or (decode_filter_list inner)
+  else if tag = ctxc 2 then Filter.Not (decode_filter inner)
+  else if tag = ctxc 3 then
+    let a, v = read_ava () in
+    Filter.Pred (Filter.Equality (a, v))
+  else if tag = ctxc 5 then
+    let a, v = read_ava () in
+    Filter.Pred (Filter.Greater_eq (a, v))
+  else if tag = ctxc 6 then
+    let a, v = read_ava () in
+    Filter.Pred (Filter.Less_eq (a, v))
+  else if tag = ctxc 8 then
+    let a, v = read_ava () in
+    Filter.Pred (Filter.Approx (a, v))
+  else if tag = ctx 7 then Filter.Pred (Filter.Present (contents inner))
+  else if tag = ctxc 4 then begin
+    let a = read_octets inner in
+    let subs = expect_tag tag_sequence (read_tlv inner) in
+    let initial = ref None and any = ref [] and final = ref None in
+    while not (at_end subs) do
+      let stag, sinner = read_tlv subs in
+      let v = contents sinner in
+      if stag = ctx 0 then initial := Some v
+      else if stag = ctx 1 then any := v :: !any
+      else if stag = ctx 2 then final := Some v
+      else raise (Decode_error "bad substring component")
+    done;
+    Filter.Pred
+      (Filter.Substrings
+         (a, { Filter.initial = !initial; any = List.rev !any; final = !final }))
+  end
+  else raise (Decode_error (Printf.sprintf "unknown filter tag 0x%02x" tag))
+
+and decode_filter_list c =
+  let rec go acc = if at_end c then List.rev acc else go (decode_filter c :: acc) in
+  go []
+
+let decode_controls c =
+  let rec go acc =
+    if at_end c then List.rev acc
+    else begin
+      let inner = expect_tag tag_sequence (read_tlv c) in
+      let control_type = read_octets inner in
+      (* Optional criticality, then optional value. *)
+      let criticality = ref false and control_value = ref None in
+      while not (at_end inner) do
+        let tag, vinner = read_tlv inner in
+        if tag = tag_boolean then criticality := contents vinner <> "\x00"
+        else if tag = tag_octet_string then control_value := Some (contents vinner)
+        else raise (Decode_error "bad control field")
+      done;
+      go ({ control_type; criticality = !criticality; control_value = !control_value } :: acc)
+    end
+  in
+  go []
+
+let decode_search_request c =
+  let base = read_dn (read_octets c) in
+  let scope =
+    match Scope.of_int (read_enum c) with
+    | Some s -> s
+    | None -> raise (Decode_error "bad scope")
+  in
+  let _deref = read_enum c in
+  let _size = read_integer c in
+  let _time = read_integer c in
+  let _types_only = read_bool c in
+  let filter = decode_filter c in
+  let attr_seq = expect_tag tag_sequence (read_tlv c) in
+  let rec attrs acc =
+    if at_end attr_seq then List.rev acc else attrs (read_octets attr_seq :: acc)
+  in
+  let attr_list = attrs [] in
+  let attrs = if attr_list = [] then Query.All else Query.Select attr_list in
+  Query.make ~scope ~attrs ~base filter
+
+let decode_entry c =
+  let dn = read_dn (read_octets c) in
+  let attr_seq = expect_tag tag_sequence (read_tlv c) in
+  let rec attrs acc =
+    if at_end attr_seq then List.rev acc
+    else begin
+      let one = expect_tag tag_sequence (read_tlv attr_seq) in
+      let name = read_octets one in
+      let vals = expect_tag tag_set (read_tlv one) in
+      let rec values vacc =
+        if at_end vals then List.rev vacc else values (read_octets vals :: vacc)
+      in
+      attrs ((name, values []) :: acc)
+    end
+  in
+  Entry.make dn (attrs [])
+
+let decode_done c =
+  let code = read_enum c in
+  let matched = read_dn (read_octets c) in
+  let diagnostic = read_octets c in
+  let referral =
+    if at_end c then []
+    else begin
+      let inner = expect_tag (ctxc 3) (read_tlv c) in
+      let rec go acc = if at_end inner then List.rev acc else go (read_octets inner :: acc) in
+      go []
+    end
+  in
+  { code; matched; diagnostic; referral }
+
+let decode_reference c =
+  let rec go acc = if at_end c then List.rev acc else go (read_octets c :: acc) in
+  go []
+
+let decode s =
+  let c = { buf = s; pos = 0; limit = String.length s } in
+  match
+    let outer = expect_tag tag_sequence (read_tlv c) in
+    if not (at_end c) then raise (Decode_error "trailing bytes after message");
+    let id = read_integer outer in
+    let tag, inner = read_tlv outer in
+    let op =
+      if tag = app 3 then Search_request (decode_search_request inner)
+      else if tag = app 4 then Search_result_entry (decode_entry inner)
+      else if tag = app 19 then Search_result_reference (decode_reference inner)
+      else if tag = app 5 then Search_result_done (decode_done inner)
+      else raise (Decode_error (Printf.sprintf "unknown protocol op 0x%02x" tag))
+    in
+    let controls =
+      if at_end outer then []
+      else decode_controls (expect_tag (ctxc 0) (read_tlv outer))
+    in
+    { id; op; controls }
+  with
+  | m -> Ok m
+  | exception Decode_error e -> Error e
+
+(* --- The resync control --------------------------------------------------- *)
+
+let mode_code = function
+  | "poll" -> 0
+  | "persist" -> 1
+  | "sync_end" -> 2
+  | m -> invalid_arg ("unknown resync mode: " ^ m)
+
+let mode_name = function
+  | 0 -> Ok "poll"
+  | 1 -> Ok "persist"
+  | 2 -> Ok "sync_end"
+  | n -> Error (Printf.sprintf "unknown resync mode code %d" n)
+
+let resync_control ~mode ~cookie =
+  let value =
+    der_seq
+      ([ der_enum (mode_code mode) ]
+      @ match cookie with Some c -> [ der_octets c ] | None -> [])
+  in
+  { control_type = resync_oid; criticality = true; control_value = Some value }
+
+let decode_resync_control control =
+  if control.control_type <> resync_oid then Error "not a resync control"
+  else
+    match control.control_value with
+    | None -> Error "resync control has no value"
+    | Some v -> (
+        let c = { buf = v; pos = 0; limit = String.length v } in
+        match
+          let inner = expect_tag tag_sequence (read_tlv c) in
+          let mode = read_enum inner in
+          let cookie = if at_end inner then None else Some (read_octets inner) in
+          (mode, cookie)
+        with
+        | mode, cookie -> Result.map (fun m -> (m, cookie)) (mode_name mode)
+        | exception Decode_error e -> Error e)
+
+(* --- Convenience ------------------------------------------------------------ *)
+
+let search_request ?(id = 1) q =
+  let controls =
+    if q.Query.manage_dsa_it then
+      [ { control_type = manage_dsa_it_oid; criticality = true; control_value = None } ]
+    else []
+  in
+  { id; op = Search_request q; controls }
+
+let entry_message ?(id = 1) e = { id; op = Search_result_entry e; controls = [] }

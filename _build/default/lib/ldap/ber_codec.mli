@@ -1,0 +1,54 @@
+(** BER/DER wire codec for the LDAP protocol subset this system
+    exchanges (RFC 2251 section 4 framing, definite-length DER).
+
+    Covered protocol operations: SearchRequest, SearchResultEntry,
+    SearchResultReference and SearchResultDone, plus controls — among
+    them the manageDsaIT control and the paper's resync control
+    [(mode, cookie)] carried as an extension control (section 5.2).
+
+    The {!Ber} module remains the lightweight size {e model} used by
+    the experiments; this codec provides actual wire images, used to
+    validate that model and by the round-trip property tests. *)
+
+type result_done = {
+  code : int;  (** 0 success, 10 referral, 32 noSuchObject, ... *)
+  matched : Dn.t;
+  diagnostic : string;
+  referral : string list;  (** LDAP URLs when [code = 10]. *)
+}
+
+type operation =
+  | Search_request of Query.t
+  | Search_result_entry of Entry.t
+  | Search_result_reference of string list
+  | Search_result_done of result_done
+
+type control = {
+  control_type : string;  (** OID. *)
+  criticality : bool;
+  control_value : string option;  (** Raw BER value. *)
+}
+
+type message = { id : int; op : operation; controls : control list }
+
+val manage_dsa_it_oid : string
+val resync_oid : string
+
+val resync_control : mode:string -> cookie:string option -> control
+(** Encodes the paper's [(mode, cookie)] resync control value. *)
+
+val decode_resync_control : control -> (string * string option, string) result
+
+val encode : message -> string
+(** DER encoding of the whole LDAPMessage. *)
+
+val decode : string -> (message, string) result
+(** Decodes one LDAPMessage occupying the entire input. *)
+
+val encoded_size : message -> int
+
+val search_request : ?id:int -> Query.t -> message
+(** Convenience: a SearchRequest message with the manageDsaIT control
+    attached when the query asks for it. *)
+
+val entry_message : ?id:int -> Entry.t -> message

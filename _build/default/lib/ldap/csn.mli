@@ -1,0 +1,21 @@
+(** Change sequence numbers.
+
+    A CSN totally orders committed updates at a master.  The simulation
+    has no wall clock; CSNs are the only notion of time, which keeps
+    every experiment deterministic.  ReSync cookies embed the CSN up to
+    which a session has been synchronized. *)
+
+type t
+
+val zero : t
+(** Before any update. *)
+
+val next : t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val to_int : t -> int
+val of_int : int -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

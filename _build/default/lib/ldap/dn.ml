@@ -1,0 +1,208 @@
+type ava = { attr : string; value : string }
+type rdn = ava list
+
+(* [norm] caches the canonical form so comparisons are cheap; it is
+   derived deterministically from [parts]. *)
+type t = { parts : rdn list; norm : string }
+
+let norm_value v = String.lowercase_ascii (Value.normalize Value.Case_ignore v)
+
+let norm_ava a = Printf.sprintf "%s=%s" a.attr (norm_value a.value)
+
+let sort_rdn (r : rdn) : rdn =
+  List.sort
+    (fun a b ->
+      match String.compare a.attr b.attr with
+      | 0 -> String.compare (norm_value a.value) (norm_value b.value)
+      | c -> c)
+    r
+
+let norm_rdn r = String.concat "+" (List.map norm_ava r)
+let norm_of_parts parts = String.concat "," (List.map norm_rdn parts)
+
+let make parts = { parts; norm = norm_of_parts parts }
+let root = make []
+let is_root t = t.parts = []
+
+let of_rdns rdns =
+  let check r = if r = [] then invalid_arg "Dn.of_rdns: empty RDN" in
+  List.iter check rdns;
+  let rdns =
+    List.map
+      (fun r -> sort_rdn (List.map (fun a -> { a with attr = String.lowercase_ascii a.attr }) r))
+      rdns
+  in
+  make rdns
+
+let rdns t = t.parts
+
+(* --- Parsing (RFC 2253 escaping) --------------------------------- *)
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+(* Split [s] into tokens at unescaped occurrences of separators,
+   resolving escapes.  Produces a list of (kind, text) where kind is
+   the separator that *preceded* the token.  We instead scan once,
+   emitting structure directly. *)
+
+exception Parse_error of string
+
+let parse_dn_string s =
+  let n = String.length s in
+  let buf = Buffer.create 16 in
+  let cur_attr = ref None in
+  let cur_rdn = ref [] in
+  let acc = ref [] in
+  let flush_ava () =
+    match !cur_attr with
+    | None ->
+        if Buffer.length buf > 0 || !cur_rdn <> [] then
+          raise (Parse_error "missing '=' in RDN")
+    | Some a ->
+        let attr = String.lowercase_ascii (String.trim a) in
+        if attr = "" then raise (Parse_error "empty attribute name");
+        let value = String.trim (Buffer.contents buf) in
+        Buffer.clear buf;
+        cur_attr := None;
+        cur_rdn := { attr; value } :: !cur_rdn
+  in
+  let flush_rdn () =
+    flush_ava ();
+    match !cur_rdn with
+    | [] -> raise (Parse_error "empty RDN")
+    | r ->
+        acc := List.rev r :: !acc;
+        cur_rdn := []
+  in
+  let rec go i =
+    if i >= n then ()
+    else
+      match s.[i] with
+      | '\\' ->
+          if i + 1 >= n then raise (Parse_error "dangling escape")
+          else begin
+            (match (hex_digit s.[i + 1], if i + 2 < n then hex_digit s.[i + 2] else None) with
+            | Some h, Some l ->
+                Buffer.add_char buf (Char.chr ((h * 16) + l));
+                go (i + 3)
+            | _ ->
+                Buffer.add_char buf s.[i + 1];
+                go (i + 2))
+          end
+      | ',' | ';' ->
+          flush_rdn ();
+          go (i + 1)
+      | '+' ->
+          flush_ava ();
+          go (i + 1)
+      | '=' when !cur_attr = None ->
+          cur_attr := Some (Buffer.contents buf);
+          Buffer.clear buf;
+          go (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+  in
+  go 0;
+  if !cur_attr = None && Buffer.length buf = 0 && !cur_rdn = [] && !acc = [] then []
+  else begin
+    flush_rdn ();
+    List.rev !acc
+  end
+
+let of_string s =
+  if String.trim s = "" then Ok root
+  else
+    match parse_dn_string s with
+    | parts -> Ok (of_rdns parts)
+    | exception Parse_error msg -> Error (Printf.sprintf "invalid DN %S: %s" s msg)
+
+let of_string_exn s =
+  match of_string s with Ok t -> t | Error msg -> invalid_arg ("Dn.of_string_exn: " ^ msg)
+
+(* --- Printing ------------------------------------------------------ *)
+
+let escape_value v =
+  let b = Buffer.create (String.length v) in
+  String.iteri
+    (fun i c ->
+      let needs_escape =
+        match c with
+        | ',' | '+' | '"' | '\\' | '<' | '>' | ';' | '=' -> true
+        | '#' | ' ' -> i = 0 || i = String.length v - 1
+        | _ -> false
+      in
+      if needs_escape then Buffer.add_char b '\\';
+      Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let ava_to_string a = Printf.sprintf "%s=%s" a.attr (escape_value a.value)
+let rdn_to_string r = String.concat "+" (List.map ava_to_string r)
+let to_string t = String.concat "," (List.map rdn_to_string t.parts)
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let canonical t = t.norm
+let equal a b = String.equal a.norm b.norm
+let compare a b = String.compare a.norm b.norm
+let depth t = List.length t.parts
+let rdn t = match t.parts with [] -> None | r :: _ -> Some r
+
+let parent t =
+  match t.parts with [] -> None | _ :: rest -> Some (make rest)
+
+let child t r =
+  let r = sort_rdn (List.map (fun a -> { a with attr = String.lowercase_ascii a.attr }) r) in
+  if r = [] then invalid_arg "Dn.child: empty RDN";
+  make (r :: t.parts)
+
+let child_ava t attr value = child t [ { attr; value } ]
+
+let rdn_canonical r =
+  norm_rdn (sort_rdn (List.map (fun a -> { a with attr = String.lowercase_ascii a.attr }) r))
+
+let rdn_of_string s =
+  match of_string s with
+  | Error e -> Error e
+  | Ok dn -> (
+      match dn.parts with
+      | [ r ] -> Ok r
+      | _ -> Error (Printf.sprintf "not a single RDN: %S" s))
+
+let rdn_equal a b = String.equal (norm_rdn a) (norm_rdn b)
+
+let ancestor_of ?(strict = false) a b =
+  let da = depth a and db = depth b in
+  if da > db || (strict && da = db) then false
+  else
+    (* a's parts must equal the last da parts of b. *)
+    let rec drop n l = if n = 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t in
+    let tail = drop (db - da) b.parts in
+    List.for_all2 rdn_equal a.parts tail
+
+let parent_of a b = depth b = depth a + 1 && ancestor_of ~strict:true a b
+
+let relative_to ~ancestor dn =
+  let da = depth ancestor and db = depth dn in
+  if da > db then None
+  else if not (ancestor_of ancestor dn) then None
+  else
+    let rec take n l =
+      if n = 0 then []
+      else match l with [] -> [] | h :: t -> h :: take (n - 1) t
+    in
+    Some (take (db - da) dn.parts)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

@@ -1,0 +1,113 @@
+module Smap = Map.Make (String)
+
+(* [order] keeps first-seen attribute order for stable printing. *)
+type t = { dn : Dn.t; attrs : string list Smap.t; order : string list }
+
+let lc = String.lowercase_ascii
+
+let dedup_values values =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun v -> if Hashtbl.mem seen v then false else (Hashtbl.add seen v (); true))
+    values
+
+let make dn pairs =
+  let attrs, order =
+    List.fold_left
+      (fun (m, order) (name, values) ->
+        let name = lc name in
+        let existing = Option.value ~default:[] (Smap.find_opt name m) in
+        let merged = dedup_values (existing @ values) in
+        let order = if Smap.mem name m then order else name :: order in
+        (Smap.add name merged m, order))
+      (Smap.empty, []) pairs
+  in
+  { dn; attrs; order = List.rev order }
+
+let dn t = t.dn
+let with_dn t dn = { t with dn }
+
+let attributes t =
+  List.filter_map
+    (fun name ->
+      match Smap.find_opt name t.attrs with
+      | Some (_ :: _ as vs) -> Some (name, vs)
+      | Some [] | None -> None)
+    t.order
+
+let get t name = Option.value ~default:[] (Smap.find_opt (lc name) t.attrs)
+let has_attribute t name = get t name <> []
+
+let has_value ?(syntax = Value.Case_ignore) t name v =
+  List.exists (fun x -> Value.equal syntax x v) (get t name)
+
+let object_classes t = get t "objectclass"
+
+let is_referral t =
+  List.exists (fun c -> lc c = "referral") (object_classes t)
+
+let referral_urls t = get t "ref"
+
+let add_values ?(syntax = Value.Case_ignore) t name values =
+  let name = lc name in
+  let existing = get t name in
+  let fresh =
+    List.filter (fun v -> not (List.exists (fun x -> Value.equal syntax x v) existing)) values
+  in
+  if fresh = [] && existing <> [] then t
+  else
+    let order = if Smap.mem name t.attrs then t.order else t.order @ [ name ] in
+    { t with attrs = Smap.add name (existing @ dedup_values fresh) t.attrs; order }
+
+let delete_values ?(syntax = Value.Case_ignore) t name values =
+  let name = lc name in
+  let existing = get t name in
+  if existing = [] then Error (Printf.sprintf "no such attribute: %s" name)
+  else if values = [] then Ok { t with attrs = Smap.remove name t.attrs }
+  else
+    let missing =
+      List.filter (fun v -> not (List.exists (fun x -> Value.equal syntax x v) existing)) values
+    in
+    match missing with
+    | v :: _ -> Error (Printf.sprintf "no such value: %s=%s" name v)
+    | [] ->
+        let remaining =
+          List.filter
+            (fun x -> not (List.exists (fun v -> Value.equal syntax x v) values))
+            existing
+        in
+        if remaining = [] then Ok { t with attrs = Smap.remove name t.attrs }
+        else Ok { t with attrs = Smap.add name remaining t.attrs }
+
+let replace_values t name values =
+  let name = lc name in
+  if values = [] then { t with attrs = Smap.remove name t.attrs }
+  else
+    let order = if Smap.mem name t.attrs then t.order else t.order @ [ name ] in
+    { t with attrs = Smap.add name (dedup_values values) t.attrs; order }
+
+let select t requested =
+  match requested with
+  | None -> t
+  | Some names ->
+      if List.exists (fun n -> n = "*") names then t
+      else
+        let keep = List.map lc names in
+        let attrs =
+          Smap.filter (fun name _ -> List.mem name keep) t.attrs
+        in
+        { t with attrs }
+
+let normalized_attrs t =
+  Smap.bindings t.attrs
+  |> List.filter (fun (_, vs) -> vs <> [])
+  |> List.map (fun (name, vs) -> (name, List.sort String.compare vs))
+
+let equal a b = Dn.equal a.dn b.dn && normalized_attrs a = normalized_attrs b
+
+let pp ppf t =
+  Format.fprintf ppf "dn: %s" (Dn.to_string t.dn);
+  List.iter
+    (fun (name, vs) ->
+      List.iter (fun v -> Format.fprintf ppf "@\n%s: %s" name v) vs)
+    (attributes t)

@@ -1,0 +1,59 @@
+(** Directory entries: a DN plus a set of attribute/value pairs.
+
+    Attribute names are keyed canonically (lowercase, aliases resolved
+    through the schema at construction time by {!Backend}); duplicate
+    values under the attribute's matching rule are rejected silently,
+    as LDAP servers do. *)
+
+type t
+
+val make : Dn.t -> (string * string list) list -> t
+(** [make dn attrs] builds an entry.  Attribute names are lowercased;
+    repeated attribute names are merged; duplicate values (byte-equal)
+    are dropped. *)
+
+val dn : t -> Dn.t
+val with_dn : t -> Dn.t -> t
+
+val attributes : t -> (string * string list) list
+(** All attributes in insertion order, names lowercased. *)
+
+val get : t -> string -> string list
+(** Values of an attribute ([]) if absent); name is case-insensitive. *)
+
+val has_attribute : t -> string -> bool
+
+val has_value : ?syntax:Value.syntax -> t -> string -> string -> bool
+(** [has_value e attr v] — membership under the given matching rule
+    (default {!Value.Case_ignore}). *)
+
+val object_classes : t -> string list
+
+val is_referral : t -> bool
+(** True when the entry's object classes include [referral]; such
+    entries carry [ref] LDAP-URL values and terminate naming
+    contexts (section 2.3 of the paper). *)
+
+val referral_urls : t -> string list
+
+val add_values : ?syntax:Value.syntax -> t -> string -> string list -> t
+(** Adds values, skipping ones already present under the matching rule. *)
+
+val delete_values : ?syntax:Value.syntax -> t -> string -> string list -> (t, string) result
+(** Removes the given values; [Error] if some value is absent.  Passing
+    [[]] removes the attribute entirely. *)
+
+val replace_values : t -> string -> string list -> t
+(** Replaces all values of the attribute ([[]] deletes it). *)
+
+val select : t -> string list option -> t
+(** [select e attrs] projects the entry onto the requested attribute
+    list; [None] (or the ["*"] wildcard inside the list) keeps all
+    user attributes (section 2.2). *)
+
+val equal : t -> t -> bool
+(** Structural equality on DN and normalized attribute sets (order
+    insensitive, values compared byte-wise). *)
+
+val pp : Format.formatter -> t -> unit
+(** LDIF-ish rendering for debugging and the CLI. *)

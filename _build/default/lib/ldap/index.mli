@@ -1,0 +1,30 @@
+(** Equality/prefix indexes over entry attributes.
+
+    Maps a normalized attribute value to the set of DNs carrying it.
+    Because values are kept in an ordered map, prefix assertions
+    ([serialNumber=24*]) are answered with a range scan — the access
+    path that makes the paper's generalized prefix filters cheap to
+    materialize. *)
+
+type t
+
+val create : Schema.t -> attrs:string list -> t
+(** Index the listed attributes (case-insensitive). *)
+
+val indexed_attrs : t -> string list
+val is_indexed : t -> string -> bool
+
+val insert : t -> Entry.t -> unit
+(** Register all indexed values of the entry under its DN. *)
+
+val remove : t -> Entry.t -> unit
+
+val lookup_eq : t -> attr:string -> string -> Dn.Set.t
+(** DNs with the given value (normalized per the attribute syntax);
+    empty when the attribute is not indexed. *)
+
+val lookup_prefix : t -> attr:string -> string -> Dn.Set.t
+(** DNs whose value starts with the given prefix. *)
+
+val cardinality : t -> attr:string -> int
+(** Number of distinct values indexed for the attribute. *)

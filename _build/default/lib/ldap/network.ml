@@ -1,0 +1,117 @@
+type stats = {
+  round_trips : int;
+  entry_pdus : int;
+  referral_pdus : int;
+  bytes : int;
+}
+
+type node = Full_server of Server.t | Handler of (Query.t -> Server.response)
+
+type t = {
+  servers : (string, node) Hashtbl.t;
+  mutable round_trips : int;
+  mutable entry_pdus : int;
+  mutable referral_pdus : int;
+  mutable bytes : int;
+}
+
+let create () =
+  { servers = Hashtbl.create 8; round_trips = 0; entry_pdus = 0; referral_pdus = 0; bytes = 0 }
+
+let add_server t s = Hashtbl.replace t.servers (Server.name s) (Full_server s)
+let add_handler t ~name handler = Hashtbl.replace t.servers name (Handler handler)
+
+let server t name =
+  match Hashtbl.find_opt t.servers name with
+  | Some (Full_server s) -> Some s
+  | Some (Handler _) | None -> None
+
+let stats t =
+  {
+    round_trips = t.round_trips;
+    entry_pdus = t.entry_pdus;
+    referral_pdus = t.referral_pdus;
+    bytes = t.bytes;
+  }
+
+let reset_stats t =
+  t.round_trips <- 0;
+  t.entry_pdus <- 0;
+  t.referral_pdus <- 0;
+  t.bytes <- 0
+
+let account_response t (resp : Server.response) =
+  t.round_trips <- t.round_trips + 1;
+  t.bytes <- t.bytes + Ber.message_overhead;
+  match resp with
+  | Server.Entries { entries; references } ->
+      t.entry_pdus <- t.entry_pdus + List.length entries;
+      t.referral_pdus <- t.referral_pdus + List.length references;
+      List.iter (fun e -> t.bytes <- t.bytes + Ber.entry_size e) entries;
+      List.iter (fun urls -> t.bytes <- t.bytes + Ber.referral_size urls) references
+  | Server.Referral urls ->
+      t.referral_pdus <- t.referral_pdus + 1;
+      t.bytes <- t.bytes + Ber.referral_size urls
+  | Server.Failure _ -> ()
+
+let send t ~host q =
+  match Hashtbl.find_opt t.servers host with
+  | None -> Server.Failure (Printf.sprintf "unknown host: %s" host)
+  | Some node ->
+      let resp =
+        match node with
+        | Full_server s -> Server.handle_search s q
+        | Handler h -> h q
+      in
+      account_response t resp;
+      resp
+
+let search_no_chase t ~from q = send t ~host:from q
+
+let max_hops = 32
+
+let search t ~from (q : Query.t) =
+  (* Work queue of (host, query, origin); a revisit while chasing a
+     referral is a loop (error), a revisit through a continuation
+     reference is a benign duplicate (skipped). *)
+  let visited = Hashtbl.create 16 in
+  let key host (q : Query.t) = host ^ "|" ^ Dn.canonical q.base in
+  let rec go acc hops = function
+    | [] -> Ok acc
+    | (host, q, origin) :: rest ->
+        if hops > max_hops then Error "referral limit exceeded"
+        else if Hashtbl.mem visited (key host q) then
+          if origin = `Chase then Error "referral loop detected"
+          else go acc hops rest
+        else begin
+          Hashtbl.add visited (key host q) ();
+          match send t ~host q with
+          | Server.Failure msg -> Error msg
+          | Server.Referral urls -> (
+              match pick_url urls with
+              | Error e -> Error e
+              | Ok { Referral.host = next; dn } ->
+                  let q' =
+                    match dn with Some base -> { q with base } | None -> q
+                  in
+                  go acc (hops + 1) ((next, q', `Chase) :: rest))
+          | Server.Entries { entries; references } ->
+              let follow_ups =
+                List.filter_map
+                  (fun urls ->
+                    match pick_url urls with
+                    | Error _ -> None
+                    | Ok { Referral.host; dn } ->
+                        let base = Option.value ~default:q.base dn in
+                        (* Continuation reference: modified base, same
+                           scope and filter (Figure 2). *)
+                        Some (host, { q with base }, `Reference))
+                  references
+              in
+              go (acc @ entries) (hops + 1) (follow_ups @ rest)
+        end
+  and pick_url = function
+    | [] -> Error "empty referral"
+    | url :: _ -> Referral.parse url
+  in
+  go [] 0 [ (from, q, `Reference) ]

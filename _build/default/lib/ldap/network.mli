@@ -1,0 +1,40 @@
+(** Simulated multi-server topology and referral-chasing client.
+
+    Reproduces the distributed operation processing of Figure 2: the
+    client sends a search to some server; a server that does not hold
+    the target namespace answers with its default (superior) referral;
+    a server that does answers with entries plus continuation
+    references for subordinate contexts, which the client chases with
+    modified bases.  Round trips, PDUs and modelled bytes are counted
+    so the referral-cost argument of section 2.3 can be measured. *)
+
+type t
+
+type stats = {
+  round_trips : int;  (** Client→server requests sent. *)
+  entry_pdus : int;
+  referral_pdus : int;
+  bytes : int;  (** Modelled via {!Ber}. *)
+}
+
+val create : unit -> t
+val add_server : t -> Server.t -> unit
+
+val add_handler : t -> name:string -> (Query.t -> Server.response) -> unit
+(** Registers an arbitrary search handler under a host name — how
+    partial replicas ({!Ldap_replication.Replica_server}-style
+    endpoints) join the topology alongside full servers. *)
+
+val server : t -> string -> Server.t option
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val search :
+  t -> from:string -> Query.t -> (Entry.t list, string) result
+(** Chases referrals and continuation references until the result set
+    is complete.  Fails on unknown hosts, referral loops (guarded by a
+    visited set) or server failures. *)
+
+val search_no_chase : t -> from:string -> Query.t -> Server.response
+(** One round trip, no chasing: what a minimally directory-enabled
+    application sees when it hits a partial replica (section 3.1.1). *)

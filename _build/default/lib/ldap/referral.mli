@@ -1,0 +1,11 @@
+(** LDAP URLs used in referrals ([ldap://host/dn]).
+
+    Referral objects and default referrals carry these URLs; the
+    simulated client parses them to decide which server to contact next
+    and with which (possibly modified) base DN — the Figure 2 dance. *)
+
+type t = { host : string; dn : Dn.t option }
+
+val make : host:string -> ?dn:Dn.t -> unit -> string
+val parse : string -> (t, string) result
+val parse_exn : string -> t

@@ -1,0 +1,29 @@
+(** A named directory server: a backend plus distributed-directory
+    glue (default referral to a superior server, section 2.3). *)
+
+type t
+
+val create : ?default_referral:string -> name:string -> Backend.t -> t
+val name : t -> string
+val backend : t -> Backend.t
+val default_referral : t -> string option
+
+type response =
+  | Entries of Backend.search_result
+      (** Matching entries plus continuation references. *)
+  | Referral of string list
+      (** Retry elsewhere: either the default (superior) referral when
+          no local context holds the base, or the URLs of a referral
+          object found during name resolution. *)
+  | Failure of string
+      (** Terminal error (e.g. noSuchObject with no superior). *)
+
+val handle_search : t -> Query.t -> response
+
+val handle_compare : t -> Dn.t -> attr:string -> value:string -> (bool, string) result
+(** The compare operation against the local backend. *)
+
+val handle_update : t -> Update.op -> (Update.record, string) result
+(** Updates are accepted only at the server mastering the entry; this
+    simulation treats every local backend as master for its
+    contexts. *)

@@ -1,0 +1,1 @@
+lib/replication/filter_replica.ml: Backend Dn Ldap Ldap_containment Ldap_resync List Query Query_cache Replica Schema Stats

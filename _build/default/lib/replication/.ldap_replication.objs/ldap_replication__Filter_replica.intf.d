@@ -1,0 +1,1 @@
+lib/replication/filter_replica.mli: Entry Ldap Ldap_resync Query Replica Schema Stats

@@ -1,0 +1,1 @@
+lib/replication/query_cache.ml: Entry Ldap Ldap_containment List Query Replica Schema

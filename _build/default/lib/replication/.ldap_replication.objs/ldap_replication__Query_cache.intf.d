@@ -1,0 +1,1 @@
+lib/replication/query_cache.mli: Entry Ldap Query Schema

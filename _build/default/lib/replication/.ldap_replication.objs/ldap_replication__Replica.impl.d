@@ -1,0 +1,1 @@
+lib/replication/replica.ml: Entry Filter Ldap List Query

@@ -1,0 +1,1 @@
+lib/replication/replica.mli: Entry Ldap Query Schema

@@ -1,0 +1,1 @@
+lib/replication/replica_server.ml: Backend Filter_replica Ldap Network Replica Server Subtree_replica

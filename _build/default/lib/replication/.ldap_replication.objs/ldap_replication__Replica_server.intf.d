@@ -1,0 +1,1 @@
+lib/replication/replica_server.mli: Filter_replica Ldap Network Query Server Subtree_replica

@@ -1,0 +1,1 @@
+lib/replication/stats.ml: Format Ldap_resync

@@ -1,0 +1,1 @@
+lib/replication/stats.mli: Format Ldap_resync

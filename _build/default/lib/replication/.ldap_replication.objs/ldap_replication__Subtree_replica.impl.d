@@ -1,0 +1,1 @@
+lib/replication/subtree_replica.ml: Backend Dn Entry Filter Ldap Ldap_resync List Query Replica Schema Scope Stats

@@ -1,0 +1,1 @@
+lib/replication/subtree_replica.mli: Dn Ldap Ldap_resync Query Replica Stats

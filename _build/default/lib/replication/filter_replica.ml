@@ -1,0 +1,97 @@
+open Ldap
+module C = Ldap_containment
+module Resync = Ldap_resync
+
+type t = {
+  schema : Schema.t;
+  master : Resync.Master.t;
+  index : Resync.Consumer.t C.Containment_index.t;
+  cache : Query_cache.t;
+  stats : Stats.t;
+}
+
+let create ?(cache_capacity = 0) master =
+  let schema = Backend.schema (Resync.Master.backend master) in
+  {
+    schema;
+    master;
+    index = C.Containment_index.create schema;
+    cache = Query_cache.create schema ~capacity:cache_capacity;
+    stats = Stats.create ();
+  }
+
+let schema t = t.schema
+let stats t = t.stats
+let master t = t.master
+
+let install_filter t q =
+  if C.Containment_index.mem t.index q then Ok ()
+  else
+    (* The session fetches the stored query's attributes plus the ones
+       its filter mentions, so contained queries can be re-evaluated
+       locally; answers still project to the caller's selection. *)
+    let consumer = Resync.Consumer.create t.schema (Replica.widen_attrs q) in
+    match Resync.Consumer.sync consumer t.master with
+    | Error _ as e -> e
+    | Ok reply ->
+        Stats.add_reply t.stats reply ~fetch:true;
+        C.Containment_index.add t.index q consumer;
+        Ok ()
+
+let remove_filter t q =
+  (* End the session at the master before dropping local state. *)
+  (match C.Containment_index.find t.index q with
+  | Some consumer -> (
+      match Resync.Consumer.cookie consumer with
+      | Some cookie -> Resync.Master.abandon t.master ~cookie
+      | None -> ())
+  | None -> ());
+  C.Containment_index.remove t.index q
+
+let stored_filters t = C.Containment_index.fold t.index ~init:[] ~f:(fun acc q _ -> q :: acc)
+
+let filter_count t = C.Containment_index.length t.index + Query_cache.length t.cache
+
+let size_entries t =
+  let dns =
+    C.Containment_index.fold t.index ~init:Dn.Set.empty ~f:(fun acc _ consumer ->
+        Dn.Set.union acc (Resync.Consumer.dns consumer))
+  in
+  Dn.Set.cardinal dns
+
+let estimate_size t q = Backend.count_matching (Resync.Master.backend t.master) q
+
+let answer t q =
+  let evaluable (stored : Query.t) _ =
+    Replica.filter_attrs_available
+      ~available:(Replica.widen_attrs stored).Query.attrs q
+  in
+  match C.Containment_index.find_container_where t.index q ~pred:evaluable with
+  | Some (_, consumer) ->
+      let entries =
+        Replica.eval_over_entries t.schema q (Resync.Consumer.entries consumer)
+      in
+      Stats.record_query t.stats ~hit:true ~returned:(List.length entries);
+      Replica.Answered entries
+  | None -> (
+      match Query_cache.answer t.cache q with
+      | Some entries ->
+          Stats.record_query t.stats ~hit:true ~returned:(List.length entries);
+          Replica.Answered entries
+      | None ->
+          Stats.record_query t.stats ~hit:false ~returned:0;
+          Replica.Referral)
+
+let record_miss_result t q entries = Query_cache.add t.cache q entries
+
+let sync_where t pred =
+  C.Containment_index.iter t.index ~f:(fun q consumer ->
+      if pred q then
+        match Resync.Consumer.sync consumer t.master with
+        | Ok reply -> Stats.add_reply t.stats reply ~fetch:false
+        | Error msg -> invalid_arg ("Filter_replica.sync: " ^ msg))
+
+let sync t = sync_where t (fun _ -> true)
+
+let comparisons t =
+  C.Containment_index.comparisons t.index + Query_cache.comparisons t.cache

@@ -1,0 +1,71 @@
+(** Filter-based partial replica — the paper's proposed model
+    (section 3).
+
+    The replica stores, for each replicated LDAP query, its meta
+    information (the search specification) and its content (kept in
+    sync through a ReSync session).  An incoming query is answered
+    locally iff it is semantically contained in a stored query
+    (decided through the template-bucketed containment index) or in a
+    recently cached user query; otherwise a referral is generated.
+
+    The stored filter set can be changed dynamically — the filter
+    selection algorithm of section 6.2 calls {!install_filter} and
+    {!remove_filter} at every revolution; the traffic this causes is
+    accounted separately as fetch traffic (section 7.3). *)
+
+open Ldap
+
+type t
+
+val create :
+  ?cache_capacity:int -> Ldap_resync.Master.t -> t
+(** [cache_capacity] sizes the user-query window (default 0: no
+    caching of user queries). *)
+
+val schema : t -> Schema.t
+val stats : t -> Stats.t
+val master : t -> Ldap_resync.Master.t
+
+val install_filter : t -> Query.t -> (unit, string) result
+(** Starts replicating a query: fetches its initial content from the
+    master (fetch traffic) and registers it in the containment index.
+    Installing an already stored query is a no-op. *)
+
+val remove_filter : t -> Query.t -> unit
+(** Stops replicating the query (ends its ReSync session). *)
+
+val stored_filters : t -> Query.t list
+val filter_count : t -> int
+(** Stored filters plus cached user queries — the section 7.4 x-axis. *)
+
+val size_entries : t -> int
+(** Number of distinct entries held across all stored filters (cached
+    user-query results excluded, mirroring the paper's replica-size
+    accounting). *)
+
+val estimate_size : t -> Query.t -> int
+(** Entries the master currently holds for the query: the size
+    estimate used by benefit/size selection (section 6.2). *)
+
+val answer : t -> Query.t -> Replica.answer
+(** Answers the query from stored or cached content when containment
+    holds; referral otherwise.  On a miss the caller fetches from the
+    master and may install the result in the window cache with
+    {!record_miss_result} (section 7.4's cached user queries). *)
+
+val record_miss_result : t -> Query.t -> Entry.t list -> unit
+(** Caches the master's answer to a missed user query in the window
+    cache (no synchronization — section 7.4). *)
+
+val sync : t -> unit
+(** One poll round over all stored filters (resync traffic). *)
+
+val sync_where : t -> (Query.t -> bool) -> unit
+(** Polls only the stored filters satisfying the predicate.  This is
+    the flexibility section 3.2 attributes to the filter model: each
+    object type (filter) can have its own consistency level, e.g.
+    location filters refreshed rarely and person filters often —
+    something a subtree replica mixing both cannot express. *)
+
+val comparisons : t -> int
+(** Total containment comparisons performed (stored + cached). *)

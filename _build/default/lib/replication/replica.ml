@@ -1,0 +1,25 @@
+open Ldap
+
+type answer = Answered of Entry.t list | Referral
+
+let is_hit = function Answered _ -> true | Referral -> false
+
+let filter_attrs_available ~available (q : Query.t) =
+  match available with
+  | Query.All -> true
+  | Query.Select stored_attrs ->
+      List.for_all (fun a -> List.mem a stored_attrs) (Filter.attributes q.Query.filter)
+
+let widen_attrs (q : Query.t) =
+  match q.Query.attrs with
+  | Query.All -> q
+  | Query.Select l ->
+      { q with Query.attrs = Query.Select (l @ Filter.attributes q.Query.filter) }
+
+let eval_over_entries schema (q : Query.t) entries =
+  List.filter_map
+    (fun e ->
+      if Query.in_scope q (Entry.dn e) && Filter.matches schema q.Query.filter e then
+        Some (Entry.select e (Query.attr_list q.Query.attrs))
+      else None)
+    entries

@@ -1,0 +1,25 @@
+open Ldap
+
+type backend =
+  | Filter_backend of Filter_replica.t
+  | Subtree_backend of Subtree_replica.t
+
+type t = { master_url : string; backend : backend }
+
+let of_filter_replica ~master_url replica =
+  { master_url; backend = Filter_backend replica }
+
+let of_subtree_replica ~master_url replica =
+  { master_url; backend = Subtree_backend replica }
+
+let handle_search t q =
+  let answer =
+    match t.backend with
+    | Filter_backend r -> Filter_replica.answer r q
+    | Subtree_backend r -> Subtree_replica.answer r q
+  in
+  match answer with
+  | Replica.Answered entries -> Server.Entries { Backend.entries; references = [] }
+  | Replica.Referral -> Server.Referral [ t.master_url ]
+
+let register t net ~name = Network.add_handler net ~name (handle_search t)

@@ -1,0 +1,25 @@
+(** A partial replica exposed as a directory server.
+
+    Wraps a {!Filter_replica} (or a {!Subtree_replica}) behind the
+    {!Ldap.Server.response} interface so it can join a simulated
+    {!Ldap.Network} topology: contained queries are answered locally in
+    one round trip; everything else produces a referral to the master's
+    LDAP URL, which a referral-chasing client follows transparently.
+    This is the deployment shape of the paper's case study — a branch
+    replica in front of a remote master. *)
+
+open Ldap
+
+type t
+
+val of_filter_replica :
+  master_url:string -> Filter_replica.t -> t
+
+val of_subtree_replica :
+  master_url:string -> Subtree_replica.t -> t
+
+val handle_search : t -> Query.t -> Server.response
+(** [Entries] on a hit, [Referral [master_url]] on a miss. *)
+
+val register : t -> Network.t -> name:string -> unit
+(** Installs the replica as host [name] in the topology. *)

@@ -1,0 +1,65 @@
+type t = {
+  mutable queries : int;
+  mutable hits : int;
+  mutable entries_returned : int;
+  mutable sync_entries : int;
+  mutable sync_bytes : int;
+  mutable sync_actions : int;
+  mutable fetch_entries : int;
+  mutable fetch_bytes : int;
+  mutable comparisons : int;
+}
+
+let create () =
+  {
+    queries = 0;
+    hits = 0;
+    entries_returned = 0;
+    sync_entries = 0;
+    sync_bytes = 0;
+    sync_actions = 0;
+    fetch_entries = 0;
+    fetch_bytes = 0;
+    comparisons = 0;
+  }
+
+let reset t =
+  t.queries <- 0;
+  t.hits <- 0;
+  t.entries_returned <- 0;
+  t.sync_entries <- 0;
+  t.sync_bytes <- 0;
+  t.sync_actions <- 0;
+  t.fetch_entries <- 0;
+  t.fetch_bytes <- 0;
+  t.comparisons <- 0
+
+let hit_ratio t = if t.queries = 0 then 0.0 else float_of_int t.hits /. float_of_int t.queries
+let total_update_entries t = t.sync_entries + t.fetch_entries
+
+let record_query t ~hit ~returned =
+  t.queries <- t.queries + 1;
+  if hit then begin
+    t.hits <- t.hits + 1;
+    t.entries_returned <- t.entries_returned + returned
+  end
+
+let add_reply t reply ~fetch =
+  let entries = Ldap_resync.Protocol.entries_cost reply in
+  let bytes = Ldap_resync.Protocol.bytes_cost reply in
+  let actions = Ldap_resync.Protocol.actions_count reply in
+  if fetch then begin
+    t.fetch_entries <- t.fetch_entries + entries;
+    t.fetch_bytes <- t.fetch_bytes + bytes
+  end
+  else begin
+    t.sync_entries <- t.sync_entries + entries;
+    t.sync_bytes <- t.sync_bytes + bytes
+  end;
+  t.sync_actions <- t.sync_actions + actions
+
+let pp ppf t =
+  Format.fprintf ppf
+    "queries=%d hits=%d (%.3f) sync=%de/%dB fetch=%de/%dB comparisons=%d"
+    t.queries t.hits (hit_ratio t) t.sync_entries t.sync_bytes t.fetch_entries
+    t.fetch_bytes t.comparisons

@@ -1,0 +1,30 @@
+(** Replica performance counters: the section 7 metrics.
+
+    Hit ratio is hits / queries; update traffic is split into resync
+    traffic (keeping stored content in sync) and fetch traffic
+    (bringing in newly selected filters during revolutions) — the two
+    components of section 7.3. *)
+
+type t = {
+  mutable queries : int;
+  mutable hits : int;
+  mutable entries_returned : int;
+  mutable sync_entries : int;  (** Resync traffic, in entries. *)
+  mutable sync_bytes : int;
+  mutable sync_actions : int;  (** Including DN-only deletes/retains. *)
+  mutable fetch_entries : int;  (** Revolution fetch traffic, in entries. *)
+  mutable fetch_bytes : int;
+  mutable comparisons : int;  (** Containment checks performed. *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val hit_ratio : t -> float
+(** 0 when no queries were recorded. *)
+
+val total_update_entries : t -> int
+(** sync + fetch, the paper's Figures 6-7 y-axis. *)
+
+val record_query : t -> hit:bool -> returned:int -> unit
+val add_reply : t -> Ldap_resync.Protocol.reply -> fetch:bool -> unit
+val pp : Format.formatter -> t -> unit

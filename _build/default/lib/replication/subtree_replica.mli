@@ -1,0 +1,39 @@
+(** Subtree-based partial replica (sections 3 and 3.4.1).
+
+    Holds one or more replication contexts [Ci = (Si, Ri1..RiCi)]: a
+    subtree suffix plus the DNs of referral objects delimiting it.  An
+    incoming query can be answered iff its base lies inside some
+    context and not under any of that context's referrals — the
+    paper's [isContained] algorithm.
+
+    Content is kept in sync with the master through ReSync sessions
+    whose query is the subtree specification (base [Si], scope SUBTREE,
+    filter [(objectclass=*﻿)]) — the reduction noted in section 3. *)
+
+open Ldap
+
+type t
+
+val create : Ldap_resync.Master.t -> subtrees:Dn.t list -> t
+(** Replicates the given subtrees, fetching their initial content from
+    the master.  A subtree rooted at a DN the master does not hold is
+    simply empty.  Referral objects inside the subtrees become context
+    referrals automatically. *)
+
+val stats : t -> Stats.t
+val contexts : t -> (Dn.t * Dn.t list) list
+(** The replication contexts: suffix and referral DNs. *)
+
+val size_entries : t -> int
+(** Number of replicated entries (referral objects excluded). *)
+
+val is_contained : t -> Dn.t -> bool
+(** The paper's [isContained (b, C)] decision on a base DN. *)
+
+val answer : t -> Query.t -> Replica.answer
+(** Answers from local content when [is_contained] holds for the
+    query's base; referral otherwise.  Updates the hit/miss stats. *)
+
+val sync : t -> unit
+(** One poll round on every subtree session, applying updates locally
+    and accounting traffic in {!stats}. *)

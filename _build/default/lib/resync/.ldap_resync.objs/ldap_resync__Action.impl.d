@@ -1,0 +1,1 @@
+lib/resync/action.ml: Ber Dn Entry Format Ldap

@@ -1,0 +1,1 @@
+lib/resync/action.mli: Dn Entry Format Ldap

@@ -1,0 +1,1 @@
+lib/resync/consumer.ml: Action Dn Entry Ldap List Master Protocol Query

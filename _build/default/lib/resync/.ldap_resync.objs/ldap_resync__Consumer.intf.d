@@ -1,0 +1,1 @@
+lib/resync/consumer.mli: Dn Entry Ldap Master Protocol Query Schema

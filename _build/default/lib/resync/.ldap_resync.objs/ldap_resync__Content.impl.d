@@ -1,0 +1,1 @@
+lib/resync/content.ml: Action Backend Dn Entry Filter Ldap List Query

@@ -1,0 +1,1 @@
+lib/resync/content.mli: Action Backend Dn Entry Ldap Query Schema

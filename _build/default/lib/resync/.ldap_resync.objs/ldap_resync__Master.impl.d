@@ -1,0 +1,1 @@
+lib/resync/master.ml: Action Backend Content Csn Dn Entry Filter Hashtbl Ldap List Printf Protocol Query String Update

@@ -1,0 +1,1 @@
+lib/resync/master.mli: Action Backend Csn Ldap Protocol Query

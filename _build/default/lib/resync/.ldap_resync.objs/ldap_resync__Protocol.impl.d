@@ -1,0 +1,1 @@
+lib/resync/protocol.ml: Action Format List

@@ -1,0 +1,1 @@
+lib/resync/protocol.mli: Action Format

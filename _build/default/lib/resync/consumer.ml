@@ -1,0 +1,53 @@
+open Ldap
+
+type t = {
+  query : Query.t;
+  mutable entries : Entry.t Dn.Map.t;
+  mutable cookie : string option;
+}
+
+let create schema query =
+  ignore schema;
+  { query; entries = Dn.Map.empty; cookie = None }
+let query t = t.query
+let cookie t = t.cookie
+
+let apply_action t = function
+  | Action.Add e | Action.Modify e ->
+      t.entries <- Dn.Map.add (Entry.dn e) e t.entries
+  | Action.Delete dn -> t.entries <- Dn.Map.remove dn t.entries
+  | Action.Retain _ -> ()
+
+let apply_reply t (reply : Protocol.reply) =
+  (match reply.Protocol.kind with
+  | Protocol.Initial_content -> t.entries <- Dn.Map.empty
+  | Protocol.Incremental -> ()
+  | Protocol.Degraded ->
+      (* Only retained or re-sent entries survive. *)
+      let keep =
+        List.fold_left
+          (fun acc a ->
+            match a with
+            | Action.Add e | Action.Modify e -> Dn.Set.add (Entry.dn e) acc
+            | Action.Retain dn -> Dn.Set.add dn acc
+            | Action.Delete dn -> Dn.Set.remove dn acc)
+          Dn.Set.empty reply.Protocol.actions
+      in
+      t.entries <- Dn.Map.filter (fun dn _ -> Dn.Set.mem dn keep) t.entries);
+  List.iter (apply_action t) reply.Protocol.actions;
+  match reply.Protocol.cookie with
+  | Some _ as c -> t.cookie <- c
+  | None -> ()
+
+let sync t master =
+  let request = { Protocol.mode = Protocol.Poll; cookie = t.cookie } in
+  match Master.handle master request t.query with
+  | Error _ as e -> e
+  | Ok reply ->
+      apply_reply t reply;
+      Ok reply
+
+let entries t = List.map snd (Dn.Map.bindings t.entries)
+let dns t = Dn.Map.fold (fun dn _ acc -> Dn.Set.add dn acc) t.entries Dn.Set.empty
+let find t dn = Dn.Map.find_opt dn t.entries
+let size t = Dn.Map.cardinal t.entries

@@ -1,0 +1,30 @@
+(** Consumer (replica) side of a ReSync session: the materialized
+    content of one replicated query.
+
+    The consumer applies the actions of each reply to its local entry
+    set and tracks the resume cookie.  After any successful exchange
+    the entry set equals the master's content at the reply's CSN —
+    the convergence guarantee the protocol provides (verified by the
+    property tests). *)
+
+open Ldap
+
+type t
+
+val create : Schema.t -> Query.t -> t
+val query : t -> Query.t
+val cookie : t -> string option
+
+val apply_reply : t -> Protocol.reply -> unit
+(** Applies all actions.  For a [Degraded] reply, entries that were
+    neither retained nor upserted are pruned (eq. (3)). *)
+
+val sync : t -> Master.t -> (Protocol.reply, string) result
+(** One poll exchange against the master: sends the stored cookie (or
+    none on first contact), applies the reply, stores the new cookie.
+    Returns the reply so callers can account traffic. *)
+
+val entries : t -> Entry.t list
+val dns : t -> Dn.Set.t
+val find : t -> Dn.t -> Entry.t option
+val size : t -> int

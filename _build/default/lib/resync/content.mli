@@ -1,0 +1,35 @@
+(** Content sets of a search request (section 5.1).
+
+    [CS(t)] is the set of entries satisfying a search request [S] at
+    instant [t].  Given pre/post images of a committed update, an entry
+    is classified as moving into the content (contributing to
+    [E01]), out of it ([E10]), changing within it ([E11]) or staying
+    outside. *)
+
+open Ldap
+
+val member : Schema.t -> Query.t -> Entry.t -> bool
+(** Whether the entry belongs to the query's content: its DN is in the
+    base/scope region and the filter matches. *)
+
+val current : Backend.t -> Query.t -> Entry.t list
+(** [CS(now)]: the content evaluated against the backend, with the
+    query's attribute selection applied. *)
+
+val current_dns : Backend.t -> Query.t -> Dn.Set.t
+
+type transition =
+  | Stays_out
+  | Moves_in of Entry.t  (** E01: send [add]. *)
+  | Moves_out of Dn.t  (** E10: send [delete] (of the old DN). *)
+  | Changes_within of Entry.t  (** E11: send [modify]. *)
+  | Renames_within of { old_dn : Dn.t; entry : Entry.t }
+      (** A modify DN that keeps the entry in content: the paper
+          mandates [delete] of the old DN followed by [add] of the
+          new one (Figure 3, E3/E5). *)
+
+val classify :
+  Schema.t -> Query.t -> before:Entry.t option -> after:Entry.t option -> transition
+
+val actions_of_transition : transition -> Action.t list
+(** The PDUs a session must emit for the transition, in order. *)

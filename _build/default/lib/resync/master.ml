@@ -1,0 +1,389 @@
+open Ldap
+
+type strategy = Session_history | Changelog | Tombstone
+
+type session = {
+  id : int;
+  query : Query.t;
+  mutable pending : Action.t list;  (* newest first; Session_history only *)
+  mutable synced_csn : Csn.t;
+  mutable persist_push : (Action.t -> unit) option;
+  mutable last_active : int;
+}
+
+type tombstone = { ts_dn : Dn.t; ts_csn : Csn.t }
+
+type t = {
+  backend : Backend.t;
+  strategy : strategy;
+  sessions : (int, session) Hashtbl.t;
+  mutable tombstones : tombstone list;  (* newest first; Tombstone only *)
+  mutable next_id : int;
+  mutable clock : int;  (* protocol activity ticks *)
+}
+
+let backend t = t.backend
+let strategy t = t.strategy
+
+let cookie_of id csn = Printf.sprintf "rs:%d:%d" id (Csn.to_int csn)
+
+let parse_cookie s =
+  match String.split_on_char ':' s with
+  | [ "rs"; id; csn ] -> (
+      match (int_of_string_opt id, int_of_string_opt csn) with
+      | Some id, Some csn -> Some (id, Csn.of_int csn)
+      | _ -> None)
+  | _ -> None
+
+(* Transmitted entries honour the session query's attribute selection,
+   exactly like search results do. *)
+let select_action (q : Query.t) = function
+  | Action.Add e -> Action.Add (Entry.select e (Query.attr_list q.Query.attrs))
+  | Action.Modify e -> Action.Modify (Entry.select e (Query.attr_list q.Query.attrs))
+  | (Action.Delete _ | Action.Retain _) as a -> a
+
+(* Classify a committed update against every live session. *)
+let on_update t (record : Update.record) =
+  let schema = Backend.schema t.backend in
+  (if t.strategy = Tombstone then
+     match record.Update.op with
+     | Update.Delete dn -> t.tombstones <- { ts_dn = dn; ts_csn = record.csn } :: t.tombstones
+     | Update.Modify_dn { dn; _ } ->
+         (* The old DN disappears: tombstone it. *)
+         t.tombstones <- { ts_dn = dn; ts_csn = record.csn } :: t.tombstones
+     | Update.Add _ | Update.Modify _ -> ());
+  Hashtbl.iter
+    (fun _ session ->
+      let transition =
+        Content.classify schema session.query ~before:record.before ~after:record.after
+      in
+      let actions =
+        List.map (select_action session.query) (Content.actions_of_transition transition)
+      in
+      if actions <> [] then
+        match session.persist_push with
+        | Some push ->
+            List.iter push actions;
+            session.synced_csn <- record.csn
+        | None ->
+            if t.strategy = Session_history then
+              session.pending <- List.rev_append actions session.pending)
+    t.sessions
+
+let create ?(strategy = Session_history) backend =
+  let t =
+    {
+      backend;
+      strategy;
+      sessions = Hashtbl.create 16;
+      tombstones = [];
+      next_id = 1;
+      clock = 0;
+    }
+  in
+  Backend.subscribe backend (on_update t);
+  t
+
+(* --- Per-DN coalescing of buffered actions --------------------------
+   A session's pending actions are replayed as the minimal update set:
+   an entry that was added then deleted within the interval produces
+   nothing; one that left and returned produces a single modify. *)
+
+type net = Net_added of Entry.t | Net_modified of Entry.t | Net_deleted of Dn.t
+
+let coalesce actions_oldest_first =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  let set dn state =
+    let key = Dn.canonical dn in
+    if not (Hashtbl.mem tbl key) then order := key :: !order;
+    Hashtbl.replace tbl key state
+  in
+  let get dn = Hashtbl.find_opt tbl (Dn.canonical dn) in
+  let drop dn = Hashtbl.remove tbl (Dn.canonical dn) in
+  List.iter
+    (fun action ->
+      match action with
+      | Action.Retain _ -> ()
+      | Action.Add e -> (
+          let dn = Entry.dn e in
+          match get dn with
+          | None | Some (Net_added _) -> set dn (Net_added e)
+          | Some (Net_modified _) ->
+              set dn (Net_modified e)
+          | Some (Net_deleted _) ->
+              (* In content at interval start, left, and returned:
+                 the net effect is a modify. *)
+              set dn (Net_modified e))
+      | Action.Modify e -> (
+          let dn = Entry.dn e in
+          match get dn with
+          | None | Some (Net_modified _) | Some (Net_deleted _) ->
+              set dn (Net_modified e)
+          | Some (Net_added _) -> set dn (Net_added e))
+      | Action.Delete dn -> (
+          match get dn with
+          | None | Some (Net_modified _) -> set dn (Net_deleted dn)
+          | Some (Net_added _) ->
+              (* Entered and left within the interval: nothing to send. *)
+              drop dn
+          | Some (Net_deleted _) -> ()))
+    actions_oldest_first;
+  (* Deletes first so DN reuse (rename chains) replays safely. *)
+  let deletes = ref [] and upserts = ref [] in
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt tbl key with
+      | None -> ()
+      | Some (Net_added e) -> upserts := Action.Add e :: !upserts
+      | Some (Net_modified e) -> upserts := Action.Modify e :: !upserts
+      | Some (Net_deleted dn) -> deletes := Action.Delete dn :: !deletes)
+    (List.rev !order);
+  List.rev !deletes @ List.rev !upserts
+
+(* --- Strategy-specific incremental replies --------------------------- *)
+
+let filter_attrs (q : Query.t) = Filter.attributes q.Query.filter
+
+let member schema q e = Content.member schema q e
+
+(* Changelog replay: only (kind, DN, changed attrs, current state) may
+   be used — no pre-images. *)
+let changelog_actions t session =
+  let schema = Backend.schema t.backend in
+  let q = session.query in
+  let attrs_of_interest = filter_attrs q in
+  let touches_filter items =
+    List.exists
+      (fun (it : Update.mod_item) ->
+        List.mem (String.lowercase_ascii it.Update.mod_attr) attrs_of_interest)
+      items
+  in
+  let records = Backend.log_since t.backend session.synced_csn in
+  let actions =
+    List.concat_map
+      (fun (r : Update.record) ->
+        match r.Update.op with
+        | Update.Delete dn ->
+            (* Original attributes unknown: must propagate every delete. *)
+            [ Action.Delete dn ]
+        | Update.Add _ -> (
+            match r.after with
+            | Some e when member schema q e -> [ Action.Add e ]
+            | Some _ | None -> [])
+        | Update.Modify (dn, items) -> (
+            match r.after with
+            | Some e when member schema q e -> [ Action.Modify e ]
+            | Some e ->
+                (* Not currently in content.  If the modification
+                   touched a filter attribute or the entry might have
+                   matched before, a conservative delete is needed. *)
+                if touches_filter items then [ Action.Delete (Entry.dn e) ]
+                else [] |> fun l -> ignore dn; l
+            | None -> [ Action.Delete dn ])
+        | Update.Modify_dn { dn; _ } -> (
+            (* Old DN vanishes; membership of the old entry unknown. *)
+            let deletes = [ Action.Delete dn ] in
+            match r.after with
+            | Some e when member schema q e -> deletes @ [ Action.Add e ]
+            | Some _ | None -> deletes))
+      records
+  in
+  List.map (select_action q) (coalesce actions)
+
+(* Tombstone replay: current entries (with modifyTimestamp) plus
+   DN-only tombstones. *)
+let tombstone_actions t session =
+  let schema = Backend.schema t.backend in
+  let q = session.query in
+  let since = session.synced_csn in
+  let changed_since e =
+    match Entry.get e "modifytimestamp" with
+    | [ ts ] -> (
+        match int_of_string_opt ts with
+        | Some c -> Csn.( < ) since (Csn.of_int c)
+        | None -> true)
+    | _ -> true
+  in
+  let deletes =
+    List.filter_map
+      (fun ts -> if Csn.( < ) since ts.ts_csn then Some (Action.Delete ts.ts_dn) else None)
+      t.tombstones
+  in
+  let upserts_and_conservative =
+    Backend.fold_entries t.backend ~init:[] ~f:(fun acc e ->
+        if not (changed_since e) then acc
+        else if member schema q e then Action.Add e :: acc
+        else
+          (* Changed entry outside the content: it may have just left
+             it, and without a pre-image the master cannot tell. *)
+          Action.Delete (Entry.dn e) :: acc)
+  in
+  List.map (select_action q) (coalesce (deletes @ upserts_and_conservative))
+
+(* Degraded mode (eq. (3)): full entries for changed members, retain
+   for unchanged members. *)
+let degraded_actions t q ~since =
+  let schema = Backend.schema t.backend in
+  ignore schema;
+  let members = Content.current t.backend q in
+  List.map
+    (fun e ->
+      let changed =
+        match Entry.get e "modifytimestamp" with
+        | [ ts ] -> (
+            match int_of_string_opt ts with
+            | Some c -> Csn.( < ) since (Csn.of_int c)
+            | None -> true)
+        | _ -> true
+      in
+      if changed then Action.Add e else Action.Retain (Entry.dn e))
+    members
+
+let new_session t query ~persist_push =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let session =
+    {
+      id;
+      query;
+      pending = [];
+      synced_csn = Backend.csn t.backend;
+      persist_push;
+      last_active = t.clock;
+    }
+  in
+  Hashtbl.replace t.sessions id session;
+  session
+
+let initial_reply t session ~mode =
+  let entries = Content.current t.backend session.query in
+  let actions = List.map (fun e -> Action.Add e) entries in
+  session.synced_csn <- Backend.csn t.backend;
+  {
+    Protocol.kind = Protocol.Initial_content;
+    actions;
+    cookie =
+      (match mode with
+      | Protocol.Poll -> Some (cookie_of session.id session.synced_csn)
+      | Protocol.Persist | Protocol.Sync_end -> None);
+  }
+
+let incremental_reply t session ~mode =
+  let degraded_fallback () =
+    (* The changelog no longer reaches back to the session's CSN
+       (trimmed history): fall back to eq. (3) instead of silently
+       missing updates.  Session history is immune — its per-session
+       buffers live outside the log. *)
+    let actions =
+      List.map (select_action session.query)
+        (degraded_actions t session.query ~since:session.synced_csn)
+    in
+    (Protocol.Degraded, actions)
+  in
+  let kind, actions =
+    match t.strategy with
+    | Session_history ->
+        (* Pending actions were selected when buffered. *)
+        let a = coalesce (List.rev session.pending) in
+        session.pending <- [];
+        (Protocol.Incremental, a)
+    | Changelog ->
+        if Backend.log_complete_since t.backend session.synced_csn then
+          (Protocol.Incremental, changelog_actions t session)
+        else degraded_fallback ()
+    | Tombstone -> (Protocol.Incremental, tombstone_actions t session)
+  in
+  session.synced_csn <- Backend.csn t.backend;
+  {
+    Protocol.kind;
+    actions;
+    cookie =
+      (match mode with
+      | Protocol.Poll -> Some (cookie_of session.id session.synced_csn)
+      | Protocol.Persist | Protocol.Sync_end -> None);
+  }
+
+let degraded_reply t query ~since ~mode =
+  let session = new_session t query ~persist_push:None in
+  let actions = degraded_actions t query ~since in
+  session.synced_csn <- Backend.csn t.backend;
+  {
+    Protocol.kind = Protocol.Degraded;
+    actions;
+    cookie =
+      (match mode with
+      | Protocol.Poll -> Some (cookie_of session.id session.synced_csn)
+      | Protocol.Persist | Protocol.Sync_end -> None);
+  }
+
+let handle t ?push (request : Protocol.request) query =
+  t.clock <- t.clock + 1;
+  let mode = request.Protocol.mode in
+  match mode with
+  | Protocol.Sync_end -> (
+      match request.cookie with
+      | None -> Error "sync_end requires a cookie"
+      | Some c -> (
+          match parse_cookie c with
+          | None -> Error "malformed cookie"
+          | Some (id, _) ->
+              Hashtbl.remove t.sessions id;
+              Ok { Protocol.kind = Protocol.Incremental; actions = []; cookie = None }))
+  | Protocol.Poll | Protocol.Persist -> (
+      if mode = Protocol.Persist && push = None then
+        Error "persist mode requires a push channel"
+      else
+        let persist_push = if mode = Protocol.Persist then push else None in
+        match request.cookie with
+        | None ->
+            let session = new_session t query ~persist_push in
+            session.last_active <- t.clock;
+            Ok (initial_reply t session ~mode)
+        | Some c -> (
+            match parse_cookie c with
+            | None -> Error "malformed cookie"
+            | Some (id, csn) -> (
+                match Hashtbl.find_opt t.sessions id with
+                | Some session when Query.equal session.query query ->
+                    session.last_active <- t.clock;
+                    session.persist_push <- persist_push;
+                    Ok (incremental_reply t session ~mode)
+                | Some _ | None ->
+                    (* Unknown or mismatched session: degraded mode
+                       resynchronization from the cookie's CSN. *)
+                    Ok (degraded_reply t query ~since:csn ~mode))))
+
+let abandon t ~cookie =
+  match parse_cookie cookie with
+  | Some (id, _) -> Hashtbl.remove t.sessions id
+  | None -> ()
+
+let expire_sessions t ~idle_limit =
+  let cutoff = t.clock - idle_limit in
+  let stale =
+    Hashtbl.fold
+      (fun id s acc -> if s.last_active <= cutoff then id :: acc else acc)
+      t.sessions []
+  in
+  List.iter (Hashtbl.remove t.sessions) stale
+
+let session_count t = Hashtbl.length t.sessions
+
+let persistent_count t =
+  Hashtbl.fold
+    (fun _ s acc -> if s.persist_push <> None then acc + 1 else acc)
+    t.sessions 0
+
+let history_size t =
+  match t.strategy with
+  | Session_history ->
+      Hashtbl.fold (fun _ s acc -> acc + List.length s.pending) t.sessions 0
+  | Changelog ->
+      let oldest =
+        Hashtbl.fold
+          (fun _ s acc -> min acc (Csn.to_int s.synced_csn))
+          t.sessions (Csn.to_int (Backend.csn t.backend))
+      in
+      List.length (Backend.log_since t.backend (Csn.of_int oldest))
+  | Tombstone -> List.length t.tombstones

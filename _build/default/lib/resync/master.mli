@@ -1,0 +1,74 @@
+(** Master (supplier) side of the ReSync protocol (section 5.2).
+
+    The master serves filter-synchronization sessions against a
+    {!Ldap.Backend}.  A session is identified by a cookie and remembers
+    the CSN up to which the replica is synchronized.  Three history
+    mechanisms are implemented; the paper's contribution is
+    [Session_history], with [Changelog] and [Tombstone] as the
+    baselines whose shortcomings section 5.2 discusses:
+
+    - [Session_history]: each committed update is classified against
+      every live session's filter using the pre/post images, and the
+      resulting actions are buffered per session.  Replay is minimal
+      (coalesced per DN) and deletes are exact.
+    - [Changelog]: the server keeps only (operation, DN, changed
+      attributes) records.  A deleted entry's original attributes are
+      unknown, so {e every} deletion is propagated; an entry modified
+      out of the content can only be detected conservatively.
+    - [Tombstone]: deletions leave a DN-only tombstone; modification
+      times are known but pre-images are not, with the same
+      conservative consequences.
+
+    When a cookie is unknown (or history has been trimmed), the master
+    falls back to the degraded mode of eq. (3): it sends full entries
+    for content members changed since the cookie's CSN and [retain]
+    actions for unchanged members; the replica prunes the rest.  This
+    avoids a full reload. *)
+
+open Ldap
+
+type strategy = Session_history | Changelog | Tombstone
+
+type t
+
+val create : ?strategy:strategy -> Backend.t -> t
+(** Subscribes to the backend's committed updates.  Default strategy is
+    [Session_history]. *)
+
+val backend : t -> Backend.t
+val strategy : t -> strategy
+
+val handle :
+  t ->
+  ?push:(Action.t -> unit) ->
+  Protocol.request ->
+  Query.t ->
+  (Protocol.reply, string) result
+(** Processes a resync search request.  [push] must be supplied for
+    [Persist] mode and receives subsequent change notifications; for
+    [Poll] the reply carries a resume cookie.  [Sync_end] with a valid
+    cookie terminates the session and returns an empty reply. *)
+
+val abandon : t -> cookie:string -> unit
+(** Client abandoned a persistent search: equivalent to sync_end. *)
+
+val expire_sessions : t -> idle_limit:int -> unit
+(** Drops sessions idle for at least [idle_limit] requests handled by
+    this master (the paper's admin time limit, measured in protocol
+    activity rather than wall clock to keep the simulation
+    deterministic).  [~idle_limit:0] drops every session. *)
+
+val session_count : t -> int
+
+val persistent_count : t -> int
+(** Sessions currently holding a persistent-search connection — the
+    section 5.2 scalability cost of persist mode (one TCP connection
+    per replicated filter) that polling avoids. *)
+
+val history_size : t -> int
+(** Current size of the history the strategy maintains: buffered
+    actions (session history), retained log records (changelog) or
+    tombstones.  The section 5.2 comparison metric. *)
+
+val parse_cookie : string -> (int * Csn.t) option
+(** Exposed for tests: session id and CSN embedded in a cookie. *)

@@ -1,0 +1,31 @@
+type mode = Poll | Persist | Sync_end
+
+type request = { mode : mode; cookie : string option }
+
+type reply_kind = Initial_content | Incremental | Degraded
+
+type reply = {
+  kind : reply_kind;
+  actions : Action.t list;
+  cookie : string option;
+}
+
+let entries_cost r =
+  List.fold_left (fun acc a -> acc + Action.entries_cost a) 0 r.actions
+
+let bytes_cost r = List.fold_left (fun acc a -> acc + Action.bytes_cost a) 0 r.actions
+let actions_count r = List.length r.actions
+
+let mode_to_string = function
+  | Poll -> "poll"
+  | Persist -> "persist"
+  | Sync_end -> "sync_end"
+
+let pp_reply ppf r =
+  let kind =
+    match r.kind with
+    | Initial_content -> "initial"
+    | Incremental -> "incremental"
+    | Degraded -> "degraded"
+  in
+  Format.fprintf ppf "%s (%d actions)" kind (List.length r.actions)

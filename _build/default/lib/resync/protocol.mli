@@ -1,0 +1,38 @@
+(** ReSync protocol messages: the resync control and replies.
+
+    The control attached to a search request is [(mode, cookie)]
+    (section 5.2).  A null cookie starts an update session; a non-null
+    cookie resumes one.  Poll replies carry a cookie to resume with;
+    persist replies keep a notification channel open. *)
+
+type mode =
+  | Poll  (** One exchange; the reply carries a resume cookie. *)
+  | Persist  (** Keep the connection; further changes are pushed. *)
+  | Sync_end  (** Terminate the session identified by the cookie. *)
+
+type request = { mode : mode; cookie : string option }
+
+type reply_kind =
+  | Initial_content
+      (** Null cookie: the entire content was sent as [add]s. *)
+  | Incremental
+      (** Session history replay: the minimal update set. *)
+  | Degraded
+      (** History was incomplete; unchanged entries arrive as
+          [retain] actions and the replica must prune everything it
+          holds that was neither retained nor added (eq. (3)). *)
+
+type reply = {
+  kind : reply_kind;
+  actions : Action.t list;
+  cookie : string option;  (** Present for poll replies. *)
+}
+
+val entries_cost : reply -> int
+(** Total traffic of the reply in entries (the paper's unit). *)
+
+val bytes_cost : reply -> int
+val actions_count : reply -> int
+
+val mode_to_string : mode -> string
+val pp_reply : Format.formatter -> reply -> unit

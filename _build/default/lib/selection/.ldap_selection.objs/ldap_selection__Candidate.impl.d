@@ -1,0 +1,1 @@
+lib/selection/candidate.ml: Dn Filter Float Hashtbl Ldap List Printf Query Scope

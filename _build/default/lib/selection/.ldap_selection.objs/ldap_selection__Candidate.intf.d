@@ -1,0 +1,1 @@
+lib/selection/candidate.mli: Ldap Query

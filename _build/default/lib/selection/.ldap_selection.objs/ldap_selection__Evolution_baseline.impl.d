@@ -1,0 +1,1 @@
+lib/selection/evolution_baseline.ml: Dn Filter Generalize Hashtbl Ldap Ldap_replication List Printf Query Scope

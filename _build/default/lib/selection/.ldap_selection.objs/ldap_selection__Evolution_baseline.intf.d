@@ -1,0 +1,1 @@
+lib/selection/evolution_baseline.mli: Generalize Ldap Ldap_replication Query

@@ -1,0 +1,1 @@
+lib/selection/generalize.ml: Filter Ldap List Query String

@@ -1,0 +1,1 @@
+lib/selection/generalize.mli: Filter Ldap Query

@@ -1,0 +1,1 @@
+lib/selection/selector.ml: Candidate Generalize Ldap Ldap_replication List Query

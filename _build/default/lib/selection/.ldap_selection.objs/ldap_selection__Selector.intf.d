@@ -1,0 +1,1 @@
+lib/selection/selector.mli: Generalize Ldap Ldap_replication Query

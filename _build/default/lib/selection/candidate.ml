@@ -1,0 +1,44 @@
+open Ldap
+
+type stats = { mutable hits : int; mutable size : int option }
+
+type t = { table : (string, Query.t * stats) Hashtbl.t }
+
+let key (q : Query.t) =
+  Printf.sprintf "%s|%d|%s" (Dn.canonical q.Query.base)
+    (Scope.to_int q.Query.scope)
+    (Filter.to_string (Filter.normalize q.Query.filter))
+
+let create () = { table = Hashtbl.create 64 }
+
+let observe t q =
+  let k = key q in
+  match Hashtbl.find_opt t.table k with
+  | Some (_, s) -> s.hits <- s.hits + 1
+  | None -> Hashtbl.replace t.table k (q, { hits = 1; size = None })
+
+let size_of t q ~estimate =
+  let k = key q in
+  match Hashtbl.find_opt t.table k with
+  | Some (_, s) -> (
+      match s.size with
+      | Some n -> n
+      | None ->
+          let n = estimate q in
+          s.size <- Some n;
+          n)
+  | None -> estimate q
+
+let reset_hits t = Hashtbl.iter (fun _ (_, s) -> s.hits <- 0) t.table
+
+let fold t ~init ~f = Hashtbl.fold (fun _ (q, s) acc -> f acc q s) t.table init
+let count t = Hashtbl.length t.table
+
+let ranked t ~estimate =
+  let items =
+    fold t ~init:[] ~f:(fun acc q s ->
+        let size = max 1 (size_of t q ~estimate) in
+        let ratio = float_of_int s.hits /. float_of_int size in
+        (q, s, ratio) :: acc)
+  in
+  List.sort (fun (_, _, a) (_, _, b) -> Float.compare b a) items

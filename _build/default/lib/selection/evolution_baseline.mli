@@ -1,0 +1,32 @@
+(** The evolutions/revolutions algorithm of Kapitskaia, Ng and
+    Srivastava (EDBT 2000, [12]) — the baseline section 6.2 argues is
+    unsuitable for replication.
+
+    Two lists are maintained: the {e actual} filters (stored in the
+    replica) and {e candidate} filters.  On every query the benefits of
+    both lists are updated with exponential ageing; when a candidate's
+    benefit exceeds the weakest actual's by a margin, the lists evolve
+    immediately (swap) — which in a replication setting triggers fetch
+    traffic on the spot.  When the candidates' total benefit exceeds
+    the actuals' by a threshold, a revolution re-selects globally.
+
+    Exposed so benchmarks can compare its update traffic against the
+    paper's periodic selection. *)
+
+open Ldap
+
+type config = {
+  rules : Generalize.rule list;
+  size_budget : int;
+  ageing : float;  (** Benefit decay per observed query, in [0,1). *)
+  swap_margin : float;  (** Candidate must beat weakest actual by this factor. *)
+  include_queries : bool;  (** Treat each observed query as a candidate too. *)
+}
+
+type t
+
+val create : config -> Ldap_replication.Filter_replica.t -> t
+val observe : t -> Query.t -> unit
+val swaps : t -> int
+(** Number of immediate evolutions performed (each caused fetch
+    traffic). *)

@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Backend Csn Dn Entry Filter Lazy Ldap List Network Option Printf QCheck QCheck_alcotest Query Referral Result Schema Scope Server String Update

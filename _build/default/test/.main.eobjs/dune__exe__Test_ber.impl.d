@@ -1,0 +1,1 @@
+test/test_ber.ml: Alcotest Ber Ber_codec Char Dn Entry Filter Ldap List Printf QCheck QCheck_alcotest Query Result Scope String

@@ -1,0 +1,1 @@
+test/test_dirgen.ml: Alcotest Array Backend Dn Entry Filter Hashtbl Lazy Ldap Ldap_dirgen List Option Printf Query Result String Update

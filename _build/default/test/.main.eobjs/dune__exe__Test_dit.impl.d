@@ -1,0 +1,1 @@
+test/test_dit.ml: Alcotest Dit Dn Entry Index Ldap List Option Printf Result Schema

@@ -1,0 +1,1 @@
+test/test_dn.ml: Alcotest Dn Ldap List Option Printf QCheck QCheck_alcotest String

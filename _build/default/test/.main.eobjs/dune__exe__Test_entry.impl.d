@@ -1,0 +1,1 @@
+test/test_entry.ml: Alcotest Ber Dn Entry Ldap List Result Schema String Value

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Lazy Ldap_dirgen Ldap_eval List String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Backend Dn Entry Filter Ldap Ldap_replication Ldap_resync List Network Printf Query Referral Result Schema Server Sort_control Update

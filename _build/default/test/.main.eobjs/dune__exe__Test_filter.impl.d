@@ -1,0 +1,1 @@
+test/test_filter.ml: Alcotest Dn Entry Filter Ldap List Printf QCheck QCheck_alcotest Schema String

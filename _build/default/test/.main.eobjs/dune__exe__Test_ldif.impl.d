@@ -1,0 +1,1 @@
+test/test_ldif.ml: Alcotest Dn Entry Ldap Ldif List QCheck QCheck_alcotest Result String Update

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Backend Dn Entry Filter Ldap List Network Query Referral Schema Server Update

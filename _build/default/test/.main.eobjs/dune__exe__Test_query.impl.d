@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Dn Filter Ldap List QCheck QCheck_alcotest Query Referral Result Scope

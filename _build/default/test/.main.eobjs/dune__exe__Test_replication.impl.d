@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Backend Dn Entry Filter Ldap Ldap_replication Ldap_resync List Printf QCheck QCheck_alcotest Query Schema Scope String Update

@@ -1,0 +1,1 @@
+test/test_resync.ml: Action Alcotest Backend Consumer Content Csn Dn Entry Filter Ldap Ldap_resync List Master Option Printf Protocol QCheck QCheck_alcotest Query Result Schema String Update

@@ -1,0 +1,1 @@
+test/test_selection.ml: Alcotest Backend Dn Entry Filter Ldap Ldap_containment Ldap_replication Ldap_resync Ldap_selection List Printf Query Schema Scope String Update

@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Array Ldap Ldap_containment List Printf QCheck QCheck_alcotest Schema String Symbolic Template

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "ldap-filter-replication"
+    [
+      ("dn", Test_dn.suite);
+      ("value", Test_value.suite);
+      ("entry+schema", Test_entry.suite);
+      ("filter", Test_filter.suite);
+      ("query", Test_query.suite);
+      ("containment", Test_containment.suite);
+      ("symbolic", Test_symbolic.suite);
+      ("dit+index", Test_dit.suite);
+      ("backend", Test_backend.suite);
+      ("network", Test_network.suite);
+      ("resync", Test_resync.suite);
+      ("replication", Test_replication.suite);
+      ("selection", Test_selection.suite);
+      ("dirgen", Test_dirgen.suite);
+      ("ldif", Test_ldif.suite);
+      ("extensions", Test_extensions.suite);
+      ("ber", Test_ber.suite);
+      ("eval", Test_eval.suite);
+    ]

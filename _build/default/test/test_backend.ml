@@ -1,0 +1,372 @@
+(* Tests for Ldap.Dit, Ldap.Backend, Ldap.Server and Ldap.Network,
+   including the Figure 2 distributed-operation scenario. *)
+open Ldap
+
+let schema = Schema.default
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let dn = Dn.of_string_exn
+let f = Filter.of_string_exn
+
+let entry dn_s attrs = Entry.make (dn dn_s) attrs
+
+let org = entry "o=xyz" [ ("objectclass", [ "organization" ]); ("o", [ "xyz" ]) ]
+
+let person name parent serial =
+  entry
+    (Printf.sprintf "cn=%s,%s" name parent)
+    [
+      ("objectclass", [ "inetOrgPerson" ]);
+      ("cn", [ name ]);
+      ("sn", [ name ]);
+      ("serialNumber", [ serial ]);
+    ]
+
+let ou name parent =
+  entry
+    (Printf.sprintf "ou=%s,%s" name parent)
+    [ ("objectclass", [ "organizationalUnit" ]); ("ou", [ name ]) ]
+
+let make_backend () =
+  let b = Backend.create ~indexed:[ "serialnumber"; "cn" ] schema in
+  (match Backend.add_context b org with Ok () -> () | Error e -> failwith e);
+  let apply op =
+    match Backend.apply b op with Ok _ -> () | Error e -> failwith e
+  in
+  apply (Update.add (ou "research" "o=xyz"));
+  apply (Update.add (ou "sales" "o=xyz"));
+  apply (Update.add (person "alice" "ou=research,o=xyz" "1001"));
+  apply (Update.add (person "bob" "ou=research,o=xyz" "1002"));
+  apply (Update.add (person "carol" "ou=sales,o=xyz" "2001"));
+  b
+
+let q ?(scope = Scope.Sub) base filter = Query.make ~scope ~base:(dn base) (f filter)
+
+let search_count b query =
+  match Backend.search b query with
+  | Ok { Backend.entries; _ } -> List.length entries
+  | Error _ -> -1
+
+let test_dit_basics () =
+  let b = make_backend () in
+  check_int "total entries" 6 (Backend.total_entries b);
+  check_bool "find existing" true (Backend.find b (dn "cn=alice,ou=research,o=xyz") <> None);
+  check_bool "find missing" true (Backend.find b (dn "cn=zoe,o=xyz") = None)
+
+let test_add_validation () =
+  let b = make_backend () in
+  let dup = person "alice" "ou=research,o=xyz" "1001" in
+  check_bool "duplicate add fails" true (Result.is_error (Backend.apply b (Update.add dup)));
+  let orphan = person "dave" "ou=missing,o=xyz" "3001" in
+  check_bool "orphan add fails" true (Result.is_error (Backend.apply b (Update.add orphan)));
+  let outside = person "eve" "o=other" "4001" in
+  check_bool "outside context fails" true
+    (Result.is_error (Backend.apply b (Update.add outside)));
+  let no_oc = Entry.make (dn "cn=frank,o=xyz") [ ("cn", [ "frank" ]) ] in
+  check_bool "no objectclass fails" true
+    (Result.is_error (Backend.apply b (Update.Add no_oc)))
+
+let test_naming_attr_autofill () =
+  let b = make_backend () in
+  let e = Entry.make (dn "cn=gina,o=xyz") [ ("objectclass", [ "person" ]); ("sn", [ "g" ]) ] in
+  (match Backend.apply b (Update.Add e) with Ok _ -> () | Error e -> failwith e);
+  let stored = Option.get (Backend.find b (dn "cn=gina,o=xyz")) in
+  check_bool "naming value added" true (Entry.has_value stored "cn" "gina")
+
+let test_delete () =
+  let b = make_backend () in
+  check_bool "delete non-leaf fails" true
+    (Result.is_error (Backend.apply b (Update.delete (dn "ou=research,o=xyz"))));
+  (match Backend.apply b (Update.delete (dn "cn=alice,ou=research,o=xyz")) with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  check_bool "deleted" true (Backend.find b (dn "cn=alice,ou=research,o=xyz") = None);
+  check_int "count down" 5 (Backend.total_entries b);
+  check_bool "delete missing fails" true
+    (Result.is_error (Backend.apply b (Update.delete (dn "cn=alice,ou=research,o=xyz"))))
+
+let test_modify () =
+  let b = make_backend () in
+  let target = dn "cn=alice,ou=research,o=xyz" in
+  (match
+     Backend.apply b
+       (Update.modify target
+          [ Update.replace_values "mail" [ "alice@xyz.com" ];
+            Update.add_values "departmentNumber" [ "2406" ] ])
+   with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let stored = Option.get (Backend.find b target) in
+  check_bool "mail set" true (Entry.has_value stored "mail" "alice@xyz.com");
+  check_bool "dept set" true (Entry.has_value stored "departmentnumber" "2406");
+  check_bool "delete absent value fails" true
+    (Result.is_error
+       (Backend.apply b (Update.modify target [ Update.delete_values "mail" [ "nope@x" ] ])));
+  (* Index follows modification. *)
+  (match Backend.apply b (Update.modify target [ Update.replace_values "serialNumber" [ "9999" ] ]) with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  check_int "old serial gone" 0 (search_count b (q "o=xyz" "(serialNumber=1001)"));
+  check_int "new serial found" 1 (search_count b (q "o=xyz" "(serialNumber=9999)"))
+
+let test_modify_dn () =
+  let b = make_backend () in
+  let target = dn "cn=alice,ou=research,o=xyz" in
+  let new_rdn = match Dn.rdn_of_string "cn=alicia" with Ok r -> r | Error e -> failwith e in
+  (match
+     Backend.apply b
+       (Update.modify_dn ~new_superior:(dn "ou=sales,o=xyz") target new_rdn)
+   with
+  | Ok record ->
+      check_bool "before present" true (record.Update.before <> None);
+      check_bool "after present" true (record.Update.after <> None)
+  | Error e -> failwith e);
+  check_bool "old gone" true (Backend.find b target = None);
+  let moved = Option.get (Backend.find b (dn "cn=alicia,ou=sales,o=xyz")) in
+  check_bool "new rdn value" true (Entry.has_value moved "cn" "alicia");
+  check_bool "old rdn value deleted" false (Entry.has_value moved "cn" "alice");
+  check_int "index moved" 1 (search_count b (q "ou=sales,o=xyz" "(serialNumber=1001)"))
+
+let test_search_scopes () =
+  let b = make_backend () in
+  check_int "sub all" 6 (search_count b (q "o=xyz" "(objectclass=*)"));
+  check_int "one level" 2 (search_count b (q ~scope:Scope.One "o=xyz" "(objectclass=*)"));
+  check_int "base" 1 (search_count b (q ~scope:Scope.Base "o=xyz" "(objectclass=*)"));
+  check_int "sub persons" 3 (search_count b (q "o=xyz" "(objectclass=inetOrgPerson)"));
+  check_int "subtree research" 3 (search_count b (q "ou=research,o=xyz" "(objectclass=*)"));
+  check_bool "missing base errors" true
+    (match Backend.search b (q "ou=nope,o=xyz" "(objectclass=*)") with
+    | Error (Backend.No_such_object _) -> true
+    | _ -> false)
+
+let test_search_indexed_vs_scan () =
+  let b = make_backend () in
+  (* serialNumber is indexed, mail is not: both must agree. *)
+  check_int "indexed eq" 1 (search_count b (q "o=xyz" "(serialNumber=1002)"));
+  check_int "indexed prefix" 2 (search_count b (q "o=xyz" "(serialNumber=10*)"));
+  check_int "and with index" 1
+    (search_count b (q "o=xyz" "(&(serialNumber=1002)(objectclass=inetOrgPerson))"));
+  check_int "scan filter" 2
+    (search_count b (q "o=xyz" "(|(serialNumber=1001)(serialNumber=2001))"));
+  check_int "scoped index lookup excludes others" 0
+    (search_count b (q "ou=sales,o=xyz" "(serialNumber=1001)"))
+
+let test_attribute_selection () =
+  let b = make_backend () in
+  let query =
+    Query.make ~attrs:(Query.Select [ "cn" ]) ~base:(dn "o=xyz") (f "(serialNumber=1001)")
+  in
+  match Backend.search b query with
+  | Ok { Backend.entries = [ e ]; _ } ->
+      check_bool "cn kept" true (Entry.has_attribute e "cn");
+      check_bool "serial dropped" false (Entry.has_attribute e "serialnumber")
+  | _ -> Alcotest.fail "expected one entry"
+
+let test_count_matching () =
+  let b = make_backend () in
+  check_int "count" 3 (Backend.count_matching b (q "o=xyz" "(objectclass=inetOrgPerson)"))
+
+let test_log () =
+  let b = make_backend () in
+  let csn0 = Backend.csn b in
+  ignore (Backend.apply b (Update.delete (dn "cn=carol,ou=sales,o=xyz")));
+  let records = Backend.log_since b csn0 in
+  check_int "one record" 1 (List.length records);
+  check_bool "complete" true (Backend.log_complete_since b csn0);
+  Backend.trim_log b ~before:(Backend.csn b);
+  (* Records up to csn0 are gone, so the log no longer reaches back to
+     the beginning — but it still covers (csn0, now]. *)
+  check_bool "still covers csn0" true (Backend.log_complete_since b csn0);
+  check_bool "incomplete from zero" false (Backend.log_complete_since b Csn.zero);
+  check_int "trimmed length" 1 (Backend.log_length b)
+
+let test_subscribers () =
+  let b = make_backend () in
+  let seen = ref [] in
+  Backend.subscribe b (fun r -> seen := Update.op_kind_name r.Update.op :: !seen);
+  ignore (Backend.apply b (Update.delete (dn "cn=carol,ou=sales,o=xyz")));
+  ignore (Backend.apply b (Update.add (person "dan" "ou=sales,o=xyz" "2002")));
+  Alcotest.(check (list string)) "notifications in order" [ "add"; "delete" ] !seen
+
+(* --- Oracle property: search = naive scan ------------------------------
+   The indexed fast path, scope handling and referral exclusion must
+   agree with a direct evaluation over every entry. *)
+
+let naive_search backend (query : Query.t) =
+  Backend.fold_entries backend ~init:[] ~f:(fun acc e ->
+      if
+        Query.in_scope query (Entry.dn e)
+        && Filter.matches schema query.Query.filter e
+        && not (Entry.is_referral e)
+      then Dn.canonical (Entry.dn e) :: acc
+      else acc)
+  |> List.sort String.compare
+
+let oracle_backend =
+  lazy
+    (let b = Backend.create ~indexed:[ "serialnumber"; "departmentnumber" ] schema in
+     (match Backend.add_context b org with Ok () -> () | Error e -> failwith e);
+     let apply op = match Backend.apply b op with Ok _ -> () | Error e -> failwith e in
+     apply (Update.add (ou "research" "o=xyz"));
+     apply (Update.add (ou "sales" "o=xyz"));
+     for i = 0 to 59 do
+       let parent = if i mod 2 = 0 then "ou=research,o=xyz" else "ou=sales,o=xyz" in
+       let e =
+         entry
+           (Printf.sprintf "cn=p%02d,%s" i parent)
+           [
+             ("objectclass", [ "inetOrgPerson" ]);
+             ("cn", [ Printf.sprintf "p%02d" i ]);
+             ("sn", [ Printf.sprintf "p%02d" i ]);
+             ("serialNumber", [ Printf.sprintf "%04d" i ]);
+             ("departmentNumber", [ Printf.sprintf "%02d" (i mod 7) ]);
+           ]
+       in
+       apply (Update.Add e)
+     done;
+     b)
+
+let query_gen =
+  let open QCheck.Gen in
+  let base =
+    oneofl [ "o=xyz"; "ou=research,o=xyz"; "ou=sales,o=xyz"; "cn=p04,ou=research,o=xyz" ]
+  in
+  let scope = oneofl [ Scope.Base; Scope.One; Scope.Sub ] in
+  let value = map (fun i -> Printf.sprintf "%04d" i) (0 -- 70) in
+  let dept = map (fun i -> Printf.sprintf "%02d" i) (0 -- 8) in
+  let filter =
+    oneof
+      [
+        map (fun v -> Printf.sprintf "(serialNumber=%s)" v) value;
+        map (fun v -> Printf.sprintf "(serialNumber=%s*)" (String.sub v 0 3)) value;
+        map (fun d -> Printf.sprintf "(departmentNumber=%s)" d) dept;
+        map2 (fun v d -> Printf.sprintf "(&(serialNumber>=%s)(departmentNumber=%s))" v d)
+          value dept;
+        map (fun d -> Printf.sprintf "(|(departmentNumber=%s)(serialNumber=0003))" d) dept;
+        map (fun d -> Printf.sprintf "(!(departmentNumber=%s))" d) dept;
+        return "(objectclass=inetOrgPerson)";
+      ]
+  in
+  map3
+    (fun base scope filter_s ->
+      Query.make ~scope ~base:(Dn.of_string_exn base) (Filter.of_string_exn filter_s))
+    base scope filter
+
+let prop_search_matches_naive =
+  QCheck.Test.make ~name:"backend: search equals naive scan" ~count:500
+    (QCheck.make ~print:Query.to_string query_gen) (fun query ->
+      let b = Lazy.force oracle_backend in
+      match Backend.search b query with
+      | Error _ -> naive_search b query = []
+      | Ok { Backend.entries; _ } ->
+          let got =
+            List.sort String.compare
+              (List.map (fun e -> Dn.canonical (Entry.dn e)) entries)
+          in
+          got = naive_search b query)
+
+(* --- Figure 2: distributed operation processing ---------------------- *)
+
+let figure2_network () =
+  (* hostA: o=xyz with referral objects to hostB and hostC.
+     hostB: ou=research,c=us,o=xyz.  hostC: c=in,o=xyz. *)
+  let net = Network.create () in
+  let backend_a = Backend.create schema in
+  (match Backend.add_context backend_a org with Ok () -> () | Error e -> failwith e);
+  let apply_a op =
+    match Backend.apply backend_a op with Ok _ -> () | Error e -> failwith e
+  in
+  apply_a (Update.add (entry "c=us,o=xyz" [ ("objectclass", [ "country" ]); ("c", [ "us" ]) ]));
+  apply_a (Update.add (person "fred jones" "o=xyz" "0001"));
+  apply_a
+    (Update.add
+       (entry "ou=research,c=us,o=xyz"
+          [
+            ("objectclass", [ "referral" ]);
+            ("ref", [ Referral.make ~host:"hostB" ~dn:(dn "ou=research,c=us,o=xyz") () ]);
+          ]));
+  apply_a
+    (Update.add
+       (entry "c=in,o=xyz"
+          [
+            ("objectclass", [ "referral" ]);
+            ("ref", [ Referral.make ~host:"hostC" ~dn:(dn "c=in,o=xyz") () ]);
+          ]));
+  let backend_b = Backend.create schema in
+  (match
+     Backend.add_context backend_b
+       (entry "ou=research,c=us,o=xyz" [ ("objectclass", [ "organizationalUnit" ]); ("ou", [ "research" ]) ])
+   with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  (match Backend.apply backend_b (Update.add (person "john doe" "ou=research,c=us,o=xyz" "0456")) with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let backend_c = Backend.create schema in
+  (match
+     Backend.add_context backend_c
+       (entry "c=in,o=xyz" [ ("objectclass", [ "country" ]); ("c", [ "in" ]) ])
+   with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  (match Backend.apply backend_c (Update.add (person "asha" "c=in,o=xyz" "0789")) with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let url_a = Referral.make ~host:"hostA" () in
+  Network.add_server net (Server.create ~name:"hostA" backend_a);
+  Network.add_server net (Server.create ~name:"hostB" ~default_referral:url_a backend_b);
+  Network.add_server net (Server.create ~name:"hostC" ~default_referral:url_a backend_c);
+  net
+
+let test_figure2_round_trips () =
+  let net = figure2_network () in
+  Network.reset_stats net;
+  (* Client asks hostB for a subtree search based at o=xyz. *)
+  match Network.search net ~from:"hostB" (q "o=xyz" "(objectclass=*)") with
+  | Error e -> Alcotest.fail e
+  | Ok entries ->
+      (* All entries from the three servers, minus referral objects. *)
+      check_int "entries" 7 (List.length entries);
+      (* Four round trips: hostB (default referral), hostA (entries +
+         2 references), hostB and hostC with modified bases. *)
+      check_int "round trips" 4 (Network.stats net).Network.round_trips
+
+let test_figure2_no_chase () =
+  let net = figure2_network () in
+  match Network.search_no_chase net ~from:"hostB" (q "o=xyz" "(objectclass=*)") with
+  | Server.Referral [ url ] ->
+      check_bool "superior referral" true
+        ((Referral.parse_exn url).Referral.host = "hostA")
+  | _ -> Alcotest.fail "expected default referral"
+
+let test_base_referral () =
+  let net = figure2_network () in
+  (* Searching hostA below the referral object for hostB. *)
+  match
+    Network.search_no_chase net ~from:"hostA"
+      (q "cn=john doe,ou=research,c=us,o=xyz" "(objectclass=*)")
+  with
+  | Server.Referral [ url ] ->
+      check_bool "subordinate referral" true
+        ((Referral.parse_exn url).Referral.host = "hostB")
+  | _ -> Alcotest.fail "expected base referral"
+
+let suite =
+  [
+    Alcotest.test_case "dit basics" `Quick test_dit_basics;
+    Alcotest.test_case "add validation" `Quick test_add_validation;
+    Alcotest.test_case "naming attr autofill" `Quick test_naming_attr_autofill;
+    Alcotest.test_case "delete" `Quick test_delete;
+    Alcotest.test_case "modify" `Quick test_modify;
+    Alcotest.test_case "modify dn" `Quick test_modify_dn;
+    Alcotest.test_case "search scopes" `Quick test_search_scopes;
+    Alcotest.test_case "indexed vs scan" `Quick test_search_indexed_vs_scan;
+    Alcotest.test_case "attribute selection" `Quick test_attribute_selection;
+    Alcotest.test_case "count matching" `Quick test_count_matching;
+    Alcotest.test_case "update log" `Quick test_log;
+    Alcotest.test_case "subscribers" `Quick test_subscribers;
+    QCheck_alcotest.to_alcotest prop_search_matches_naive;
+    Alcotest.test_case "figure 2 round trips" `Quick test_figure2_round_trips;
+    Alcotest.test_case "figure 2 no chase" `Quick test_figure2_no_chase;
+    Alcotest.test_case "base referral" `Quick test_base_referral;
+  ]

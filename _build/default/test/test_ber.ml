@@ -1,0 +1,213 @@
+(* Tests for the BER/DER wire codec: hand-checked encodings, error
+   handling, and encode/decode round-trip properties. *)
+open Ldap
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let dn = Dn.of_string_exn
+let f = Filter.of_string_exn
+
+let hex s =
+  String.concat "" (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+                      (List.of_seq (String.to_seq s)))
+
+let test_known_encoding () =
+  (* A minimal search request has a deterministic DER image; check a
+     few structural bytes rather than the whole blob. *)
+  let q = Query.make ~scope:Scope.Base ~base:(dn "o=x") (f "(cn=a)") in
+  let bytes = Ber_codec.encode (Ber_codec.search_request ~id:2 q) in
+  check_bool "outer sequence" true (Char.code bytes.[0] = 0x30);
+  (* message id = 2 encoded as 02 01 02 right after the header. *)
+  check_bool "message id" true
+    (String.length bytes > 5 && String.sub (hex bytes) 4 6 = "020102");
+  (* SearchRequest application tag 0x63. *)
+  check_bool "application tag" true (String.contains bytes '\x63')
+
+let test_round_trip_search () =
+  let q =
+    Query.make ~scope:Scope.One ~attrs:(Query.Select [ "cn"; "mail" ])
+      ~base:(dn "ou=research,o=xyz")
+      (f "(&(objectclass=inetOrgPerson)(|(sn=doe)(sn=smi*))(age>=30)(!(uid=x)))")
+  in
+  let m = Ber_codec.search_request ~id:7 q in
+  match Ber_codec.decode (Ber_codec.encode m) with
+  | Ok { Ber_codec.id = 7; op = Ber_codec.Search_request q'; controls = [] } ->
+      check_bool "query preserved" true (Query.equal q q')
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error e -> Alcotest.fail e
+
+let test_round_trip_entry () =
+  let e =
+    Entry.make (dn "cn=John Doe,o=xyz")
+      [
+        ("objectclass", [ "inetOrgPerson" ]);
+        ("cn", [ "John Doe" ]);
+        ("sn", [ "Doe" ]);
+        ("mail", [ "a@x"; "b@x" ]);
+      ]
+  in
+  match Ber_codec.decode (Ber_codec.encode (Ber_codec.entry_message ~id:3 e)) with
+  | Ok { Ber_codec.op = Ber_codec.Search_result_entry e'; _ } ->
+      check_bool "entry preserved" true (Entry.equal e e')
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error e -> Alcotest.fail e
+
+let test_round_trip_done_and_reference () =
+  let d =
+    {
+      Ber_codec.code = 10;
+      matched = dn "o=xyz";
+      diagnostic = "referral";
+      referral = [ "ldap://hostA/" ];
+    }
+  in
+  (match
+     Ber_codec.decode
+       (Ber_codec.encode { Ber_codec.id = 4; op = Ber_codec.Search_result_done d; controls = [] })
+   with
+  | Ok { Ber_codec.op = Ber_codec.Search_result_done d'; _ } ->
+      check_int "code" 10 d'.Ber_codec.code;
+      check_bool "referral" true (d'.Ber_codec.referral = [ "ldap://hostA/" ])
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error e -> Alcotest.fail e);
+  match
+    Ber_codec.decode
+      (Ber_codec.encode
+         { Ber_codec.id = 5;
+           op = Ber_codec.Search_result_reference [ "ldap://hostB/ou=r,o=x" ];
+           controls = [] })
+  with
+  | Ok { Ber_codec.op = Ber_codec.Search_result_reference [ url ]; _ } ->
+      check_bool "url" true (url = "ldap://hostB/ou=r,o=x")
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error e -> Alcotest.fail e
+
+let test_manage_dsa_it_control () =
+  let q = Query.make ~manage_dsa_it:true ~base:(dn "o=x") (f "(cn=a)") in
+  match Ber_codec.decode (Ber_codec.encode (Ber_codec.search_request q)) with
+  | Ok { Ber_codec.controls = [ c ]; _ } ->
+      check_bool "oid" true (c.Ber_codec.control_type = Ber_codec.manage_dsa_it_oid);
+      check_bool "critical" true c.Ber_codec.criticality
+  | Ok _ -> Alcotest.fail "expected one control"
+  | Error e -> Alcotest.fail e
+
+let test_resync_control () =
+  let c = Ber_codec.resync_control ~mode:"poll" ~cookie:(Some "rs:1:5") in
+  (match Ber_codec.decode_resync_control c with
+  | Ok ("poll", Some "rs:1:5") -> ()
+  | Ok (m, _) -> Alcotest.failf "wrong mode %s" m
+  | Error e -> Alcotest.fail e);
+  let c = Ber_codec.resync_control ~mode:"persist" ~cookie:None in
+  (match Ber_codec.decode_resync_control c with
+  | Ok ("persist", None) -> ()
+  | _ -> Alcotest.fail "persist/no-cookie failed");
+  (* Survives a full message trip as an attached control. *)
+  let q = Query.make ~base:(dn "o=x") (f "(cn=a)") in
+  let m =
+    { Ber_codec.id = 9; op = Ber_codec.Search_request q;
+      controls = [ Ber_codec.resync_control ~mode:"sync_end" ~cookie:(Some "rs:2:9") ] }
+  in
+  match Ber_codec.decode (Ber_codec.encode m) with
+  | Ok { Ber_codec.controls = [ c ]; _ } -> (
+      match Ber_codec.decode_resync_control c with
+      | Ok ("sync_end", Some "rs:2:9") -> ()
+      | _ -> Alcotest.fail "resync control lost in transit")
+  | Ok _ -> Alcotest.fail "expected one control"
+  | Error e -> Alcotest.fail e
+
+let test_malformed () =
+  check_bool "empty" true (Result.is_error (Ber_codec.decode ""));
+  check_bool "garbage" true (Result.is_error (Ber_codec.decode "\x30\x03\x02\x01"));
+  check_bool "trailing" true
+    (let q = Query.make ~base:(dn "o=x") (f "(cn=a)") in
+     Result.is_error (Ber_codec.decode (Ber_codec.encode (Ber_codec.search_request q) ^ "x")))
+
+let test_long_lengths () =
+  (* An entry bigger than 127 bytes exercises multi-byte lengths. *)
+  let e =
+    Entry.make (dn "cn=big,o=xyz")
+      [ ("objectclass", [ "person" ]); ("cn", [ "big" ]); ("sn", [ "b" ]);
+        ("description", [ String.make 5000 'd' ]) ]
+  in
+  match Ber_codec.decode (Ber_codec.encode (Ber_codec.entry_message e)) with
+  | Ok { Ber_codec.op = Ber_codec.Search_result_entry e'; _ } ->
+      check_bool "big entry" true (Entry.equal e e')
+  | _ -> Alcotest.fail "long length failed"
+
+let test_size_model_sanity () =
+  (* The Ber size model should be within a small factor of the real
+     wire image for typical entries. *)
+  let e =
+    Entry.make (dn "cn=John Doe,c=aa,o=xyz")
+      [
+        ("objectclass", [ "inetOrgPerson" ]);
+        ("cn", [ "John Doe" ]); ("sn", [ "Doe" ]);
+        ("serialNumber", [ "0400456" ]);
+        ("mail", [ "jd@aa.xyz.com" ]);
+      ]
+  in
+  let model = Ber.entry_size e in
+  let real = Ber_codec.encoded_size (Ber_codec.entry_message e) in
+  check_bool "same order of magnitude" true
+    (float_of_int model /. float_of_int real < 2.0
+    && float_of_int real /. float_of_int model < 2.0)
+
+(* Round-trip property over random filters. *)
+let filter_gen =
+  let open QCheck.Gen in
+  let attr = oneofl [ "cn"; "sn"; "mail"; "age" ] in
+  let value = string_size ~gen:(char_range 'a' 'z') (1 -- 6) in
+  let pred =
+    oneof
+      [
+        map2 (fun a v -> Filter.Equality (a, v)) attr value;
+        map2 (fun a v -> Filter.Greater_eq (a, v)) attr value;
+        map2 (fun a v -> Filter.Less_eq (a, v)) attr value;
+        map2 (fun a v -> Filter.Approx (a, v)) attr value;
+        map (fun a -> Filter.Present a) attr;
+        map2
+          (fun a (i, f) ->
+            Filter.Substrings (a, { Filter.initial = i; any = []; final = f }))
+          attr
+          (oneof
+             [
+               map (fun v -> (Some v, None)) value;
+               map (fun v -> (None, Some v)) value;
+               map2 (fun a b -> (Some a, Some b)) value value;
+             ]);
+      ]
+  in
+  let rec tree depth =
+    if depth = 0 then map (fun p -> Filter.Pred p) pred
+    else
+      frequency
+        [
+          (3, map (fun p -> Filter.Pred p) pred);
+          (1, map (fun g -> Filter.Not g) (tree (depth - 1)));
+          (1, map (fun gs -> Filter.And gs) (list_size (1 -- 3) (tree (depth - 1))));
+          (1, map (fun gs -> Filter.Or gs) (list_size (1 -- 3) (tree (depth - 1))));
+        ]
+  in
+  tree 2
+
+let prop_search_round_trip =
+  QCheck.Test.make ~name:"ber: search request round trip" ~count:500
+    (QCheck.make ~print:Filter.to_string filter_gen) (fun filter ->
+      let q = Query.make ~base:(dn "ou=a,o=x") filter in
+      match Ber_codec.decode (Ber_codec.encode (Ber_codec.search_request q)) with
+      | Ok { Ber_codec.op = Ber_codec.Search_request q'; _ } -> Query.equal q q'
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "known encoding" `Quick test_known_encoding;
+    Alcotest.test_case "round trip search" `Quick test_round_trip_search;
+    Alcotest.test_case "round trip entry" `Quick test_round_trip_entry;
+    Alcotest.test_case "round trip done/reference" `Quick test_round_trip_done_and_reference;
+    Alcotest.test_case "manageDsaIT control" `Quick test_manage_dsa_it_control;
+    Alcotest.test_case "resync control" `Quick test_resync_control;
+    Alcotest.test_case "malformed" `Quick test_malformed;
+    Alcotest.test_case "long lengths" `Quick test_long_lengths;
+    Alcotest.test_case "size model sanity" `Quick test_size_model_sanity;
+    QCheck_alcotest.to_alcotest prop_search_round_trip;
+  ]

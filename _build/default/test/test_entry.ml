@@ -1,0 +1,116 @@
+(* Tests for Ldap.Entry and Ldap.Schema. *)
+open Ldap
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let dn = Dn.of_string_exn
+
+let john =
+  Entry.make (dn "cn=John,o=xyz")
+    [
+      ("objectClass", [ "inetOrgPerson" ]);
+      ("CN", [ "John"; "Johnny" ]);
+      ("sn", [ "Doe" ]);
+      ("mail", [ "j@x.com" ]);
+    ]
+
+let test_attribute_access () =
+  check_bool "case-insensitive get" true (Entry.get john "cn" = [ "John"; "Johnny" ]);
+  check_bool "case-insensitive name" true (Entry.get john "Cn" = [ "John"; "Johnny" ]);
+  check_bool "absent" true (Entry.get john "uid" = []);
+  check_bool "has_attribute" true (Entry.has_attribute john "MAIL");
+  check_bool "has_value rule" true (Entry.has_value john "sn" "doe");
+  check_bool "objectclasses" true (Entry.object_classes john = [ "inetOrgPerson" ])
+
+let test_merge_and_dedup () =
+  let e =
+    Entry.make (dn "cn=a,o=x") [ ("cn", [ "a" ]); ("CN", [ "b"; "a" ]); ("sn", [ "s" ]) ]
+  in
+  check_int "merged values" 2 (List.length (Entry.get e "cn"))
+
+let test_modifications () =
+  let e = Entry.add_values john "mail" [ "j2@x.com" ] in
+  check_int "added" 2 (List.length (Entry.get e "mail"));
+  let e = Entry.add_values e "mail" [ "J@X.COM" ] in
+  check_int "duplicate under rule skipped" 2 (List.length (Entry.get e "mail"));
+  (match Entry.delete_values e "mail" [ "j@x.com" ] with
+  | Ok e' -> check_int "deleted one" 1 (List.length (Entry.get e' "mail"))
+  | Error m -> Alcotest.fail m);
+  check_bool "delete absent value errors" true
+    (Result.is_error (Entry.delete_values e "mail" [ "nope@x.com" ]));
+  check_bool "delete absent attr errors" true
+    (Result.is_error (Entry.delete_values e "uid" []));
+  (match Entry.delete_values e "mail" [] with
+  | Ok e' -> check_bool "delete all" false (Entry.has_attribute e' "mail")
+  | Error m -> Alcotest.fail m);
+  let e = Entry.replace_values john "sn" [ "Smith" ] in
+  check_bool "replaced" true (Entry.has_value e "sn" "smith");
+  let e = Entry.replace_values john "sn" [] in
+  check_bool "replace empty removes" false (Entry.has_attribute e "sn")
+
+let test_select () =
+  let all = Entry.select john None in
+  check_bool "none keeps all" true (Entry.has_attribute all "mail");
+  let some = Entry.select john (Some [ "cn"; "sn" ]) in
+  check_bool "kept" true (Entry.has_attribute some "cn");
+  check_bool "dropped" false (Entry.has_attribute some "mail");
+  let star = Entry.select john (Some [ "*" ]) in
+  check_bool "star keeps all" true (Entry.has_attribute star "mail")
+
+let test_equal () =
+  let a = Entry.make (dn "cn=a,o=x") [ ("cn", [ "a" ]); ("sn", [ "x"; "y" ]) ] in
+  let b = Entry.make (dn "cn=a,o=x") [ ("sn", [ "y"; "x" ]); ("cn", [ "a" ]) ] in
+  check_bool "order-insensitive equal" true (Entry.equal a b);
+  let c = Entry.make (dn "cn=a,o=x") [ ("cn", [ "a" ]) ] in
+  check_bool "different attrs" false (Entry.equal a c)
+
+let test_referral () =
+  let r =
+    Entry.make (dn "ou=r,o=x")
+      [ ("objectclass", [ "referral" ]); ("ref", [ "ldap://hostB/ou=r,o=x" ]) ]
+  in
+  check_bool "is_referral" true (Entry.is_referral r);
+  check_int "urls" 1 (List.length (Entry.referral_urls r));
+  check_bool "person is not" false (Entry.is_referral john)
+
+(* Schema -------------------------------------------------------------- *)
+
+let schema = Schema.default
+
+let test_schema_lookup () =
+  check_bool "alias" true
+    (Schema.canonical_attr schema "surname" = "sn");
+  check_bool "syntax" true (Schema.syntax_of schema "age" = Value.Integer);
+  check_bool "unknown defaults" true (Schema.syntax_of schema "frobnicate" = Value.Case_ignore);
+  check_bool "single valued" true (Schema.is_single_valued schema "serialNumber");
+  check_bool "multi valued" false (Schema.is_single_valued schema "cn")
+
+let test_schema_classes () =
+  let required = Schema.required_attributes schema "inetOrgPerson" in
+  check_bool "inherits cn" true (List.mem "cn" required);
+  check_bool "inherits sn" true (List.mem "sn" required);
+  check_bool "inherits objectClass" true
+    (List.exists (fun a -> String.lowercase_ascii a = "objectclass") required);
+  let allowed = Schema.allowed_attributes schema "inetOrgPerson" in
+  check_bool "may mail" true (List.mem "mail" allowed);
+  check_bool "unknown class empty" true (Schema.required_attributes schema "nope" = [])
+
+let test_ber_sizes () =
+  check_bool "entry size positive" true (Ber.entry_size john > 0);
+  check_bool "selection shrinks" true
+    (Ber.entry_size_selected john (Some [ "cn" ]) < Ber.entry_size john);
+  check_bool "dn size grows" true
+    (Ber.dn_size (dn "cn=a,ou=long-name,o=xyz") > Ber.dn_size (dn "o=xyz"))
+
+let suite =
+  [
+    Alcotest.test_case "attribute access" `Quick test_attribute_access;
+    Alcotest.test_case "merge and dedup" `Quick test_merge_and_dedup;
+    Alcotest.test_case "modifications" `Quick test_modifications;
+    Alcotest.test_case "select" `Quick test_select;
+    Alcotest.test_case "equal" `Quick test_equal;
+    Alcotest.test_case "referral entries" `Quick test_referral;
+    Alcotest.test_case "schema lookup" `Quick test_schema_lookup;
+    Alcotest.test_case "schema classes" `Quick test_schema_classes;
+    Alcotest.test_case "ber sizes" `Quick test_ber_sizes;
+  ]

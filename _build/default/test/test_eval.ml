@@ -1,0 +1,131 @@
+(* Smoke tests for the evaluation harness: the figures must run at a
+   tiny scale and reproduce the paper's qualitative shapes. *)
+module D = Ldap_dirgen
+module E = Ldap_eval
+
+let check_bool = Alcotest.(check bool)
+
+let tiny_config =
+  { D.Enterprise.default_config with D.Enterprise.employees = 2_000 }
+
+let scenario = lazy (E.Scenario.setup ~config:tiny_config ())
+
+let cell table ~row ~col =
+  let t = table in
+  let col_idx =
+    match List.find_index (fun c -> c = col) t.E.Report.columns with
+    | Some i -> i
+    | None -> Alcotest.failf "no column %s" col
+  in
+  List.nth (List.nth t.E.Report.rows row) col_idx
+
+let fcell table ~row ~col = float_of_string (cell table ~row ~col)
+
+let test_report_format () =
+  let t =
+    E.Report.make ~title:"t" ~columns:[ "a"; "bb" ]
+      ~rows:[ [ "1"; "2" ]; [ "333"; "4" ] ] ()
+  in
+  let s = E.Report.to_string t in
+  check_bool "title" true (String.length s > 0);
+  let contains frag =
+    let rec find i =
+      i + String.length frag <= String.length s
+      && (String.sub s i (String.length frag) = frag || find (i + 1))
+    in
+    find 0
+  in
+  check_bool "contains rows" true (List.for_all contains [ "333"; "bb" ])
+
+let test_plot_render () =
+  let chart =
+    E.Plot.render ~height:5 ~y_max:1.0 ~x_labels:[ "a"; "b"; "c" ]
+      ~series:[ ("s1", [ 0.0; 0.5; 1.0 ]); ("s2", [ 1.0; 0.5 ]) ]
+      ()
+  in
+  let contains frag =
+    let rec find i =
+      i + String.length frag <= String.length chart
+      && (String.sub chart i (String.length frag) = frag || find (i + 1))
+    in
+    find 0
+  in
+  check_bool "axis" true (contains "1.00");
+  check_bool "labels" true (contains "a" && contains "b" && contains "c");
+  check_bool "legend" true (contains "s1" && contains "s2");
+  check_bool "glyphs" true (contains "*" && contains "+")
+
+let test_figure2_round_trips () =
+  let t = E.Figures.figure2 () in
+  check_bool "4 round trips" true (cell t ~row:0 ~col:"round trips" = "4");
+  check_bool "replica needs 1" true (cell t ~row:1 ~col:"round trips" = "1")
+
+let test_figure3_trace () =
+  let t = E.Figures.figure3 () in
+  check_bool "three messages" true (List.length t.E.Report.rows = 3)
+
+let test_figure4_shape () =
+  let t =
+    E.Figures.figure4 ~fractions:[ 0.05; 0.30 ] ~length:3_000 (Lazy.force scenario)
+  in
+  (* Filter beats subtree at the small budget. *)
+  let f_small = fcell t ~row:0 ~col:"filter hit" in
+  let s_small = fcell t ~row:0 ~col:"subtree hit" in
+  check_bool "filter wins at small size" true (f_small > s_small);
+  (* Hit ratio grows with size. *)
+  let f_large = fcell t ~row:1 ~col:"filter hit" in
+  check_bool "monotone" true (f_large >= f_small);
+  check_bool "meaningful hit ratio" true (f_large > 0.3)
+
+let test_figure8_shape () =
+  let t =
+    E.Figures.figure8 ~filter_counts:[ 20; 120 ] ~length:3_000 (Lazy.force scenario)
+  in
+  let user_small = fcell t ~row:0 ~col:"user queries only" in
+  let user_large = fcell t ~row:1 ~col:"user queries only" in
+  let gen_large = fcell t ~row:1 ~col:"generalized only" in
+  check_bool "cache grows" true (user_large >= user_small);
+  check_bool "generalized beats cache for serials" true (gen_large > user_large)
+
+let test_figure9_shape () =
+  let t =
+    E.Figures.figure9 ~filter_counts:[ 20; 120 ] ~length:3_000 (Lazy.force scenario)
+  in
+  let user_large = fcell t ~row:1 ~col:"user queries only" in
+  let gen_large = fcell t ~row:1 ~col:"generalized only" in
+  check_bool "generalization ineffective for mail" true (gen_large < user_large)
+
+let test_ablation_shape () =
+  let t = E.Figures.resync_ablation ~updates:400 ~filters:5 () in
+  let actions name =
+    let row =
+      List.find (fun r -> List.hd r = name) t.E.Report.rows
+    in
+    int_of_string (List.nth row 2)
+  in
+  check_bool "session history minimal" true
+    (actions "session history" <= actions "changelog");
+  check_bool "baselines conservative" true
+    (actions "session history" <= actions "tombstone")
+
+let test_overhead_linear () =
+  let t =
+    E.Figures.processing_overhead ~filter_counts:[ 40; 160 ] ~length:1_000
+      (Lazy.force scenario)
+  in
+  let c_small = fcell t ~row:0 ~col:"comparisons/query" in
+  let c_large = fcell t ~row:1 ~col:"comparisons/query" in
+  check_bool "cost grows with stored filters" true (c_large > c_small)
+
+let suite =
+  [
+    Alcotest.test_case "report format" `Quick test_report_format;
+    Alcotest.test_case "plot render" `Quick test_plot_render;
+    Alcotest.test_case "figure2 round trips" `Quick test_figure2_round_trips;
+    Alcotest.test_case "figure3 trace" `Quick test_figure3_trace;
+    Alcotest.test_case "figure4 shape" `Slow test_figure4_shape;
+    Alcotest.test_case "figure8 shape" `Slow test_figure8_shape;
+    Alcotest.test_case "figure9 shape" `Slow test_figure9_shape;
+    Alcotest.test_case "ablation shape" `Slow test_ablation_shape;
+    Alcotest.test_case "overhead linear" `Slow test_overhead_linear;
+  ]

@@ -1,0 +1,145 @@
+(* Tests for the LDIF serialization module. *)
+open Ldap
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let dn = Dn.of_string_exn
+
+let john =
+  Entry.make (dn "cn=John Doe,ou=research,o=xyz")
+    [
+      ("objectclass", [ "inetOrgPerson" ]);
+      ("cn", [ "John Doe" ]);
+      ("sn", [ "Doe" ]);
+      ("mail", [ "jd@xyz.com" ]);
+    ]
+
+let test_entry_round_trip () =
+  let s = Ldif.entry_to_string john in
+  match Ldif.entry_of_string s with
+  | Ok parsed -> check_bool "round trip" true (Entry.equal john parsed)
+  | Error e -> Alcotest.fail e
+
+let test_entries_round_trip () =
+  let jane =
+    Entry.make (dn "cn=Jane,o=xyz")
+      [ ("objectclass", [ "person" ]); ("cn", [ "Jane" ]); ("sn", [ "Doe" ]) ]
+  in
+  let s = Ldif.entries_to_string [ john; jane ] in
+  match Ldif.entries_of_string s with
+  | Ok [ a; b ] ->
+      check_bool "first" true (Entry.equal john a);
+      check_bool "second" true (Entry.equal jane b)
+  | Ok l -> Alcotest.failf "expected 2 records, got %d" (List.length l)
+  | Error e -> Alcotest.fail e
+
+let test_base64_values () =
+  check_bool "leading space" true (Ldif.needs_base64 " x");
+  check_bool "leading colon" true (Ldif.needs_base64 ":x");
+  check_bool "trailing space" true (Ldif.needs_base64 "x ");
+  check_bool "non-ascii" true (Ldif.needs_base64 "caf\xc3\xa9");
+  check_bool "plain" false (Ldif.needs_base64 "hello world");
+  let tricky =
+    Entry.make (dn "cn=t,o=xyz")
+      [ ("objectclass", [ "person" ]); ("cn", [ "t" ]); ("sn", [ " padded " ]);
+        ("description", [ "caf\xc3\xa9 \xe2\x98\x95" ]) ]
+  in
+  let s = Ldif.entry_to_string tricky in
+  check_bool "encoded marker" true
+    (let rec find i =
+       i + 4 <= String.length s && (String.sub s i 4 = "sn::" || find (i + 1))
+     in
+     find 0);
+  match Ldif.entry_of_string s with
+  | Ok parsed -> check_bool "binary round trip" true (Entry.equal tricky parsed)
+  | Error e -> Alcotest.fail e
+
+let test_long_line_folding () =
+  let long = String.make 300 'x' in
+  let e =
+    Entry.make (dn "cn=l,o=xyz")
+      [ ("objectclass", [ "person" ]); ("cn", [ "l" ]); ("sn", [ "s" ]);
+        ("description", [ long ]) ]
+  in
+  let s = Ldif.entry_to_string e in
+  check_bool "folded" true (String.split_on_char '\n' s |> List.for_all (fun l -> String.length l <= 76));
+  match Ldif.entry_of_string s with
+  | Ok parsed ->
+      check_string "unfolded value" long (List.hd (Entry.get parsed "description"))
+  | Error e -> Alcotest.fail e
+
+let test_comments_and_version () =
+  let text =
+    "version: 1\n# a comment\n\ndn: cn=a,o=x\nobjectclass: person\ncn: a\nsn: b\n\n# trailing comment\n"
+  in
+  match Ldif.entries_of_string text with
+  | Ok [ e ] -> check_bool "parsed" true (Entry.has_value e "sn" "b")
+  | Ok l -> Alcotest.failf "expected 1, got %d" (List.length l)
+  | Error e -> Alcotest.fail e
+
+let test_malformed () =
+  check_bool "no dn" true (Result.is_error (Ldif.entry_of_string "cn: a\nsn: b\n"));
+  check_bool "no colon" true (Result.is_error (Ldif.entry_of_string "dn: cn=a,o=x\ngarbage\n"));
+  check_bool "bad base64" true
+    (Result.is_error (Ldif.entry_of_string "dn: cn=a,o=x\nsn:: !!!\n"))
+
+let test_changes () =
+  let del = Ldif.Change_delete (dn "cn=a,o=x") in
+  let s = Ldif.change_to_string del in
+  check_bool "delete changetype" true
+    (let rec find i frag =
+       i + String.length frag <= String.length s
+       && (String.sub s i (String.length frag) = frag || find (i + 1) frag)
+     in
+     find 0 "changetype: delete");
+  (* Round trip through Update.op. *)
+  let op = Update.modify (dn "cn=a,o=x") [ Update.replace_values "mail" [ "m@x" ] ] in
+  check_bool "op round trip" true
+    (Ldif.update_of_change (Ldif.change_of_update op) = op);
+  let rdn = match Dn.rdn_of_string "cn=b" with Ok r -> r | Error e -> failwith e in
+  let mod_dn = Update.modify_dn ~new_superior:(dn "ou=s,o=x") (dn "cn=a,o=x") rdn in
+  let s = Ldif.change_to_string (Ldif.change_of_update mod_dn) in
+  check_bool "modrdn fields" true
+    (let contains frag =
+       let rec find i =
+         i + String.length frag <= String.length s
+         && (String.sub s i (String.length frag) = frag || find (i + 1))
+       in
+       find 0
+     in
+     contains "changetype: modrdn" && contains "newrdn: cn=b"
+     && contains "newsuperior: ou=s,o=x")
+
+(* Property: entry LDIF round-trips for printable generated entries. *)
+let entry_gen =
+  QCheck.Gen.(
+    let word = string_size ~gen:(char_range 'a' 'z') (1 -- 8) in
+    let attr = oneofl [ "cn"; "sn"; "mail"; "description"; "ou" ] in
+    map2
+      (fun name pairs ->
+        Entry.make
+          (Dn.child_ava (Dn.of_string_exn "o=xyz") "cn" name)
+          (("objectclass", [ "person" ]) :: ("cn", [ name ])
+          :: List.map (fun (a, v) -> (a, [ v ])) pairs))
+      word
+      (list_size (0 -- 5) (pair attr word)))
+
+let prop_round_trip =
+  QCheck.Test.make ~name:"ldif: entry round trip" ~count:300
+    (QCheck.make ~print:Ldif.entry_to_string entry_gen) (fun e ->
+      match Ldif.entry_of_string (Ldif.entry_to_string e) with
+      | Ok parsed -> Entry.equal e parsed
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "entry round trip" `Quick test_entry_round_trip;
+    Alcotest.test_case "entries round trip" `Quick test_entries_round_trip;
+    Alcotest.test_case "base64 values" `Quick test_base64_values;
+    Alcotest.test_case "long line folding" `Quick test_long_line_folding;
+    Alcotest.test_case "comments and version" `Quick test_comments_and_version;
+    Alcotest.test_case "malformed" `Quick test_malformed;
+    Alcotest.test_case "changes" `Quick test_changes;
+    QCheck_alcotest.to_alcotest prop_round_trip;
+  ]

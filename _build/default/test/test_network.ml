@@ -1,0 +1,76 @@
+(* Tests for the simulated network: referral chasing corner cases,
+   loop protection and traffic accounting. *)
+open Ldap
+
+let schema = Schema.default
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let dn = Dn.of_string_exn
+let must = function Ok x -> x | Error e -> failwith e
+
+let entry dn_s attrs = Entry.make (dn dn_s) attrs
+
+let simple_server name suffix entries ?default_referral () =
+  let b = Backend.create schema in
+  must (Backend.add_context b (entry suffix [ ("objectclass", [ "organization" ]); ("o", [ "x" ]) ]));
+  List.iter (fun e -> ignore (must (Backend.apply b (Update.Add e)))) entries;
+  Server.create ?default_referral ~name b
+
+let q base = Query.make ~base:(dn base) Filter.tt
+
+let test_unknown_host () =
+  let net = Network.create () in
+  match Network.search net ~from:"nowhere" (q "o=x") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected failure"
+
+let test_single_server () =
+  let net = Network.create () in
+  Network.add_server net
+    (simple_server "a" "o=x"
+       [ entry "cn=e,o=x" [ ("objectclass", [ "person" ]); ("cn", [ "e" ]); ("sn", [ "e" ]) ] ]
+       ());
+  (match Network.search net ~from:"a" (q "o=x") with
+  | Ok entries -> check_int "entries" 2 (List.length entries)
+  | Error e -> Alcotest.fail e);
+  let stats = Network.stats net in
+  check_int "one round trip" 1 stats.Network.round_trips;
+  check_int "entry pdus" 2 stats.Network.entry_pdus;
+  check_bool "bytes counted" true (stats.Network.bytes > 0)
+
+let test_referral_loop_guard () =
+  (* Two servers whose default referrals point at each other: the
+     client must terminate rather than bounce forever. *)
+  let net = Network.create () in
+  Network.add_server net
+    (simple_server "a" "o=a" [] ~default_referral:(Referral.make ~host:"b" ()) ());
+  Network.add_server net
+    (simple_server "b" "o=b" [] ~default_referral:(Referral.make ~host:"a" ()) ());
+  match Network.search net ~from:"a" (q "o=zzz") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected loop detection failure"
+
+let test_no_superior_fails () =
+  let net = Network.create () in
+  Network.add_server net (simple_server "a" "o=a" [] ());
+  match Network.search net ~from:"a" (q "o=other") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected noSuchObject"
+
+let test_stats_reset () =
+  let net = Network.create () in
+  Network.add_server net (simple_server "a" "o=x" [] ());
+  ignore (Network.search net ~from:"a" (q "o=x"));
+  Network.reset_stats net;
+  let stats = Network.stats net in
+  check_int "round trips" 0 stats.Network.round_trips;
+  check_int "bytes" 0 stats.Network.bytes
+
+let suite =
+  [
+    Alcotest.test_case "unknown host" `Quick test_unknown_host;
+    Alcotest.test_case "single server" `Quick test_single_server;
+    Alcotest.test_case "referral loop guard" `Quick test_referral_loop_guard;
+    Alcotest.test_case "no superior fails" `Quick test_no_superior_fails;
+    Alcotest.test_case "stats reset" `Quick test_stats_reset;
+  ]

@@ -1,0 +1,429 @@
+(* Tests for the ReSync protocol: session lifecycle, minimal update
+   sets, degraded mode, baselines and a convergence property. *)
+open Ldap
+open Ldap_resync
+
+let schema = Schema.default
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let dn = Dn.of_string_exn
+let f = Filter.of_string_exn
+
+let org = Entry.make (dn "o=xyz") [ ("objectclass", [ "organization" ]); ("o", [ "xyz" ]) ]
+
+let person name ?(dept = "100") () =
+  Entry.make
+    (dn (Printf.sprintf "cn=%s,o=xyz" name))
+    [
+      ("objectclass", [ "inetOrgPerson" ]);
+      ("cn", [ name ]);
+      ("sn", [ name ]);
+      ("departmentNumber", [ dept ]);
+    ]
+
+let make_backend () =
+  let b = Backend.create ~indexed:[ "departmentnumber" ] schema in
+  (match Backend.add_context b org with Ok () -> () | Error e -> failwith e);
+  b
+
+let apply b op = match Backend.apply b op with Ok _ -> () | Error e -> failwith e
+
+let dept_query dept = Query.make ~base:(dn "o=xyz") (f (Printf.sprintf "(departmentNumber=%s)" dept))
+
+let kinds actions = List.map Action.kind_name actions |> List.sort String.compare
+
+let test_initial_content () =
+  let b = make_backend () in
+  apply b (Update.add (person "a" ~dept:"7" ()));
+  apply b (Update.add (person "b" ~dept:"7" ()));
+  apply b (Update.add (person "c" ~dept:"8" ()));
+  let master = Master.create b in
+  let consumer = Consumer.create schema (dept_query "7") in
+  (match Consumer.sync consumer master with
+  | Ok reply ->
+      check_bool "initial kind" true (reply.Protocol.kind = Protocol.Initial_content);
+      check_int "two adds" 2 (Protocol.entries_cost reply)
+  | Error e -> failwith e);
+  check_int "consumer holds 2" 2 (Consumer.size consumer);
+  check_bool "cookie stored" true (Consumer.cookie consumer <> None)
+
+let test_incremental_minimal () =
+  let b = make_backend () in
+  apply b (Update.add (person "a" ~dept:"7" ()));
+  let master = Master.create b in
+  let consumer = Consumer.create schema (dept_query "7") in
+  (match Consumer.sync consumer master with Ok _ -> () | Error e -> failwith e);
+  (* Entry enters content, one changes within, one leaves. *)
+  apply b (Update.add (person "b" ~dept:"7" ()));
+  apply b (Update.modify (dn "cn=a,o=xyz") [ Update.replace_values "mail" [ "a@x" ] ]);
+  apply b (Update.modify (dn "cn=b,o=xyz") [ Update.replace_values "departmentNumber" [ "9" ] ]);
+  match Consumer.sync consumer master with
+  | Ok reply ->
+      (* b moved in then out: coalesced away.  Only a's modify remains. *)
+      Alcotest.(check (list string)) "only modify" [ "modify" ] (kinds reply.Protocol.actions);
+      check_int "consumer holds 1" 1 (Consumer.size consumer)
+  | Error e -> failwith e
+
+let test_rename_within_content () =
+  (* Figure 3: a modify DN that keeps the entry in content is a delete
+     of the old DN followed by an add of the new one. *)
+  let b = make_backend () in
+  apply b (Update.add (person "e3" ~dept:"7" ()));
+  let master = Master.create b in
+  let consumer = Consumer.create schema (dept_query "7") in
+  (match Consumer.sync consumer master with Ok _ -> () | Error e -> failwith e);
+  let new_rdn = match Dn.rdn_of_string "cn=e5" with Ok r -> r | Error e -> failwith e in
+  apply b (Update.modify_dn (dn "cn=e3,o=xyz") new_rdn);
+  match Consumer.sync consumer master with
+  | Ok reply ->
+      Alcotest.(check (list string)) "delete+add" [ "add"; "delete" ]
+        (kinds reply.Protocol.actions);
+      check_bool "new dn held" true (Consumer.find consumer (dn "cn=e5,o=xyz") <> None);
+      check_bool "old dn gone" true (Consumer.find consumer (dn "cn=e3,o=xyz") = None)
+  | Error e -> failwith e
+
+let test_add_then_delete_coalesces () =
+  let b = make_backend () in
+  let master = Master.create b in
+  let consumer = Consumer.create schema (dept_query "7") in
+  (match Consumer.sync consumer master with Ok _ -> () | Error e -> failwith e);
+  apply b (Update.add (person "x" ~dept:"7" ()));
+  apply b (Update.delete (dn "cn=x,o=xyz"));
+  match Consumer.sync consumer master with
+  | Ok reply -> check_int "nothing sent" 0 (List.length reply.Protocol.actions)
+  | Error e -> failwith e
+
+let test_degraded_mode () =
+  let b = make_backend () in
+  apply b (Update.add (person "a" ~dept:"7" ()));
+  apply b (Update.add (person "b" ~dept:"7" ()));
+  let master = Master.create b in
+  let consumer = Consumer.create schema (dept_query "7") in
+  (match Consumer.sync consumer master with Ok _ -> () | Error e -> failwith e);
+  apply b (Update.modify (dn "cn=a,o=xyz") [ Update.replace_values "mail" [ "a@x" ] ]);
+  (* Kill the session server-side: the cookie becomes unknown. *)
+  Master.expire_sessions master ~idle_limit:0;
+  check_int "sessions expired" 0 (Master.session_count master);
+  match Consumer.sync consumer master with
+  | Ok reply ->
+      check_bool "degraded kind" true (reply.Protocol.kind = Protocol.Degraded);
+      (* a changed since the cookie: resent; b unchanged: retained. *)
+      Alcotest.(check (list string)) "add+retain" [ "add"; "retain" ]
+        (kinds reply.Protocol.actions);
+      check_int "still 2 entries" 2 (Consumer.size consumer)
+  | Error e -> failwith e
+
+let test_degraded_prunes_stale () =
+  let b = make_backend () in
+  apply b (Update.add (person "a" ~dept:"7" ()));
+  apply b (Update.add (person "b" ~dept:"7" ()));
+  let master = Master.create b in
+  let consumer = Consumer.create schema (dept_query "7") in
+  (match Consumer.sync consumer master with Ok _ -> () | Error e -> failwith e);
+  (* b leaves the content while the session is lost. *)
+  apply b (Update.modify (dn "cn=b,o=xyz") [ Update.replace_values "departmentNumber" [ "9" ] ]);
+  Master.expire_sessions master ~idle_limit:0;
+  match Consumer.sync consumer master with
+  | Ok reply ->
+      check_bool "degraded" true (reply.Protocol.kind = Protocol.Degraded);
+      check_bool "b pruned" true (Consumer.find consumer (dn "cn=b,o=xyz") = None);
+      check_int "one entry" 1 (Consumer.size consumer)
+  | Error e -> failwith e
+
+let test_sync_end () =
+  let b = make_backend () in
+  let master = Master.create b in
+  let consumer = Consumer.create schema (dept_query "7") in
+  (match Consumer.sync consumer master with Ok _ -> () | Error e -> failwith e);
+  check_int "one session" 1 (Master.session_count master);
+  let cookie = Option.get (Consumer.cookie consumer) in
+  (match
+     Master.handle master { Protocol.mode = Protocol.Sync_end; cookie = Some cookie }
+       (dept_query "7")
+   with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  check_int "session gone" 0 (Master.session_count master)
+
+let test_persist_push () =
+  let b = make_backend () in
+  let master = Master.create b in
+  let pushed = ref [] in
+  let request = { Protocol.mode = Protocol.Persist; cookie = None } in
+  (match Master.handle master ~push:(fun a -> pushed := a :: !pushed) request (dept_query "7") with
+  | Ok reply -> check_int "initial empty" 0 (List.length reply.Protocol.actions)
+  | Error e -> failwith e);
+  apply b (Update.add (person "p" ~dept:"7" ()));
+  apply b (Update.modify (dn "cn=p,o=xyz") [ Update.replace_values "mail" [ "p@x" ] ]);
+  apply b (Update.delete (dn "cn=p,o=xyz"));
+  Alcotest.(check (list string)) "live notifications" [ "add"; "delete"; "modify" ]
+    (kinds !pushed);
+  check_bool "persist without push rejected" true
+    (Result.is_error (Master.handle master request (dept_query "7")))
+
+let test_persist_filters_out_of_content () =
+  let b = make_backend () in
+  let master = Master.create b in
+  let pushed = ref [] in
+  let request = { Protocol.mode = Protocol.Persist; cookie = None } in
+  (match Master.handle master ~push:(fun a -> pushed := a :: !pushed) request (dept_query "7") with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  apply b (Update.add (person "q" ~dept:"9" ()));
+  check_int "out-of-content update not pushed" 0 (List.length !pushed)
+
+let test_attribute_selection_in_actions () =
+  let b = make_backend () in
+  apply b (Update.add (person "a" ~dept:"7" ()));
+  let master = Master.create b in
+  let query =
+    Query.make ~attrs:(Query.Select [ "cn" ]) ~base:(dn "o=xyz") (f "(departmentNumber=7)")
+  in
+  let consumer = Consumer.create schema query in
+  (match Consumer.sync consumer master with Ok _ -> () | Error e -> failwith e);
+  let e = Option.get (Consumer.find consumer (dn "cn=a,o=xyz")) in
+  check_bool "cn present" true (Entry.has_attribute e "cn");
+  check_bool "dept absent" false (Entry.has_attribute e "departmentnumber")
+
+let test_malformed_cookie () =
+  let b = make_backend () in
+  let master = Master.create b in
+  check_bool "malformed rejected" true
+    (Result.is_error
+       (Master.handle master { Protocol.mode = Protocol.Poll; cookie = Some "bogus" }
+          (dept_query "7")));
+  check_bool "parse_cookie" true (Master.parse_cookie "rs:3:17" = Some (3, Csn.of_int 17));
+  check_bool "parse bad" true (Master.parse_cookie "rs:x:y" = None)
+
+(* --- Baseline comparison (section 5.2) ------------------------------- *)
+
+let run_strategy strategy =
+  let b = make_backend () in
+  apply b (Update.add (person "a" ~dept:"7" ()));
+  apply b (Update.add (person "b" ~dept:"7" ()));
+  apply b (Update.add (person "z" ~dept:"9" ()));
+  let master = Master.create ~strategy b in
+  let consumer = Consumer.create schema (dept_query "7") in
+  (match Consumer.sync consumer master with Ok _ -> () | Error e -> failwith e);
+  (* Updates: one out-of-content delete, one in-content delete, one
+     out-of-content add, one modify-out-of-content. *)
+  apply b (Update.delete (dn "cn=z,o=xyz"));
+  apply b (Update.delete (dn "cn=b,o=xyz"));
+  apply b (Update.add (person "y" ~dept:"9" ()));
+  apply b (Update.modify (dn "cn=a,o=xyz") [ Update.replace_values "departmentNumber" [ "9" ] ]);
+  let reply =
+    match Consumer.sync consumer master with Ok r -> r | Error e -> failwith e
+  in
+  (consumer, reply, b)
+
+let test_session_history_exact () =
+  let consumer, reply, b = run_strategy Master.Session_history in
+  (* Exactly: delete b, delete a (moved out).  z's delete is invisible. *)
+  Alcotest.(check (list string)) "exact deletes" [ "delete"; "delete" ]
+    (kinds reply.Protocol.actions);
+  check_int "consumer empty" 0 (Consumer.size consumer);
+  ignore b
+
+let test_changelog_conservative () =
+  let consumer, reply, _ = run_strategy Master.Changelog in
+  (* Changelog cannot classify deletes: z's delete is also sent. *)
+  check_bool "more deletes than needed" true (List.length reply.Protocol.actions >= 3);
+  check_int "still converges" 0 (Consumer.size consumer)
+
+let test_tombstone_conservative () =
+  let consumer, reply, _ = run_strategy Master.Tombstone in
+  check_bool "more deletes than needed" true (List.length reply.Protocol.actions >= 3);
+  check_int "still converges" 0 (Consumer.size consumer)
+
+let test_history_sizes () =
+  let strategies = [ Master.Session_history; Master.Changelog; Master.Tombstone ] in
+  let sizes =
+    List.map
+      (fun strategy ->
+        let b = make_backend () in
+        let master = Master.create ~strategy b in
+        let consumer = Consumer.create schema (dept_query "7") in
+        (match Consumer.sync consumer master with Ok _ -> () | Error e -> failwith e);
+        (* Many out-of-content updates: session history stays empty. *)
+        for i = 0 to 19 do
+          apply b (Update.add (person (Printf.sprintf "n%d" i) ~dept:"9" ()))
+        done;
+        Master.history_size master)
+      strategies
+  in
+  match sizes with
+  | [ session; changelog; _tombstone ] ->
+      check_int "session history empty" 0 session;
+      check_bool "changelog grows" true (changelog >= 20)
+  | _ -> assert false
+
+let test_changelog_trim_degrades () =
+  (* Trimming the master's log must not silently lose updates for the
+     changelog strategy: the poll degrades instead. *)
+  let b = make_backend () in
+  apply b (Update.add (person "a" ~dept:"7" ()));
+  apply b (Update.add (person "b" ~dept:"7" ()));
+  let master = Master.create ~strategy:Master.Changelog b in
+  let consumer = Consumer.create schema (dept_query "7") in
+  (match Consumer.sync consumer master with Ok _ -> () | Error e -> failwith e);
+  apply b (Update.modify (dn "cn=a,o=xyz") [ Update.replace_values "departmentNumber" [ "9" ] ]);
+  apply b (Update.delete (dn "cn=b,o=xyz"));
+  Backend.trim_log b ~before:(Csn.next (Backend.csn b));
+  (match Consumer.sync consumer master with
+  | Ok reply ->
+      check_bool "degraded fallback" true (reply.Protocol.kind = Protocol.Degraded)
+  | Error e -> failwith e);
+  check_int "still converges" 0 (Consumer.size consumer);
+  (* Session history is immune to trimming: its buffers are its own. *)
+  let b2 = make_backend () in
+  apply b2 (Update.add (person "a" ~dept:"7" ()));
+  let master2 = Master.create b2 in
+  let consumer2 = Consumer.create schema (dept_query "7") in
+  (match Consumer.sync consumer2 master2 with Ok _ -> () | Error e -> failwith e);
+  apply b2 (Update.modify (dn "cn=a,o=xyz") [ Update.replace_values "mail" [ "m@x" ] ]);
+  Backend.trim_log b2 ~before:(Csn.next (Backend.csn b2));
+  match Consumer.sync consumer2 master2 with
+  | Ok reply ->
+      check_bool "incremental despite trim" true
+        (reply.Protocol.kind = Protocol.Incremental);
+      Alcotest.(check (list string)) "exact modify" [ "modify" ] (kinds reply.Protocol.actions)
+  | Error e -> failwith e
+
+(* --- Convergence property --------------------------------------------
+   Arbitrary interleavings of updates and polls always leave the
+   consumer's content equal to the master's current content. *)
+
+type sim_op =
+  | Op_add of int * int  (* name i, dept d *)
+  | Op_delete of int
+  | Op_move_dept of int * int
+  | Op_rename of int * int
+  | Op_poll
+  | Op_expire
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map2 (fun i d -> Op_add (i, d)) (0 -- 20) (7 -- 9));
+        (2, map (fun i -> Op_delete i) (0 -- 20));
+        (3, map2 (fun i d -> Op_move_dept (i, d)) (0 -- 20) (7 -- 9));
+        (1, map2 (fun i j -> Op_rename (i, j)) (0 -- 20) (21 -- 40));
+        (2, return Op_poll);
+        (1, return Op_expire);
+      ])
+
+let print_op = function
+  | Op_add (i, d) -> Printf.sprintf "add(%d,%d)" i d
+  | Op_delete i -> Printf.sprintf "delete(%d)" i
+  | Op_move_dept (i, d) -> Printf.sprintf "move(%d,%d)" i d
+  | Op_rename (i, j) -> Printf.sprintf "rename(%d,%d)" i j
+  | Op_poll -> "poll"
+  | Op_expire -> "expire"
+
+let entry_sets_equal consumer backend query =
+  let expected =
+    List.sort
+      (fun a b -> Dn.compare (Entry.dn a) (Entry.dn b))
+      (Content.current backend query)
+  in
+  let actual =
+    List.sort (fun a b -> Dn.compare (Entry.dn a) (Entry.dn b)) (Consumer.entries consumer)
+  in
+  List.length expected = List.length actual && List.for_all2 Entry.equal expected actual
+
+let run_sim ops =
+  let b = make_backend () in
+  let master = Master.create b in
+  let query = dept_query "7" in
+  let consumer = Consumer.create schema query in
+  (match Consumer.sync consumer master with Ok _ -> () | Error e -> failwith e);
+  let name i = Printf.sprintf "cn=p%d,o=xyz" i in
+  List.iter
+    (fun op ->
+      match op with
+      | Op_add (i, d) ->
+          ignore (Backend.apply b (Update.add (person (Printf.sprintf "p%d" i) ~dept:(string_of_int d) ())))
+      | Op_delete i -> ignore (Backend.apply b (Update.delete (dn (name i))))
+      | Op_move_dept (i, d) ->
+          ignore
+            (Backend.apply b
+               (Update.modify (dn (name i))
+                  [ Update.replace_values "departmentNumber" [ string_of_int d ] ]))
+      | Op_rename (i, j) -> (
+          match Dn.rdn_of_string (Printf.sprintf "cn=p%d" j) with
+          | Ok rdn -> ignore (Backend.apply b (Update.modify_dn (dn (name i)) rdn))
+          | Error _ -> ())
+      | Op_poll -> ( match Consumer.sync consumer master with Ok _ -> () | Error e -> failwith e)
+      | Op_expire -> Master.expire_sessions master ~idle_limit:0)
+    ops;
+  (match Consumer.sync consumer master with Ok _ -> () | Error e -> failwith e);
+  entry_sets_equal consumer b query
+
+let prop_convergence =
+  QCheck.Test.make ~name:"resync: converges under random ops and polls" ~count:300
+    (QCheck.make
+       ~print:(fun ops -> String.concat ";" (List.map print_op ops))
+       QCheck.Gen.(list_size (0 -- 40) op_gen))
+    run_sim
+
+let prop_convergence_changelog =
+  QCheck.Test.make ~name:"resync: changelog baseline also converges" ~count:150
+    (QCheck.make
+       ~print:(fun ops -> String.concat ";" (List.map print_op ops))
+       QCheck.Gen.(list_size (0 -- 30) op_gen))
+    (fun ops ->
+      (* Replace Op_expire: baselines only define poll behaviour. *)
+      (* Repurpose Op_expire as a log trim: the changelog must survive
+         bounded history via the degraded fallback. *)
+      let b = make_backend () in
+      let master = Master.create ~strategy:Master.Changelog b in
+      let query = dept_query "7" in
+      let consumer = Consumer.create schema query in
+      (match Consumer.sync consumer master with Ok _ -> () | Error e -> failwith e);
+      let name i = Printf.sprintf "cn=p%d,o=xyz" i in
+      List.iter
+        (fun op ->
+          match op with
+          | Op_add (i, d) ->
+              ignore
+                (Backend.apply b
+                   (Update.add (person (Printf.sprintf "p%d" i) ~dept:(string_of_int d) ())))
+          | Op_delete i -> ignore (Backend.apply b (Update.delete (dn (name i))))
+          | Op_move_dept (i, d) ->
+              ignore
+                (Backend.apply b
+                   (Update.modify (dn (name i))
+                      [ Update.replace_values "departmentNumber" [ string_of_int d ] ]))
+          | Op_rename (i, j) -> (
+              match Dn.rdn_of_string (Printf.sprintf "cn=p%d" j) with
+              | Ok rdn -> ignore (Backend.apply b (Update.modify_dn (dn (name i)) rdn))
+              | Error _ -> ())
+          | Op_poll -> (
+              match Consumer.sync consumer master with Ok _ -> () | Error e -> failwith e)
+          | Op_expire -> Backend.trim_log b ~before:(Csn.next (Backend.csn b)))
+        ops;
+      (match Consumer.sync consumer master with Ok _ -> () | Error e -> failwith e);
+      entry_sets_equal consumer b query)
+
+let suite =
+  [
+    Alcotest.test_case "initial content" `Quick test_initial_content;
+    Alcotest.test_case "incremental minimal" `Quick test_incremental_minimal;
+    Alcotest.test_case "rename within content" `Quick test_rename_within_content;
+    Alcotest.test_case "add+delete coalesces" `Quick test_add_then_delete_coalesces;
+    Alcotest.test_case "degraded mode" `Quick test_degraded_mode;
+    Alcotest.test_case "degraded prunes stale" `Quick test_degraded_prunes_stale;
+    Alcotest.test_case "sync_end" `Quick test_sync_end;
+    Alcotest.test_case "persist push" `Quick test_persist_push;
+    Alcotest.test_case "persist filters content" `Quick test_persist_filters_out_of_content;
+    Alcotest.test_case "attribute selection" `Quick test_attribute_selection_in_actions;
+    Alcotest.test_case "malformed cookie" `Quick test_malformed_cookie;
+    Alcotest.test_case "session history exact" `Quick test_session_history_exact;
+    Alcotest.test_case "changelog conservative" `Quick test_changelog_conservative;
+    Alcotest.test_case "tombstone conservative" `Quick test_tombstone_conservative;
+    Alcotest.test_case "history sizes" `Quick test_history_sizes;
+    Alcotest.test_case "changelog trim degrades" `Quick test_changelog_trim_degrades;
+    QCheck_alcotest.to_alcotest prop_convergence;
+    QCheck_alcotest.to_alcotest prop_convergence_changelog;
+  ]

@@ -1,0 +1,219 @@
+(* Tests for filter generalization, candidate statistics and the
+   benefit/size selector (section 6). *)
+open Ldap
+module Resync = Ldap_resync
+module R = Ldap_replication
+module S = Ldap_selection
+
+let schema = Schema.default
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let dn = Dn.of_string_exn
+let f = Filter.of_string_exn
+let must = function Ok x -> x | Error e -> failwith e
+
+let q ?(scope = Scope.Sub) base filter = Query.make ~scope ~base:(dn base) (f filter)
+
+(* --- Generalization ---------------------------------------------------- *)
+
+let prefix_rule = S.Generalize.Prefix_value { attr = "serialnumber"; keep = 2 }
+let presence_rule = S.Generalize.Widen_to_presence { attr = "departmentnumber" }
+
+let test_prefix_generalization () =
+  (match S.Generalize.generalize_filter prefix_rule (f "(serialNumber=2406)") with
+  | Some g -> check_bool "prefix" true (Filter.equal g (f "(serialNumber=24*)"))
+  | None -> Alcotest.fail "expected generalization");
+  check_bool "short value unchanged" true
+    (S.Generalize.generalize_filter prefix_rule (f "(serialNumber=24)") = None);
+  check_bool "other attr unchanged" true
+    (S.Generalize.generalize_filter prefix_rule (f "(mail=2406)") = None)
+
+let test_presence_generalization () =
+  (match
+     S.Generalize.generalize_filter presence_rule
+       (f "(&(divisionNumber=24)(departmentNumber=2406))")
+   with
+  | Some g ->
+      check_bool "widened" true
+        (Filter.equal g (f "(&(divisionNumber=24)(departmentNumber=*))"))
+  | None -> Alcotest.fail "expected generalization");
+  (* Outside a conjunction the rule must not fire (it would match the
+     whole directory). *)
+  check_bool "bare equality untouched" true
+    (S.Generalize.generalize_filter presence_rule (f "(departmentNumber=2406)") = None)
+
+let test_candidates_contain_query () =
+  let query = q "o=xyz" "(&(divisionNumber=24)(departmentNumber=2406))" in
+  let cands =
+    S.Generalize.candidates
+      [ presence_rule; S.Generalize.Prefix_value { attr = "departmentnumber"; keep = 2 } ]
+      query
+  in
+  check_int "two candidates" 2 (List.length cands);
+  List.iter
+    (fun c ->
+      check_bool "candidate contains query" true
+        (Ldap_containment.Query_containment.contained schema ~query ~stored:c))
+    cands
+
+(* --- Candidate statistics ---------------------------------------------- *)
+
+let test_candidate_stats () =
+  let t = S.Candidate.create () in
+  let a = q "o=xyz" "(serialNumber=24*)" in
+  let b = q "o=xyz" "(serialNumber=25*)" in
+  S.Candidate.observe t a;
+  S.Candidate.observe t a;
+  S.Candidate.observe t b;
+  check_int "count" 2 (S.Candidate.count t);
+  let estimate _ = 10 in
+  let ranked = S.Candidate.ranked t ~estimate in
+  (match ranked with
+  | (first, stats, ratio) :: _ ->
+      check_bool "best first" true (Query.equal first a);
+      check_int "hits" 2 stats.S.Candidate.hits;
+      check_bool "ratio" true (abs_float (ratio -. 0.2) < 1e-9)
+  | [] -> Alcotest.fail "expected ranking");
+  check_int "size cached" 10 (S.Candidate.size_of t a ~estimate:(fun _ -> 99));
+  S.Candidate.reset_hits t;
+  let ranked = S.Candidate.ranked t ~estimate in
+  check_bool "reset" true (List.for_all (fun (_, s, _) -> s.S.Candidate.hits = 0) ranked)
+
+(* --- Selector ----------------------------------------------------------- *)
+
+let make_master_with_depts () =
+  let b = Backend.create ~indexed:[ "departmentnumber"; "divisionnumber" ] schema in
+  must
+    (Backend.add_context b
+       (Entry.make (dn "o=xyz") [ ("objectclass", [ "organization" ]); ("o", [ "xyz" ]) ]));
+  let apply op = ignore (must (Backend.apply b op)) in
+  for d = 0 to 1 do
+    let div_dn = dn (Printf.sprintf "ou=div-%02d,o=xyz" d) in
+    apply
+      (Update.Add
+         (Entry.make div_dn
+            [ ("objectclass", [ "organizationalUnit" ]); ("ou", [ Printf.sprintf "div-%02d" d ]) ]));
+    for k = 0 to 9 do
+      let number = Printf.sprintf "%02d%02d" d k in
+      apply
+        (Update.Add
+           (Entry.make
+              (Dn.child_ava div_dn "ou" ("dept-" ^ number))
+              [
+                ("objectclass", [ "organizationalUnit" ]);
+                ("ou", [ "dept-" ^ number ]);
+                ("departmentNumber", [ number ]);
+                ("divisionNumber", [ Printf.sprintf "%02d" d ]);
+              ]))
+    done
+  done;
+  (b, Resync.Master.create b)
+
+let dept_query number =
+  q "o=xyz"
+    (Printf.sprintf "(&(departmentNumber=%s)(divisionNumber=%s))" number
+       (String.sub number 0 2))
+
+let selector_config ?(interval = 10) ?(budget = 5) () =
+  {
+    S.Selector.rules = [];
+    revolution_interval = interval;
+    size_budget = budget;
+    min_hits = 1;
+    include_queries = true;
+  }
+
+let test_selector_revolution () =
+  let _, master = make_master_with_depts () in
+  let replica = R.Filter_replica.create master in
+  let selector = S.Selector.create (selector_config ()) replica in
+  (* Nine hot queries for dept 0001, one for 0002 -> budget 5 admits both,
+     best first. *)
+  for _ = 1 to 9 do
+    S.Selector.observe selector (dept_query "0001")
+  done;
+  S.Selector.observe selector (dept_query "0002");
+  check_int "one revolution" 1 (S.Selector.revolutions selector);
+  let stored = R.Filter_replica.stored_filters replica in
+  check_bool "hot dept stored" true
+    (List.exists (fun s -> Query.equal s (dept_query "0001")) stored);
+  (* The replica now answers the hot department locally. *)
+  match R.Filter_replica.answer replica (dept_query "0001") with
+  | R.Replica.Answered [ _ ] -> ()
+  | _ -> Alcotest.fail "expected hit after revolution"
+
+let test_selector_budget () =
+  let _, master = make_master_with_depts () in
+  let replica = R.Filter_replica.create master in
+  let selector = S.Selector.create (selector_config ~interval:100 ~budget:3 ()) replica in
+  for k = 0 to 9 do
+    for _ = 1 to 10 - k do
+      S.Selector.observe selector (dept_query (Printf.sprintf "00%02d" k))
+    done
+  done;
+  S.Selector.force_revolution selector;
+  check_bool "budget respected" true
+    (R.Filter_replica.size_entries replica <= 3);
+  check_int "three filters of size one" 3
+    (List.length (R.Filter_replica.stored_filters replica))
+
+let test_selector_adapts () =
+  let _, master = make_master_with_depts () in
+  let replica = R.Filter_replica.create master in
+  let selector = S.Selector.create (selector_config ~interval:20 ~budget:1 ()) replica in
+  (* Phase 1: dept 0003 is hot. *)
+  for _ = 1 to 20 do
+    S.Selector.observe selector (dept_query "0003")
+  done;
+  check_bool "phase 1 stored" true
+    (List.exists
+       (fun s -> Query.equal s (dept_query "0003"))
+       (R.Filter_replica.stored_filters replica));
+  (* Phase 2: popularity shifts to dept 0107. *)
+  for _ = 1 to 20 do
+    S.Selector.observe selector (dept_query "0107")
+  done;
+  let stored = R.Filter_replica.stored_filters replica in
+  check_bool "phase 2 stored" true
+    (List.exists (fun s -> Query.equal s (dept_query "0107")) stored);
+  check_bool "old evicted" false
+    (List.exists (fun s -> Query.equal s (dept_query "0003")) stored)
+
+let test_install_static () =
+  let _, master = make_master_with_depts () in
+  let replica = R.Filter_replica.create master in
+  must (S.Selector.install_static replica [ dept_query "0001"; dept_query "0102" ]);
+  check_int "two installed" 2 (List.length (R.Filter_replica.stored_filters replica))
+
+(* --- Evolution baseline -------------------------------------------------- *)
+
+let test_evolution_reacts_immediately () =
+  let _, master = make_master_with_depts () in
+  let replica = R.Filter_replica.create master in
+  let rules = [ S.Generalize.Prefix_value { attr = "departmentnumber"; keep = 2 } ] in
+  let config =
+    { S.Evolution_baseline.rules; size_budget = 25; ageing = 0.95; swap_margin = 0.1;
+      include_queries = true }
+  in
+  let evo = S.Evolution_baseline.create config replica in
+  for _ = 1 to 5 do
+    S.Evolution_baseline.observe evo (dept_query "0001")
+  done;
+  (* Unlike periodic revolutions, evolutions install candidates
+     immediately - swaps happen within the first few queries. *)
+  check_bool "swapped early" true (S.Evolution_baseline.swaps evo >= 1);
+  check_bool "stored something" true
+    (List.length (R.Filter_replica.stored_filters replica) >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "prefix generalization" `Quick test_prefix_generalization;
+    Alcotest.test_case "presence generalization" `Quick test_presence_generalization;
+    Alcotest.test_case "candidates contain query" `Quick test_candidates_contain_query;
+    Alcotest.test_case "candidate stats" `Quick test_candidate_stats;
+    Alcotest.test_case "selector revolution" `Quick test_selector_revolution;
+    Alcotest.test_case "selector budget" `Quick test_selector_budget;
+    Alcotest.test_case "selector adapts" `Quick test_selector_adapts;
+    Alcotest.test_case "install static" `Quick test_install_static;
+    Alcotest.test_case "evolution reacts immediately" `Quick test_evolution_reacts_immediately;
+  ]
