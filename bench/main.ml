@@ -10,7 +10,12 @@
       lookup cost as the number of stored filters grows, plus substrate
       primitives (filter parse/eval, DN algebra, indexed search).
 
-   Usage: main.exe [--quick] [--micro-only | --figures-only] *)
+   Usage: main.exe [--quick] [--micro-only | --figures-only | --smoke]
+
+   --smoke runs a seconds-scale deterministic subset (the protocol
+   illustrations plus a tiny lossy-network sweep) and is wired into
+   the default test alias as an end-to-end exercise of the bench
+   harness. *)
 
 open Bechamel
 open Ldap
@@ -164,10 +169,20 @@ let run_micro () =
 
 (* --- Entry point ------------------------------------------------------ *)
 
+let smoke () =
+  Eval.Report.print (Eval.Figures.figure2 ());
+  Eval.Report.print (Eval.Figures.figure3 ());
+  Eval.Report.print
+    (Eval.Figures.lossy_sync ~rates:[ 0.0; 0.2 ] ~updates:200 ~employees:800
+       ~filters:4 ())
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
   let micro_only = List.mem "--micro-only" args in
   let figures_only = List.mem "--figures-only" args in
-  if not micro_only then Eval.Figures.all ~quick ();
-  if not figures_only then run_micro ()
+  if List.mem "--smoke" args then smoke ()
+  else begin
+    if not micro_only then Eval.Figures.all ~quick ();
+    if not figures_only then run_micro ()
+  end

@@ -66,22 +66,21 @@ let () =
   show_reply "poll #2 (session history replay)" (must (Resync.Consumer.sync consumer master));
   Printf.printf "  branch now holds %d sales entries\n\n" (Resync.Consumer.size consumer);
 
-  (* Phase 3: switch to persistent notifications. *)
-  let pushed = ref [] in
-  ignore
-    (must
-       (Resync.Master.handle master
-          ~push:(fun a -> pushed := a :: !pushed)
-          { Resync.Protocol.mode = Resync.Protocol.Persist;
-            cookie = Resync.Consumer.cookie consumer }
-          query));
+  (* Phase 3: switch to persistent notifications, routed through the
+     same transport abstraction as every poll. *)
+  let transport = Resync.Transport.loopback master in
+  let pushed = ref 0 in
+  (match
+     Resync.Consumer.connect_persist consumer transport
+       ~host:Resync.Transport.loopback_host
+       ~observe:(fun _ -> incr pushed)
+   with
+  | Ok _ -> ()
+  | Error e -> failwith (Resync.Consumer.sync_error_to_string e));
   apply (Update.add (person "emp8" "sales"));
   apply (Update.delete (dn "cn=emp8,o=hq"));
   apply (Update.add (person "emp9" "sales"));
-  Printf.printf "persist phase: %d notifications pushed live\n" (List.length !pushed);
-  Resync.Consumer.apply_reply consumer
-    { Resync.Protocol.kind = Resync.Protocol.Incremental;
-      actions = List.rev !pushed; cookie = None };
+  Printf.printf "persist phase: %d notifications pushed live\n" !pushed;
   Printf.printf "  branch now holds %d sales entries\n\n" (Resync.Consumer.size consumer);
 
   (* Phase 4: the master expires idle sessions; the stale cookie falls

@@ -43,6 +43,8 @@ let substring_contained syntax (s1 : Filter.substring) (s2 : Filter.substring) =
   in
   initial_ok && final_ok && embed s2.any s1.any
 
+let prefix_orderable = Symbolic.prefix_orderable
+
 let pred_contained schema p1 p2 =
   let open Filter in
   let syntax a = Schema.syntax_of schema a in
@@ -64,10 +66,12 @@ let pred_contained schema p1 p2 =
     | Less_eq (_, v1), Less_eq (_, v2) -> Value.compare sx v1 v2 <= 0
     | Substrings (_, s1), Substrings (_, s2) -> substring_contained sx s1 s2
     | Substrings (_, { initial = Some p; _ }), Greater_eq (_, v2) ->
-        (* Values with prefix p are all >= p. *)
-        Value.compare sx p v2 >= 0
+        (* Values with prefix p are all >= p — lexical syntaxes only. *)
+        prefix_orderable sx && Value.compare sx p v2 >= 0
     | Substrings (_, { initial = Some p; _ }), Less_eq (_, v2) -> (
-        (* Values with prefix p are all < succ p. *)
+        (* Values with prefix p are all < succ p — lexical syntaxes only. *)
+        prefix_orderable sx
+        &&
         match Value.successor_of_prefix (Value.normalize sx p) with
         | s -> Value.compare sx s v2 <= 0
         | exception Invalid_argument _ -> false)

@@ -109,7 +109,15 @@ let new_group () =
     statically_empty = false;
   }
 
-let add_positive g = function
+(* A prefix assertion [attr=p*] confines the value to [p, succ p) only
+   when the syntax orders values lexically; integer order disagrees
+   ("-2*" matches -25 < -2, "1*" matches 10 > succ "1"), so there the
+   window must not be used as range bounds. *)
+let prefix_orderable = function
+  | Value.Integer -> false
+  | Value.Case_ignore | Value.Case_exact | Value.Telephone -> true
+
+let add_positive syntax g = function
   | SEq (_, v) ->
       g.has_positive <- true;
       g.eq_points <- v :: g.eq_points;
@@ -126,10 +134,13 @@ let add_positive g = function
       g.has_positive <- true;
       match initial with
       | Some p ->
-          (* attr=p*...: the value lies in [p, succ p). *)
           g.prefix_points <- p :: g.prefix_points;
-          g.lows <- (p, false) :: g.lows;
-          g.highs <- (Succ p, true) :: g.highs
+          (* attr=p*...: the value lies in [p, succ p) — lexical
+             syntaxes only. *)
+          if prefix_orderable syntax then begin
+            g.lows <- (p, false) :: g.lows;
+            g.highs <- (Succ p, true) :: g.highs
+          end
       | None -> ())
 
 let add_negative g = function
@@ -211,11 +222,12 @@ let conjunct_condition schema conj : [ `Static_true | `Atoms of cond_atom list ]
         let positives = List.filter (fun l -> l.pos) lits in
         let negatives = List.filter (fun l -> not l.pos) lits in
         let single = Schema.is_single_valued schema attr in
+        let syntax = Schema.syntax_of schema attr in
         let groups =
           if single then begin
             (* All positives constrain the one value jointly. *)
             let g = new_group () in
-            List.iter (fun l -> add_positive g l.pred) positives;
+            List.iter (fun l -> add_positive syntax g l.pred) positives;
             List.iter (fun l -> add_negative g l.pred) negatives;
             [ g ]
           end
@@ -225,7 +237,7 @@ let conjunct_condition schema conj : [ `Static_true | `Atoms of cond_atom list ]
             List.map
               (fun l ->
                 let g = new_group () in
-                add_positive g l.pred;
+                add_positive syntax g l.pred;
                 List.iter (fun n -> add_negative g n.pred) negatives;
                 g)
               positives

@@ -59,6 +59,13 @@ type t =
   | Cnf of clause list  (** Conjunction of disjunctions of comparisons:
                             exactly Proposition 2's form. *)
 
+val prefix_orderable : Value.syntax -> bool
+(** Whether a prefix assertion [attr=p*] confines the value to
+    [[p, succ p)] under the syntax's ordering.  True for lexically
+    ordered syntaxes; false for [Integer], whose numeric order breaks
+    the premise both ways ("-2*" matches -25 < -2, "1*" matches
+    10 > succ "1"). *)
+
 val compile : Schema.t -> left:Template.t -> right:Template.t -> t option
 (** Containment condition for instances of [left] in instances of
     [right].  [None] when compilation is infeasible (DNF blow-up

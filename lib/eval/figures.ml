@@ -217,25 +217,21 @@ let figure3 () =
   (match Resync.Consumer.sync consumer master with
   | Ok reply -> record "S, (poll, cookie)" reply
   | Error e -> failwith e);
-  (* Persistent phase: E3 renamed to E5 (R): delete + add pushed live. *)
+  (* Persistent phase: E3 renamed to E5 (R): delete + add pushed live
+     through the transport's connection handle. *)
+  let transport = Resync.Transport.loopback master in
   let pushed = ref [] in
-  let cookie = Resync.Consumer.cookie consumer in
   (match
-     Resync.Master.handle master
-       ~push:(fun a -> pushed := a :: !pushed)
-       { Resync.Protocol.mode = Resync.Protocol.Persist; cookie }
-       query
+     Resync.Consumer.connect_persist consumer transport
+       ~host:Resync.Transport.loopback_host
+       ~observe:(fun a -> pushed := a :: !pushed)
    with
-  | Ok reply ->
-      List.iter (Resync.Consumer.apply_reply consumer)
-        [ { reply with Resync.Protocol.cookie = None } ]
-  | Error e -> failwith e);
+  | Ok _ -> ()
+  | Error e -> failwith (Resync.Consumer.sync_error_to_string e));
   (match Dn.rdn_of_string "cn=e5" with
   | Ok rdn -> apply (Update.modify_dn (dn "e3") rdn)
   | Error e -> failwith e);
   let pushed = List.rev !pushed in
-  List.iter (Resync.Consumer.apply_reply consumer)
-    [ { Resync.Protocol.kind = Resync.Protocol.Incremental; actions = pushed; cookie = None } ];
   rows :=
     [
       "S, (persist, cookie1)";
@@ -248,7 +244,7 @@ let figure3 () =
       string_of_int (Resync.Consumer.size consumer);
     ]
     :: !rows;
-  (match cookie with
+  (match Resync.Consumer.cookie consumer with
   | Some c -> Resync.Master.abandon master ~cookie:c
   | None -> ());
   Report.make ~title:"Figure 3: an example ReSync session"
@@ -872,6 +868,115 @@ let resync_ablation ?(updates = 4_000) ?(filters = 20) () =
     ~columns:[ "history"; "entries sent"; "actions sent"; "history size (peak)" ]
     ~rows ()
 
+(* --- Section 5: synchronization over a lossy network -------------------- *)
+
+let lossy_sync ?(rates = [ 0.0; 0.05; 0.15; 0.30 ]) ?(updates = 2_000)
+    ?(seed = 4242) ?(employees = 3_000) ?(filters = 8) () =
+  let rows =
+    List.map
+      (fun rate ->
+        (* Fresh directory per rate: the update stream mutates the
+           master, and each rate must see the same evolution. *)
+        let scenario =
+          Scenario.setup
+            ~config:
+              { Dirgen.Enterprise.default_config with
+                Dirgen.Enterprise.employees }
+            ()
+        in
+        let backend = Dirgen.Enterprise.backend scenario.Scenario.enterprise in
+        let schema = Dirgen.Enterprise.schema scenario.Scenario.enterprise in
+        let master = scenario.Scenario.master in
+        let items =
+          Dirgen.Workload.generate scenario.Scenario.enterprise
+            (serial_only 2_000 (seed + 1))
+        in
+        let queries =
+          Scenario.select_static ~max_filters:filters scenario
+            ~rules:[ serial_rule ] ~train:items ~budget:max_int
+        in
+        let prng = Dirgen.Prng.create (seed + int_of_float (rate *. 1000.)) in
+        let faults =
+          Network.Faults.create ~drop_request:(rate /. 2.)
+            ~drop_reply:(rate /. 2.)
+            ~roll:(fun () -> Dirgen.Prng.float prng 1.0)
+            ()
+        in
+        let net = Network.create () in
+        let transport = Resync.Transport.create ~faults net in
+        Resync.Transport.add_master transport ~name:"master" master;
+        let polls = ref 0
+        and retries = ref 0
+        and resyncs = ref 0
+        and failed = ref 0 in
+        let consumers = List.map (Resync.Consumer.create schema) queries in
+        let poll c =
+          incr polls;
+          match Resync.Consumer.sync_over c transport ~host:"master" with
+          | Ok o ->
+              retries := !retries + (o.Resync.Consumer.attempts - 1);
+              if o.Resync.Consumer.resynced then incr resyncs
+          | Error (Resync.Consumer.Exhausted _) ->
+              (* Stale until a later round gets through. *)
+              incr failed
+          | Error (Resync.Consumer.Rejected msg) -> failwith msg
+        in
+        List.iter poll consumers;
+        let stream =
+          Dirgen.Update_stream.create scenario.Scenario.enterprise
+            Dirgen.Update_stream.default_config
+        in
+        let rounds = 5 in
+        for round = 1 to rounds do
+          Dirgen.Update_stream.steps stream (updates / rounds);
+          (* Halfway through, the master drops every session (admin
+             expiry): consumers must resume via degraded resync. *)
+          if round = 3 then Resync.Master.expire_sessions master ~idle_limit:0;
+          List.iter poll consumers
+        done;
+        (* Quiesce over a clean path so convergence is checkable even
+           at high loss; the lossy rounds above did the damage. *)
+        let clean = Resync.Transport.create net in
+        Resync.Transport.add_master clean ~name:"master" master;
+        List.iter
+          (fun c ->
+            match Resync.Consumer.sync_over c clean ~host:"master" with
+            | Ok _ -> ()
+            | Error e -> failwith (Resync.Consumer.sync_error_to_string e))
+          consumers;
+        let converged =
+          List.for_all
+            (fun c ->
+              Dn.Set.equal
+                (Resync.Content.current_dns backend (Resync.Consumer.query c))
+                (Resync.Consumer.dns c))
+            consumers
+        in
+        [
+          Report.fmt_float rate;
+          string_of_int !polls;
+          string_of_int !retries;
+          string_of_int !resyncs;
+          string_of_int !failed;
+          string_of_int (Network.stats net).Network.sync_bytes;
+          (if converged then "yes" else "NO");
+        ])
+      rates
+  in
+  Report.make ~title:"Section 5: ReSync over a lossy network"
+    ~notes:
+      [
+        "drops are split evenly between requests and replies; a lost reply";
+        "costs a degraded resync on the retry (the master already advanced);";
+        "retry budget 4 with exponential backoff, failures retried next round";
+      ]
+    ~columns:
+      [
+        "drop rate"; "polls"; "retries"; "resyncs"; "failed polls";
+        "sync bytes"; "converged";
+      ]
+    ~rows ()
+
 (* --- Section 7.4 ------------------------------------------------------- *)
 
 let processing_overhead ?(filter_counts = [ 50; 100; 200; 400; 800 ])
@@ -1116,4 +1221,5 @@ let all ?(quick = false) () =
   Report.print (root_base_ablation ~length:(length 6_000) scenario);
   Report.print (evolution_ablation ~length:(length 12_000) ~interval:(max 1 (int_of_float (scale *. 2000.))) ());
   Report.print (resync_ablation ());
+  Report.print (lossy_sync ~updates:(max 100 (length 2_000)) ());
   Report.print (processing_overhead scenario)

@@ -76,6 +76,21 @@ val resync_ablation : ?updates:int -> ?filters:int -> unit -> Report.table
 (** Section 5.2: synchronization traffic and history size of session
     history vs changelog vs tombstone under the same update stream. *)
 
+val lossy_sync :
+  ?rates:float list ->
+  ?updates:int ->
+  ?seed:int ->
+  ?employees:int ->
+  ?filters:int ->
+  unit ->
+  Report.table
+(** Section 5 under injected faults: consumers poll through a
+    transport that drops requests and replies at each rate (split
+    evenly) and suffers a forced session expiry mid-run.  Reports
+    retries, degraded resyncs and abandoned polls, and checks every
+    consumer converges to the master's content after a final clean
+    poll. *)
+
 val processing_overhead : ?filter_counts:int list -> ?length:int -> Scenario.t -> Report.table
 (** Section 7.4: containment comparisons per query as the number of
     stored filters grows (the time side is measured by the Bechamel

@@ -3,7 +3,53 @@ type stats = {
   entry_pdus : int;
   referral_pdus : int;
   bytes : int;
+  sync_rpcs : int;
+  sync_bytes : int;
+  dropped_pdus : int;
 }
+
+type failure = Timeout | Unreachable of string | Refused of string
+
+let failure_to_string = function
+  | Timeout -> "timeout"
+  | Unreachable host -> "unreachable: " ^ host
+  | Refused msg -> "refused: " ^ msg
+
+module Faults = struct
+  type outcome = Deliver | Drop_request | Drop_reply | Refuse
+
+  type t = {
+    drop_request : float;
+    drop_reply : float;
+    refuse : float;
+    roll : unit -> float;
+    mutable script : outcome list;
+    partitions : (string, unit) Hashtbl.t;
+  }
+
+  let create ?(drop_request = 0.0) ?(drop_reply = 0.0) ?(refuse = 0.0)
+      ?(roll = fun () -> 1.0) () =
+    { drop_request; drop_reply; refuse; roll; script = []; partitions = Hashtbl.create 4 }
+
+  let script t outcomes = t.script <- t.script @ outcomes
+
+  let link_key a b = if a <= b then a ^ "|" ^ b else b ^ "|" ^ a
+  let partition t ~a ~b = Hashtbl.replace t.partitions (link_key a b) ()
+  let heal t ~a ~b = Hashtbl.remove t.partitions (link_key a b)
+  let partitioned t ~a ~b = Hashtbl.mem t.partitions (link_key a b)
+
+  let next_outcome t =
+    match t.script with
+    | o :: rest ->
+        t.script <- rest;
+        o
+    | [] ->
+        let r = t.roll () in
+        if r < t.drop_request then Drop_request
+        else if r < t.drop_request +. t.refuse then Refuse
+        else if r < t.drop_request +. t.refuse +. t.drop_reply then Drop_reply
+        else Deliver
+end
 
 type node = Full_server of Server.t | Handler of (Query.t -> Server.response)
 
@@ -13,10 +59,22 @@ type t = {
   mutable entry_pdus : int;
   mutable referral_pdus : int;
   mutable bytes : int;
+  mutable sync_rpcs : int;
+  mutable sync_bytes : int;
+  mutable dropped_pdus : int;
 }
 
 let create () =
-  { servers = Hashtbl.create 8; round_trips = 0; entry_pdus = 0; referral_pdus = 0; bytes = 0 }
+  {
+    servers = Hashtbl.create 8;
+    round_trips = 0;
+    entry_pdus = 0;
+    referral_pdus = 0;
+    bytes = 0;
+    sync_rpcs = 0;
+    sync_bytes = 0;
+    dropped_pdus = 0;
+  }
 
 let add_server t s = Hashtbl.replace t.servers (Server.name s) (Full_server s)
 let add_handler t ~name handler = Hashtbl.replace t.servers name (Handler handler)
@@ -32,13 +90,19 @@ let stats t =
     entry_pdus = t.entry_pdus;
     referral_pdus = t.referral_pdus;
     bytes = t.bytes;
+    sync_rpcs = t.sync_rpcs;
+    sync_bytes = t.sync_bytes;
+    dropped_pdus = t.dropped_pdus;
   }
 
 let reset_stats t =
   t.round_trips <- 0;
   t.entry_pdus <- 0;
   t.referral_pdus <- 0;
-  t.bytes <- 0
+  t.bytes <- 0;
+  t.sync_rpcs <- 0;
+  t.sync_bytes <- 0;
+  t.dropped_pdus <- 0
 
 let account_response t (resp : Server.response) =
   t.round_trips <- t.round_trips + 1;
@@ -76,8 +140,12 @@ let search t ~from (q : Query.t) =
      reference is a benign duplicate (skipped). *)
   let visited = Hashtbl.create 16 in
   let key host (q : Query.t) = host ^ "|" ^ Dn.canonical q.base in
+  (* Entries are accumulated in reverse and deduplicated by canonical
+     DN: overlapping continuation references may return the same entry
+     from two servers. *)
+  let seen = Hashtbl.create 64 in
   let rec go acc hops = function
-    | [] -> Ok acc
+    | [] -> Ok (List.rev acc)
     | (host, q, origin) :: rest ->
         if hops > max_hops then Error "referral limit exceeded"
         else if Hashtbl.mem visited (key host q) then
@@ -108,10 +176,60 @@ let search t ~from (q : Query.t) =
                         Some (host, { q with base }, `Reference))
                   references
               in
-              go (acc @ entries) (hops + 1) (follow_ups @ rest)
+              let acc =
+                List.fold_left
+                  (fun acc e ->
+                    let k = Dn.canonical (Entry.dn e) in
+                    if Hashtbl.mem seen k then acc
+                    else begin
+                      Hashtbl.add seen k ();
+                      e :: acc
+                    end)
+                  acc entries
+              in
+              go acc (hops + 1) (follow_ups @ rest)
         end
   and pick_url = function
     | [] -> Error "empty referral"
     | url :: _ -> Referral.parse url
   in
   go [] 0 [ (from, q, `Reference) ]
+
+(* --- Generic fault-injectable RPC ------------------------------------ *)
+
+let account_push t ~bytes = t.sync_bytes <- t.sync_bytes + bytes
+let account_dropped t = t.dropped_pdus <- t.dropped_pdus + 1
+
+let rpc t ?faults ~from ~host ~request_bytes ~reply_bytes serve =
+  t.sync_rpcs <- t.sync_rpcs + 1;
+  let partitioned =
+    match faults with
+    | Some f -> Faults.partitioned f ~a:from ~b:host
+    | None -> false
+  in
+  if partitioned then begin
+    t.dropped_pdus <- t.dropped_pdus + 1;
+    Error (Unreachable host)
+  end
+  else begin
+    t.sync_bytes <- t.sync_bytes + request_bytes;
+    let outcome =
+      match faults with Some f -> Faults.next_outcome f | None -> Faults.Deliver
+    in
+    match outcome with
+    | Faults.Drop_request ->
+        t.dropped_pdus <- t.dropped_pdus + 1;
+        Error Timeout
+    | Faults.Refuse -> Error (Refused "transient refusal")
+    | Faults.Drop_reply ->
+        (* The server processed the request — its side effects stand —
+           but the reply never reaches the client. *)
+        let r = serve () in
+        t.sync_bytes <- t.sync_bytes + reply_bytes r;
+        t.dropped_pdus <- t.dropped_pdus + 1;
+        Error Timeout
+    | Faults.Deliver ->
+        let r = serve () in
+        t.sync_bytes <- t.sync_bytes + reply_bytes r;
+        Ok r
+  end

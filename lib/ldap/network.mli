@@ -1,4 +1,5 @@
-(** Simulated multi-server topology and referral-chasing client.
+(** Simulated multi-server topology, referral-chasing client and the
+    generic fault-injectable RPC transport.
 
     Reproduces the distributed operation processing of Figure 2: the
     client sends a search to some server; a server that does not hold
@@ -6,16 +7,73 @@
     a server that does answers with entries plus continuation
     references for subordinate contexts, which the client chases with
     modified bases.  Round trips, PDUs and modelled bytes are counted
-    so the referral-cost argument of section 2.3 can be measured. *)
+    so the referral-cost argument of section 2.3 can be measured.
+
+    Beyond searches, the module provides {!rpc}: a generic synchronous
+    exchange over which higher layers (the ReSync transport) route
+    their traffic.  An optional {!Faults} schedule decides, per
+    exchange, whether the request is lost before reaching the server,
+    the server transiently refuses, or the reply is lost after the
+    server processed the request — the three failure shapes the ReSync
+    recovery paths (section 5) are designed around.  Fault decisions
+    are deterministic: they come from an explicit script or from a
+    caller-supplied roll function (seeded from [Dirgen.Prng] in the
+    experiments), never from global randomness. *)
 
 type t
 
 type stats = {
-  round_trips : int;  (** Client→server requests sent. *)
+  round_trips : int;  (** Client→server search requests sent. *)
   entry_pdus : int;
   referral_pdus : int;
-  bytes : int;  (** Modelled via {!Ber}. *)
+  bytes : int;  (** Search traffic, modelled via {!Ber}. *)
+  sync_rpcs : int;  (** RPC exchanges attempted (ReSync traffic). *)
+  sync_bytes : int;  (** RPC request/reply/push bytes, via {!Ber}. *)
+  dropped_pdus : int;  (** Requests, replies and pushes lost to faults. *)
 }
+
+type failure =
+  | Timeout  (** Request or reply lost in flight; the client cannot
+                 tell which, so the server may or may not have
+                 processed the exchange. *)
+  | Unreachable of string  (** Unknown host or partitioned link. *)
+  | Refused of string  (** Transient server-side refusal. *)
+
+val failure_to_string : failure -> string
+
+(** Deterministic fault schedules for {!rpc} and persistent pushes. *)
+module Faults : sig
+  type outcome = Deliver | Drop_request | Drop_reply | Refuse
+
+  type t
+
+  val create :
+    ?drop_request:float ->
+    ?drop_reply:float ->
+    ?refuse:float ->
+    ?roll:(unit -> float) ->
+    unit ->
+    t
+  (** Probabilistic schedule: each exchange draws one number from
+      [roll] (expected in [[0, 1)], e.g. [fun () -> Prng.float prng 1.0])
+      and maps it to an outcome by cumulative probability.  Without
+      [roll] only scripted outcomes and partitions fire. *)
+
+  val script : t -> outcome list -> unit
+  (** Appends forced outcomes consumed — one per exchange or push —
+      before any probabilistic roll.  The way tests stage exact
+      failure sequences. *)
+
+  val partition : t -> a:string -> b:string -> unit
+  (** Severs the (undirected) link between two hosts until {!heal}. *)
+
+  val heal : t -> a:string -> b:string -> unit
+  val partitioned : t -> a:string -> b:string -> bool
+
+  val next_outcome : t -> outcome
+  (** Consumes the next scripted outcome, or rolls.  Exposed for
+      transport layers that deliver one-way traffic (persist pushes). *)
+end
 
 val create : unit -> t
 val add_server : t -> Server.t -> unit
@@ -33,8 +91,32 @@ val search :
   t -> from:string -> Query.t -> (Entry.t list, string) result
 (** Chases referrals and continuation references until the result set
     is complete.  Fails on unknown hosts, referral loops (guarded by a
-    visited set) or server failures. *)
+    visited set) or server failures.  Entries are deduplicated by
+    canonical DN: overlapping continuation references contribute one
+    copy, in first-seen order. *)
 
 val search_no_chase : t -> from:string -> Query.t -> Server.response
 (** One round trip, no chasing: what a minimally directory-enabled
     application sees when it hits a partial replica (section 3.1.1). *)
+
+val rpc :
+  t ->
+  ?faults:Faults.t ->
+  from:string ->
+  host:string ->
+  request_bytes:int ->
+  reply_bytes:('r -> int) ->
+  (unit -> 'r) ->
+  ('r, failure) result
+(** One synchronous request/reply exchange from [from] to [host],
+    serving the request with the given thunk.  The fault schedule is
+    consulted first: a partitioned link or dropped request means the
+    thunk never runs; a dropped {e reply} means the thunk {e did} run —
+    its side effects stand — but the caller only sees [Timeout].  All
+    attempts, bytes and losses are accounted in {!stats}. *)
+
+val account_push : t -> bytes:int -> unit
+(** Accounts one delivered persistent-search push PDU. *)
+
+val account_dropped : t -> unit
+(** Accounts one PDU lost to faults outside {!rpc} (e.g. a push). *)

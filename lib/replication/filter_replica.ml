@@ -4,25 +4,56 @@ module Resync = Ldap_resync
 
 type t = {
   schema : Schema.t;
-  master : Resync.Master.t;
+  transport : Resync.Transport.t;
+  master_host : string;
+  host : string;
   index : Resync.Consumer.t C.Containment_index.t;
   cache : Query_cache.t;
   stats : Stats.t;
 }
 
-let create ?(cache_capacity = 0) master =
-  let schema = Backend.schema (Resync.Master.backend master) in
+let master t =
+  match Resync.Transport.master t.transport t.master_host with
+  | Some m -> m
+  | None -> invalid_arg "Filter_replica.master: master host vanished"
+
+let create_over ?(cache_capacity = 0) ?(host = "replica") transport ~master_host =
+  let m =
+    match Resync.Transport.master transport master_host with
+    | Some m -> m
+    | None ->
+        invalid_arg
+          ("Filter_replica.create_over: no master registered as " ^ master_host)
+  in
+  let schema = Backend.schema (Resync.Master.backend m) in
   {
     schema;
-    master;
+    transport;
+    master_host;
+    host;
     index = C.Containment_index.create schema;
     cache = Query_cache.create schema ~capacity:cache_capacity;
     stats = Stats.create ();
   }
 
+let create ?cache_capacity master =
+  create_over ?cache_capacity (Resync.Transport.loopback master)
+    ~master_host:Resync.Transport.loopback_host
+
 let schema t = t.schema
 let stats t = t.stats
-let master t = t.master
+let transport t = t.transport
+
+let sync_consumer t consumer ~fetch =
+  match
+    Resync.Consumer.sync_over consumer t.transport ~host:t.master_host
+      ~from:t.host
+  with
+  | Ok outcome ->
+      Stats.add_reply t.stats outcome.Resync.Consumer.reply ~fetch;
+      Stats.record_sync_outcome t.stats outcome;
+      Ok ()
+  | Error e -> Error e
 
 let install_filter t q =
   if C.Containment_index.mem t.index q then Ok ()
@@ -31,19 +62,18 @@ let install_filter t q =
        its filter mentions, so contained queries can be re-evaluated
        locally; answers still project to the caller's selection. *)
     let consumer = Resync.Consumer.create t.schema (Replica.widen_attrs q) in
-    match Resync.Consumer.sync consumer t.master with
-    | Error _ as e -> e
-    | Ok reply ->
-        Stats.add_reply t.stats reply ~fetch:true;
+    match sync_consumer t consumer ~fetch:true with
+    | Ok () ->
         C.Containment_index.add t.index q consumer;
         Ok ()
+    | Error e -> Error (Resync.Consumer.sync_error_to_string e)
 
 let remove_filter t q =
   (* End the session at the master before dropping local state. *)
   (match C.Containment_index.find t.index q with
   | Some consumer -> (
       match Resync.Consumer.cookie consumer with
-      | Some cookie -> Resync.Master.abandon t.master ~cookie
+      | Some cookie -> Resync.Master.abandon (master t) ~cookie
       | None -> ())
   | None -> ());
   C.Containment_index.remove t.index q
@@ -59,7 +89,7 @@ let size_entries t =
   in
   Dn.Set.cardinal dns
 
-let estimate_size t q = Backend.count_matching (Resync.Master.backend t.master) q
+let estimate_size t q = Backend.count_matching (Resync.Master.backend (master t)) q
 
 let answer t q =
   let evaluable (stored : Query.t) _ =
@@ -87,9 +117,14 @@ let record_miss_result t q entries = Query_cache.add t.cache q entries
 let sync_where t pred =
   C.Containment_index.iter t.index ~f:(fun q consumer ->
       if pred q then
-        match Resync.Consumer.sync consumer t.master with
-        | Ok reply -> Stats.add_reply t.stats reply ~fetch:false
-        | Error msg -> invalid_arg ("Filter_replica.sync: " ^ msg))
+        match sync_consumer t consumer ~fetch:false with
+        | Ok () -> ()
+        | Error (Resync.Consumer.Exhausted _) ->
+            (* The consumer keeps its cookie and content; the filter
+               stays stale until a later round reaches the master. *)
+            Stats.record_sync_failure t.stats
+        | Error (Resync.Consumer.Rejected msg) ->
+            invalid_arg ("Filter_replica.sync: " ^ msg))
 
 let sync t = sync_where t (fun _ -> true)
 

@@ -11,20 +11,43 @@
     The stored filter set can be changed dynamically — the filter
     selection algorithm of section 6.2 calls {!install_filter} and
     {!remove_filter} at every revolution; the traffic this causes is
-    accounted separately as fetch traffic (section 7.3). *)
+    accounted separately as fetch traffic (section 7.3).
+
+    All master traffic rides a {!Ldap_resync.Transport}: polls retry
+    with backoff on loss, disrupted sessions recover by degraded
+    resync, and the retries/resyncs/recovery bytes appear in
+    {!Stats}. *)
 
 open Ldap
 
 type t
 
+val create_over :
+  ?cache_capacity:int ->
+  ?host:string ->
+  Ldap_resync.Transport.t ->
+  master_host:string ->
+  t
+(** A replica whose master lives at [master_host] on the given
+    transport (subject to its fault schedule).  [host] (default
+    ["replica"]) names this end for partition checks and accounting.
+    [cache_capacity] sizes the user-query window (default 0: no
+    caching of user queries).
+    @raise Invalid_argument if no master is registered at [master_host]. *)
+
 val create :
   ?cache_capacity:int -> Ldap_resync.Master.t -> t
-(** [cache_capacity] sizes the user-query window (default 0: no
-    caching of user queries). *)
+(** Co-located convenience: wraps [master] in a private fault-free
+    loopback transport. *)
 
 val schema : t -> Schema.t
 val stats : t -> Stats.t
+val transport : t -> Ldap_resync.Transport.t
+
 val master : t -> Ldap_resync.Master.t
+(** The master behind [master_host] — reachable in-process even when
+    the simulated link is partitioned (used for session teardown and
+    size estimates, which the paper charges to the control plane). *)
 
 val install_filter : t -> Query.t -> (unit, string) result
 (** Starts replicating a query: fetches its initial content from the
@@ -58,7 +81,9 @@ val record_miss_result : t -> Query.t -> Entry.t list -> unit
     cache (no synchronization — section 7.4). *)
 
 val sync : t -> unit
-(** One poll round over all stored filters (resync traffic). *)
+(** One poll round over all stored filters (resync traffic).  A filter
+    whose poll exhausts its retry budget is left stale (and counted in
+    {!Stats.t.sync_failures}) rather than aborting the round. *)
 
 val sync_where : t -> (Query.t -> bool) -> unit
 (** Polls only the stored filters satisfying the predicate.  This is

@@ -12,6 +12,11 @@ let of_filter_replica ~master_url replica =
 let of_subtree_replica ~master_url replica =
   { master_url; backend = Subtree_backend replica }
 
+let sync t =
+  match t.backend with
+  | Filter_backend r -> Filter_replica.sync r
+  | Subtree_backend r -> Subtree_replica.sync r
+
 let handle_search t q =
   let answer =
     match t.backend with

@@ -18,6 +18,9 @@ val of_filter_replica :
 val of_subtree_replica :
   master_url:string -> Subtree_replica.t -> t
 
+val sync : t -> unit
+(** One poll round on the wrapped replica, whichever model backs it. *)
+
 val handle_search : t -> Query.t -> Server.response
 (** [Entries] on a hit, [Referral [master_url]] on a miss. *)
 

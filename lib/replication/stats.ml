@@ -8,6 +8,11 @@ type t = {
   mutable fetch_entries : int;
   mutable fetch_bytes : int;
   mutable comparisons : int;
+  mutable sync_retries : int;
+  mutable sync_backoff_ticks : int;
+  mutable resyncs : int;
+  mutable recovery_bytes : int;
+  mutable sync_failures : int;
 }
 
 let create () =
@@ -21,6 +26,11 @@ let create () =
     fetch_entries = 0;
     fetch_bytes = 0;
     comparisons = 0;
+    sync_retries = 0;
+    sync_backoff_ticks = 0;
+    resyncs = 0;
+    recovery_bytes = 0;
+    sync_failures = 0;
   }
 
 let reset t =
@@ -32,7 +42,12 @@ let reset t =
   t.sync_actions <- 0;
   t.fetch_entries <- 0;
   t.fetch_bytes <- 0;
-  t.comparisons <- 0
+  t.comparisons <- 0;
+  t.sync_retries <- 0;
+  t.sync_backoff_ticks <- 0;
+  t.resyncs <- 0;
+  t.recovery_bytes <- 0;
+  t.sync_failures <- 0
 
 let hit_ratio t = if t.queries = 0 then 0.0 else float_of_int t.hits /. float_of_int t.queries
 let total_update_entries t = t.sync_entries + t.fetch_entries
@@ -58,8 +73,21 @@ let add_reply t reply ~fetch =
   end;
   t.sync_actions <- t.sync_actions + actions
 
+let record_sync_outcome t (o : Ldap_resync.Consumer.outcome) =
+  t.sync_retries <- t.sync_retries + (o.Ldap_resync.Consumer.attempts - 1);
+  t.sync_backoff_ticks <- t.sync_backoff_ticks + o.Ldap_resync.Consumer.backoff;
+  if o.Ldap_resync.Consumer.resynced then begin
+    t.resyncs <- t.resyncs + 1;
+    t.recovery_bytes <-
+      t.recovery_bytes + Ldap_resync.Protocol.reply_bytes o.Ldap_resync.Consumer.reply
+  end
+
+let record_sync_failure t = t.sync_failures <- t.sync_failures + 1
+
 let pp ppf t =
   Format.fprintf ppf
-    "queries=%d hits=%d (%.3f) sync=%de/%dB fetch=%de/%dB comparisons=%d"
+    "queries=%d hits=%d (%.3f) sync=%de/%dB fetch=%de/%dB comparisons=%d \
+     retries=%d backoff=%d resyncs=%d/%dB failures=%d"
     t.queries t.hits (hit_ratio t) t.sync_entries t.sync_bytes t.fetch_entries
-    t.fetch_bytes t.comparisons
+    t.fetch_bytes t.comparisons t.sync_retries t.sync_backoff_ticks t.resyncs
+    t.recovery_bytes t.sync_failures

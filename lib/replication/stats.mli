@@ -15,6 +15,13 @@ type t = {
   mutable fetch_entries : int;  (** Revolution fetch traffic, in entries. *)
   mutable fetch_bytes : int;
   mutable comparisons : int;  (** Containment checks performed. *)
+  mutable sync_retries : int;  (** Re-sent exchanges after transport loss. *)
+  mutable sync_backoff_ticks : int;  (** Modelled ticks spent backing off. *)
+  mutable resyncs : int;
+      (** Established sessions recovered through a full or degraded
+          resynchronization after a disruption. *)
+  mutable recovery_bytes : int;  (** Bytes of those recovery replies. *)
+  mutable sync_failures : int;  (** Polls abandoned with the retry budget spent. *)
 }
 
 val create : unit -> t
@@ -27,4 +34,11 @@ val total_update_entries : t -> int
 
 val record_query : t -> hit:bool -> returned:int -> unit
 val add_reply : t -> Ldap_resync.Protocol.reply -> fetch:bool -> unit
+
+val record_sync_outcome : t -> Ldap_resync.Consumer.outcome -> unit
+(** Accounts one successful synchronization: its retries and backoff,
+    and — when it recovered a disrupted session — the resync and the
+    bytes the recovery reply cost. *)
+
+val record_sync_failure : t -> unit
 val pp : Format.formatter -> t -> unit

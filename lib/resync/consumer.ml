@@ -4,11 +4,31 @@ type t = {
   query : Query.t;
   mutable entries : Entry.t Dn.Map.t;
   mutable cookie : string option;
+  mutable conn : Transport.conn option;
+  mutable loopback : (Master.t * Transport.t) option;
 }
+
+type outcome = {
+  reply : Protocol.reply;
+  attempts : int;
+  backoff : int;
+  resynced : bool;
+}
+
+type sync_error =
+  | Exhausted of { attempts : int; last : Network.failure }
+  | Rejected of string
+
+let sync_error_to_string = function
+  | Rejected msg -> msg
+  | Exhausted { attempts; last } ->
+      Printf.sprintf "sync failed after %d attempts: %s" attempts
+        (Network.failure_to_string last)
 
 let create schema query =
   ignore schema;
-  { query; entries = Dn.Map.empty; cookie = None }
+  { query; entries = Dn.Map.empty; cookie = None; conn = None; loopback = None }
+
 let query t = t.query
 let cookie t = t.cookie
 
@@ -39,13 +59,87 @@ let apply_reply t (reply : Protocol.reply) =
   | Some _ as c -> t.cookie <- c
   | None -> ()
 
-let sync t master =
-  let request = { Protocol.mode = Protocol.Poll; cookie = t.cookie } in
-  match Master.handle master request t.query with
-  | Error _ as e -> e
-  | Ok reply ->
+(* --- Synchronization over a transport -------------------------------- *)
+
+let default_attempts = 4
+let default_backoff = 1
+
+(* Whether an established session recovered through a full or degraded
+   resynchronization rather than a normal incremental replay. *)
+let recovered ~had_cookie (reply : Protocol.reply) =
+  had_cookie && reply.Protocol.kind <> Protocol.Incremental
+
+(* Bounded retry with exponential backoff, in modelled ticks: attempt
+   [i] failing costs [backoff * 2^(i-1)] ticks before the next try. *)
+let with_retries ~max_attempts ~backoff ~send ~accept =
+  let rec go attempt waited =
+    match send () with
+    | Ok reply -> Ok (accept reply ~attempts:attempt ~waited)
+    | Error (Transport.Server msg) -> Error (Rejected msg)
+    | Error (Transport.Net failure) ->
+        if attempt >= max_attempts then
+          Error (Exhausted { attempts = attempt; last = failure })
+        else go (attempt + 1) (waited + (backoff * (1 lsl (attempt - 1))))
+  in
+  go 1 0
+
+let sync_over ?(max_attempts = default_attempts) ?(backoff = default_backoff)
+    ?(from = "consumer") t transport ~host =
+  let had_cookie = t.cookie <> None in
+  with_retries ~max_attempts ~backoff
+    ~send:(fun () ->
+      let request = { Protocol.mode = Protocol.Poll; cookie = t.cookie } in
+      Transport.exchange transport ~host ~from request t.query)
+    ~accept:(fun reply ~attempts ~waited ->
       apply_reply t reply;
-      Ok reply
+      { reply; attempts; backoff = waited; resynced = recovered ~had_cookie reply })
+
+(* --- Persist mode ---------------------------------------------------- *)
+
+let persist_alive t =
+  match t.conn with Some c -> Transport.conn_alive c | None -> false
+
+let connect_persist ?(max_attempts = default_attempts) ?(backoff = default_backoff)
+    ?(from = "consumer") ?(observe = fun (_ : Action.t) -> ()) t transport ~host =
+  let had_cookie = t.cookie <> None in
+  let push a =
+    apply_action t a;
+    observe a
+  in
+  with_retries ~max_attempts ~backoff
+    ~send:(fun () ->
+      let request = { Protocol.mode = Protocol.Persist; cookie = t.cookie } in
+      match Transport.connect transport ~host ~from ~push request t.query with
+      | Ok (reply, conn) ->
+          (match t.conn with Some old -> Transport.kill old | None -> ());
+          t.conn <- Some conn;
+          Ok reply
+      | Error _ as e -> e)
+    ~accept:(fun reply ~attempts ~waited ->
+      apply_reply t reply;
+      { reply; attempts; backoff = waited; resynced = recovered ~had_cookie reply })
+
+let ensure_persist ?max_attempts ?backoff ?from ?observe t transport ~host =
+  if persist_alive t then Ok None
+  else
+    match connect_persist ?max_attempts ?backoff ?from ?observe t transport ~host with
+    | Ok outcome -> Ok (Some outcome)
+    | Error e -> Error e
+
+(* --- Co-located compatibility path ----------------------------------- *)
+
+let loopback_for t master =
+  match t.loopback with
+  | Some (m, transport) when m == master -> transport
+  | Some _ | None ->
+      let transport = Transport.loopback master in
+      t.loopback <- Some (master, transport);
+      transport
+
+let sync t master =
+  match sync_over t (loopback_for t master) ~host:Transport.loopback_host with
+  | Ok outcome -> Ok outcome.reply
+  | Error e -> Error (sync_error_to_string e)
 
 let entries t = List.map snd (Dn.Map.bindings t.entries)
 let dns t = Dn.Map.fold (fun dn _ acc -> Dn.Set.add dn acc) t.entries Dn.Set.empty

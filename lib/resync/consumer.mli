@@ -5,11 +5,36 @@
     set and tracks the resume cookie.  After any successful exchange
     the entry set equals the master's content at the reply's CSN —
     the convergence guarantee the protocol provides (verified by the
-    property tests). *)
+    property tests).
+
+    All synchronization goes through a {!Transport}: exchanges can be
+    lost, refused or cut by a partition, and the consumer recovers by
+    bounded retry with exponential backoff and — when its session
+    state at the master is gone or ahead of what it acknowledged — by
+    accepting a full or degraded resynchronization reply. *)
 
 open Ldap
 
 type t
+
+(** The result of one successful synchronization. *)
+type outcome = {
+  reply : Protocol.reply;
+  attempts : int;  (** Exchanges sent, including the successful one. *)
+  backoff : int;  (** Total backoff ticks waited between attempts. *)
+  resynced : bool;
+      (** An established session (cookie held) was answered with
+          [Initial_content] or [Degraded]: the master could not replay
+          incrementally and the consumer recovered by resync. *)
+}
+
+type sync_error =
+  | Exhausted of { attempts : int; last : Network.failure }
+      (** Retry budget spent; the consumer keeps its cookie and
+          content and may try again later. *)
+  | Rejected of string  (** The master refused the request. *)
+
+val sync_error_to_string : sync_error -> string
 
 val create : Schema.t -> Query.t -> t
 val query : t -> Query.t
@@ -19,10 +44,61 @@ val apply_reply : t -> Protocol.reply -> unit
 (** Applies all actions.  For a [Degraded] reply, entries that were
     neither retained nor upserted are pruned (eq. (3)). *)
 
+val sync_over :
+  ?max_attempts:int ->
+  ?backoff:int ->
+  ?from:string ->
+  t ->
+  Transport.t ->
+  host:string ->
+  (outcome, sync_error) result
+(** One poll against the master at [host], with up to [max_attempts]
+    (default 4) transport attempts; attempt [i] failing costs
+    [backoff * 2^(i-1)] ticks (default base 1).  A reply lost after
+    the master processed the poll is recovered on the retry: the
+    master sees the stale acknowledged CSN in the cookie and answers
+    with a degraded resynchronization, which the consumer applies. *)
+
 val sync : t -> Master.t -> (Protocol.reply, string) result
-(** One poll exchange against the master: sends the stored cookie (or
-    none on first contact), applies the reply, stores the new cookie.
-    Returns the reply so callers can account traffic. *)
+(** Co-located convenience: one poll through a private loopback
+    {!Transport} holding [master] — the exchange is still routed,
+    accounted and recoverable like any other.  Sends the stored
+    cookie (or none on first contact), applies the reply, stores the
+    new cookie.  Returns the reply so callers can account traffic. *)
+
+val connect_persist :
+  ?max_attempts:int ->
+  ?backoff:int ->
+  ?from:string ->
+  ?observe:(Action.t -> unit) ->
+  t ->
+  Transport.t ->
+  host:string ->
+  (outcome, sync_error) result
+(** Establishes (or re-establishes) a persist-mode session: the push
+    callback applying actions to this consumer is registered at the
+    master through the transport.  Reconnection presents the stored
+    cookie, so a master that pushed actions the consumer never
+    received answers with a degraded resync instead of silently
+    resuming.  [observe] is called after each applied push
+    (accounting hooks, tests). *)
+
+val persist_alive : t -> bool
+(** Whether the current persistent connection is still delivering.
+    A lost push or partition kills it; detection happens when traffic
+    flows, like a half-open TCP connection. *)
+
+val ensure_persist :
+  ?max_attempts:int ->
+  ?backoff:int ->
+  ?from:string ->
+  ?observe:(Action.t -> unit) ->
+  t ->
+  Transport.t ->
+  host:string ->
+  (outcome option, sync_error) result
+(** [Ok None] when the connection is alive; otherwise reconnects via
+    {!connect_persist} and returns its outcome. *)
 
 val entries : t -> Entry.t list
 val dns : t -> Dn.Set.t

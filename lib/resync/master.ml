@@ -42,6 +42,25 @@ let select_action (q : Query.t) = function
   | Action.Modify e -> Action.Modify (Entry.select e (Query.attr_list q.Query.attrs))
   | (Action.Delete _ | Action.Retain _) as a -> a
 
+(* Tombstones at or below every live session's synced CSN can never be
+   replayed again ([tombstone_actions] only sends those with
+   [since < ts_csn]); without pruning the list grows with every delete
+   for the lifetime of the master. *)
+let gc_tombstones t =
+  if t.strategy = Tombstone && t.tombstones <> [] then
+    let min_synced =
+      Hashtbl.fold
+        (fun _ s acc ->
+          match acc with
+          | None -> Some s.synced_csn
+          | Some m -> Some (if Csn.( < ) s.synced_csn m then s.synced_csn else m))
+        t.sessions None
+    in
+    t.tombstones <-
+      (match min_synced with
+      | None -> []
+      | Some m -> List.filter (fun ts -> Csn.( < ) m ts.ts_csn) t.tombstones)
+
 (* Classify a committed update against every live session. *)
 let on_update t (record : Update.record) =
   let schema = Backend.schema t.backend in
@@ -60,15 +79,18 @@ let on_update t (record : Update.record) =
       let actions =
         List.map (select_action session.query) (Content.actions_of_transition transition)
       in
-      if actions <> [] then
-        match session.persist_push with
-        | Some push ->
-            List.iter push actions;
-            session.synced_csn <- record.csn
-        | None ->
-            if t.strategy = Session_history then
-              session.pending <- List.rev_append actions session.pending)
-    t.sessions
+      match session.persist_push with
+      | Some push ->
+          List.iter push actions;
+          (* Every update — even one producing no actions for this
+             filter — is pushed through up to its CSN, so the session
+             must not pin retained history at an older CSN. *)
+          session.synced_csn <- record.csn
+      | None ->
+          if actions <> [] && t.strategy = Session_history then
+            session.pending <- List.rev_append actions session.pending)
+    t.sessions;
+  gc_tombstones t
 
 let create ?(strategy = Session_history) backend =
   let t =
@@ -256,18 +278,21 @@ let new_session t query ~persist_push =
   Hashtbl.replace t.sessions id session;
   session
 
+(* Poll replies carry the resume cookie; persist replies carry the
+   same cookie as a reconnection handle — if the connection breaks,
+   presenting it tells the master which CSN the consumer last
+   acknowledged, so reconnection can resume (or degrade) instead of
+   reloading. *)
+let session_cookie session ~mode =
+  match mode with
+  | Protocol.Poll | Protocol.Persist -> Some (cookie_of session.id session.synced_csn)
+  | Protocol.Sync_end -> None
+
 let initial_reply t session ~mode =
   let entries = Content.current t.backend session.query in
   let actions = List.map (fun e -> Action.Add e) entries in
   session.synced_csn <- Backend.csn t.backend;
-  {
-    Protocol.kind = Protocol.Initial_content;
-    actions;
-    cookie =
-      (match mode with
-      | Protocol.Poll -> Some (cookie_of session.id session.synced_csn)
-      | Protocol.Persist | Protocol.Sync_end -> None);
-  }
+  { Protocol.kind = Protocol.Initial_content; actions; cookie = session_cookie session ~mode }
 
 let incremental_reply t session ~mode =
   let degraded_fallback () =
@@ -295,69 +320,72 @@ let incremental_reply t session ~mode =
     | Tombstone -> (Protocol.Incremental, tombstone_actions t session)
   in
   session.synced_csn <- Backend.csn t.backend;
-  {
-    Protocol.kind;
-    actions;
-    cookie =
-      (match mode with
-      | Protocol.Poll -> Some (cookie_of session.id session.synced_csn)
-      | Protocol.Persist | Protocol.Sync_end -> None);
-  }
+  { Protocol.kind; actions; cookie = session_cookie session ~mode }
 
-let degraded_reply t query ~since ~mode =
-  let session = new_session t query ~persist_push:None in
+let degraded_reply t query ~since ~mode ~persist_push =
+  let session = new_session t query ~persist_push in
   let actions = degraded_actions t query ~since in
   session.synced_csn <- Backend.csn t.backend;
-  {
-    Protocol.kind = Protocol.Degraded;
-    actions;
-    cookie =
-      (match mode with
-      | Protocol.Poll -> Some (cookie_of session.id session.synced_csn)
-      | Protocol.Persist | Protocol.Sync_end -> None);
-  }
+  { Protocol.kind = Protocol.Degraded; actions; cookie = session_cookie session ~mode }
 
 let handle t ?push (request : Protocol.request) query =
   t.clock <- t.clock + 1;
   let mode = request.Protocol.mode in
-  match mode with
-  | Protocol.Sync_end -> (
-      match request.cookie with
-      | None -> Error "sync_end requires a cookie"
-      | Some c -> (
-          match parse_cookie c with
-          | None -> Error "malformed cookie"
-          | Some (id, _) ->
-              Hashtbl.remove t.sessions id;
-              Ok { Protocol.kind = Protocol.Incremental; actions = []; cookie = None }))
-  | Protocol.Poll | Protocol.Persist -> (
-      if mode = Protocol.Persist && push = None then
-        Error "persist mode requires a push channel"
-      else
-        let persist_push = if mode = Protocol.Persist then push else None in
+  let result =
+    match mode with
+    | Protocol.Sync_end -> (
         match request.cookie with
-        | None ->
-            let session = new_session t query ~persist_push in
-            session.last_active <- t.clock;
-            Ok (initial_reply t session ~mode)
+        | None -> Error "sync_end requires a cookie"
         | Some c -> (
             match parse_cookie c with
             | None -> Error "malformed cookie"
-            | Some (id, csn) -> (
-                match Hashtbl.find_opt t.sessions id with
-                | Some session when Query.equal session.query query ->
-                    session.last_active <- t.clock;
-                    session.persist_push <- persist_push;
-                    Ok (incremental_reply t session ~mode)
-                | Some _ | None ->
-                    (* Unknown or mismatched session: degraded mode
-                       resynchronization from the cookie's CSN. *)
-                    Ok (degraded_reply t query ~since:csn ~mode))))
+            | Some (id, _) ->
+                Hashtbl.remove t.sessions id;
+                Ok { Protocol.kind = Protocol.Incremental; actions = []; cookie = None }))
+    | Protocol.Poll | Protocol.Persist -> (
+        if mode = Protocol.Persist && push = None then
+          Error "persist mode requires a push channel"
+        else
+          let persist_push = if mode = Protocol.Persist then push else None in
+          match request.cookie with
+          | None ->
+              let session = new_session t query ~persist_push in
+              session.last_active <- t.clock;
+              Ok (initial_reply t session ~mode)
+          | Some c -> (
+              match parse_cookie c with
+              | None -> Error "malformed cookie"
+              | Some (id, csn) -> (
+                  match Hashtbl.find_opt t.sessions id with
+                  | Some session
+                    when Query.equal session.query query
+                         && Csn.equal csn session.synced_csn ->
+                      session.last_active <- t.clock;
+                      session.persist_push <- persist_push;
+                      Ok (incremental_reply t session ~mode)
+                  | Some session when Query.equal session.query query ->
+                      (* The consumer acknowledges a CSN other than the
+                         one this session advanced to: a reply (or a
+                         run of pushed actions) never arrived.  The
+                         per-session history for that interval is gone,
+                         so replaying [pending] would silently diverge —
+                         resynchronize degraded from the CSN the
+                         consumer actually holds. *)
+                      Hashtbl.remove t.sessions session.id;
+                      Ok (degraded_reply t query ~since:csn ~mode ~persist_push)
+                  | Some _ | None ->
+                      (* Unknown or mismatched session: degraded mode
+                         resynchronization from the cookie's CSN. *)
+                      Ok (degraded_reply t query ~since:csn ~mode ~persist_push))))
+  in
+  gc_tombstones t;
+  result
 
 let abandon t ~cookie =
-  match parse_cookie cookie with
+  (match parse_cookie cookie with
   | Some (id, _) -> Hashtbl.remove t.sessions id
-  | None -> ()
+  | None -> ());
+  gc_tombstones t
 
 let expire_sessions t ~idle_limit =
   let cutoff = t.clock - idle_limit in
@@ -366,7 +394,8 @@ let expire_sessions t ~idle_limit =
       (fun id s acc -> if s.last_active <= cutoff then id :: acc else acc)
       t.sessions []
   in
-  List.iter (Hashtbl.remove t.sessions) stale
+  List.iter (Hashtbl.remove t.sessions) stale;
+  gc_tombstones t
 
 let session_count t = Hashtbl.length t.sessions
 

@@ -23,7 +23,20 @@
     falls back to the degraded mode of eq. (3): it sends full entries
     for content members changed since the cookie's CSN and [retain]
     actions for unchanged members; the replica prunes the rest.  This
-    avoids a full reload. *)
+    avoids a full reload.
+
+    The same fallback repairs disrupted sessions: a cookie whose CSN
+    differs from the CSN the session advanced to means a reply (or a
+    run of persist pushes) was lost in transit after the master
+    recorded it as delivered — the per-session history for that
+    interval is gone, so the master discards the session and answers
+    degraded from the CSN the consumer actually acknowledges, instead
+    of silently resuming with a gap.
+
+    Tombstones are garbage collected: once every live session has
+    acknowledged a CSN at or past a tombstone's, no future replay can
+    need it and it is pruned (with no sessions at all, the whole list
+    is). *)
 
 open Ldap
 
@@ -45,9 +58,11 @@ val handle :
   Query.t ->
   (Protocol.reply, string) result
 (** Processes a resync search request.  [push] must be supplied for
-    [Persist] mode and receives subsequent change notifications; for
-    [Poll] the reply carries a resume cookie.  [Sync_end] with a valid
-    cookie terminates the session and returns an empty reply. *)
+    [Persist] mode and receives subsequent change notifications.
+    [Poll] and [Persist] replies carry a cookie — a resume handle for
+    polls, a reconnection handle for persistent sessions whose
+    connection breaks.  [Sync_end] with a valid cookie terminates the
+    session and returns an empty reply. *)
 
 val abandon : t -> cookie:string -> unit
 (** Client abandoned a persistent search: equivalent to sync_end. *)

@@ -16,6 +16,11 @@ let entries_cost r =
 let bytes_cost r = List.fold_left (fun acc a -> acc + Action.bytes_cost a) 0 r.actions
 let actions_count r = List.length r.actions
 
+let cookie_bytes = function Some c -> String.length c | None -> 0
+
+let request_bytes (r : request) = Ldap.Ber.message_overhead + 1 + cookie_bytes r.cookie
+let reply_bytes (r : reply) = Ldap.Ber.message_overhead + bytes_cost r + cookie_bytes r.cookie
+
 let mode_to_string = function
   | Poll -> "poll"
   | Persist -> "persist"

@@ -34,5 +34,13 @@ val entries_cost : reply -> int
 val bytes_cost : reply -> int
 val actions_count : reply -> int
 
+val request_bytes : request -> int
+(** Modelled wire size of a resync search request PDU: message
+    envelope, mode and cookie control value. *)
+
+val reply_bytes : reply -> int
+(** Modelled wire size of a full reply PDU: envelope, every action and
+    the resume cookie.  [bytes_cost] plus the envelope. *)
+
 val mode_to_string : mode -> string
 val pp_reply : Format.formatter -> reply -> unit

@@ -1,0 +1,85 @@
+open Ldap
+
+type error = Net of Network.failure | Server of string
+
+let error_to_string = function
+  | Net f -> Network.failure_to_string f
+  | Server msg -> msg
+
+type t = {
+  net : Network.t;
+  faults : Network.Faults.t option;
+  masters : (string, Master.t) Hashtbl.t;
+}
+
+let create ?faults net = { net; faults; masters = Hashtbl.create 4 }
+let network t = t.net
+let faults t = t.faults
+let add_master t ~name master = Hashtbl.replace t.masters name master
+let master t name = Hashtbl.find_opt t.masters name
+
+let loopback_host = "master"
+
+let loopback m =
+  let t = create (Network.create ()) in
+  add_master t ~name:loopback_host m;
+  t
+
+let exchange_with t ~host ~from ?push request query =
+  match Hashtbl.find_opt t.masters host with
+  | None -> Error (Net (Network.Unreachable host))
+  | Some m -> (
+      let result =
+        Network.rpc t.net ?faults:t.faults ~from ~host
+          ~request_bytes:(Protocol.request_bytes request)
+          ~reply_bytes:(function
+            | Ok reply -> Protocol.reply_bytes reply
+            | Error _ -> Ber.message_overhead)
+          (fun () -> Master.handle m ?push request query)
+      in
+      match result with
+      | Ok (Ok reply) -> Ok reply
+      | Ok (Error msg) -> Error (Server msg)
+      | Error failure -> Error (Net failure))
+
+let exchange t ~host ?(from = "consumer") request query =
+  exchange_with t ~host ~from ?push:None request query
+
+(* --- Persistent connections ------------------------------------------ *)
+
+type conn = { mutable alive : bool }
+
+let conn_alive c = c.alive
+let kill c = c.alive <- false
+
+let connect t ~host ?(from = "consumer") ~push request query =
+  let conn = { alive = true } in
+  (* Notifications cross the same lossy link as everything else; the
+     first one that does not arrive intact breaks the connection, and
+     everything after it is lost until the consumer reconnects. *)
+  let guarded action =
+    if conn.alive then begin
+      let delivered =
+        match t.faults with
+        | None -> true
+        | Some f ->
+            (not (Network.Faults.partitioned f ~a:from ~b:host))
+            && Network.Faults.next_outcome f = Network.Faults.Deliver
+      in
+      if delivered then begin
+        Network.account_push t.net ~bytes:(Action.bytes_cost action);
+        push action
+      end
+      else begin
+        conn.alive <- false;
+        Network.account_dropped t.net
+      end
+    end
+  in
+  match exchange_with t ~host ~from ~push:guarded request query with
+  | Ok reply -> Ok (reply, conn)
+  | Error e ->
+      (* If the reply was lost the master may hold a session pushing
+         into this closure; killing the handle discards those. *)
+      conn.alive <- false;
+      Error e

@@ -1,0 +1,67 @@
+(** The network leg of a ReSync session.
+
+    Consumers do not talk to a {!Master} directly: every exchange —
+    poll, persist establishment, sync_end — is routed through a
+    transport bound to an {!Ldap.Network} topology, where it is
+    subject to the network's fault schedule (drops, refusals,
+    partitions) and its byte/PDU accounting.  Persistent sessions get
+    a connection handle whose pushed notifications also traverse the
+    fault layer; any lost push breaks the connection, which the
+    consumer must detect and re-establish (section 5's disrupted
+    sessions). *)
+
+open Ldap
+
+type t
+
+type error =
+  | Net of Network.failure
+      (** Transport-level loss: the request may or may not have been
+          processed by the master. *)
+  | Server of string  (** The master rejected the request. *)
+
+val error_to_string : error -> string
+
+val create : ?faults:Network.Faults.t -> Network.t -> t
+val network : t -> Network.t
+val faults : t -> Network.Faults.t option
+
+val add_master : t -> name:string -> Master.t -> unit
+val master : t -> string -> Master.t option
+
+val loopback_host : string
+
+val loopback : Master.t -> t
+(** A private single-link topology with the given master registered
+    under {!loopback_host} and no fault schedule: the co-located
+    transport used when a caller holds a master directly. *)
+
+val exchange :
+  t -> host:string -> ?from:string -> Protocol.request -> Query.t ->
+  (Protocol.reply, error) result
+(** One poll/sync_end exchange against the master at [host].  [from]
+    (default ["consumer"]) names the client end for partition checks
+    and accounting. *)
+
+(** A persistent-search connection. *)
+type conn
+
+val conn_alive : conn -> bool
+val kill : conn -> unit
+(** Client-side teardown: subsequent pushes are discarded. *)
+
+val connect :
+  t ->
+  host:string ->
+  ?from:string ->
+  push:(Action.t -> unit) ->
+  Protocol.request ->
+  Query.t ->
+  (Protocol.reply * conn, error) result
+(** Establishes a persist-mode session.  Pushed actions traverse the
+    fault layer: a partitioned link or a lost push marks the
+    connection dead and discards that and all later notifications —
+    the master keeps pushing into the void until the session expires,
+    exactly like a half-open TCP connection.  If the establishment
+    reply itself is lost, the master-side session exists but the
+    returned error carries no connection: the consumer must retry. *)

@@ -320,9 +320,22 @@ let prop_same_shape_agrees =
             small_domain_entries
       | Some false | None -> true)
 
+let test_numeric_prefix_ranges () =
+  (* A substring prefix does not bound Integer-syntax values: "-2*"
+     matches -25 < -9, so treating age=-2* as inside age>=-9 would let
+     a replica answer the range query from content missing -25. *)
+  check_bool "negative prefix not in ge" false (contained "(age=-2*)" "(age>=-9)");
+  check_bool "prefix not in le (10 matches 1*)" false (contained "(age=1*)" "(age<=2)");
+  check_bool "prefix not in ge (positive)" false (contained "(age=1*)" "(age>=1)");
+  (* Lexically ordered syntaxes keep the prefix-window reasoning. *)
+  check_bool "lexical prefix in ge" true (contained "(sn=ab*)" "(sn>=ab)");
+  check_bool "lexical prefix in le" true (contained "(sn=ab*)" "(sn<=ac)");
+  check_bool "lexical prefix not in smaller le" false (contained "(sn=ab*)" "(sn<=ab)")
+
 let suite =
   [
     Alcotest.test_case "reflexive" `Quick test_reflexive;
+    Alcotest.test_case "numeric prefix ranges" `Quick test_numeric_prefix_ranges;
     Alcotest.test_case "equality cases" `Quick test_equality_cases;
     Alcotest.test_case "range cases" `Quick test_range_cases;
     Alcotest.test_case "substring cases" `Quick test_substring_cases;

@@ -66,6 +66,89 @@ let test_stats_reset () =
   check_int "round trips" 0 stats.Network.round_trips;
   check_int "bytes" 0 stats.Network.bytes
 
+let test_overlap_dedupe () =
+  (* Two servers reached through a continuation reference both return
+     e2: the client must report it once, in first-seen order. *)
+  let net = Network.create () in
+  let e name = entry (Printf.sprintf "cn=%s,o=x" name) [ ("objectclass", [ "person" ]); ("cn", [ name ]); ("sn", [ name ]) ] in
+  Network.add_handler net ~name:"a" (fun _ ->
+      Server.Entries
+        {
+          Backend.entries = [ e "e1"; e "e2" ];
+          references = [ [ Referral.make ~host:"b" () ] ];
+        });
+  Network.add_handler net ~name:"b" (fun _ ->
+      Server.Entries { Backend.entries = [ e "e2"; e "e3" ]; references = [] });
+  match Network.search net ~from:"a" (q "o=x") with
+  | Ok entries ->
+      check_int "deduplicated" 3 (List.length entries);
+      Alcotest.(check (list string)) "first-seen order" [ "e1"; "e2"; "e3" ]
+        (List.map (fun e -> List.hd (Entry.get e "cn")) entries)
+  | Error e -> Alcotest.fail e
+
+(* --- Fault-injectable rpc -------------------------------------------- *)
+
+let rpc_with net faults =
+  Network.rpc net ?faults ~from:"c" ~host:"s" ~request_bytes:10
+    ~reply_bytes:(fun _ -> 20)
+
+let test_rpc_deliver () =
+  let net = Network.create () in
+  (match rpc_with net None (fun () -> 42) with
+  | Ok v -> check_int "value" 42 v
+  | Error _ -> Alcotest.fail "expected delivery");
+  let stats = Network.stats net in
+  check_int "one rpc" 1 stats.Network.sync_rpcs;
+  check_int "request+reply bytes" 30 stats.Network.sync_bytes;
+  check_int "nothing dropped" 0 stats.Network.dropped_pdus
+
+let test_rpc_drop_request () =
+  let net = Network.create () in
+  let faults = Network.Faults.create () in
+  Network.Faults.script faults [ Network.Faults.Drop_request ];
+  let served = ref false in
+  (match rpc_with net (Some faults) (fun () -> served := true) with
+  | Error Network.Timeout -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected timeout");
+  check_bool "server never ran" false !served;
+  let stats = Network.stats net in
+  check_int "request bytes only" 10 stats.Network.sync_bytes;
+  check_int "one dropped" 1 stats.Network.dropped_pdus
+
+let test_rpc_drop_reply () =
+  (* The server runs — its side effects stand — but the client times
+     out, and the reply's bytes were still on the wire. *)
+  let net = Network.create () in
+  let faults = Network.Faults.create () in
+  Network.Faults.script faults [ Network.Faults.Drop_reply ];
+  let served = ref false in
+  (match rpc_with net (Some faults) (fun () -> served := true) with
+  | Error Network.Timeout -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected timeout");
+  check_bool "server ran" true !served;
+  let stats = Network.stats net in
+  check_int "request+reply bytes" 30 stats.Network.sync_bytes;
+  check_int "one dropped" 1 stats.Network.dropped_pdus
+
+let test_rpc_refuse_and_partition () =
+  let net = Network.create () in
+  let faults = Network.Faults.create () in
+  Network.Faults.script faults [ Network.Faults.Refuse ];
+  let served = ref false in
+  (match rpc_with net (Some faults) (fun () -> served := true) with
+  | Error (Network.Refused _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected refusal");
+  check_bool "refusal precedes serving" false !served;
+  Network.Faults.partition faults ~a:"c" ~b:"s";
+  (match rpc_with net (Some faults) (fun () -> served := true) with
+  | Error (Network.Unreachable "s") -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected unreachable");
+  check_bool "partition blocks" false !served;
+  Network.Faults.heal faults ~a:"c" ~b:"s";
+  match rpc_with net (Some faults) (fun () -> served := true) with
+  | Ok () -> check_bool "healed link delivers" true !served
+  | Error _ -> Alcotest.fail "expected delivery after heal"
+
 let suite =
   [
     Alcotest.test_case "unknown host" `Quick test_unknown_host;
@@ -73,4 +156,9 @@ let suite =
     Alcotest.test_case "referral loop guard" `Quick test_referral_loop_guard;
     Alcotest.test_case "no superior fails" `Quick test_no_superior_fails;
     Alcotest.test_case "stats reset" `Quick test_stats_reset;
+    Alcotest.test_case "overlap dedupe" `Quick test_overlap_dedupe;
+    Alcotest.test_case "rpc deliver" `Quick test_rpc_deliver;
+    Alcotest.test_case "rpc drop request" `Quick test_rpc_drop_request;
+    Alcotest.test_case "rpc drop reply" `Quick test_rpc_drop_reply;
+    Alcotest.test_case "rpc refuse+partition" `Quick test_rpc_refuse_and_partition;
   ]

@@ -323,6 +323,53 @@ let prop_no_wrong_answers =
           let dns l = List.sort compare (List.map (fun e -> Dn.canonical (Entry.dn e)) l) in
           dns entries = dns expected)
 
+let test_filter_replica_lossy_transport () =
+  (* The acceptance scenario: a filter replica syncing over a faulty
+     link — dropped replies, dropped requests, a forced session expiry
+     — converges to the master's content, and the recovery work shows
+     up in its stats. *)
+  let b, master = make_master () in
+  let apply op = ignore (must (Backend.apply b op)) in
+  let net = Network.create () in
+  let faults = Network.Faults.create () in
+  let transport = Resync.Transport.create ~faults net in
+  Resync.Transport.add_master transport ~name:"hq" master;
+  let replica = R.Filter_replica.create_over transport ~master_host:"hq" in
+  let stored = q "o=xyz" "(departmentNumber=7)" in
+  must (R.Filter_replica.install_filter replica stored);
+  check_int "initial content" 2 (R.Filter_replica.size_entries replica);
+  (* Round 1: the poll's reply is lost after the master processed it. *)
+  apply (Update.add (person "eve" "c=us,o=xyz" "0100003" "7"));
+  Network.Faults.script faults [ Network.Faults.Drop_reply ];
+  R.Filter_replica.sync replica;
+  (* Round 2: the master expires every session mid-stream. *)
+  apply (Update.modify (dn "cn=bob,c=us,o=xyz")
+           [ Update.replace_values "departmentNumber" [ "8" ] ]);
+  Resync.Master.expire_sessions master ~idle_limit:0;
+  R.Filter_replica.sync replica;
+  (* Round 3: a poll abandoned after four dropped requests leaves the
+     replica stale but intact; the next round catches up. *)
+  apply (Update.add (person "finn" "c=us,o=xyz" "0100004" "7"));
+  Network.Faults.script faults
+    [
+      Network.Faults.Drop_request; Network.Faults.Drop_request;
+      Network.Faults.Drop_request; Network.Faults.Drop_request;
+    ];
+  R.Filter_replica.sync replica;
+  check_int "stale after exhaustion" 2 (R.Filter_replica.size_entries replica);
+  R.Filter_replica.sync replica;
+  (* Converged: alice, eve, finn (bob moved out). *)
+  check_int "converged" 3 (R.Filter_replica.size_entries replica);
+  (match R.Filter_replica.answer replica stored with
+  | R.Replica.Answered entries -> check_int "answers current content" 3 (List.length entries)
+  | R.Replica.Referral -> Alcotest.fail "expected local answer");
+  let stats = R.Filter_replica.stats replica in
+  check_bool "retries recorded" true (stats.R.Stats.sync_retries >= 1);
+  check_int "resyncs recorded" 2 stats.R.Stats.resyncs;
+  check_bool "recovery bytes recorded" true (stats.R.Stats.recovery_bytes > 0);
+  check_int "exhaustion recorded" 1 stats.R.Stats.sync_failures;
+  check_bool "backoff ticks recorded" true (stats.R.Stats.sync_backoff_ticks >= 1)
+
 let suite =
   [
     Alcotest.test_case "subtree isContained" `Quick test_subtree_is_contained;
@@ -340,5 +387,7 @@ let suite =
     Alcotest.test_case "query cache containment" `Quick test_query_cache_containment;
     Alcotest.test_case "query cache window" `Quick test_query_cache_window;
     Alcotest.test_case "query cache disabled" `Quick test_query_cache_disabled;
+    Alcotest.test_case "filter replica lossy transport" `Quick
+      test_filter_replica_lossy_transport;
     QCheck_alcotest.to_alcotest prop_no_wrong_answers;
   ]

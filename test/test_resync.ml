@@ -289,6 +289,179 @@ let test_changelog_trim_degrades () =
       Alcotest.(check (list string)) "exact modify" [ "modify" ] (kinds reply.Protocol.actions)
   | Error e -> failwith e
 
+(* --- Fault injection over the transport ------------------------------ *)
+
+let faulty_setup () =
+  let b = make_backend () in
+  apply b (Update.add (person "a" ~dept:"7" ()));
+  apply b (Update.add (person "b" ~dept:"7" ()));
+  let master = Master.create b in
+  let net = Network.create () in
+  let faults = Network.Faults.create () in
+  let transport = Transport.create ~faults net in
+  Transport.add_master transport ~name:"m" master;
+  (b, master, net, faults, transport)
+
+let converged b consumer =
+  Dn.Set.equal
+    (Content.current_dns b (Consumer.query consumer))
+    (Consumer.dns consumer)
+
+let test_dropped_reply_recovers () =
+  let b, master, _net, faults, transport = faulty_setup () in
+  let consumer = Consumer.create schema (dept_query "7") in
+  (match Consumer.sync_over consumer transport ~host:"m" with
+  | Ok o ->
+      check_bool "initial" true (o.Consumer.reply.Protocol.kind = Protocol.Initial_content);
+      check_int "one attempt" 1 o.Consumer.attempts
+  | Error e -> failwith (Consumer.sync_error_to_string e));
+  apply b (Update.modify (dn "cn=a,o=xyz") [ Update.replace_values "mail" [ "a@x" ] ]);
+  apply b (Update.add (person "c" ~dept:"7" ()));
+  (* The master processes the poll (clearing its pending buffer and
+     advancing the session CSN) but the reply is lost.  The retry's
+     stale cookie must trigger a degraded resync, not a silent gap. *)
+  Network.Faults.script faults [ Network.Faults.Drop_reply ];
+  (match Consumer.sync_over consumer transport ~host:"m" with
+  | Ok o ->
+      check_int "two attempts" 2 o.Consumer.attempts;
+      check_int "one backoff tick" 1 o.Consumer.backoff;
+      check_bool "degraded recovery" true
+        (o.Consumer.reply.Protocol.kind = Protocol.Degraded);
+      check_bool "counted as resync" true o.Consumer.resynced
+  | Error e -> failwith (Consumer.sync_error_to_string e));
+  check_bool "converged" true (converged b consumer);
+  ignore master
+
+let test_expired_session_resumes () =
+  let b, master, _net, _faults, transport = faulty_setup () in
+  let consumer = Consumer.create schema (dept_query "7") in
+  (match Consumer.sync_over consumer transport ~host:"m" with
+  | Ok _ -> ()
+  | Error e -> failwith (Consumer.sync_error_to_string e));
+  apply b (Update.add (person "d" ~dept:"7" ()));
+  apply b (Update.delete (dn "cn=b,o=xyz"));
+  Master.expire_sessions master ~idle_limit:0;
+  (match Consumer.sync_over consumer transport ~host:"m" with
+  | Ok o ->
+      check_bool "degraded resume" true
+        (o.Consumer.reply.Protocol.kind = Protocol.Degraded);
+      check_bool "counted as resync" true o.Consumer.resynced
+  | Error e -> failwith (Consumer.sync_error_to_string e));
+  check_bool "converged" true (converged b consumer)
+
+let test_retry_exhaustion () =
+  let b, _master, _net, faults, transport = faulty_setup () in
+  let consumer = Consumer.create schema (dept_query "7") in
+  (match Consumer.sync_over consumer transport ~host:"m" with
+  | Ok _ -> ()
+  | Error e -> failwith (Consumer.sync_error_to_string e));
+  let cookie_before = Consumer.cookie consumer in
+  apply b (Update.add (person "e" ~dept:"7" ()));
+  Network.Faults.script faults
+    [
+      Network.Faults.Drop_request; Network.Faults.Drop_request;
+      Network.Faults.Drop_request; Network.Faults.Drop_request;
+    ];
+  (match Consumer.sync_over consumer transport ~host:"m" with
+  | Error (Consumer.Exhausted { attempts; last = Network.Timeout }) ->
+      check_int "budget spent" 4 attempts
+  | Error e -> failwith (Consumer.sync_error_to_string e)
+  | Ok _ -> Alcotest.fail "expected exhaustion");
+  (* Cookie and content survive; the dropped requests never reached
+     the master, so the next poll replays incrementally. *)
+  check_bool "cookie kept" true (Consumer.cookie consumer = cookie_before);
+  match Consumer.sync_over consumer transport ~host:"m" with
+  | Ok o ->
+      check_bool "incremental after recovery" true
+        (o.Consumer.reply.Protocol.kind = Protocol.Incremental);
+      check_bool "not a resync" false o.Consumer.resynced;
+      check_bool "converged" true (converged b consumer)
+  | Error e -> failwith (Consumer.sync_error_to_string e)
+
+let test_persist_reconnect () =
+  let b, master, _net, faults, transport = faulty_setup () in
+  let consumer = Consumer.create schema (dept_query "7") in
+  (match Consumer.connect_persist consumer transport ~host:"m" ~from:"consumer" with
+  | Ok _ -> ()
+  | Error e -> failwith (Consumer.sync_error_to_string e));
+  check_bool "connected" true (Consumer.persist_alive consumer);
+  apply b (Update.add (person "p1" ~dept:"7" ()));
+  check_int "push applied" 3 (Consumer.size consumer);
+  (* The link drops: the next push dies and takes the connection with
+     it — detected lazily, like half-open TCP. *)
+  Network.Faults.partition faults ~a:"consumer" ~b:"m";
+  apply b (Update.add (person "p2" ~dept:"7" ()));
+  check_bool "connection broken" false (Consumer.persist_alive consumer);
+  check_int "push lost" 3 (Consumer.size consumer);
+  apply b (Update.add (person "p3" ~dept:"7" ()));
+  Network.Faults.heal faults ~a:"consumer" ~b:"m";
+  (match Consumer.ensure_persist consumer transport ~host:"m" ~from:"consumer" with
+  | Ok (Some o) ->
+      (* The master pushed p1..p3 through (advancing the session CSN)
+         while the consumer only acknowledged the establishment CSN:
+         reconnection must resynchronize, not resume silently. *)
+      check_bool "degraded reconnect" true
+        (o.Consumer.reply.Protocol.kind = Protocol.Degraded);
+      check_bool "counted as resync" true o.Consumer.resynced
+  | Ok None -> Alcotest.fail "expected reconnection"
+  | Error e -> failwith (Consumer.sync_error_to_string e));
+  check_bool "reconnected" true (Consumer.persist_alive consumer);
+  check_bool "converged" true (converged b consumer);
+  (* New pushes flow through the fresh connection. *)
+  apply b (Update.add (person "p4" ~dept:"7" ()));
+  check_bool "live again" true (converged b consumer);
+  check_int "one persistent session" 1 (Master.persistent_count master)
+
+let test_ensure_persist_noop_when_alive () =
+  let b, _master, _net, _faults, transport = faulty_setup () in
+  let consumer = Consumer.create schema (dept_query "7") in
+  (match Consumer.connect_persist consumer transport ~host:"m" with
+  | Ok _ -> ()
+  | Error e -> failwith (Consumer.sync_error_to_string e));
+  (match Consumer.ensure_persist consumer transport ~host:"m" with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "reconnected a live connection"
+  | Error e -> failwith (Consumer.sync_error_to_string e));
+  ignore b
+
+let test_tombstone_gc () =
+  let b = make_backend () in
+  apply b (Update.add (person "a" ~dept:"7" ()));
+  apply b (Update.add (person "b" ~dept:"7" ()));
+  let master = Master.create ~strategy:Master.Tombstone b in
+  let consumer = Consumer.create schema (dept_query "7") in
+  (match Consumer.sync consumer master with Ok _ -> () | Error e -> failwith e);
+  apply b (Update.delete (dn "cn=a,o=xyz"));
+  apply b (Update.delete (dn "cn=b,o=xyz"));
+  check_int "tombstones retained for the live session" 2 (Master.history_size master);
+  (match Consumer.sync consumer master with Ok _ -> () | Error e -> failwith e);
+  (* Every session has acknowledged past both deletes: nothing can
+     replay them again. *)
+  check_int "tombstones pruned after poll" 0 (Master.history_size master);
+  check_bool "converged" true (converged b consumer);
+  (* With no sessions at all, deletes leave no tombstones behind. *)
+  let b2 = make_backend () in
+  apply b2 (Update.add (person "x" ~dept:"7" ()));
+  let master2 = Master.create ~strategy:Master.Tombstone b2 in
+  apply b2 (Update.delete (dn "cn=x,o=xyz"));
+  check_int "no sessions, no tombstones" 0 (Master.history_size master2)
+
+let test_persist_advances_synced_csn () =
+  (* An idle persistent session must not pin changelog history: every
+     pushed-through update (even a no-op for its filter) advances its
+     acknowledged CSN. *)
+  let b = make_backend () in
+  let master = Master.create ~strategy:Master.Changelog b in
+  let consumer = Consumer.create schema (dept_query "7") in
+  let transport = Transport.loopback master in
+  (match Consumer.connect_persist consumer transport ~host:Transport.loopback_host with
+  | Ok _ -> ()
+  | Error e -> failwith (Consumer.sync_error_to_string e));
+  for i = 0 to 19 do
+    apply b (Update.add (person (Printf.sprintf "o%d" i) ~dept:"9" ()))
+  done;
+  check_int "changelog not pinned by idle persist" 0 (Master.history_size master)
+
 (* --- Convergence property --------------------------------------------
    Arbitrary interleavings of updates and polls always leave the
    consumer's content equal to the master's current content. *)
@@ -424,6 +597,13 @@ let suite =
     Alcotest.test_case "tombstone conservative" `Quick test_tombstone_conservative;
     Alcotest.test_case "history sizes" `Quick test_history_sizes;
     Alcotest.test_case "changelog trim degrades" `Quick test_changelog_trim_degrades;
+    Alcotest.test_case "dropped reply recovers" `Quick test_dropped_reply_recovers;
+    Alcotest.test_case "expired session resumes" `Quick test_expired_session_resumes;
+    Alcotest.test_case "retry exhaustion" `Quick test_retry_exhaustion;
+    Alcotest.test_case "persist reconnect" `Quick test_persist_reconnect;
+    Alcotest.test_case "ensure_persist noop" `Quick test_ensure_persist_noop_when_alive;
+    Alcotest.test_case "tombstone gc" `Quick test_tombstone_gc;
+    Alcotest.test_case "persist advances csn" `Quick test_persist_advances_synced_csn;
     QCheck_alcotest.to_alcotest prop_convergence;
     QCheck_alcotest.to_alcotest prop_convergence_changelog;
   ]
