@@ -133,30 +133,34 @@ let index_tests =
         Test.make ~name:(Printf.sprintf "index/find miss (%d filters)" n)
           (Staged.stage (fun () -> C.Containment_index.find_container index miss_query));
       ])
-    [ 50; 200; 800 ]
+    [ 50; 200; 800; 3200 ]
 
+(* Returns measured rows (name, ns/run, r^2) for the JSON dump. *)
 let run_micro () =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   let test = Test.make_grouped ~name:"micro" (micro_tests @ index_tests) in
   let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let rows =
+  let measured =
     Hashtbl.fold
       (fun name ols acc ->
         let ns =
-          match Analyze.OLS.estimates ols with
-          | Some (v :: _) -> Printf.sprintf "%.1f" v
-          | Some [] | None -> "n/a"
+          match Analyze.OLS.estimates ols with Some (v :: _) -> Some v | Some [] | None -> None
         in
-        let r2 =
-          match Analyze.OLS.r_square ols with
-          | Some v -> Printf.sprintf "%.4f" v
-          | None -> "n/a"
-        in
-        [ name; ns; r2 ] :: acc)
+        (name, ns, Analyze.OLS.r_square ols) :: acc)
       results []
     |> List.sort compare
+  in
+  let rows =
+    List.map
+      (fun (name, ns, r2) ->
+        [
+          name;
+          (match ns with Some v -> Printf.sprintf "%.1f" v | None -> "n/a");
+          (match r2 with Some v -> Printf.sprintf "%.4f" v | None -> "n/a");
+        ])
+      measured
   in
   Eval.Report.print
     (Eval.Report.make ~title:"Micro-benchmarks (section 7.4 processing costs)"
@@ -165,7 +169,146 @@ let run_micro () =
            "template-based containment (Props 2-3) should be far cheaper than the";
            "general Prop 1 procedure; index lookups should scale with filter count";
          ]
-       ~columns:[ "benchmark"; "ns/run"; "r^2" ] ~rows ())
+       ~columns:[ "benchmark"; "ns/run"; "r^2" ] ~rows ());
+  measured
+
+(* --- Update fan-out sweep ---------------------------------------------
+   ns per committed update with N live sessions, routed vs naive
+   dispatch.  Each session holds a distinct serialNumber equality
+   filter; the measured update toggles the mail attribute of a single
+   entry, so it affects exactly one filter's content — the sublinear
+   case the predicate index exists for. *)
+
+module R = Ldap_resync
+
+let fanout_sessions = [ 10; 100; 1000 ]
+
+let make_fanout_master ~sessions ~dispatch =
+  let b = Backend.create ~indexed:[ "serialnumber" ] schema in
+  (match
+     Backend.add_context b
+       (Entry.make base_dn [ ("objectclass", [ "organization" ]); ("o", [ "xyz" ]) ])
+   with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  for i = 0 to max 999 (sessions - 1) do
+    let cn = Printf.sprintf "p%05d" i in
+    let e =
+      Entry.make
+        (Dn.child_ava base_dn "cn" cn)
+        [
+          ("objectclass", [ "inetOrgPerson" ]);
+          ("cn", [ cn ]); ("sn", [ cn ]);
+          ("serialNumber", [ Printf.sprintf "%07d" i ]);
+        ]
+    in
+    match Backend.apply b (Update.add e) with Ok _ -> () | Error msg -> failwith msg
+  done;
+  let master = R.Master.create ~strategy:R.Master.Session_history ~dispatch b in
+  for i = 0 to sessions - 1 do
+    let q =
+      Query.make ~base:base_dn
+        (Filter.of_string_exn (Printf.sprintf "(serialNumber=%07d)" i))
+    in
+    match R.Master.handle master { R.Protocol.mode = R.Protocol.Poll; cookie = None } q with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  done;
+  (b, master)
+
+(* Adaptive timing loop: repeat until >= 0.1 s of CPU time. *)
+let ns_per_run f =
+  for _ = 1 to 64 do f () done;
+  let rec measure n =
+    let t0 = Sys.time () in
+    for _ = 1 to n do f () done;
+    let dt = Sys.time () -. t0 in
+    if dt >= 0.1 then dt /. float_of_int n *. 1e9 else measure (n * 4)
+  in
+  measure 128
+
+let fanout_measure ~sessions ~dispatch =
+  let b, master = make_fanout_master ~sessions ~dispatch in
+  ignore master;
+  let target = Dn.child_ava base_dn "cn" "p00000" in
+  let flip = ref false in
+  ns_per_run (fun () ->
+      flip := not !flip;
+      let v = if !flip then "a@xyz" else "b@xyz" in
+      match Backend.apply b (Update.modify target [ Update.replace_values "mail" [ v ] ]) with
+      | Ok _ -> ()
+      | Error e -> failwith e)
+
+(* Returns (sessions, routed ns/update, naive ns/update) rows. *)
+let run_fanout () =
+  let measured =
+    List.map
+      (fun sessions ->
+        let routed = fanout_measure ~sessions ~dispatch:R.Master.Routed in
+        let naive = fanout_measure ~sessions ~dispatch:R.Master.Naive in
+        (sessions, routed, naive))
+      fanout_sessions
+  in
+  let rows =
+    List.map
+      (fun (sessions, routed, naive) ->
+        [
+          string_of_int sessions;
+          Printf.sprintf "%.1f" routed;
+          Printf.sprintf "%.1f" naive;
+          Printf.sprintf "%.1fx" (naive /. routed);
+        ])
+      measured
+  in
+  Eval.Report.print
+    (Eval.Report.make ~title:"Update fan-out: ns/update vs live sessions"
+       ~notes:
+         [
+           "one committed update toggling a non-filter attribute of one entry;";
+           "naive dispatch classifies it against every session, routed dispatch";
+           "only against the sessions whose filter anchors the update hits";
+         ]
+       ~columns:[ "sessions"; "routed ns"; "naive ns"; "speedup" ] ~rows ());
+  measured
+
+(* --- JSON dump -------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json ~path ~micro ~fanout =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  let opt = function Some v -> Printf.sprintf "%.4f" v | None -> "null" in
+  out "{\n  \"micro\": [\n";
+  List.iteri
+    (fun i (name, ns, r2) ->
+      out "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}%s\n"
+        (json_escape name) (opt ns) (opt r2)
+        (if i = List.length micro - 1 then "" else ","))
+    micro;
+  out "  ],\n  \"fanout\": [\n";
+  List.iteri
+    (fun i (sessions, routed, naive) ->
+      out
+        "    {\"sessions\": %d, \"routed_ns_per_update\": %.1f, \
+         \"naive_ns_per_update\": %.1f, \"speedup\": %.2f}%s\n"
+        sessions routed naive (naive /. routed)
+        (if i = List.length fanout - 1 then "" else ","))
+    fanout;
+  out "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
 
 (* --- Entry point ------------------------------------------------------ *)
 
@@ -182,7 +325,15 @@ let () =
   let micro_only = List.mem "--micro-only" args in
   let figures_only = List.mem "--figures-only" args in
   if List.mem "--smoke" args then smoke ()
+  else if List.mem "--json" args then begin
+    let micro = run_micro () in
+    let fanout = run_fanout () in
+    write_json ~path:"BENCH_PR2.json" ~micro ~fanout
+  end
   else begin
     if not micro_only then Eval.Figures.all ~quick ();
-    if not figures_only then run_micro ()
+    if not figures_only then begin
+      ignore (run_micro ());
+      ignore (run_fanout ())
+    end
   end

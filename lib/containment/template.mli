@@ -35,6 +35,11 @@ type t = And of t list | Or of t list | Not of t | Pred of pred
 val holes : t -> int
 (** Number of holes; hole indices are [0 .. holes - 1]. *)
 
+val hole_attrs : t -> string array
+(** [hole_attrs t] maps each hole index to the attribute whose
+    assertion it fills; used to pick the matching-rule syntax for a
+    hole's bound values. *)
+
 val of_filter : Filter.t -> t
 (** Full generalization: every assertion value (and every substring
     component) becomes a hole.  The filter is normalized first. *)

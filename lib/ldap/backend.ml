@@ -3,10 +3,10 @@ type t = {
   mutable contexts : Dit.t list;  (* deepest suffix first *)
   index : Index.t;
   mutable referral_dns : Dn.Set.t;  (* referral objects, for references *)
-  mutable log : Update.record list;  (* newest first *)
-  mutable log_floor : Csn.t;  (* records <= floor have been trimmed *)
+  log : Changelog.t;
   mutable csn : Csn.t;
-  mutable subscribers : (Update.record -> unit) list;
+  mutable subscribers : (Update.record -> unit) array;  (* registration order *)
+  mutable subscriber_count : int;
 }
 
 let create ?(indexed = []) schema =
@@ -15,10 +15,10 @@ let create ?(indexed = []) schema =
     contexts = [];
     index = Index.create schema ~attrs:("objectclass" :: indexed);
     referral_dns = Dn.Set.empty;
-    log = [];
-    log_floor = Csn.zero;
+    log = Changelog.create ();
     csn = Csn.zero;
-    subscribers = [];
+    subscribers = [||];
+    subscriber_count = 0;
   }
 
 let schema t = t.schema
@@ -125,14 +125,18 @@ let rec index_candidates t filter =
       Some (Index.lookup_prefix t.index ~attr:a p)
   | Filter.And gs ->
       (* Any conjunct's candidate set over-approximates the result;
-         pick the smallest available. *)
+         pick the smallest available.  Cardinal is O(n) on these sets,
+         so compute it once per conjunct instead of re-measuring the
+         running best on every comparison. *)
       List.filter_map (index_candidates t) gs
       |> List.fold_left
            (fun best s ->
+             let n = Dn.Set.cardinal s in
              match best with
-             | None -> Some s
-             | Some b -> if Dn.Set.cardinal s < Dn.Set.cardinal b then Some s else Some b)
+             | Some (_, bn) when bn <= n -> best
+             | Some _ | None -> Some (s, n))
            None
+      |> Option.map fst
   | Filter.Or gs ->
       let sets = List.map (index_candidates t) gs in
       if List.for_all Option.is_some sets then
@@ -251,8 +255,10 @@ let commit t op ~before ~after ~(mutate : unit -> (unit, string) result) =
   | Ok () ->
       t.csn <- Csn.next t.csn;
       let record = { Update.csn = t.csn; op; before; after } in
-      t.log <- record :: t.log;
-      List.iter (fun f -> f record) t.subscribers;
+      Changelog.append t.log record;
+      for i = 0 to t.subscriber_count - 1 do
+        t.subscribers.(i) record
+      done;
       Ok record
 
 let dit_result dit_res ~on_ok =
@@ -383,15 +389,16 @@ let apply t op =
 
 let csn t = t.csn
 
-let log_since t since =
-  List.filter (fun (r : Update.record) -> Csn.( < ) since r.csn) (List.rev t.log)
+let log_since t since = Changelog.since t.log since
+let log_complete_since t since = Changelog.complete_since t.log since
+let trim_log t ~before = Changelog.trim t.log ~before
+let log_length t = Changelog.length t.log
 
-let log_complete_since t since = Csn.( <= ) t.log_floor since
-
-let trim_log t ~before =
-  t.log <- List.filter (fun (r : Update.record) -> Csn.( <= ) before r.csn) t.log;
-  let floor = Csn.of_int (Csn.to_int before - 1) in
-  if Csn.( < ) t.log_floor floor then t.log_floor <- floor
-
-let log_length t = List.length t.log
-let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
+let subscribe t f =
+  if t.subscriber_count = Array.length t.subscribers then begin
+    let grown = Array.make (max 4 (2 * t.subscriber_count)) f in
+    Array.blit t.subscribers 0 grown 0 t.subscriber_count;
+    t.subscribers <- grown
+  end;
+  t.subscribers.(t.subscriber_count) <- f;
+  t.subscriber_count <- t.subscriber_count + 1

@@ -1,0 +1,65 @@
+type t = {
+  mutable buf : Update.record array;  (* ring storage; length is capacity *)
+  mutable head : int;  (* physical index of the oldest record *)
+  mutable len : int;
+  mutable floor : Csn.t;  (* records <= floor have been trimmed *)
+}
+
+let create () = { buf = [||]; head = 0; len = 0; floor = Csn.zero }
+
+let length t = t.len
+let floor t = t.floor
+
+(* Logical index -> physical slot. *)
+let slot t i = (t.head + i) mod Array.length t.buf
+
+let get t i = t.buf.(slot t i)
+
+let grow t seed =
+  let cap = max 16 (2 * Array.length t.buf) in
+  let buf = Array.make cap seed in
+  for i = 0 to t.len - 1 do
+    buf.(i) <- get t i
+  done;
+  t.buf <- buf;
+  t.head <- 0
+
+let append t (r : Update.record) =
+  if t.len > 0 && Csn.( <= ) r.csn (get t (t.len - 1)).Update.csn then
+    invalid_arg "Changelog.append: CSN not increasing";
+  if t.len = Array.length t.buf then grow t r;
+  t.buf.((t.head + t.len) mod Array.length t.buf) <- r;
+  t.len <- t.len + 1
+
+(* Smallest logical index whose record has CSN > [csn]; [t.len] when
+   none does.  Records are CSN-sorted, so this is a binary search. *)
+let first_after t csn =
+  let lo = ref 0 and hi = ref t.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Csn.( < ) csn (get t mid).Update.csn then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let since t csn =
+  let start = first_after t csn in
+  let out = ref [] in
+  for i = t.len - 1 downto start do
+    out := get t i :: !out
+  done;
+  !out
+
+let complete_since t csn = Csn.( <= ) t.floor csn
+
+let trim t ~before =
+  while t.len > 0 && Csn.( < ) (get t 0).Update.csn before do
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.len <- t.len - 1
+  done;
+  let fl = Csn.of_int (Csn.to_int before - 1) in
+  if Csn.( < ) t.floor fl then t.floor <- fl
+
+let iter t ~f =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done

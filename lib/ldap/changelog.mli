@@ -1,0 +1,42 @@
+(** CSN-indexed changelog of committed updates.
+
+    A growable ring buffer holding {!Update.record}s in commit (CSN)
+    order.  The cons-list log it replaces cost O(n) for every suffix
+    read, trim and length query, which put a linear factor on the
+    ReSync changelog-replay hot path; the ring gives O(log n + result)
+    suffix reads ({!since} binary-searches the first retained record),
+    O(1) {!length} and O(dropped) {!trim}.
+
+    Records must be appended with strictly increasing CSNs ({!Backend}
+    guarantees this by construction); {!since} relies on that order. *)
+
+type t
+
+val create : unit -> t
+(** Empty log with floor {!Csn.zero}: complete since the beginning. *)
+
+val append : t -> Update.record -> unit
+(** Adds a record at the tail.  Amortized O(1).
+    @raise Invalid_argument if the record's CSN is not strictly greater
+    than the last appended one. *)
+
+val since : t -> Csn.t -> Update.record list
+(** Records with CSN strictly greater than the argument, oldest first.
+    O(log n) to locate the suffix plus O(result) to build it. *)
+
+val complete_since : t -> Csn.t -> bool
+(** Whether the log still reaches back to (exclusive) the given CSN,
+    i.e. no record with a larger CSN has been trimmed away. *)
+
+val trim : t -> before:Csn.t -> unit
+(** Drops records with CSN < [before] and raises the floor to
+    [before - 1]; models bounded history.  O(records dropped). *)
+
+val floor : t -> Csn.t
+(** Records at or below the floor have been trimmed. *)
+
+val length : t -> int
+(** O(1). *)
+
+val iter : t -> f:(Update.record -> unit) -> unit
+(** Oldest first. *)

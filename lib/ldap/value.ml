@@ -42,6 +42,16 @@ let normalize syntax v =
   | Integer -> String.trim v
   | Telephone -> String.lowercase_ascii (strip_phone v)
 
+let canonical syntax v =
+  let n = normalize syntax v in
+  match syntax with
+  | Integer -> (
+      (* [normalize] is not canonical for Integer ("07" and "7" are
+         equal but normalize differently); fold parsable values to the
+         canonical decimal spelling. *)
+      match int_of_string_opt n with Some i -> string_of_int i | None -> n)
+  | Case_ignore | Case_exact | Telephone -> n
+
 let compare_integer a b =
   match (int_of_string_opt a, int_of_string_opt b) with
   | Some x, Some y -> Int.compare x y

@@ -26,6 +26,13 @@ val normalize : syntax -> string -> string
 (** [normalize syntax v] is the canonical form used for equality,
     ordering, indexing and DN comparison. *)
 
+val canonical : syntax -> string -> string
+(** Canonical representative of the value's equality class:
+    [equal syntax a b] iff [canonical syntax a = canonical syntax b].
+    Unlike {!normalize} this also folds Integer-syntax spellings
+    ("07" and "7") together, so it is safe to use as a hash key that
+    stands in for {!equal}. *)
+
 val compare : syntax -> string -> string -> int
 (** Total order on values under the given syntax.  For [Integer] this
     is numeric order on values that parse as integers. *)

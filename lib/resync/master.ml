@@ -1,6 +1,7 @@
 open Ldap
 
 type strategy = Session_history | Changelog | Tombstone
+type dispatch = Routed | Naive
 
 type session = {
   id : int;
@@ -17,6 +18,10 @@ type t = {
   backend : Backend.t;
   strategy : strategy;
   sessions : (int, session) Hashtbl.t;
+  dispatch : Ldap_containment.Predicate_index.t option;  (* [Routed] only *)
+  persist : (int, session) Hashtbl.t;
+      (* sessions holding a push channel; every update must advance
+         their synced CSN even when it yields no actions *)
   mutable tombstones : tombstone list;  (* newest first; Tombstone only *)
   mutable next_id : int;
   mutable clock : int;  (* protocol activity ticks *)
@@ -24,6 +29,21 @@ type t = {
 
 let backend t = t.backend
 let strategy t = t.strategy
+
+(* The [persist] table and the dispatch index shadow [sessions]; all
+   membership changes go through these helpers to keep them in sync. *)
+let set_persist t session push =
+  session.persist_push <- push;
+  match push with
+  | Some _ -> Hashtbl.replace t.persist session.id session
+  | None -> Hashtbl.remove t.persist session.id
+
+let remove_session t id =
+  Hashtbl.remove t.sessions id;
+  Hashtbl.remove t.persist id;
+  Option.iter
+    (fun idx -> Ldap_containment.Predicate_index.remove idx id)
+    t.dispatch
 
 let cookie_of id csn = Printf.sprintf "rs:%d:%d" id (Csn.to_int csn)
 
@@ -61,9 +81,27 @@ let gc_tombstones t =
       | None -> []
       | Some m -> List.filter (fun ts -> Csn.( < ) m ts.ts_csn) t.tombstones)
 
-(* Classify a committed update against every live session. *)
-let on_update t (record : Update.record) =
+(* Classify a committed update against one session. *)
+let classify_for t (record : Update.record) session =
   let schema = Backend.schema t.backend in
+  let transition =
+    Content.classify schema session.query ~before:record.before ~after:record.after
+  in
+  let actions =
+    List.map (select_action session.query) (Content.actions_of_transition transition)
+  in
+  match session.persist_push with
+  | Some push ->
+      List.iter push actions;
+      (* Every update — even one producing no actions for this
+         filter — is pushed through up to its CSN, so the session
+         must not pin retained history at an older CSN. *)
+      session.synced_csn <- record.csn
+  | None ->
+      if actions <> [] && t.strategy = Session_history then
+        session.pending <- List.rev_append actions session.pending
+
+let on_update t (record : Update.record) =
   (if t.strategy = Tombstone then
      match record.Update.op with
      | Update.Delete dn -> t.tombstones <- { ts_dn = dn; ts_csn = record.csn } :: t.tombstones
@@ -71,33 +109,45 @@ let on_update t (record : Update.record) =
          (* The old DN disappears: tombstone it. *)
          t.tombstones <- { ts_dn = dn; ts_csn = record.csn } :: t.tombstones
      | Update.Add _ | Update.Modify _ -> ());
-  Hashtbl.iter
-    (fun _ session ->
-      let transition =
-        Content.classify schema session.query ~before:record.before ~after:record.after
+  (match t.dispatch with
+  | None ->
+      (* Naive dispatch: classify against every live session. *)
+      Hashtbl.iter (fun _ session -> classify_for t record session) t.sessions
+  | Some idx ->
+      (* Routed dispatch: only sessions whose filter anchors are hit by
+         the update's before/after images can change content, so only
+         those are classified.  The rest see [Stays_out] by the index's
+         superset guarantee — no actions; persistent sessions among
+         them still acknowledge the CSN, exactly as the naive path's
+         empty classification would. *)
+      let affected =
+        Ldap_containment.Predicate_index.affected idx ~before:record.before
+          ~after:record.after
       in
-      let actions =
-        List.map (select_action session.query) (Content.actions_of_transition transition)
-      in
-      match session.persist_push with
-      | Some push ->
-          List.iter push actions;
-          (* Every update — even one producing no actions for this
-             filter — is pushed through up to its CSN, so the session
-             must not pin retained history at an older CSN. *)
-          session.synced_csn <- record.csn
-      | None ->
-          if actions <> [] && t.strategy = Session_history then
-            session.pending <- List.rev_append actions session.pending)
-    t.sessions;
+      Ldap_containment.Predicate_index.iter
+        (fun id ->
+          match Hashtbl.find_opt t.sessions id with
+          | Some session -> classify_for t record session
+          | None -> ())
+        affected;
+      Hashtbl.iter
+        (fun id session ->
+          if not (Ldap_containment.Predicate_index.mem affected id) then
+            session.synced_csn <- record.csn)
+        t.persist);
   gc_tombstones t
 
-let create ?(strategy = Session_history) backend =
+let create ?(strategy = Session_history) ?(dispatch = Routed) backend =
   let t =
     {
       backend;
       strategy;
       sessions = Hashtbl.create 16;
+      dispatch =
+        (match dispatch with
+        | Routed -> Some (Ldap_containment.Predicate_index.create (Backend.schema backend))
+        | Naive -> None);
+      persist = Hashtbl.create 16;
       tombstones = [];
       next_id = 1;
       clock = 0;
@@ -196,12 +246,12 @@ let changelog_actions t session =
         | Update.Modify (dn, items) -> (
             match r.after with
             | Some e when member schema q e -> [ Action.Modify e ]
-            | Some e ->
-                (* Not currently in content.  If the modification
-                   touched a filter attribute or the entry might have
-                   matched before, a conservative delete is needed. *)
-                if touches_filter items then [ Action.Delete (Entry.dn e) ]
-                else [] |> fun l -> ignore dn; l
+            | Some e when touches_filter items ->
+                (* Not currently in content but the modification
+                   touched a filter attribute: the entry might have
+                   matched before, so a conservative delete is needed. *)
+                [ Action.Delete (Entry.dn e) ]
+            | Some _ -> []
             | None -> [ Action.Delete dn ])
         | Update.Modify_dn { dn; _ } -> (
             (* Old DN vanishes; membership of the old entry unknown. *)
@@ -271,11 +321,16 @@ let new_session t query ~persist_push =
       query;
       pending = [];
       synced_csn = Backend.csn t.backend;
-      persist_push;
+      persist_push = None;
       last_active = t.clock;
     }
   in
   Hashtbl.replace t.sessions id session;
+  set_persist t session persist_push;
+  Option.iter
+    (fun idx ->
+      Ldap_containment.Predicate_index.add idx id query.Query.filter)
+    t.dispatch;
   session
 
 (* Poll replies carry the resume cookie; persist replies carry the
@@ -340,7 +395,7 @@ let handle t ?push (request : Protocol.request) query =
             match parse_cookie c with
             | None -> Error "malformed cookie"
             | Some (id, _) ->
-                Hashtbl.remove t.sessions id;
+                remove_session t id;
                 Ok { Protocol.kind = Protocol.Incremental; actions = []; cookie = None }))
     | Protocol.Poll | Protocol.Persist -> (
         if mode = Protocol.Persist && push = None then
@@ -361,7 +416,7 @@ let handle t ?push (request : Protocol.request) query =
                     when Query.equal session.query query
                          && Csn.equal csn session.synced_csn ->
                       session.last_active <- t.clock;
-                      session.persist_push <- persist_push;
+                      set_persist t session persist_push;
                       Ok (incremental_reply t session ~mode)
                   | Some session when Query.equal session.query query ->
                       (* The consumer acknowledges a CSN other than the
@@ -371,7 +426,7 @@ let handle t ?push (request : Protocol.request) query =
                          so replaying [pending] would silently diverge —
                          resynchronize degraded from the CSN the
                          consumer actually holds. *)
-                      Hashtbl.remove t.sessions session.id;
+                      remove_session t session.id;
                       Ok (degraded_reply t query ~since:csn ~mode ~persist_push)
                   | Some _ | None ->
                       (* Unknown or mismatched session: degraded mode
@@ -383,7 +438,7 @@ let handle t ?push (request : Protocol.request) query =
 
 let abandon t ~cookie =
   (match parse_cookie cookie with
-  | Some (id, _) -> Hashtbl.remove t.sessions id
+  | Some (id, _) -> remove_session t id
   | None -> ());
   gc_tombstones t
 
@@ -394,15 +449,12 @@ let expire_sessions t ~idle_limit =
       (fun id s acc -> if s.last_active <= cutoff then id :: acc else acc)
       t.sessions []
   in
-  List.iter (Hashtbl.remove t.sessions) stale;
+  List.iter (remove_session t) stale;
   gc_tombstones t
 
 let session_count t = Hashtbl.length t.sessions
 
-let persistent_count t =
-  Hashtbl.fold
-    (fun _ s acc -> if s.persist_push <> None then acc + 1 else acc)
-    t.sessions 0
+let persistent_count t = Hashtbl.length t.persist
 
 let history_size t =
   match t.strategy with

@@ -42,11 +42,25 @@ open Ldap
 
 type strategy = Session_history | Changelog | Tombstone
 
+type dispatch =
+  | Routed
+      (** Committed updates are routed through a
+          {!Ldap_containment.Predicate_index} built over the live
+          sessions' filters: only the sessions whose filter anchors are
+          hit by the update's before/after images are classified, plus
+          a fallback set for unanchorable filters.  Per-update cost is
+          proportional to the affected sessions, not the session count.
+          Observably equivalent to [Naive]. *)
+  | Naive
+      (** Every committed update is classified against every live
+          session — the baseline linear fan-out, kept for comparison
+          and for the equivalence tests. *)
+
 type t
 
-val create : ?strategy:strategy -> Backend.t -> t
+val create : ?strategy:strategy -> ?dispatch:dispatch -> Backend.t -> t
 (** Subscribes to the backend's committed updates.  Default strategy is
-    [Session_history]. *)
+    [Session_history]; default dispatch is [Routed]. *)
 
 val backend : t -> Backend.t
 val strategy : t -> strategy

@@ -12,6 +12,7 @@ let () =
       ("backend", Test_backend.suite);
       ("network", Test_network.suite);
       ("resync", Test_resync.suite);
+      ("dispatch", Test_dispatch.suite);
       ("replication", Test_replication.suite);
       ("selection", Test_selection.suite);
       ("dirgen", Test_dirgen.suite);

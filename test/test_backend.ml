@@ -180,6 +180,61 @@ let test_log () =
   check_bool "incomplete from zero" false (Backend.log_complete_since b Csn.zero);
   check_int "trimmed length" 1 (Backend.log_length b)
 
+let test_log_ring () =
+  (* The changelog ring against a reference list: [since], [length],
+     [trim] and the floor must agree through growth (wraparound) and
+     interleaved trimming. *)
+  let log = Changelog.create () in
+  let reference = ref [] in  (* newest first *)
+  let record i =
+    { Update.csn = Csn.of_int i; op = Update.delete (dn "o=xyz"); before = None;
+      after = None }
+  in
+  let check_against_reference i =
+    (* Probe a handful of resume points around the current csn. *)
+    List.iter
+      (fun since ->
+        let expect =
+          List.filter (fun (r : Update.record) -> Csn.( < ) since r.Update.csn)
+            (List.rev !reference)
+        in
+        let got = Changelog.since log since in
+        check_int
+          (Printf.sprintf "since %d at %d" (Csn.to_int since) i)
+          (List.length expect) (List.length got);
+        List.iter2
+          (fun (a : Update.record) (b : Update.record) ->
+            check_bool "same csn" true (Csn.equal a.Update.csn b.Update.csn))
+          expect got)
+      [ Csn.zero; Csn.of_int (i / 2); Csn.of_int (max 0 (i - 3)); Csn.of_int i ]
+  in
+  for i = 1 to 100 do
+    Changelog.append log (record i);
+    reference := record i :: !reference;
+    if i mod 31 = 0 then begin
+      (* Drop everything below i - 10. *)
+      let before = Csn.of_int (i - 10) in
+      Changelog.trim log ~before;
+      reference :=
+        List.filter (fun (r : Update.record) -> Csn.( <= ) before r.Update.csn) !reference
+    end;
+    check_int "length" (List.length !reference) (Changelog.length log);
+    if i mod 7 = 0 then check_against_reference i
+  done;
+  check_against_reference 100;
+  (* Floor semantics: complete iff nothing above the cursor was trimmed. *)
+  check_bool "incomplete from zero" false (Changelog.complete_since log Csn.zero);
+  check_bool "complete from floor" true (Changelog.complete_since log (Changelog.floor log));
+  (* Trimming below the floor never lowers it. *)
+  let floor = Changelog.floor log in
+  Changelog.trim log ~before:Csn.zero;
+  check_bool "floor monotone" true (Csn.equal floor (Changelog.floor log));
+  (* CSNs must be strictly increasing. *)
+  check_bool "duplicate csn rejected" true
+    (match Changelog.append log (record 100) with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
 let test_subscribers () =
   let b = make_backend () in
   let seen = ref [] in
@@ -187,6 +242,15 @@ let test_subscribers () =
   ignore (Backend.apply b (Update.delete (dn "cn=carol,ou=sales,o=xyz")));
   ignore (Backend.apply b (Update.add (person "dan" "ou=sales,o=xyz" "2002")));
   Alcotest.(check (list string)) "notifications in order" [ "add"; "delete" ] !seen
+
+let test_many_subscribers_ordered () =
+  let b = make_backend () in
+  let seen = ref [] in
+  for i = 0 to 99 do
+    Backend.subscribe b (fun _ -> seen := i :: !seen)
+  done;
+  ignore (Backend.apply b (Update.delete (dn "cn=carol,ou=sales,o=xyz")));
+  Alcotest.(check (list int)) "registration order" (List.init 100 Fun.id) (List.rev !seen)
 
 (* --- Oracle property: search = naive scan ------------------------------
    The indexed fast path, scope handling and referral exclusion must
@@ -364,7 +428,9 @@ let suite =
     Alcotest.test_case "attribute selection" `Quick test_attribute_selection;
     Alcotest.test_case "count matching" `Quick test_count_matching;
     Alcotest.test_case "update log" `Quick test_log;
+    Alcotest.test_case "changelog ring" `Quick test_log_ring;
     Alcotest.test_case "subscribers" `Quick test_subscribers;
+    Alcotest.test_case "many subscribers ordered" `Quick test_many_subscribers_ordered;
     QCheck_alcotest.to_alcotest prop_search_matches_naive;
     Alcotest.test_case "figure 2 round trips" `Quick test_figure2_round_trips;
     Alcotest.test_case "figure 2 no chase" `Quick test_figure2_no_chase;

@@ -211,13 +211,52 @@ let test_index_remove_replace () =
   Alcotest.(check int) "removed" 0 (Containment_index.length idx)
 
 let test_index_comparisons_counted () =
+  (* Range filters compile to Empty_range conditions on both hole
+     sides, which have no keyed pruning plan: a miss still scans the
+     bucket and the counter sees every stored check. *)
   let idx = Containment_index.create schema in
   for i = 0 to 9 do
+    Containment_index.add idx (q "o=xyz" (Printf.sprintf "(dept>=%d)" (10 * i))) i
+  done;
+  Containment_index.reset_comparisons idx;
+  (* "!" sorts below every stored bound, so no stored query contains
+     the probe and the scan visits the whole bucket. *)
+  ignore (Containment_index.find_container idx (q "o=xyz" "(dept>=!)"));
+  check_bool "comparisons counted" true (Containment_index.comparisons idx >= 10)
+
+let test_index_pruning () =
+  (* Same-template equality misses are answered from the value columns
+     without touching any stored query... *)
+  let idx = Containment_index.create schema in
+  for i = 0 to 99 do
     Containment_index.add idx (q "o=xyz" (Printf.sprintf "(dept=%d)" i)) i
   done;
   Containment_index.reset_comparisons idx;
-  ignore (Containment_index.find_container idx (q "o=xyz" "(dept=99)"));
-  check_bool "comparisons counted" true (Containment_index.comparisons idx >= 10)
+  check_bool "miss" true (Containment_index.find_container idx (q "o=xyz" "(dept=999)") = None);
+  Alcotest.(check int) "eq miss checks nothing" 0 (Containment_index.comparisons idx);
+  (* ...and a hit checks only the column's worth of candidates. *)
+  Containment_index.reset_comparisons idx;
+  (match Containment_index.find_container idx (q "o=xyz" "(dept=42)") with
+  | Some (_, p) -> Alcotest.(check int) "hit payload" 42 p
+  | None -> Alcotest.fail "expected hit");
+  Alcotest.(check int) "eq hit checks one candidate" 1 (Containment_index.comparisons idx);
+  (* Pruning must survive removals and re-adds. *)
+  Containment_index.remove idx (q "o=xyz" "(dept=42)");
+  check_bool "removed not found" true
+    (Containment_index.find_container idx (q "o=xyz" "(dept=42)") = None);
+  Containment_index.add idx (q "o=xyz" "(dept=42)") 4242;
+  (match Containment_index.find_container idx (q "o=xyz" "(dept=42)") with
+  | Some (_, p) -> Alcotest.(check int) "re-added payload" 4242 p
+  | None -> Alcotest.fail "expected hit after re-add")
+
+let test_index_integer_spellings () =
+  (* The column key must agree with Value.equal: "07" and "7" are the
+     same Integer value even though they normalize differently. *)
+  let idx = Containment_index.create schema in
+  Containment_index.add idx (q "o=xyz" "(age=7)") "seven";
+  match Containment_index.find_container idx (q "o=xyz" "(age=07)") with
+  | Some (_, p) -> Alcotest.(check string) "zero-padded spelling" "seven" p
+  | None -> Alcotest.fail "expected (age=07) to be contained in (age=7)"
 
 (* --- Template registry ------------------------------------------------ *)
 
@@ -353,6 +392,8 @@ let suite =
     Alcotest.test_case "index basic" `Quick test_index_basic;
     Alcotest.test_case "index remove/replace" `Quick test_index_remove_replace;
     Alcotest.test_case "index comparisons" `Quick test_index_comparisons_counted;
+    Alcotest.test_case "index pruning" `Quick test_index_pruning;
+    Alcotest.test_case "index integer spellings" `Quick test_index_integer_spellings;
     Alcotest.test_case "template registry" `Quick test_registry;
     QCheck_alcotest.to_alcotest prop_containment_sound;
     QCheck_alcotest.to_alcotest prop_same_shape_agrees;
