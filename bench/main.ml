@@ -10,7 +10,11 @@
       lookup cost as the number of stored filters grows, plus substrate
       primitives (filter parse/eval, DN algebra, indexed search).
 
-   Usage: main.exe [--quick] [--micro-only | --figures-only | --smoke]
+   Usage: main.exe [--quick] [--micro-only | --figures-only | --smoke
+                   | tree-fanout [--smoke] [--json]]
+
+   tree-fanout runs the cascading-topology sweep (flat star vs 2-tier
+   tree, Ldap_topology.Sweep); with --json it writes BENCH_PR3.json.
 
    --smoke runs a seconds-scale deterministic subset (the protocol
    illustrations plus a tiny lossy-network sweep) and is wired into
@@ -310,6 +314,53 @@ let write_json ~path ~micro ~fanout =
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
+(* --- Cascading topology sweep ----------------------------------------- *)
+
+module T = Ldap_topology
+
+let run_tree_fanout ~smoke ~json () =
+  let config =
+    if smoke then T.Sweep.smoke_config else T.Sweep.default_config
+  in
+  let points = T.Sweep.tree_fanout ~config () in
+  let rows =
+    List.map
+      (fun (p : T.Sweep.point) ->
+        [
+          p.T.Sweep.shape;
+          string_of_int p.T.Sweep.consumers;
+          string_of_int p.T.Sweep.root_sessions;
+          string_of_int p.T.Sweep.build_root_bytes;
+          string_of_int p.T.Sweep.update_root_bytes;
+          string_of_int p.T.Sweep.update_total_bytes;
+          string_of_int p.T.Sweep.convergence_rounds;
+        ])
+      points
+  in
+  Eval.Report.print
+    (Eval.Report.make ~title:"Tree fan-out: flat star vs 2-tier tree"
+       ~notes:
+         [
+           "root sessions and root-link bytes stay flat in the tree (only the";
+           "interior nodes hold root sessions); the star grows both linearly;";
+           "the tree pays one extra convergence round for the extra tier";
+         ]
+       ~columns:
+         [
+           "shape"; "consumers"; "root sessions"; "build root B";
+           "update root B"; "update total B"; "rounds";
+         ]
+       ~rows ());
+  if json then begin
+    let path = "BENCH_PR3.json" in
+    let oc = open_out path in
+    Printf.fprintf oc "{\n  \"config\": \"%s\",\n  \"tree_fanout\": %s\n}\n"
+      (if smoke then "smoke" else "default")
+      (T.Sweep.json_of_points points);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  end
+
 (* --- Entry point ------------------------------------------------------ *)
 
 let smoke () =
@@ -324,7 +375,11 @@ let () =
   let quick = List.mem "--quick" args in
   let micro_only = List.mem "--micro-only" args in
   let figures_only = List.mem "--figures-only" args in
-  if List.mem "--smoke" args then smoke ()
+  if List.mem "tree-fanout" args then
+    run_tree_fanout
+      ~smoke:(quick || List.mem "--smoke" args)
+      ~json:(List.mem "--json" args) ()
+  else if List.mem "--smoke" args then smoke ()
   else if List.mem "--json" args then begin
     let micro = run_micro () in
     let fanout = run_fanout () in

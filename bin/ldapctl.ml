@@ -8,7 +8,8 @@
      condition  - show the compiled cross-template containment CNF
      resync     - run a scripted ReSync session against a tiny master
      workload   - generate a workload and print its distribution
-     experiment - run one of the paper's tables/figures *)
+     experiment - run one of the paper's tables/figures
+     topology   - build a cascading replication topology and summarize it *)
 
 open Cmdliner
 open Ldap
@@ -311,6 +312,107 @@ let replay_cmd =
   Cmd.v (Cmd.info "replay" ~doc)
     Term.(const run $ employees_arg $ seed_arg $ trace $ budget_pct $ cache)
 
+(* --- topology ------------------------------------------------------------ *)
+
+let topology_cmd =
+  let module T = Ldap_topology in
+  let leaves_arg =
+    Arg.(value & opt int 200
+         & info [ "leaves" ] ~doc:"Number of leaf consumers.")
+  in
+  let arity_arg =
+    Arg.(value & opt int 4
+         & info [ "arity" ] ~doc:"Interior nodes of the tree (or chain length).")
+  in
+  let filters_arg =
+    Arg.(value & opt int 12
+         & info [ "filters" ] ~doc:"Distinct department filters (and interior covers).")
+  in
+  let updates_arg =
+    Arg.(value & opt int 100
+         & info [ "updates" ] ~doc:"Update-stream steps applied at the root.")
+  in
+  let shape_arg =
+    Arg.(value & opt string "tree"
+         & info [ "shape" ] ~doc:"Topology shape: star, tree or chain.")
+  in
+  let run employees seed leaves arity filters updates shape_name =
+    let shape =
+      match String.lowercase_ascii shape_name with
+      | "star" -> T.Topology.Star
+      | "tree" -> T.Topology.Tree { arity }
+      | "chain" -> T.Topology.Chain arity
+      | other ->
+          Printf.eprintf "unknown shape %S (star|tree|chain)\n" other;
+          exit 1
+    in
+    let ent = Dirgen.Enterprise.build (enterprise_config employees seed) in
+    let backend = Dirgen.Enterprise.backend ent in
+    let base = Dirgen.Enterprise.root_dn ent in
+    let all_depts = Dirgen.Enterprise.dept_numbers ent in
+    let filters = min filters (Array.length all_depts) in
+    let query_of d =
+      Query.make ~base
+        (Filter.of_string_exn (Printf.sprintf "(departmentNumber=%s)" d))
+    in
+    let covers = List.init filters (fun i -> query_of all_depts.(i)) in
+    let leaf_queries =
+      List.init leaves (fun i -> query_of all_depts.(i mod filters))
+    in
+    match T.Topology.build ~shape ~covers ~leaf_queries backend with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok t ->
+        let stream =
+          Dirgen.Update_stream.create ent
+            { Dirgen.Update_stream.default_config with seed = seed + 1 }
+        in
+        Dirgen.Update_stream.steps stream updates;
+        let rounds = T.Topology.rounds_to_converge t in
+        Printf.printf
+          "%s: %d leaves over %d interior nodes, %d covers, %d updates\n"
+          shape_name leaves
+          (List.length (T.Topology.nodes t))
+          filters updates;
+        let rows =
+          List.map
+            (fun (s : T.Topology.tier_summary) ->
+              [
+                string_of_int s.T.Topology.tier;
+                string_of_int s.T.Topology.members;
+                string_of_int s.T.Topology.sessions;
+                string_of_int s.T.Topology.upstream_bytes;
+                string_of_int s.T.Topology.served_bytes;
+              ])
+            (T.Topology.tier_summaries t)
+        in
+        Eval.Report.print
+          (Eval.Report.make
+             ~title:(Printf.sprintf "Per-tier summary (%s)" shape_name)
+             ~notes:
+               [
+                 (match rounds with
+                 | Some r -> Printf.sprintf "converged after %d poll rounds" r
+                 | None -> "did not converge (raise rounds cap?)");
+                 Printf.sprintf "root-link Ber bytes: %d"
+                   (T.Topology.root_link_bytes t);
+                 "upstream B: bytes members paid on their upstream links;";
+                 "served B: bytes members served to the tier below";
+               ]
+             ~columns:[ "tier"; "members"; "sessions"; "upstream B"; "served B" ]
+             ~rows ())
+  in
+  let doc =
+    "Build a cascading replication topology (star, k-ary tree or chain of \
+     intermediate nodes), drive an update workload through it and print a \
+     per-tier session and byte summary."
+  in
+  Cmd.v (Cmd.info "topology" ~doc)
+    Term.(
+      const run $ employees_arg $ seed_arg $ leaves_arg $ arity_arg
+      $ filters_arg $ updates_arg $ shape_arg)
+
 (* --- experiment ---------------------------------------------------------- *)
 
 let experiment_cmd =
@@ -373,4 +475,5 @@ let () =
           [
             gen_cmd; search_cmd; export_cmd; compare_cmd; contains_cmd;
             condition_cmd; resync_cmd; workload_cmd; replay_cmd; experiment_cmd;
+            topology_cmd;
           ]))

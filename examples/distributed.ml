@@ -55,8 +55,7 @@ let () =
         | Error e -> failwith e)
     ranked;
   Replication.Replica_server.register
-    (Replication.Replica_server.of_filter_replica
-       ~master_url:(Referral.make ~host:"hq" ()) replica)
+    (Replication.Replica_server.of_filter_replica ~master_host:"hq" replica)
     net ~name:"branch";
   Printf.printf "branch replica: %d filters, %d entries\n\n"
     (List.length (Replication.Filter_replica.stored_filters replica))

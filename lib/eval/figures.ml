@@ -1195,6 +1195,45 @@ let evolution_ablation ?(length = 12_000) ?(interval = 2_000) () =
       ]
     ()
 
+(* --- Cascading topology: tree fan-out ---------------------------------- *)
+
+let tree_fanout ?config () =
+  let points = Ldap_topology.Sweep.tree_fanout ?config () in
+  let rows =
+    List.map
+      (fun (p : Ldap_topology.Sweep.point) ->
+        [
+          p.Ldap_topology.Sweep.shape;
+          string_of_int p.Ldap_topology.Sweep.consumers;
+          string_of_int p.Ldap_topology.Sweep.root_sessions;
+          string_of_int p.Ldap_topology.Sweep.build_root_bytes;
+          string_of_int p.Ldap_topology.Sweep.update_root_bytes;
+          string_of_int p.Ldap_topology.Sweep.update_total_bytes;
+          string_of_int p.Ldap_topology.Sweep.convergence_rounds;
+        ])
+      points
+  in
+  Report.make ~title:"Cascading topology: flat star vs 2-tier tree"
+    ~notes:
+      [
+        "root sessions and root-link bytes grow linearly with consumers in the";
+        "star but stay flat in the tree (only interior nodes talk to the root);";
+        "past the crossover (consumers > arity x filters) the tree's root link";
+        "carries strictly fewer Ber bytes; the tree pays one extra convergence";
+        "round per tier";
+      ]
+    ~columns:
+      [
+        "shape";
+        "consumers";
+        "root sessions";
+        "build root B";
+        "update root B";
+        "update total B";
+        "rounds";
+      ]
+    ~rows ()
+
 (* --- Everything -------------------------------------------------------- *)
 
 let all ?(quick = false) () =
@@ -1222,4 +1261,9 @@ let all ?(quick = false) () =
   Report.print (evolution_ablation ~length:(length 12_000) ~interval:(max 1 (int_of_float (scale *. 2000.))) ());
   Report.print (resync_ablation ());
   Report.print (lossy_sync ~updates:(max 100 (length 2_000)) ());
-  Report.print (processing_overhead scenario)
+  Report.print (processing_overhead scenario);
+  let sweep_config =
+    if quick then Ldap_topology.Sweep.smoke_config
+    else Ldap_topology.Sweep.default_config
+  in
+  Report.print (tree_fanout ~config:sweep_config ())

@@ -96,6 +96,12 @@ val processing_overhead : ?filter_counts:int list -> ?length:int -> Scenario.t -
     stored filters grows (the time side is measured by the Bechamel
     benchmarks). *)
 
+val tree_fanout : ?config:Ldap_topology.Sweep.config -> unit -> Report.table
+(** The cascading-topology experiment (section 5 extension): flat star
+    vs 2-tier k-ary tree of intermediate nodes at growing consumer
+    counts — root sessions, root-link Ber bytes and convergence
+    rounds.  See {!Ldap_topology.Sweep}. *)
+
 val all : ?quick:bool -> unit -> unit
 (** Runs every reproduction and prints the tables.  [quick] shrinks
     directory and workload sizes (used by the test suite). *)

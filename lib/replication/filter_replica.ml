@@ -5,27 +5,38 @@ module Resync = Ldap_resync
 type t = {
   schema : Schema.t;
   transport : Resync.Transport.t;
-  master_host : string;
+  mutable master_host : string;
   host : string;
   index : Resync.Consumer.t C.Containment_index.t;
   cache : Query_cache.t;
   stats : Stats.t;
+  mutable on_change :
+    (stored:Query.t ->
+    before:Entry.t option ->
+    after:Entry.t option ->
+    unit)
+    option;
 }
+
+let upstream t =
+  match Resync.Transport.endpoint t.transport t.master_host with
+  | Some ep -> Some ep
+  | None -> None
 
 let master t =
   match Resync.Transport.master t.transport t.master_host with
   | Some m -> m
-  | None -> invalid_arg "Filter_replica.master: master host vanished"
+  | None -> invalid_arg "Filter_replica.master: upstream is not a root master"
 
 let create_over ?(cache_capacity = 0) ?(host = "replica") transport ~master_host =
-  let m =
-    match Resync.Transport.master transport master_host with
-    | Some m -> m
+  let ep =
+    match Resync.Transport.endpoint transport master_host with
+    | Some ep -> ep
     | None ->
         invalid_arg
-          ("Filter_replica.create_over: no master registered as " ^ master_host)
+          ("Filter_replica.create_over: no endpoint registered as " ^ master_host)
   in
-  let schema = Backend.schema (Resync.Master.backend m) in
+  let schema = ep.Resync.Transport.ep_schema in
   {
     schema;
     transport;
@@ -34,6 +45,7 @@ let create_over ?(cache_capacity = 0) ?(host = "replica") transport ~master_host
     index = C.Containment_index.create schema;
     cache = Query_cache.create schema ~capacity:cache_capacity;
     stats = Stats.create ();
+    on_change = None;
   }
 
 let create ?cache_capacity master =
@@ -43,6 +55,23 @@ let create ?cache_capacity master =
 let schema t = t.schema
 let stats t = t.stats
 let transport t = t.transport
+let master_host t = t.master_host
+let set_on_change t f = t.on_change <- Some f
+
+let retarget t ~master_host =
+  (match Resync.Transport.endpoint t.transport master_host with
+  | Some _ -> ()
+  | None ->
+      invalid_arg
+        ("Filter_replica.retarget: no endpoint registered as " ^ master_host));
+  t.master_host <- master_host;
+  (* The old upstream's session ids mean nothing to the new one: keep
+     each consumer's acknowledged CSN, drop the session id, and let the
+     first exchange resynchronize degraded from that CSN. *)
+  C.Containment_index.iter t.index ~f:(fun _ consumer ->
+      match Resync.Consumer.cookie consumer with
+      | Some c -> Resync.Consumer.set_cookie consumer (Resync.Protocol.reparent_cookie c)
+      | None -> ())
 
 let sync_consumer t consumer ~fetch =
   match
@@ -62,6 +91,10 @@ let install_filter t q =
        its filter mentions, so contained queries can be re-evaluated
        locally; answers still project to the caller's selection. *)
     let consumer = Resync.Consumer.create t.schema (Replica.widen_attrs q) in
+    Resync.Consumer.set_on_change consumer (fun ~before ~after ->
+        match t.on_change with
+        | Some f -> f ~stored:q ~before ~after
+        | None -> ());
     match sync_consumer t consumer ~fetch:true with
     | Ok () ->
         C.Containment_index.add t.index q consumer;
@@ -69,12 +102,13 @@ let install_filter t q =
     | Error e -> Error (Resync.Consumer.sync_error_to_string e)
 
 let remove_filter t q =
-  (* End the session at the master before dropping local state. *)
+  (* End the session at the upstream before dropping local state (a
+     vanished upstream just means there is no session left to end). *)
   (match C.Containment_index.find t.index q with
   | Some consumer -> (
-      match Resync.Consumer.cookie consumer with
-      | Some cookie -> Resync.Master.abandon (master t) ~cookie
-      | None -> ())
+      match (Resync.Consumer.cookie consumer, upstream t) with
+      | Some cookie, Some ep -> ep.Resync.Transport.ep_abandon ~cookie
+      | _ -> ())
   | None -> ());
   C.Containment_index.remove t.index q
 
@@ -89,14 +123,20 @@ let size_entries t =
   in
   Dn.Set.cardinal dns
 
-let estimate_size t q = Backend.count_matching (Resync.Master.backend (master t)) q
+let estimate_size t q =
+  match upstream t with Some ep -> ep.Resync.Transport.ep_estimate q | None -> 0
+
+let evaluable (stored : Query.t) _ q =
+  Replica.filter_attrs_available ~available:(Replica.widen_attrs stored).Query.attrs q
+
+let containing_consumer t q =
+  C.Containment_index.find_container_where t.index q ~pred:(fun stored c ->
+      evaluable stored c q)
+
+let consumer_for t q = C.Containment_index.find t.index q
 
 let answer t q =
-  let evaluable (stored : Query.t) _ =
-    Replica.filter_attrs_available
-      ~available:(Replica.widen_attrs stored).Query.attrs q
-  in
-  match C.Containment_index.find_container_where t.index q ~pred:evaluable with
+  match containing_consumer t q with
   | Some (_, consumer) ->
       let entries =
         Replica.eval_over_entries t.schema q (Resync.Consumer.entries consumer)

@@ -13,10 +13,12 @@
     {!remove_filter} at every revolution; the traffic this causes is
     accounted separately as fetch traffic (section 7.3).
 
-    All master traffic rides a {!Ldap_resync.Transport}: polls retry
+    All upstream traffic rides a {!Ldap_resync.Transport}: polls retry
     with backoff on loss, disrupted sessions recover by degraded
     resync, and the retries/resyncs/recovery bytes appear in
-    {!Stats}. *)
+    {!Stats}.  The upstream is addressed as a transport {e endpoint},
+    so it can be the root master or another filter replica acting as
+    an intermediate master in a cascading topology. *)
 
 open Ldap
 
@@ -28,12 +30,13 @@ val create_over :
   Ldap_resync.Transport.t ->
   master_host:string ->
   t
-(** A replica whose master lives at [master_host] on the given
+(** A replica whose upstream lives at [master_host] on the given
     transport (subject to its fault schedule).  [host] (default
     ["replica"]) names this end for partition checks and accounting.
     [cache_capacity] sizes the user-query window (default 0: no
     caching of user queries).
-    @raise Invalid_argument if no master is registered at [master_host]. *)
+    @raise Invalid_argument if no endpoint is registered at
+    [master_host]. *)
 
 val create :
   ?cache_capacity:int -> Ldap_resync.Master.t -> t
@@ -44,18 +47,44 @@ val schema : t -> Schema.t
 val stats : t -> Stats.t
 val transport : t -> Ldap_resync.Transport.t
 
+val master_host : t -> string
+(** The endpoint name this replica currently synchronizes from. *)
+
 val master : t -> Ldap_resync.Master.t
-(** The master behind [master_host] — reachable in-process even when
-    the simulated link is partitioned (used for session teardown and
-    size estimates, which the paper charges to the control plane). *)
+(** The root master behind [master_host] — reachable in-process even
+    when the simulated link is partitioned (used by flat-topology
+    callers for control-plane operations).
+    @raise Invalid_argument when the upstream endpoint is an
+    intermediate node rather than a root master. *)
+
+val retarget : t -> master_host:string -> unit
+(** Re-parents the replica to a different upstream endpoint.  Every
+    stored filter's resume cookie is rewritten with
+    {!Ldap_resync.Protocol.reparent_cookie}: the acknowledged CSN is
+    kept but the session id — meaningless to the new upstream — is
+    dropped, so the next poll resynchronizes degraded from that CSN
+    instead of reloading content from scratch.
+    @raise Invalid_argument if no endpoint is registered at
+    [master_host]. *)
+
+val set_on_change :
+  t ->
+  (stored:Query.t -> before:Entry.t option -> after:Entry.t option -> unit) ->
+  unit
+(** Registers an observer fired once per content change of any stored
+    filter, tagged with the stored query whose consumer changed.  An
+    intermediate topology node uses this to relay changes to the
+    downstream sessions whose filters the stored query serves.
+    Registration applies to filters installed before and after the
+    call. *)
 
 val install_filter : t -> Query.t -> (unit, string) result
 (** Starts replicating a query: fetches its initial content from the
-    master (fetch traffic) and registers it in the containment index.
-    Installing an already stored query is a no-op. *)
+    upstream (fetch traffic) and registers it in the containment
+    index.  Installing an already stored query is a no-op. *)
 
 val remove_filter : t -> Query.t -> unit
-(** Stops replicating the query (ends its ReSync session). *)
+(** Stops replicating the query (ends its ReSync session upstream). *)
 
 val stored_filters : t -> Query.t list
 val filter_count : t -> int
@@ -67,14 +96,26 @@ val size_entries : t -> int
     accounting). *)
 
 val estimate_size : t -> Query.t -> int
-(** Entries the master currently holds for the query: the size
-    estimate used by benefit/size selection (section 6.2). *)
+(** Entries the upstream currently holds for the query: the size
+    estimate used by benefit/size selection (section 6.2).  0 when the
+    upstream endpoint has vanished. *)
 
 val answer : t -> Query.t -> Replica.answer
 (** Answers the query from stored or cached content when containment
     holds; referral otherwise.  On a miss the caller fetches from the
     master and may install the result in the window cache with
     {!record_miss_result} (section 7.4's cached user queries). *)
+
+val containing_consumer :
+  t -> Query.t -> (Query.t * Ldap_resync.Consumer.t) option
+(** The stored query containing [q] whose widened attribute set lets
+    [q] be evaluated locally, with its consumer — the admission and
+    serving lookup an intermediate topology node runs for downstream
+    subscriptions.  [None] means the subscription must be referred
+    upstream. *)
+
+val consumer_for : t -> Query.t -> Ldap_resync.Consumer.t option
+(** The consumer of exactly this stored query, if installed. *)
 
 val record_miss_result : t -> Query.t -> Entry.t list -> unit
 (** Caches the master's answer to a missed user query in the window

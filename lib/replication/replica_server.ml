@@ -4,18 +4,20 @@ type backend =
   | Filter_backend of Filter_replica.t
   | Subtree_backend of Subtree_replica.t
 
-type t = { master_url : string; backend : backend }
+type t = { master_host : string; backend : backend }
 
-let of_filter_replica ~master_url replica =
-  { master_url; backend = Filter_backend replica }
+let of_filter_replica ~master_host replica =
+  { master_host; backend = Filter_backend replica }
 
-let of_subtree_replica ~master_url replica =
-  { master_url; backend = Subtree_backend replica }
+let of_subtree_replica ~master_host replica =
+  { master_host; backend = Subtree_backend replica }
 
 let sync t =
   match t.backend with
   | Filter_backend r -> Filter_replica.sync r
   | Subtree_backend r -> Subtree_replica.sync r
+
+let referral_to t = Referral.make ~host:t.master_host ()
 
 let handle_search t q =
   let answer =
@@ -25,6 +27,6 @@ let handle_search t q =
   in
   match answer with
   | Replica.Answered entries -> Server.Entries { Backend.entries; references = [] }
-  | Replica.Referral -> Server.Referral [ t.master_url ]
+  | Replica.Referral -> Server.Referral [ referral_to t ]
 
 let register t net ~name = Network.add_handler net ~name (handle_search t)

@@ -6,23 +6,33 @@
     one round trip; everything else produces a referral to the master's
     LDAP URL, which a referral-chasing client follows transparently.
     This is the deployment shape of the paper's case study — a branch
-    replica in front of a remote master. *)
+    replica in front of a remote master.
+
+    Referral URLs are built by {!Ldap.Referral.make} from the master's
+    host name — the same construction path the cascading topology uses
+    when an intermediate node refers a non-admitted subscription
+    upstream, so URL shape is defined in exactly one place. *)
 
 open Ldap
 
 type t
 
 val of_filter_replica :
-  master_url:string -> Filter_replica.t -> t
+  master_host:string -> Filter_replica.t -> t
+(** [master_host] is the network name of the server a missed query is
+    referred to; the URL itself is derived via {!Ldap.Referral.make}. *)
 
 val of_subtree_replica :
-  master_url:string -> Subtree_replica.t -> t
+  master_host:string -> Subtree_replica.t -> t
 
 val sync : t -> unit
 (** One poll round on the wrapped replica, whichever model backs it. *)
 
+val referral_to : t -> string
+(** The LDAP URL a miss refers the client to. *)
+
 val handle_search : t -> Query.t -> Server.response
-(** [Entries] on a hit, [Referral [master_url]] on a miss. *)
+(** [Entries] on a hit, [Referral [referral_to t]] on a miss. *)
 
 val register : t -> Network.t -> name:string -> unit
 (** Installs the replica as host [name] in the topology. *)

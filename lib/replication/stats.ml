@@ -13,6 +13,10 @@ type t = {
   mutable resyncs : int;
   mutable recovery_bytes : int;
   mutable sync_failures : int;
+  mutable served_replies : int;
+  mutable served_entries : int;
+  mutable served_bytes : int;
+  mutable served_actions : int;
 }
 
 let create () =
@@ -31,6 +35,10 @@ let create () =
     resyncs = 0;
     recovery_bytes = 0;
     sync_failures = 0;
+    served_replies = 0;
+    served_entries = 0;
+    served_bytes = 0;
+    served_actions = 0;
   }
 
 let reset t =
@@ -47,7 +55,11 @@ let reset t =
   t.sync_backoff_ticks <- 0;
   t.resyncs <- 0;
   t.recovery_bytes <- 0;
-  t.sync_failures <- 0
+  t.sync_failures <- 0;
+  t.served_replies <- 0;
+  t.served_entries <- 0;
+  t.served_bytes <- 0;
+  t.served_actions <- 0
 
 let hit_ratio t = if t.queries = 0 then 0.0 else float_of_int t.hits /. float_of_int t.queries
 let total_update_entries t = t.sync_entries + t.fetch_entries
@@ -84,10 +96,22 @@ let record_sync_outcome t (o : Ldap_resync.Consumer.outcome) =
 
 let record_sync_failure t = t.sync_failures <- t.sync_failures + 1
 
+let record_served_reply t reply =
+  t.served_replies <- t.served_replies + 1;
+  t.served_entries <- t.served_entries + Ldap_resync.Protocol.entries_cost reply;
+  t.served_bytes <- t.served_bytes + Ldap_resync.Protocol.reply_bytes reply;
+  t.served_actions <- t.served_actions + Ldap_resync.Protocol.actions_count reply
+
+let record_served_push t action =
+  t.served_entries <- t.served_entries + Ldap_resync.Action.entries_cost action;
+  t.served_bytes <- t.served_bytes + Ldap_resync.Action.bytes_cost action;
+  t.served_actions <- t.served_actions + 1
+
 let pp ppf t =
   Format.fprintf ppf
     "queries=%d hits=%d (%.3f) sync=%de/%dB fetch=%de/%dB comparisons=%d \
-     retries=%d backoff=%d resyncs=%d/%dB failures=%d"
+     retries=%d backoff=%d resyncs=%d/%dB failures=%d served=%dr/%de/%dB"
     t.queries t.hits (hit_ratio t) t.sync_entries t.sync_bytes t.fetch_entries
     t.fetch_bytes t.comparisons t.sync_retries t.sync_backoff_ticks t.resyncs
-    t.recovery_bytes t.sync_failures
+    t.recovery_bytes t.sync_failures t.served_replies t.served_entries
+    t.served_bytes

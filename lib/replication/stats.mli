@@ -3,13 +3,22 @@
     Hit ratio is hits / queries; update traffic is split into resync
     traffic (keeping stored content in sync) and fetch traffic
     (bringing in newly selected filters during revolutions) — the two
-    components of section 7.3. *)
+    components of section 7.3.
+
+    In a cascading topology a replica has two faces, counted
+    separately so tiered traffic is attributable per link:
+
+    - {e upstream-facing}: traffic on the link to this replica's
+      master — the [sync_*], [fetch_*] and recovery counters;
+    - {e downstream-facing}: ReSync traffic this replica re-serves to
+      its own consumers when acting as an intermediate master — the
+      [served_*] counters. *)
 
 type t = {
   mutable queries : int;
   mutable hits : int;
   mutable entries_returned : int;
-  mutable sync_entries : int;  (** Resync traffic, in entries. *)
+  mutable sync_entries : int;  (** Upstream resync traffic, in entries. *)
   mutable sync_bytes : int;
   mutable sync_actions : int;  (** Including DN-only deletes/retains. *)
   mutable fetch_entries : int;  (** Revolution fetch traffic, in entries. *)
@@ -22,6 +31,12 @@ type t = {
           resynchronization after a disruption. *)
   mutable recovery_bytes : int;  (** Bytes of those recovery replies. *)
   mutable sync_failures : int;  (** Polls abandoned with the retry budget spent. *)
+  mutable served_replies : int;
+      (** Downstream-facing: resync replies served to own consumers. *)
+  mutable served_entries : int;  (** Downstream traffic, in entries. *)
+  mutable served_bytes : int;  (** Downstream traffic, modelled bytes. *)
+  mutable served_actions : int;
+      (** Downstream actions, including pushed persist notifications. *)
 }
 
 val create : unit -> t
@@ -41,4 +56,12 @@ val record_sync_outcome : t -> Ldap_resync.Consumer.outcome -> unit
     bytes the recovery reply cost. *)
 
 val record_sync_failure : t -> unit
+
+val record_served_reply : t -> Ldap_resync.Protocol.reply -> unit
+(** Accounts one reply served downstream by this replica acting as an
+    intermediate master. *)
+
+val record_served_push : t -> Ldap_resync.Action.t -> unit
+(** Accounts one persist-mode action pushed downstream. *)
+
 val pp : Format.formatter -> t -> unit

@@ -6,6 +6,8 @@ type t = {
   mutable cookie : string option;
   mutable conn : Transport.conn option;
   mutable loopback : (Master.t * Transport.t) option;
+  mutable on_change :
+    (before:Entry.t option -> after:Entry.t option -> unit) option;
 }
 
 type outcome = {
@@ -27,20 +29,61 @@ let sync_error_to_string = function
 
 let create schema query =
   ignore schema;
-  { query; entries = Dn.Map.empty; cookie = None; conn = None; loopback = None }
+  {
+    query;
+    entries = Dn.Map.empty;
+    cookie = None;
+    conn = None;
+    loopback = None;
+    on_change = None;
+  }
 
 let query t = t.query
 let cookie t = t.cookie
+let set_cookie t c = t.cookie <- c
+let set_on_change t f = t.on_change <- Some f
+
+let notify t ~before ~after =
+  match (t.on_change, before, after) with
+  | None, _, _ | Some _, None, None -> ()
+  | Some f, _, _ -> f ~before ~after
 
 let apply_action t = function
   | Action.Add e | Action.Modify e ->
-      t.entries <- Dn.Map.add (Entry.dn e) e t.entries
-  | Action.Delete dn -> t.entries <- Dn.Map.remove dn t.entries
+      let dn = Entry.dn e in
+      let before = Dn.Map.find_opt dn t.entries in
+      t.entries <- Dn.Map.add dn e t.entries;
+      notify t ~before ~after:(Some e)
+  | Action.Delete dn ->
+      let before = Dn.Map.find_opt dn t.entries in
+      t.entries <- Dn.Map.remove dn t.entries;
+      notify t ~before ~after:None
   | Action.Retain _ -> ()
 
+(* Drops every entry not satisfying [keep], reporting each prune to the
+   observer — a pruned entry is a content change even though no delete
+   action was transmitted for it (eq. (3)'s "everything neither
+   retained nor added"). *)
+let prune t ~keep =
+  t.entries <-
+    Dn.Map.filter
+      (fun dn e ->
+        let kept = keep dn in
+        if not kept then notify t ~before:(Some e) ~after:None;
+        kept)
+      t.entries
+
 let apply_reply t (reply : Protocol.reply) =
+  (* The cookie is stored before the actions are applied: an observer
+     registered with {!set_on_change} fires during application, and
+     anything it derives from this consumer's state — e.g. the CSN an
+     intermediate node stamps on relayed downstream pushes — must see
+     the reply's CSN, not the previous one. *)
+  (match reply.Protocol.cookie with
+  | Some _ as c -> t.cookie <- c
+  | None -> ());
   (match reply.Protocol.kind with
-  | Protocol.Initial_content -> t.entries <- Dn.Map.empty
+  | Protocol.Initial_content -> prune t ~keep:(fun _ -> false)
   | Protocol.Incremental -> ()
   | Protocol.Degraded ->
       (* Only retained or re-sent entries survive. *)
@@ -53,11 +96,8 @@ let apply_reply t (reply : Protocol.reply) =
             | Action.Delete dn -> Dn.Set.remove dn acc)
           Dn.Set.empty reply.Protocol.actions
       in
-      t.entries <- Dn.Map.filter (fun dn _ -> Dn.Set.mem dn keep) t.entries);
-  List.iter (apply_action t) reply.Protocol.actions;
-  match reply.Protocol.cookie with
-  | Some _ as c -> t.cookie <- c
-  | None -> ()
+      prune t ~keep:(fun dn -> Dn.Set.mem dn keep));
+  List.iter (apply_action t) reply.Protocol.actions
 
 (* --- Synchronization over a transport -------------------------------- *)
 

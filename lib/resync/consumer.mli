@@ -40,6 +40,23 @@ val create : Schema.t -> Query.t -> t
 val query : t -> Query.t
 val cookie : t -> string option
 
+val set_cookie : t -> string option -> unit
+(** Overrides the stored resume cookie.  Used when a consumer is
+    re-parented to a different upstream: the topology layer installs
+    the {!Protocol.reparent_cookie} translation of the old cookie, so
+    the first exchange with the new upstream resynchronizes degraded
+    from the acknowledged CSN instead of reloading from scratch. *)
+
+val set_on_change :
+  t -> (before:Entry.t option -> after:Entry.t option -> unit) -> unit
+(** Registers an observer called once per local content change —
+    upserts, deletes, and the silent prunes of a degraded or initial
+    resynchronization (which transmit no per-entry delete).  [before]
+    is the entry previously held under the DN, [after] the entry now
+    held; never both [None].  This is how an intermediate topology node
+    learns what changed in its replica content so it can relay the
+    change downstream. *)
+
 val apply_reply : t -> Protocol.reply -> unit
 (** Applies all actions.  For a [Degraded] reply, entries that were
     neither retained nor upserted are pruned (eq. (3)). *)

@@ -45,15 +45,8 @@ let remove_session t id =
     (fun idx -> Ldap_containment.Predicate_index.remove idx id)
     t.dispatch
 
-let cookie_of id csn = Printf.sprintf "rs:%d:%d" id (Csn.to_int csn)
-
-let parse_cookie s =
-  match String.split_on_char ':' s with
-  | [ "rs"; id; csn ] -> (
-      match (int_of_string_opt id, int_of_string_opt csn) with
-      | Some id, Some csn -> Some (id, Csn.of_int csn)
-      | _ -> None)
-  | _ -> None
+let cookie_of id csn = Protocol.cookie_of ~id ~csn
+let parse_cookie = Protocol.parse_cookie
 
 (* Transmitted entries honour the session query's attribute selection,
    exactly like search results do. *)

@@ -2,6 +2,30 @@ type mode = Poll | Persist | Sync_end
 
 type request = { mode : mode; cookie : string option }
 
+(* --- Cookies ----------------------------------------------------------
+   Every tier — the root master and intermediate topology nodes — issues
+   cookies in the same [rs:<session id>:<csn>] form, so a cookie minted
+   anywhere parses anywhere.  Session ids start at 1; id 0 is reserved
+   as the "foreign session" marker used when a consumer re-parents: the
+   CSN (the globally meaningful progress marker) is kept, the dead
+   server's session id is discarded, and the new server sees an unknown
+   session and resynchronizes degraded from that CSN. *)
+
+let cookie_of ~id ~csn = Printf.sprintf "rs:%d:%d" id (Ldap.Csn.to_int csn)
+
+let parse_cookie s =
+  match String.split_on_char ':' s with
+  | [ "rs"; id; csn ] -> (
+      match (int_of_string_opt id, int_of_string_opt csn) with
+      | Some id, Some csn -> Some (id, Ldap.Csn.of_int csn)
+      | _ -> None)
+  | _ -> None
+
+let reparent_cookie s =
+  match parse_cookie s with
+  | Some (_, csn) -> Some (cookie_of ~id:0 ~csn)
+  | None -> None
+
 type reply_kind = Initial_content | Incremental | Degraded
 
 type reply = {

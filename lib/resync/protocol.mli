@@ -12,6 +12,24 @@ type mode =
 
 type request = { mode : mode; cookie : string option }
 
+val cookie_of : id:int -> csn:Ldap.Csn.t -> string
+(** The wire form of a resume cookie, [rs:<session id>:<csn>].  Every
+    tier of a cascading topology — root master and intermediate nodes
+    alike — issues cookies in this one format, so a cookie minted
+    anywhere parses anywhere.  Session ids start at 1. *)
+
+val parse_cookie : string -> (int * Ldap.Csn.t) option
+(** Session id and CSN embedded in a cookie; [None] if malformed. *)
+
+val reparent_cookie : string -> string option
+(** Cookie translation for re-parenting: keeps the CSN (the globally
+    meaningful progress marker, since all CSNs originate at the root)
+    and replaces the dead server's session id with the reserved
+    foreign-session id 0, which no server ever allocates.  The new
+    upstream therefore sees an unknown session and answers with a
+    degraded resynchronization from exactly the CSN the consumer has
+    acknowledged.  [None] if the cookie is malformed. *)
+
 type reply_kind =
   | Initial_content
       (** Null cookie: the entire content was sent as [add]s. *)

@@ -6,16 +6,52 @@ let error_to_string = function
   | Net f -> Network.failure_to_string f
   | Server msg -> msg
 
+type endpoint = {
+  ep_schema : Schema.t;
+  ep_handle :
+    push:(Action.t -> unit) option ->
+    Protocol.request ->
+    Query.t ->
+    (Protocol.reply, string) result;
+  ep_abandon : cookie:string -> unit;
+  ep_estimate : Query.t -> int;
+}
+
 type t = {
   net : Network.t;
   faults : Network.Faults.t option;
-  masters : (string, Master.t) Hashtbl.t;
+  endpoints : (string, endpoint) Hashtbl.t;
+  masters : (string, Master.t) Hashtbl.t;  (* endpoints that are root masters *)
 }
 
-let create ?faults net = { net; faults; masters = Hashtbl.create 4 }
+let create ?faults net =
+  { net; faults; endpoints = Hashtbl.create 4; masters = Hashtbl.create 4 }
+
 let network t = t.net
 let faults t = t.faults
-let add_master t ~name master = Hashtbl.replace t.masters name master
+
+let add_endpoint t ~name ep =
+  Hashtbl.replace t.endpoints name ep;
+  Hashtbl.remove t.masters name
+
+let remove_endpoint t ~name =
+  Hashtbl.remove t.endpoints name;
+  Hashtbl.remove t.masters name
+
+let endpoint t name = Hashtbl.find_opt t.endpoints name
+
+let endpoint_of_master m =
+  {
+    ep_schema = Backend.schema (Master.backend m);
+    ep_handle = (fun ~push request query -> Master.handle m ?push request query);
+    ep_abandon = (fun ~cookie -> Master.abandon m ~cookie);
+    ep_estimate = (fun q -> Backend.count_matching (Master.backend m) q);
+  }
+
+let add_master t ~name master =
+  Hashtbl.replace t.endpoints name (endpoint_of_master master);
+  Hashtbl.replace t.masters name master
+
 let master t name = Hashtbl.find_opt t.masters name
 
 let loopback_host = "master"
@@ -25,17 +61,17 @@ let loopback m =
   add_master t ~name:loopback_host m;
   t
 
-let exchange_with t ~host ~from ?push request query =
-  match Hashtbl.find_opt t.masters host with
+let exchange_with t ~host ~from ~push request query =
+  match Hashtbl.find_opt t.endpoints host with
   | None -> Error (Net (Network.Unreachable host))
-  | Some m -> (
+  | Some ep -> (
       let result =
         Network.rpc t.net ?faults:t.faults ~from ~host
           ~request_bytes:(Protocol.request_bytes request)
           ~reply_bytes:(function
             | Ok reply -> Protocol.reply_bytes reply
             | Error _ -> Ber.message_overhead)
-          (fun () -> Master.handle m ?push request query)
+          (fun () -> ep.ep_handle ~push request query)
       in
       match result with
       | Ok (Ok reply) -> Ok reply
@@ -43,7 +79,7 @@ let exchange_with t ~host ~from ?push request query =
       | Error failure -> Error (Net failure))
 
 let exchange t ~host ?(from = "consumer") request query =
-  exchange_with t ~host ~from ?push:None request query
+  exchange_with t ~host ~from ~push:None request query
 
 (* --- Persistent connections ------------------------------------------ *)
 
@@ -76,10 +112,10 @@ let connect t ~host ?(from = "consumer") ~push request query =
       end
     end
   in
-  match exchange_with t ~host ~from ~push:guarded request query with
+  match exchange_with t ~host ~from ~push:(Some guarded) request query with
   | Ok reply -> Ok (reply, conn)
   | Error e ->
-      (* If the reply was lost the master may hold a session pushing
+      (* If the reply was lost the server may hold a session pushing
          into this closure; killing the handle discards those. *)
       conn.alive <- false;
       Error e

@@ -1,14 +1,21 @@
 (** The network leg of a ReSync session.
 
-    Consumers do not talk to a {!Master} directly: every exchange —
-    poll, persist establishment, sync_end — is routed through a
-    transport bound to an {!Ldap.Network} topology, where it is
-    subject to the network's fault schedule (drops, refusals,
-    partitions) and its byte/PDU accounting.  Persistent sessions get
-    a connection handle whose pushed notifications also traverse the
-    fault layer; any lost push breaks the connection, which the
-    consumer must detect and re-establish (section 5's disrupted
-    sessions). *)
+    Consumers do not talk to a server directly: every exchange — poll,
+    persist establishment, sync_end — is routed through a transport
+    bound to an {!Ldap.Network} topology, where it is subject to the
+    network's fault schedule (drops, refusals, partitions) and its
+    byte/PDU accounting.  Persistent sessions get a connection handle
+    whose pushed notifications also traverse the fault layer; any lost
+    push breaks the connection, which the consumer must detect and
+    re-establish (section 5's disrupted sessions).
+
+    A transport serves {e endpoints}: anything that can answer ReSync
+    requests.  The root {!Master} is one kind of endpoint; an
+    intermediate topology node ({!Ldap_topology.Node}-style) re-serving
+    its replica content downstream is another.  Consumers address
+    endpoints by host name and cannot tell the difference — which is
+    exactly what lets a cascading topology re-parent a consumer from a
+    dead intermediate node to its grandparent. *)
 
 open Ldap
 
@@ -17,17 +24,48 @@ type t
 type error =
   | Net of Network.failure
       (** Transport-level loss: the request may or may not have been
-          processed by the master. *)
-  | Server of string  (** The master rejected the request. *)
+          processed by the server. *)
+  | Server of string  (** The server rejected the request. *)
 
 val error_to_string : error -> string
+
+(** A ReSync-serving endpoint registered under a host name. *)
+type endpoint = {
+  ep_schema : Schema.t;  (** Schema governing the served content. *)
+  ep_handle :
+    push:(Action.t -> unit) option ->
+    Protocol.request ->
+    Query.t ->
+    (Protocol.reply, string) result;
+      (** Serves one resync exchange; [push] is the notification channel
+          of a persist-mode session. *)
+  ep_abandon : cookie:string -> unit;
+      (** Control-plane session teardown (client abandoned). *)
+  ep_estimate : Query.t -> int;
+      (** Entries currently held for the query — the size estimate used
+          by benefit/size filter selection. *)
+}
 
 val create : ?faults:Network.Faults.t -> Network.t -> t
 val network : t -> Network.t
 val faults : t -> Network.Faults.t option
 
+val add_endpoint : t -> name:string -> endpoint -> unit
+(** Registers (or replaces) an endpoint under a host name. *)
+
+val remove_endpoint : t -> name:string -> unit
+(** Unregisters the endpoint: the host becomes unreachable — how a
+    topology kills a node.  Established sessions at other endpoints are
+    unaffected. *)
+
+val endpoint : t -> string -> endpoint option
+
 val add_master : t -> name:string -> Master.t -> unit
+(** Registers a root master as an endpoint under the host name. *)
+
 val master : t -> string -> Master.t option
+(** The master registered under the name, if the endpoint there is a
+    root master (an intermediate node endpoint answers [None]). *)
 
 val loopback_host : string
 
@@ -39,7 +77,7 @@ val loopback : Master.t -> t
 val exchange :
   t -> host:string -> ?from:string -> Protocol.request -> Query.t ->
   (Protocol.reply, error) result
-(** One poll/sync_end exchange against the master at [host].  [from]
+(** One poll/sync_end exchange against the endpoint at [host].  [from]
     (default ["consumer"]) names the client end for partition checks
     and accounting. *)
 
@@ -61,7 +99,7 @@ val connect :
 (** Establishes a persist-mode session.  Pushed actions traverse the
     fault layer: a partitioned link or a lost push marks the
     connection dead and discards that and all later notifications —
-    the master keeps pushing into the void until the session expires,
+    the server keeps pushing into the void until the session expires,
     exactly like a half-open TCP connection.  If the establishment
-    reply itself is lost, the master-side session exists but the
+    reply itself is lost, the server-side session exists but the
     returned error carries no connection: the consumer must retry. *)

@@ -1,0 +1,47 @@
+open Ldap
+module R = Ldap_replication
+module Resync = Ldap_resync
+
+type t = { replica : R.Filter_replica.t; name : string }
+
+let create ?(cache_capacity = 0) transport ~name ~parent =
+  {
+    replica =
+      R.Filter_replica.create_over ~cache_capacity ~host:name transport
+        ~master_host:parent;
+    name;
+  }
+
+let replica t = t.replica
+let name t = t.name
+let parent t = R.Filter_replica.master_host t.replica
+let stats t = R.Filter_replica.stats t.replica
+
+let reparent t ~parent = R.Filter_replica.retarget t.replica ~master_host:parent
+
+let rec subscribe ?(max_referrals = 4) t q =
+  match R.Filter_replica.install_filter t.replica q with
+  | Ok () -> Ok ()
+  | Error msg -> (
+      match Node.referral_of_error msg with
+      | None -> Error msg
+      | Some url when max_referrals = 0 -> Error ("referral loop at " ^ url)
+      | Some url -> (
+          (* The parent cannot prove the subscription contained: chase
+             the referral one tier up, moving the whole leaf — every
+             other filter it holds stays admissible there, since
+             admissibility only widens toward the root. *)
+          match Referral.parse url with
+          | Error e -> Error e
+          | Ok { Referral.host; _ } ->
+              reparent t ~parent:host;
+              subscribe ~max_referrals:(max_referrals - 1) t q))
+
+let sync t = R.Filter_replica.sync t.replica
+
+let subscriptions t = R.Filter_replica.stored_filters t.replica
+
+let content t q =
+  match R.Filter_replica.consumer_for t.replica q with
+  | Some c -> Resync.Consumer.entries c
+  | None -> []

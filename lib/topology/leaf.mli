@@ -1,0 +1,49 @@
+(** A leaf consumer of a cascading topology: a filter replica attached
+    to one parent endpoint — an intermediate {!Node} or the root master
+    directly — with referral chasing at subscription time and cheap
+    re-parenting when its parent dies. *)
+
+open Ldap
+
+type t
+
+val create :
+  ?cache_capacity:int ->
+  Ldap_resync.Transport.t ->
+  name:string ->
+  parent:string ->
+  t
+(** @raise Invalid_argument if no endpoint is registered at [parent]. *)
+
+val replica : t -> Ldap_replication.Filter_replica.t
+(** The underlying filter replica holding the subscribed content. *)
+
+val name : t -> string
+(** The host name the leaf was created under. *)
+
+val parent : t -> string
+(** The endpoint this leaf currently synchronizes from. *)
+
+val stats : t -> Ldap_replication.Stats.t
+(** Upstream-facing traffic of this leaf — the per-link byte source of
+    the tree-fanout experiment. *)
+
+val subscribe : ?max_referrals:int -> t -> Query.t -> (unit, string) result
+(** Installs the query as a replicated filter at the current parent.
+    If the parent rejects it with a referral (no stored cover contains
+    it), the leaf re-parents to the referred host and retries, up to
+    [max_referrals] (default 4) tiers — mirroring the search referral
+    dance of Figure 2 at subscription time. *)
+
+val sync : t -> unit
+(** One poll round against the parent. *)
+
+val reparent : t -> parent:string -> unit
+(** Re-attaches the leaf (cookie translation included): the next poll
+    resynchronizes degraded from the acknowledged CSN. *)
+
+val subscriptions : t -> Query.t list
+
+val content : t -> Query.t -> Entry.t list
+(** Current local content of one subscription (empty when not
+    installed) — what convergence checks compare against the root. *)

@@ -1,0 +1,373 @@
+open Ldap
+module C = Ldap_containment
+module Resync = Ldap_resync
+module R = Ldap_replication
+
+type session = {
+  id : int;
+  query : Query.t;
+  stored : Query.t;  (* the node's stored query this session is served from *)
+  mutable snapshot : Entry.t Dn.Map.t;  (* entries sent downstream, selected *)
+  mutable synced_csn : Csn.t;
+  mutable persist_push : (Resync.Action.t -> unit) option;
+}
+
+type t = {
+  replica : R.Filter_replica.t;
+  host : string;
+  sessions : (int, session) Hashtbl.t;
+  persist : (int, session) Hashtbl.t;
+  dispatch : C.Predicate_index.t option;  (* [Routed] only *)
+  mutable next_id : int;
+  mutable clock : int;
+}
+
+let replica t = t.replica
+let host t = t.host
+let upstream t = R.Filter_replica.master_host t.replica
+let schema t = R.Filter_replica.schema t.replica
+let stats t = R.Filter_replica.stats t.replica
+let session_count t = Hashtbl.length t.sessions
+let persistent_count t = Hashtbl.length t.persist
+
+(* --- Referral envelope ----------------------------------------------
+   A subscription the node cannot prove contained is rejected with the
+   LDAP URL of its own upstream; the subscriber chases it one tier up,
+   like a search referral (Figure 2). *)
+
+let referral_prefix = "referral:"
+
+let referral_error url = referral_prefix ^ url
+
+let referral_of_error msg =
+  let n = String.length referral_prefix in
+  if String.length msg > n && String.sub msg 0 n = referral_prefix then
+    Some (String.sub msg n (String.length msg - n))
+  else None
+
+(* --- Session plumbing (mirrors Master) ------------------------------ *)
+
+let set_persist t session push =
+  session.persist_push <- push;
+  match push with
+  | Some _ -> Hashtbl.replace t.persist session.id session
+  | None -> Hashtbl.remove t.persist session.id
+
+let remove_session t id =
+  Hashtbl.remove t.sessions id;
+  Hashtbl.remove t.persist id;
+  Option.iter (fun idx -> C.Predicate_index.remove idx id) t.dispatch
+
+let new_session t query ~stored ~persist_push ~csn =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let session =
+    {
+      id;
+      query;
+      stored;
+      snapshot = Dn.Map.empty;
+      synced_csn = csn;
+      persist_push = None;
+    }
+  in
+  Hashtbl.replace t.sessions id session;
+  set_persist t session persist_push;
+  Option.iter
+    (fun idx -> C.Predicate_index.add idx id query.Query.filter)
+    t.dispatch;
+  session
+
+(* The node's own synchronization point for a stored query: the CSN of
+   the cookie its upstream consumer holds.  All CSNs originate at the
+   root backend, so this is directly comparable to whatever any
+   downstream cookie carries. *)
+let node_csn t stored =
+  match R.Filter_replica.consumer_for t.replica stored with
+  | Some c -> (
+      match Resync.Consumer.cookie c with
+      | Some ck -> (
+          match Resync.Protocol.parse_cookie ck with
+          | Some (_, csn) -> csn
+          | None -> Csn.zero)
+      | None -> Csn.zero)
+  | None -> Csn.zero
+
+let current_content t session =
+  match R.Filter_replica.consumer_for t.replica session.stored with
+  | Some c ->
+      R.Replica.eval_over_entries (schema t) session.query
+        (Resync.Consumer.entries c)
+  | None -> []
+
+let map_of entries =
+  List.fold_left (fun m e -> Dn.Map.add (Entry.dn e) e m) Dn.Map.empty entries
+
+let select_action (q : Query.t) = function
+  | Resync.Action.Add e ->
+      Resync.Action.Add (Entry.select e (Query.attr_list q.Query.attrs))
+  | Resync.Action.Modify e ->
+      Resync.Action.Modify (Entry.select e (Query.attr_list q.Query.attrs))
+  | (Resync.Action.Delete _ | Resync.Action.Retain _) as a -> a
+
+(* --- Replies -------------------------------------------------------- *)
+
+let session_cookie session ~mode =
+  match mode with
+  | Resync.Protocol.Poll | Resync.Protocol.Persist ->
+      Some (Resync.Protocol.cookie_of ~id:session.id ~csn:session.synced_csn)
+  | Resync.Protocol.Sync_end -> None
+
+let initial_reply t session ~mode =
+  let entries = current_content t session in
+  session.snapshot <- map_of entries;
+  session.synced_csn <- node_csn t session.stored;
+  {
+    Resync.Protocol.kind = Resync.Protocol.Initial_content;
+    actions = List.map (fun e -> Resync.Action.Add e) entries;
+    cookie = session_cookie session ~mode;
+  }
+
+(* Incremental replies come from diffing the per-session snapshot (what
+   this session has acknowledged) against the node's current content —
+   the node keeps no per-session action history, its replica content
+   {e is} the history.  Deletes first, like the master's coalescer. *)
+let incremental_reply t session ~mode =
+  let current = current_content t session in
+  let cur_map = map_of current in
+  let deletes =
+    Dn.Map.fold
+      (fun dn _ acc ->
+        if Dn.Map.mem dn cur_map then acc else Resync.Action.Delete dn :: acc)
+      session.snapshot []
+  in
+  let upserts =
+    List.filter_map
+      (fun e ->
+        match Dn.Map.find_opt (Entry.dn e) session.snapshot with
+        | None -> Some (Resync.Action.Add e)
+        | Some old ->
+            if Entry.equal old e then None else Some (Resync.Action.Modify e))
+      current
+  in
+  session.snapshot <- cur_map;
+  session.synced_csn <- node_csn t session.stored;
+  {
+    Resync.Protocol.kind = Resync.Protocol.Incremental;
+    actions = deletes @ upserts;
+    cookie = session_cookie session ~mode;
+  }
+
+(* Degraded mode, eq. (3), against replica content: full entries for
+   members changed since the cookie's CSN (or lacking a usable
+   modifyTimestamp — conservatively treated as changed), [retain] for
+   the rest; the downstream prunes everything not mentioned. *)
+let degraded_reply t query ~stored ~since ~mode ~persist_push =
+  let session =
+    new_session t query ~stored ~persist_push ~csn:(node_csn t stored)
+  in
+  let members = current_content t session in
+  let actions =
+    List.map
+      (fun e ->
+        let changed =
+          match Entry.get e "modifytimestamp" with
+          | [ ts ] -> (
+              match int_of_string_opt ts with
+              | Some c -> Csn.( < ) since (Csn.of_int c)
+              | None -> true)
+          | _ -> true
+        in
+        if changed then Resync.Action.Add e
+        else Resync.Action.Retain (Entry.dn e))
+      members
+  in
+  session.snapshot <- map_of members;
+  session.synced_csn <- node_csn t stored;
+  {
+    Resync.Protocol.kind = Resync.Protocol.Degraded;
+    actions;
+    cookie = session_cookie session ~mode;
+  }
+
+(* --- Serving -------------------------------------------------------- *)
+
+let handle t ?push (request : Resync.Protocol.request) query =
+  t.clock <- t.clock + 1;
+  let mode = request.Resync.Protocol.mode in
+  match mode with
+  | Resync.Protocol.Sync_end -> (
+      match request.cookie with
+      | None -> Error "sync_end requires a cookie"
+      | Some c -> (
+          match Resync.Protocol.parse_cookie c with
+          | None -> Error "malformed cookie"
+          | Some (id, _) ->
+              remove_session t id;
+              Ok
+                {
+                  Resync.Protocol.kind = Resync.Protocol.Incremental;
+                  actions = [];
+                  cookie = None;
+                }))
+  | Resync.Protocol.Poll | Resync.Protocol.Persist -> (
+      if mode = Resync.Protocol.Persist && push = None then
+        Error "persist mode requires a push channel"
+      else
+        match R.Filter_replica.containing_consumer t.replica query with
+        | None ->
+            (* Not provably contained in any stored query: refer the
+               subscriber to this node's own upstream. *)
+            Error (referral_error (Referral.make ~host:(upstream t) ()))
+        | Some (stored, _) -> (
+            let persist_push =
+              if mode = Resync.Protocol.Persist then push else None
+            in
+            let reply =
+              match request.cookie with
+              | None ->
+                  let session =
+                    new_session t query ~stored ~persist_push
+                      ~csn:(node_csn t stored)
+                  in
+                  Ok (initial_reply t session ~mode)
+              | Some c -> (
+                  match Resync.Protocol.parse_cookie c with
+                  | None -> Error "malformed cookie"
+                  | Some (id, csn) -> (
+                      match Hashtbl.find_opt t.sessions id with
+                      | Some session
+                        when Query.equal session.query query
+                             && Csn.equal csn session.synced_csn ->
+                          set_persist t session persist_push;
+                          Ok (incremental_reply t session ~mode)
+                      | Some session when Query.equal session.query query ->
+                          (* The downstream acknowledges a CSN other
+                             than the one this session advanced to: a
+                             reply or pushed action was lost.  The
+                             snapshot reflects sent-not-received state,
+                             so diffing against it would silently
+                             diverge — resynchronize degraded from the
+                             CSN the downstream actually holds. *)
+                          remove_session t session.id;
+                          Ok
+                            (degraded_reply t query ~stored ~since:csn ~mode
+                               ~persist_push)
+                      | Some _ | None ->
+                          (* Unknown session — including the reserved
+                             foreign-session id 0 installed by cookie
+                             translation when a consumer was
+                             re-parented here: degraded mode from the
+                             cookie's CSN. *)
+                          Ok
+                            (degraded_reply t query ~stored ~since:csn ~mode
+                               ~persist_push)))
+            in
+            Result.iter (R.Stats.record_served_reply (stats t)) reply;
+            reply))
+
+let abandon t ~cookie =
+  match Resync.Protocol.parse_cookie cookie with
+  | Some (id, _) -> remove_session t id
+  | None -> ()
+
+let estimate t query =
+  match R.Filter_replica.containing_consumer t.replica query with
+  | Some (_, c) ->
+      List.length
+        (R.Replica.eval_over_entries (schema t) query
+           (Resync.Consumer.entries c))
+  | None -> 0
+
+(* --- Persist relay --------------------------------------------------
+   The replica's change observer: one upstream-applied content change,
+   relayed to the persistent downstream sessions served from the same
+   stored query.  With [Routed] dispatch only the sessions whose filter
+   anchors the predicate index reports are classified exactly; the rest
+   see [Stays_out] by the index's superset guarantee.  Either way every
+   persist session of the stored query acknowledges the node's CSN
+   (other stored queries advance independently — their own consumers
+   define their synchronization point). *)
+let relay t ~stored ~before ~after =
+  if Hashtbl.length t.persist > 0 then begin
+    let csn = node_csn t stored in
+    let candidates =
+      Option.map
+        (fun idx -> C.Predicate_index.affected idx ~before ~after)
+        t.dispatch
+    in
+    Hashtbl.iter
+      (fun id session ->
+        if Query.equal session.stored stored then begin
+          let candidate =
+            match candidates with
+            | None -> true
+            | Some c -> C.Predicate_index.mem c id
+          in
+          (if candidate then
+             let transition =
+               Resync.Content.classify (schema t) session.query ~before ~after
+             in
+             let actions =
+               List.map (select_action session.query)
+                 (Resync.Content.actions_of_transition transition)
+             in
+             List.iter
+               (fun a ->
+                 (match a with
+                 | Resync.Action.Add e | Resync.Action.Modify e ->
+                     session.snapshot <-
+                       Dn.Map.add (Entry.dn e) e session.snapshot
+                 | Resync.Action.Delete dn ->
+                     session.snapshot <- Dn.Map.remove dn session.snapshot
+                 | Resync.Action.Retain _ -> ());
+                 (match session.persist_push with
+                 | Some push -> push a
+                 | None -> ());
+                 R.Stats.record_served_push (stats t) a)
+               actions);
+          session.synced_csn <- csn
+        end)
+      t.persist
+  end
+
+(* --- Construction --------------------------------------------------- *)
+
+let endpoint t =
+  {
+    Resync.Transport.ep_schema = schema t;
+    ep_handle = (fun ~push req q -> handle t ?push req q);
+    ep_abandon = (fun ~cookie -> abandon t ~cookie);
+    ep_estimate = (fun q -> estimate t q);
+  }
+
+let create ?(cache_capacity = 0) ?(dispatch = Resync.Master.Routed) transport
+    ~host ~upstream =
+  let replica =
+    R.Filter_replica.create_over ~cache_capacity ~host transport
+      ~master_host:upstream
+  in
+  let t =
+    {
+      replica;
+      host;
+      sessions = Hashtbl.create 16;
+      persist = Hashtbl.create 16;
+      dispatch =
+        (match dispatch with
+        | Resync.Master.Routed ->
+            Some (C.Predicate_index.create (R.Filter_replica.schema replica))
+        | Resync.Master.Naive -> None);
+      next_id = 1;
+      clock = 0;
+    }
+  in
+  R.Filter_replica.set_on_change replica (fun ~stored ~before ~after ->
+      relay t ~stored ~before ~after);
+  Resync.Transport.add_endpoint transport ~name:host (endpoint t);
+  t
+
+let install_cover t q = R.Filter_replica.install_filter t.replica q
+let covers t = R.Filter_replica.stored_filters t.replica
+let sync t = R.Filter_replica.sync t.replica
+let retarget t ~upstream = R.Filter_replica.retarget t.replica ~master_host:upstream

@@ -1,0 +1,106 @@
+(** An intermediate node of a cascading replication topology: a filter
+    replica that is simultaneously a ReSync master for the tier below.
+
+    The node synchronizes a set of {e cover} queries from its upstream
+    (root master or another node) exactly like any filter replica, and
+    registers itself as a {!Ldap_resync.Transport} endpoint so
+    downstream consumers can open ReSync sessions against it.  A
+    downstream subscription is admitted iff query containment proves it
+    contained in one of the node's stored covers with the filter
+    attributes locally available ({!Ldap_replication.Filter_replica.containing_consumer});
+    otherwise the request is rejected with a referral to the node's own
+    upstream, which the subscriber chases one tier up.
+
+    Cookies issued by the node use the same wire format as the root
+    master's ({!Ldap_resync.Protocol.cookie_of}), with CSNs taken from
+    the node's own upstream synchronization point — downstream progress
+    is therefore bounded by how far the node itself has synchronized,
+    and a cookie minted at any tier remains meaningful at any other
+    after {!Ldap_resync.Protocol.reparent_cookie} translation.
+
+    Unlike the root master, the node keeps no per-session action
+    history: its replica content {e is} the history.  Poll replies are
+    produced by diffing a per-session snapshot (what the session has
+    acknowledged) against current content; sessions presenting an
+    unknown cookie — or one whose CSN the node cannot match — are
+    answered in degraded mode (eq. (3)) from the cookie's CSN.
+    Persist-mode sessions are relayed live: the replica's change
+    observer classifies each upstream-applied change against the
+    persistent sessions — routed through a
+    {!Ldap_containment.Predicate_index} over their filters unless
+    [Naive] dispatch is selected — and pushes the resulting actions. *)
+
+open Ldap
+
+type t
+
+val create :
+  ?cache_capacity:int ->
+  ?dispatch:Ldap_resync.Master.dispatch ->
+  Ldap_resync.Transport.t ->
+  host:string ->
+  upstream:string ->
+  t
+(** Creates the node's replica over the transport, wires the persist
+    relay, and registers the node as endpoint [host].  [dispatch]
+    (default [Routed]) selects predicate-indexed or naive fan-out for
+    the persist relay.
+    @raise Invalid_argument if no endpoint is registered at
+    [upstream]. *)
+
+val replica : t -> Ldap_replication.Filter_replica.t
+(** The node's own consuming side. *)
+
+val host : t -> string
+val upstream : t -> string
+(** The endpoint this node currently synchronizes from. *)
+
+val schema : t -> Schema.t
+
+val stats : t -> Ldap_replication.Stats.t
+(** Shared with the replica: upstream-facing [sync_*]/[fetch_*]
+    counters and downstream-facing [served_*] counters. *)
+
+val install_cover : t -> Query.t -> (unit, string) result
+(** Starts replicating a cover query from the upstream; downstream
+    subscriptions contained in it become admissible. *)
+
+val covers : t -> Query.t list
+
+val sync : t -> unit
+(** One poll round against the upstream.  Changes applied here are
+    relayed immediately to persistent downstream sessions; polling
+    downstream sessions pick them up at their next poll. *)
+
+val retarget : t -> upstream:string -> unit
+(** Re-parents the node (cookie translation included) — used when its
+    upstream dies.  Downstream sessions are untouched and survive. *)
+
+val handle :
+  t ->
+  ?push:(Ldap_resync.Action.t -> unit) ->
+  Ldap_resync.Protocol.request ->
+  Query.t ->
+  (Ldap_resync.Protocol.reply, string) result
+(** Serves one downstream resync exchange, mirroring
+    {!Ldap_resync.Master.handle}.  A non-admitted subscription fails
+    with a referral error (see {!referral_of_error}). *)
+
+val abandon : t -> cookie:string -> unit
+
+val estimate : t -> Query.t -> int
+(** Entries currently held for an admissible query; 0 when not
+    admitted. *)
+
+val session_count : t -> int
+(** Live downstream sessions at this node. *)
+
+val persistent_count : t -> int
+
+val referral_error : string -> string
+(** Wraps an LDAP URL into the rejection message carried over the
+    ReSync error channel. *)
+
+val referral_of_error : string -> string option
+(** The LDAP URL inside a rejection produced by {!referral_error}, or
+    [None] for any other error message. *)

@@ -1,0 +1,138 @@
+open Ldap
+module Resync = Ldap_resync
+module R = Ldap_replication
+module D = Ldap_dirgen
+
+type point = {
+  shape : string;
+  consumers : int;
+  root_sessions : int;
+  build_root_bytes : int;
+  update_root_bytes : int;
+  update_total_bytes : int;
+  convergence_rounds : int;
+}
+
+type config = {
+  consumers_list : int list;
+  filters : int;
+  arity : int;
+  updates : int;
+  employees : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    consumers_list = [ 100; 200; 500; 1000 ];
+    filters = 20;
+    arity = 4;
+    updates = 200;
+    employees = 4000;
+    seed = 7;
+  }
+
+let smoke_config =
+  {
+    consumers_list = [ 24; 48 ];
+    filters = 8;
+    arity = 2;
+    updates = 60;
+    employees = 800;
+    seed = 7;
+  }
+
+let enterprise cfg =
+  D.Enterprise.build
+    {
+      D.Enterprise.default_config with
+      seed = cfg.seed;
+      employees = cfg.employees;
+      countries = 4;
+      divisions = 4;
+      departments_per_division = 12;
+      locations = 8;
+      target_countries = 2;
+    }
+
+let upstream_bytes (s : R.Stats.t) = s.R.Stats.sync_bytes + s.R.Stats.fetch_bytes
+
+let participants_bytes t =
+  List.fold_left
+    (fun acc l -> acc + upstream_bytes (Leaf.stats l))
+    (List.fold_left
+       (fun acc n -> acc + upstream_bytes (Node.stats n))
+       0 (Topology.nodes t))
+    (Topology.leaves t)
+
+let shape_name = function
+  | Topology.Star -> "star"
+  | Topology.Chain n -> Printf.sprintf "chain%d" n
+  | Topology.Tree { arity } -> Printf.sprintf "tree%d" arity
+
+let run_point cfg shape n =
+  let ent = enterprise cfg in
+  let backend = D.Enterprise.backend ent in
+  let base = D.Enterprise.root_dn ent in
+  let all_depts = D.Enterprise.dept_numbers ent in
+  let filters = min cfg.filters (Array.length all_depts) in
+  let query_of d =
+    Query.make ~base
+      (Filter.of_string_exn (Printf.sprintf "(departmentNumber=%s)" d))
+  in
+  (* Interior nodes store exactly the distinct leaf filters, so a
+     node's content is the union of what its leaves need and nothing
+     more; leaves pick their filter round-robin, giving the sharing a
+     star cannot exploit. *)
+  let covers = List.init filters (fun i -> query_of all_depts.(i)) in
+  let leaf_queries = List.init n (fun i -> query_of all_depts.(i mod filters)) in
+  match Topology.build ~shape ~covers ~leaf_queries backend with
+  | Error e -> failwith ("tree-fanout build: " ^ e)
+  | Ok t ->
+      let build_root = Topology.root_link_bytes t in
+      let build_total = participants_bytes t in
+      let stream =
+        D.Update_stream.create ent
+          { D.Update_stream.default_config with seed = cfg.seed + 1 }
+      in
+      D.Update_stream.steps stream cfg.updates;
+      let convergence_rounds =
+        match Topology.rounds_to_converge ~max_rounds:12 t with
+        | Some r -> r
+        | None -> -1
+      in
+      {
+        shape = shape_name shape;
+        consumers = n;
+        root_sessions = Resync.Master.session_count (Topology.master t);
+        build_root_bytes = build_root;
+        update_root_bytes = Topology.root_link_bytes t - build_root;
+        update_total_bytes = participants_bytes t - build_total;
+        convergence_rounds;
+      }
+
+let tree_fanout ?(config = default_config) () =
+  List.concat_map
+    (fun n ->
+      [
+        run_point config Topology.Star n;
+        run_point config (Topology.Tree { arity = config.arity }) n;
+      ])
+    config.consumers_list
+
+let json_of_points points =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "[\n";
+  List.iteri
+    (fun i p ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"shape\": \"%s\", \"consumers\": %d, \"root_sessions\": %d, \
+            \"build_root_bytes\": %d, \"update_root_bytes\": %d, \
+            \"update_total_bytes\": %d, \"convergence_rounds\": %d}%s\n"
+           p.shape p.consumers p.root_sessions p.build_root_bytes
+           p.update_root_bytes p.update_total_bytes p.convergence_rounds
+           (if i = List.length points - 1 then "" else ",")))
+    points;
+  Buffer.add_string b "  ]";
+  Buffer.contents b

@@ -1,0 +1,50 @@
+(** The tree-fanout experiment: flat star versus 2-tier k-ary tree at
+    growing consumer counts.
+
+    For each consumer count [n], a synthetic enterprise directory is
+    built, [n] leaves subscribe to department filters (round-robin over
+    a small distinct-filter set), an update burst is applied at the
+    root, and the topology is synchronized to convergence.  Per point
+    the sweep records root-master session count, Ber bytes on the
+    links into the root (initial build and update phases separately),
+    total upstream bytes across all links, and the number of poll
+    rounds to convergence.
+
+    Expected shape: in the tree, root sessions and root-link bytes are
+    flat in [n] (only the interior nodes talk to the root) while the
+    star grows both linearly; the tree pays one extra convergence
+    round per tier. *)
+
+type point = {
+  shape : string;  (** ["star"] or ["tree<arity>"]. *)
+  consumers : int;
+  root_sessions : int;  (** Live sessions at the root master. *)
+  build_root_bytes : int;  (** Root-link Ber bytes of the initial fetches. *)
+  update_root_bytes : int;  (** Root-link Ber bytes of the update phase. *)
+  update_total_bytes : int;  (** Update-phase Ber bytes over every link. *)
+  convergence_rounds : int;
+      (** Poll rounds until every leaf matched the root ([-1]: did not
+          converge within the cap). *)
+}
+
+type config = {
+  consumers_list : int list;
+  filters : int;  (** Distinct leaf filters (and interior covers). *)
+  arity : int;  (** Interior nodes of the tree shape. *)
+  updates : int;  (** Update burst length between build and measure. *)
+  employees : int;
+  seed : int;
+}
+
+val default_config : config
+(** 100–1000 consumers, 20 filters, arity 4, 200 updates. *)
+
+val smoke_config : config
+(** CI-sized: 24 and 48 consumers, 8 filters, arity 2, 60 updates. *)
+
+val tree_fanout : ?config:config -> unit -> point list
+(** Runs star and tree at every consumer count, star first. *)
+
+val json_of_points : point list -> string
+(** A JSON array (indented for embedding as a [BENCH_PR3.json]
+    field). *)

@@ -1,0 +1,290 @@
+open Ldap
+module Resync = Ldap_resync
+module R = Ldap_replication
+
+type shape = Star | Chain of int | Tree of { arity : int }
+
+type t = {
+  net : Network.t;
+  transport : Resync.Transport.t;
+  master : Resync.Master.t;
+  root : string;
+  parents : (string, string) Hashtbl.t;  (* host -> parent at attach time *)
+  mutable nodes : Node.t list;
+  mutable leaves : Leaf.t list;
+}
+
+let transport t = t.transport
+let master t = t.master
+let root t = t.root
+let network t = t.net
+let nodes t = t.nodes
+let leaves t = t.leaves
+let schema t = Backend.schema (Resync.Master.backend t.master)
+
+let create ?faults ?strategy ?dispatch ?(root = "root") backend =
+  let net = Network.create () in
+  let transport = Resync.Transport.create ?faults net in
+  let master = Resync.Master.create ?strategy ?dispatch backend in
+  Resync.Transport.add_master transport ~name:root master;
+  {
+    net;
+    transport;
+    master;
+    root;
+    parents = Hashtbl.create 64;
+    nodes = [];
+    leaves = [];
+  }
+
+let add_node ?dispatch t ~name ~parent ~covers =
+  let node = Node.create ?dispatch t.transport ~host:name ~upstream:parent in
+  let rec install = function
+    | [] -> Ok ()
+    | q :: rest -> (
+        match Node.install_cover node q with
+        | Ok () -> install rest
+        | Error e -> Error e)
+  in
+  match install covers with
+  | Ok () ->
+      Hashtbl.replace t.parents name parent;
+      t.nodes <- node :: t.nodes;
+      Ok node
+  | Error e ->
+      Resync.Transport.remove_endpoint t.transport ~name;
+      Error e
+
+let add_leaf t ~name ~parent query =
+  let leaf = Leaf.create t.transport ~name ~parent in
+  match Leaf.subscribe leaf query with
+  | Ok () ->
+      Hashtbl.replace t.parents name (Leaf.parent leaf);
+      t.leaves <- leaf :: t.leaves;
+      Ok leaf
+  | Error e -> Error e
+
+(* --- Failure handling ------------------------------------------------ *)
+
+(* The closest live ancestor of a (possibly dead) host: climb the
+   recorded attachment chain until an endpoint answers.  The root is
+   always registered, so the climb terminates. *)
+let live_host t h =
+  let rec go h =
+    if h = t.root then t.root
+    else
+      match Resync.Transport.endpoint t.transport h with
+      | Some _ -> h
+      | None -> (
+          match Hashtbl.find_opt t.parents h with
+          | Some p -> go p
+          | None -> t.root)
+  in
+  go h
+
+let kill_node t node =
+  Resync.Transport.remove_endpoint t.transport ~name:(Node.host node);
+  t.nodes <- List.filter (fun n -> Node.host n <> Node.host node) t.nodes
+
+(* Re-parents every participant whose upstream endpoint has vanished to
+   its closest live ancestor (usually the grandparent).  Cookie
+   translation happens inside [retarget]/[reparent]: content is kept
+   and the next poll resynchronizes degraded from the acknowledged
+   CSN — downstream sessions of a healed node survive untouched. *)
+let heal t =
+  List.iter
+    (fun node ->
+      let up = Node.upstream node in
+      if Resync.Transport.endpoint t.transport up = None then begin
+        let p = live_host t up in
+        Node.retarget node ~upstream:p;
+        Hashtbl.replace t.parents (Node.host node) p
+      end)
+    t.nodes;
+  List.iter
+    (fun leaf ->
+      let up = Leaf.parent leaf in
+      if Resync.Transport.endpoint t.transport up = None then begin
+        let p = live_host t up in
+        Leaf.reparent leaf ~parent:p;
+        Hashtbl.replace t.parents (Leaf.name leaf) p
+      end)
+    t.leaves
+
+(* --- Synchronization ------------------------------------------------- *)
+
+let depth t host =
+  let rec go h acc =
+    if h = t.root then acc
+    else
+      match Hashtbl.find_opt t.parents h with
+      | Some p -> go p (acc + 1)
+      | None -> acc
+  in
+  go host 0
+
+(* One poll round, children before parents: leaves pull from their
+   parents' current content first, then the deepest interior tier,
+   up to the tier under the root.  An update committed at the root
+   therefore propagates one tier per round — convergence lag equals
+   tier depth, the quantity the tree-fanout experiment measures. *)
+let sync_round t =
+  heal t;
+  List.iter Leaf.sync t.leaves;
+  let by_depth_desc =
+    List.sort
+      (fun a b ->
+        compare (depth t (Node.host b)) (depth t (Node.host a)))
+      t.nodes
+  in
+  List.iter Node.sync by_depth_desc
+
+let leaf_converged t leaf =
+  let schema = schema t in
+  let backend = Resync.Master.backend t.master in
+  let canon entries =
+    List.sort
+      (fun a b -> compare (Dn.canonical (Entry.dn a)) (Dn.canonical (Entry.dn b)))
+      entries
+  in
+  List.for_all
+    (fun q ->
+      let got = canon (R.Replica.eval_over_entries schema q (Leaf.content leaf q)) in
+      let want = canon (Resync.Content.current backend q) in
+      List.length got = List.length want && List.for_all2 Entry.equal got want)
+    (Leaf.subscriptions leaf)
+
+let converged t = List.for_all (leaf_converged t) t.leaves
+
+let rounds_to_converge ?(max_rounds = 16) t =
+  let rec go n =
+    if converged t then Some n
+    else if n >= max_rounds then None
+    else begin
+      sync_round t;
+      go (n + 1)
+    end
+  in
+  go 0
+
+(* --- Builders --------------------------------------------------------- *)
+
+let leaf_name i = Printf.sprintf "leaf%d" (i + 1)
+let node_name i = Printf.sprintf "node%d" (i + 1)
+
+let build ?faults ?strategy ?dispatch ~shape ~covers ~leaf_queries backend =
+  let t = create ?faults ?strategy ?dispatch backend in
+  let attach_leaves parents_of =
+    let rec go i acc = function
+      | [] -> Ok (List.rev acc)
+      | q :: rest -> (
+          match add_leaf t ~name:(leaf_name i) ~parent:(parents_of i) q with
+          | Ok leaf -> go (i + 1) (leaf :: acc) rest
+          | Error e -> Error e)
+    in
+    go 0 [] leaf_queries
+  in
+  let interior =
+    match shape with
+    | Star -> Ok []
+    | Chain n ->
+        let rec chain i parent acc =
+          if i >= n then Ok (List.rev acc)
+          else
+            match add_node ?dispatch t ~name:(node_name i) ~parent ~covers with
+            | Ok node -> chain (i + 1) (node_name i) (node :: acc)
+            | Error e -> Error e
+        in
+        chain 0 t.root []
+    | Tree { arity } ->
+        let rec row i acc =
+          if i >= arity then Ok (List.rev acc)
+          else
+            match
+              add_node ?dispatch t ~name:(node_name i) ~parent:t.root ~covers
+            with
+            | Ok node -> row (i + 1) (node :: acc)
+            | Error e -> Error e
+        in
+        row 0 []
+  in
+  match interior with
+  | Error e -> Error e
+  | Ok [] -> (
+      match attach_leaves (fun _ -> t.root) with
+      | Ok _ -> Ok t
+      | Error e -> Error e)
+  | Ok ns -> (
+      let parents_of =
+        match shape with
+        | Chain n when n > 0 -> fun _ -> node_name (n - 1)
+        | _ ->
+            let arr = Array.of_list (List.map Node.host ns) in
+            fun i -> arr.(i mod Array.length arr)
+      in
+      match attach_leaves parents_of with
+      | Ok _ -> Ok t
+      | Error e -> Error e)
+
+(* --- Accounting ------------------------------------------------------- *)
+
+let upstream_bytes stats =
+  stats.R.Stats.sync_bytes + stats.R.Stats.fetch_bytes
+
+(* Ber bytes that crossed links terminating at the root: the upstream
+   traffic of every participant currently attached to it.  In a star
+   this is every leaf's traffic; in a tree only the interior nodes'. *)
+let root_link_bytes t =
+  let of_node acc node =
+    if Node.upstream node = t.root then acc + upstream_bytes (Node.stats node)
+    else acc
+  in
+  let of_leaf acc leaf =
+    if Leaf.parent leaf = t.root then acc + upstream_bytes (Leaf.stats leaf)
+    else acc
+  in
+  List.fold_left of_leaf (List.fold_left of_node 0 t.nodes) t.leaves
+
+type tier_summary = {
+  tier : int;
+  members : int;
+  sessions : int;  (** Downstream ReSync sessions held at this tier. *)
+  upstream_bytes : int;  (** Ber bytes members paid on their upstream links. *)
+  served_bytes : int;  (** Ber bytes members served downstream. *)
+}
+
+let tier_summaries t =
+  let tbl = Hashtbl.create 8 in
+  let add tier ~sessions ~up ~served =
+    let m, s, u, v =
+      match Hashtbl.find_opt tbl tier with
+      | Some (m, s, u, v) -> (m, s, u, v)
+      | None -> (0, 0, 0, 0)
+    in
+    Hashtbl.replace tbl tier (m + 1, s + sessions, u + up, v + served)
+  in
+  (* The root pays nothing upstream; what it serves is exactly what
+     its direct children pay on their root links. *)
+  add 0
+    ~sessions:(Resync.Master.session_count t.master)
+    ~up:0 ~served:(root_link_bytes t);
+  List.iter
+    (fun node ->
+      let st = Node.stats node in
+      add
+        (depth t (Node.host node))
+        ~sessions:(Node.session_count node) ~up:(upstream_bytes st)
+        ~served:st.R.Stats.served_bytes)
+    t.nodes;
+  List.iter
+    (fun leaf ->
+      add (depth t (Leaf.name leaf)) ~sessions:0
+        ~up:(upstream_bytes (Leaf.stats leaf))
+        ~served:0)
+    t.leaves;
+  Hashtbl.fold
+    (fun tier (members, sessions, up, served) acc ->
+      { tier; members; sessions; upstream_bytes = up; served_bytes = served }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare a.tier b.tier)

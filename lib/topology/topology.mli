@@ -1,0 +1,130 @@
+(** Cascading replication topologies: a root master, optional tiers of
+    intermediate {!Node}s re-serving their replica content, and {!Leaf}
+    consumers at the bottom.
+
+    The builder wires everything over one fault-injectable
+    {!Ldap_resync.Transport}; synchronization proceeds in rounds with
+    children polling before parents, so an update committed at the root
+    propagates exactly one tier per round and convergence lag equals
+    tier depth.  Killing a node removes its endpoint; the next round
+    {!heal}s the orphans by re-attaching them to their closest live
+    ancestor with cookie translation, so they resynchronize degraded
+    from their acknowledged CSN instead of reloading. *)
+
+open Ldap
+
+(** Interior wiring of the built topology. *)
+type shape =
+  | Star  (** Every leaf attaches directly to the root. *)
+  | Chain of int
+      (** A line of [n] nodes under the root; leaves attach to the
+          deepest one (convergence lag [n+1]). *)
+  | Tree of { arity : int }
+      (** [arity] nodes under the root; leaves attach round-robin
+          (the 2-tier tree of the tree-fanout experiment). *)
+
+type t
+
+val create :
+  ?faults:Network.Faults.t ->
+  ?strategy:Ldap_resync.Master.strategy ->
+  ?dispatch:Ldap_resync.Master.dispatch ->
+  ?root:string ->
+  Backend.t ->
+  t
+(** A topology holding only the root master (registered as endpoint
+    [root], default ["root"]) over a fresh network. *)
+
+val build :
+  ?faults:Network.Faults.t ->
+  ?strategy:Ldap_resync.Master.strategy ->
+  ?dispatch:Ldap_resync.Master.dispatch ->
+  shape:shape ->
+  covers:Query.t list ->
+  leaf_queries:Query.t list ->
+  Backend.t ->
+  (t, string) result
+(** Builds the interior per [shape] — every node storing the [covers]
+    set — then attaches one leaf per element of [leaf_queries].
+    [dispatch] selects the fan-out mechanism at the root master {e and}
+    at every interior node.  Fails if a cover install or a subscription
+    fails (a leaf query no cover contains chases its referral to the
+    root, which admits everything). *)
+
+val add_node :
+  ?dispatch:Ldap_resync.Master.dispatch ->
+  t ->
+  name:string ->
+  parent:string ->
+  covers:Query.t list ->
+  (Node.t, string) result
+
+val add_leaf : t -> name:string -> parent:string -> Query.t -> (Leaf.t, string) result
+(** Creates the leaf and subscribes it (with referral chasing). *)
+
+val transport : t -> Ldap_resync.Transport.t
+(** The shared fault-injectable transport every tier exchanges over. *)
+
+val master : t -> Ldap_resync.Master.t
+(** The root ReSync master. *)
+
+val root : t -> string
+(** The root master's endpoint name. *)
+
+val network : t -> Network.t
+(** The byte/latency-accounting network under the transport. *)
+
+val nodes : t -> Node.t list
+(** Live interior nodes (killed nodes are removed). *)
+
+val leaves : t -> Leaf.t list
+(** All attached leaf consumers. *)
+
+val schema : t -> Schema.t
+(** Schema of the root backend. *)
+
+val kill_node : t -> Node.t -> unit
+(** Unregisters the node's endpoint mid-stream.  Its downstream
+    sessions and its own upstream session die with it; orphans are
+    re-parented by the next {!heal} (or {!sync_round}). *)
+
+val heal : t -> unit
+(** Re-parents every participant whose upstream endpoint vanished to
+    its closest live ancestor, translating cookies so content is kept
+    and the next poll resumes in degraded mode. *)
+
+val sync_round : t -> unit
+(** {!heal}, then one poll round children-before-parents: all leaves,
+    then interior nodes deepest tier first. *)
+
+val depth : t -> string -> int
+(** Tier of a host: 0 for the root, parents' depth + 1 otherwise. *)
+
+val leaf_converged : t -> Leaf.t -> bool
+(** Whether each of the leaf's subscriptions holds exactly the
+    content the root backend currently defines for it. *)
+
+val converged : t -> bool
+
+val rounds_to_converge : ?max_rounds:int -> t -> int option
+(** Runs {!sync_round} until {!converged}, returning the number of
+    rounds needed ([Some 0] when already converged); [None] if
+    [max_rounds] (default 16) rounds do not suffice. *)
+
+val root_link_bytes : t -> int
+(** Ber bytes that crossed links terminating at the root: the summed
+    upstream traffic of participants currently attached to it — every
+    leaf in a star, only the interior nodes in a tree. *)
+
+(** Aggregated per-tier accounting for reports and the CLI. *)
+type tier_summary = {
+  tier : int;
+  members : int;
+  sessions : int;  (** Downstream ReSync sessions held at this tier. *)
+  upstream_bytes : int;  (** Ber bytes members paid on their upstream links. *)
+  served_bytes : int;  (** Ber bytes members served downstream. *)
+}
+
+val tier_summaries : t -> tier_summary list
+(** One row per tier, shallowest first; tier 0 is the root (sessions =
+    the master's live session count). *)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Interface documentation check.
+
+Fails when an .mli under the given directories is missing doc
+comments: every interface must open with a module-level (** ... *)
+comment, and every top-level `val` must have an odoc comment either
+directly above it or in the item's trailing lines (before the next
+top-level declaration).  A cheap stand-in for `dune build @doc` with
+warnings-as-errors, which needs odoc installed.
+
+Usage: check_mli_docs.py DIR [DIR...]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+DECL = re.compile(r"^(val|type|module|exception|external)\b")
+
+
+def check(path):
+    errors = []
+    lines = path.read_text().splitlines()
+    stripped = [l.strip() for l in lines]
+
+    first_code = next((s for s in stripped if s), "")
+    if not first_code.startswith("(**"):
+        errors.append(f"{path}:1: missing module-level doc comment")
+
+    for i, s in enumerate(stripped):
+        if not s.startswith("val "):
+            continue
+        name = s.split()[1].rstrip(":")
+        # Doc comment directly above the declaration?
+        above = next((t for t in reversed(stripped[:i]) if t), "")
+        if above.endswith("*)"):
+            continue
+        # Or in the item's trailing lines, before the next declaration.
+        documented = False
+        for t in stripped[i + 1 :]:
+            if DECL.match(t):
+                break
+            if t.startswith("(**"):
+                documented = True
+                break
+        if not documented:
+            errors.append(f"{path}:{i + 1}: val {name} has no doc comment")
+    return errors
+
+
+def main(dirs):
+    errors = []
+    mlis = []
+    for d in dirs:
+        mlis.extend(sorted(Path(d).glob("*.mli")))
+    if not mlis:
+        print(f"no .mli files under {' '.join(dirs)}", file=sys.stderr)
+        return 1
+    for mli in mlis:
+        errors.extend(check(mli))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {len(mlis)} interfaces, {len(errors)} missing doc comments")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:] or ["lib/topology"]))

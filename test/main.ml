@@ -13,6 +13,7 @@ let () =
       ("network", Test_network.suite);
       ("resync", Test_resync.suite);
       ("dispatch", Test_dispatch.suite);
+      ("topology", Test_topology.suite);
       ("replication", Test_replication.suite);
       ("selection", Test_selection.suite);
       ("dirgen", Test_dirgen.suite);

@@ -109,7 +109,7 @@ let test_replica_server_end_to_end () =
   let replica = R.Filter_replica.create master in
   must (R.Filter_replica.install_filter replica (Query.make ~base:(dn "o=x") (f "(sn=alice)")));
   R.Replica_server.register
-    (R.Replica_server.of_filter_replica ~master_url:(Referral.make ~host:"hq" ()) replica)
+    (R.Replica_server.of_filter_replica ~master_host:"hq" replica)
     net ~name:"branch";
   Network.reset_stats net;
   (* Contained query: answered at the branch in one round trip. *)

@@ -1,0 +1,445 @@
+(* Tests for the cascading replication topology: tree = star
+   convergence, referral admission, degraded resume through an
+   intermediate node, re-parenting after a node death, and a
+   randomized routed = naive equivalence property for the node's
+   persist relay on a 2-tier chain. *)
+open Ldap
+open Ldap_resync
+module R = Ldap_replication
+module T = Ldap_topology
+
+let schema = Schema.default
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let dn = Dn.of_string_exn
+let f = Filter.of_string_exn
+
+let org = Entry.make (dn "o=xyz") [ ("objectclass", [ "organization" ]); ("o", [ "xyz" ]) ]
+
+let person name ?(dept = "1") () =
+  Entry.make
+    (dn (Printf.sprintf "cn=%s,o=xyz" name))
+    [
+      ("objectclass", [ "inetOrgPerson" ]);
+      ("cn", [ name ]);
+      ("sn", [ name ]);
+      ("departmentNumber", [ dept ]);
+    ]
+
+let make_backend () =
+  let b = Backend.create ~indexed:[ "departmentnumber" ] schema in
+  (match Backend.add_context b org with Ok () -> () | Error e -> failwith e);
+  b
+
+let apply b op = match Backend.apply b op with Ok _ -> () | Error e -> failwith e
+
+let dept_query d =
+  Query.make ~base:(dn "o=xyz") (f (Printf.sprintf "(departmentNumber=%d)" d))
+
+(* A directory with [depts] departments of [each] people, named so the
+   same update script can be replayed onto twin backends. *)
+let build_directory ?(depts = 8) ?(each = 5) () =
+  let b = make_backend () in
+  for d = 1 to depts do
+    for i = 1 to each do
+      apply b
+        (Update.add (person (Printf.sprintf "p%d_%d" d i) ~dept:(string_of_int d) ()))
+    done
+  done;
+  b
+
+let update_burst b =
+  apply b (Update.add (person "new3" ~dept:"3" ()));
+  apply b (Update.delete (dn "cn=p1_1,o=xyz"));
+  apply b
+    (Update.modify (dn "cn=p2_1,o=xyz")
+       [ Update.replace_values "departmentNumber" [ "5" ] ]);
+  apply b
+    (Update.modify (dn "cn=p4_2,o=xyz")
+       [ Update.replace_values "mail" [ "p4_2@xyz" ] ])
+
+let must = function Ok v -> v | Error e -> failwith e
+
+let sorted_dns entries =
+  List.sort compare (List.map (fun e -> Dn.canonical (Entry.dn e)) entries)
+
+let leaf_contents t =
+  List.map
+    (fun leaf ->
+      List.concat_map
+        (fun q -> sorted_dns (T.Leaf.content leaf q))
+        (T.Leaf.subscriptions leaf))
+    (T.Topology.leaves t)
+
+(* --- Tree vs star ----------------------------------------------------- *)
+
+let build_shape shape n =
+  let b = build_directory () in
+  let covers = List.init 8 (fun d -> dept_query (d + 1)) in
+  let leaf_queries = List.init n (fun i -> dept_query (1 + (i mod 8))) in
+  (b, must (T.Topology.build ~shape ~covers ~leaf_queries b))
+
+let test_tree_matches_star () =
+  let n = 1000 in
+  let b_star, star = build_shape T.Topology.Star n in
+  let b_tree, tree = build_shape (T.Topology.Tree { arity = 4 }) n in
+  (* Same burst on both twins, then run to convergence. *)
+  update_burst b_star;
+  update_burst b_tree;
+  (match T.Topology.rounds_to_converge star with
+  | Some r -> check_int "star lag is one round" 1 r
+  | None -> Alcotest.fail "star did not converge");
+  (match T.Topology.rounds_to_converge tree with
+  | Some r -> check_int "tree lag is two rounds" 2 r
+  | None -> Alcotest.fail "tree did not converge");
+  (* Every leaf of the tree holds exactly what its star twin holds. *)
+  check_bool "tree contents = star contents" true
+    (leaf_contents star = leaf_contents tree);
+  (* The root of the tree serves only the interior nodes: 4 nodes x 8
+     covers, regardless of the 1000 leaves; the star holds one session
+     per leaf. *)
+  check_int "star root sessions" n
+    (Master.session_count (T.Topology.master star));
+  check_int "tree root sessions" 32
+    (Master.session_count (T.Topology.master tree));
+  check_bool "tree root bytes below star" true
+    (T.Topology.root_link_bytes tree < T.Topology.root_link_bytes star)
+
+let test_root_sessions_flat_in_leaves () =
+  let _, small = build_shape (T.Topology.Tree { arity = 4 }) 80 in
+  let _, large = build_shape (T.Topology.Tree { arity = 4 }) 400 in
+  check_int "same root sessions at 80 and 400 leaves"
+    (Master.session_count (T.Topology.master small))
+    (Master.session_count (T.Topology.master large))
+
+let test_chain_lag_is_depth () =
+  let b, t = build_shape (T.Topology.Chain 2) 8 in
+  apply b (Update.add (person "late7" ~dept:"7" ()));
+  match T.Topology.rounds_to_converge t with
+  | Some r -> check_int "chain of 2 lags three rounds" 3 r
+  | None -> Alcotest.fail "chain did not converge"
+
+(* --- Admission and referrals ------------------------------------------ *)
+
+let node_fixture ?(covers = [ dept_query 7 ]) () =
+  let b = make_backend () in
+  apply b (Update.add (person "a" ~dept:"7" ()));
+  apply b (Update.add (person "b" ~dept:"7" ()));
+  apply b (Update.add (person "c" ~dept:"8" ()));
+  let t = T.Topology.create b in
+  let node =
+    must (T.Topology.add_node t ~name:"n1" ~parent:(T.Topology.root t) ~covers)
+  in
+  (b, t, node)
+
+let test_referral_on_uncovered_subscription () =
+  let _, t, node = node_fixture () in
+  (* Directly: the node rejects with a referral to its upstream. *)
+  (match
+     T.Node.handle node { Protocol.mode = Protocol.Poll; cookie = None } (dept_query 8)
+   with
+  | Ok _ -> Alcotest.fail "uncovered subscription admitted"
+  | Error msg -> (
+      match T.Node.referral_of_error msg with
+      | None -> Alcotest.fail ("not a referral: " ^ msg)
+      | Some url ->
+          check_bool "refers to the root" true
+            ((Referral.parse_exn url).Referral.host = T.Topology.root t)));
+  (* Through a leaf: the subscription chases the referral to the root
+     and is served there. *)
+  let leaf = must (T.Topology.add_leaf t ~name:"l1" ~parent:"n1" (dept_query 8)) in
+  check_bool "leaf re-parented to root" true (T.Leaf.parent leaf = T.Topology.root t);
+  check_int "content served upstream" 1 (List.length (T.Leaf.content leaf (dept_query 8)))
+
+let test_admitted_subscription_served_at_node () =
+  let b, t, _ = node_fixture () in
+  let leaf = must (T.Topology.add_leaf t ~name:"l1" ~parent:"n1" (dept_query 7)) in
+  check_bool "leaf stayed at the node" true (T.Leaf.parent leaf = "n1");
+  check_int "initial content" 2 (List.length (T.Leaf.content leaf (dept_query 7)));
+  (* An update propagates root -> node -> leaf in two rounds. *)
+  apply b (Update.add (person "d" ~dept:"7" ()));
+  T.Topology.sync_round t;
+  T.Topology.sync_round t;
+  check_int "update arrived through the node" 3
+    (List.length (T.Leaf.content leaf (dept_query 7)))
+
+(* --- Degraded resume through an intermediate node --------------------- *)
+
+let test_reparented_cookie_degrades_with_retain () =
+  let b, t, _ = node_fixture () in
+  let consumer = Consumer.create schema (dept_query 7) in
+  let transport = T.Topology.transport t in
+  let sync () =
+    match Consumer.sync_over consumer transport ~host:"n1" with
+    | Ok outcome -> outcome
+    | Error e -> failwith (Consumer.sync_error_to_string e)
+  in
+  ignore (sync ());
+  check_int "initial content" 2 (Consumer.size consumer);
+  (* One entry changes, one stays; the node picks the change up. *)
+  apply b
+    (Update.modify (dn "cn=a,o=xyz") [ Update.replace_values "mail" [ "a@x" ] ]);
+  T.Topology.sync_round t;
+  (* Simulate a re-parent onto this node: the translated cookie keeps
+     the CSN but carries the foreign-session id, so the node must
+     answer degraded — resending the changed entry, retaining the
+     unchanged one. *)
+  (match Consumer.cookie consumer with
+  | Some c -> Consumer.set_cookie consumer (Protocol.reparent_cookie c)
+  | None -> Alcotest.fail "no cookie");
+  let outcome = sync () in
+  check_bool "degraded reply" true
+    (outcome.Consumer.reply.Protocol.kind = Protocol.Degraded);
+  check_bool "recovery counted" true outcome.Consumer.resynced;
+  let kinds =
+    List.sort_uniq compare
+      (List.map Action.kind_name outcome.Consumer.reply.Protocol.actions)
+  in
+  check_bool "retain for the unchanged entry" true (List.mem "retain" kinds);
+  check_int "only the changed entry retransmitted" 1
+    (Protocol.entries_cost outcome.Consumer.reply);
+  check_int "content intact" 2 (Consumer.size consumer)
+
+let test_trimmed_root_history_heals_through_node () =
+  let b, t, node = node_fixture () in
+  let leaf = must (T.Topology.add_leaf t ~name:"l1" ~parent:"n1" (dept_query 7)) in
+  (* The root forgets the node's sessions (history trimmed / expired)
+     while updates keep flowing. *)
+  apply b (Update.add (person "d" ~dept:"7" ()));
+  Master.expire_sessions (T.Topology.master t) ~idle_limit:0;
+  check_int "no sessions left at root" 0
+    (Master.session_count (T.Topology.master t));
+  T.Topology.sync_round t;
+  T.Topology.sync_round t;
+  check_bool "node recovered by degraded resync" true
+    ((T.Node.stats node).R.Stats.resyncs >= 1);
+  check_bool "leaf converged through the recovered node" true
+    (T.Topology.leaf_converged t leaf)
+
+(* --- Killing an interior node ----------------------------------------- *)
+
+let test_kill_node_reparents_and_converges () =
+  let b, t = build_shape (T.Topology.Tree { arity = 2 }) 8 in
+  check_int "two interior nodes" 2 (List.length (T.Topology.nodes t));
+  let victim = List.hd (T.Topology.nodes t) in
+  let orphan_names =
+    List.filter_map
+      (fun leaf ->
+        if T.Leaf.parent leaf = T.Node.host victim then Some (T.Leaf.name leaf)
+        else None)
+      (T.Topology.leaves t)
+  in
+  check_bool "victim served some leaves" true (orphan_names <> []);
+  (* Updates in flight when the node dies mid-stream. *)
+  update_burst b;
+  T.Topology.kill_node t victim;
+  (match T.Topology.rounds_to_converge t with
+  | Some _ -> ()
+  | None -> Alcotest.fail "did not converge after node death");
+  List.iter
+    (fun leaf ->
+      if List.mem (T.Leaf.name leaf) orphan_names then begin
+        check_bool
+          (T.Leaf.name leaf ^ " re-parented to the root")
+          true
+          (T.Leaf.parent leaf = T.Topology.root t);
+        check_bool
+          (T.Leaf.name leaf ^ " resumed degraded, not from scratch")
+          true
+          ((T.Leaf.stats leaf).R.Stats.resyncs >= 1)
+      end)
+    (T.Topology.leaves t);
+  check_bool "all leaves converged" true (T.Topology.converged t)
+
+(* --- Routed = naive equivalence on a 2-tier chain ---------------------
+   Twin chains fed the same update script, the node (and root) of one
+   using predicate-indexed relay dispatch and the other naive fan-out.
+   Every downstream observable — poll replies, persist push streams,
+   session counts — must be identical. *)
+
+let chain_filters =
+  [
+    ("(departmentnumber=7)", false);
+    ("(departmentnumber=7)", true);
+    ("(departmentnumber=8)", true);
+    ("(departmentnumber>=8)", true);
+    ("(sn=p1*)", true);
+    ("(sn=p2*)", false);
+  ]
+
+type chain_op =
+  | Op_add of int * int
+  | Op_delete of int
+  | Op_move_dept of int * int
+  | Op_set_mail of int
+  | Op_round  (* node pulls from root, relaying persist pushes *)
+  | Op_poll  (* downstream consumers poll the node *)
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map2 (fun i d -> Op_add (i, d)) (0 -- 15) (7 -- 9));
+        (2, map (fun i -> Op_delete i) (0 -- 15));
+        (3, map2 (fun i d -> Op_move_dept (i, d)) (0 -- 15) (7 -- 9));
+        (2, map (fun i -> Op_set_mail i) (0 -- 15));
+        (3, return Op_round);
+        (2, return Op_poll);
+      ])
+
+let op_print = function
+  | Op_add (i, d) -> Printf.sprintf "add(%d,%d)" i d
+  | Op_delete i -> Printf.sprintf "delete(%d)" i
+  | Op_move_dept (i, d) -> Printf.sprintf "move(%d,%d)" i d
+  | Op_set_mail i -> Printf.sprintf "mail(%d)" i
+  | Op_round -> "round"
+  | Op_poll -> "poll"
+
+let action_equal a b =
+  match (a, b) with
+  | Action.Add e1, Action.Add e2 | Action.Modify e1, Action.Modify e2 ->
+      Entry.equal e1 e2
+  | Action.Delete d1, Action.Delete d2 | Action.Retain d1, Action.Retain d2 ->
+      Dn.equal d1 d2
+  | _ -> false
+
+let reply_equal (a : Protocol.reply) (b : Protocol.reply) =
+  a.Protocol.kind = b.Protocol.kind
+  && a.Protocol.cookie = b.Protocol.cookie
+  && List.length a.Protocol.actions = List.length b.Protocol.actions
+  && List.for_all2 action_equal a.Protocol.actions b.Protocol.actions
+
+type twin_session = {
+  query : Query.t;
+  persist : bool;
+  mutable cookies : string option * string option;  (* routed, naive *)
+  pushed_r : Action.t list ref;
+  pushed_n : Action.t list ref;
+}
+
+let chain_person i ~dept =
+  person (Printf.sprintf "p%d" i) ~dept:(string_of_int dept) ()
+
+let make_chain dispatch =
+  let b = make_backend () in
+  List.iter (fun i -> apply b (Update.add (chain_person i ~dept:7))) [ 0; 1; 2 ];
+  let t = T.Topology.create ~dispatch b in
+  let covers =
+    [
+      Query.make ~base:(dn "o=xyz") (f "(departmentnumber=*)");
+      Query.make ~base:(dn "o=xyz") (f "(sn=p*)");
+    ]
+  in
+  let node =
+    must (T.Topology.add_node ~dispatch t ~name:"n1" ~parent:(T.Topology.root t) ~covers)
+  in
+  (b, t, node)
+
+let sync_session node session ~cookie ~pushed =
+  let mode = if session.persist then Protocol.Persist else Protocol.Poll in
+  let push =
+    if session.persist then Some (fun a -> pushed := a :: !pushed) else None
+  in
+  match T.Node.handle node ?push { Protocol.mode; cookie } session.query with
+  | Ok reply -> reply
+  | Error e -> failwith e
+
+let equivalent_chain_run ops =
+  let br, tr, nr = make_chain Master.Routed in
+  let bn, tn, nn = make_chain Master.Naive in
+  let apply_both op =
+    ignore (Backend.apply br op);
+    ignore (Backend.apply bn op)
+  in
+  let sessions =
+    List.map
+      (fun (fs, persist) ->
+        {
+          query = Query.make ~base:(dn "o=xyz") (f fs);
+          persist;
+          cookies = (None, None);
+          pushed_r = ref [];
+          pushed_n = ref [];
+        })
+      chain_filters
+  in
+  let sync_all () =
+    List.iter
+      (fun s ->
+        let cr, cn = s.cookies in
+        let rr = sync_session nr s ~cookie:cr ~pushed:s.pushed_r in
+        let rn = sync_session nn s ~cookie:cn ~pushed:s.pushed_n in
+        if not (reply_equal rr rn) then
+          QCheck.Test.fail_reportf "divergent reply for %s (%s)"
+            (Filter.to_string s.query.Query.filter)
+            (if s.persist then "persist" else "poll");
+        s.cookies <- (rr.Protocol.cookie, rn.Protocol.cookie))
+      sessions
+  in
+  let round () =
+    T.Node.sync nr;
+    T.Node.sync nn
+  in
+  round ();
+  sync_all ();
+  let name i = Printf.sprintf "cn=p%d,o=xyz" i in
+  List.iter
+    (fun op ->
+      match op with
+      | Op_add (i, d) -> apply_both (Update.add (chain_person i ~dept:d))
+      | Op_delete i -> apply_both (Update.delete (dn (name i)))
+      | Op_move_dept (i, d) ->
+          apply_both
+            (Update.modify (dn (name i))
+               [ Update.replace_values "departmentNumber" [ string_of_int d ] ])
+      | Op_set_mail i ->
+          apply_both
+            (Update.modify (dn (name i))
+               [ Update.replace_values "mail" [ Printf.sprintf "p%d@new" i ] ])
+      | Op_round -> round ()
+      | Op_poll -> sync_all ())
+    ops;
+  round ();
+  sync_all ();
+  List.iter
+    (fun s ->
+      let pr = List.rev !(s.pushed_r) and pn = List.rev !(s.pushed_n) in
+      if
+        not (List.length pr = List.length pn && List.for_all2 action_equal pr pn)
+      then
+        QCheck.Test.fail_reportf "divergent push stream for %s (%d vs %d)"
+          (Filter.to_string s.query.Query.filter)
+          (List.length pr) (List.length pn))
+    sessions;
+  if T.Node.session_count nr <> T.Node.session_count nn then
+    QCheck.Test.fail_reportf "divergent session counts";
+  if T.Node.persistent_count nr <> T.Node.persistent_count nn then
+    QCheck.Test.fail_reportf "divergent persistent counts";
+  ignore (tr, tn);
+  true
+
+let chain_equivalence_test =
+  QCheck.Test.make ~count:12 ~name:"node routed = naive (2-tier chain)"
+    (QCheck.make
+       ~print:(fun ops -> String.concat " " (List.map op_print ops))
+       QCheck.Gen.(list_size (60 -- 100) op_gen))
+    equivalent_chain_run
+
+let suite =
+  [
+    Alcotest.test_case "tree matches star (1000 leaves)" `Slow test_tree_matches_star;
+    Alcotest.test_case "root sessions flat in leaves" `Quick
+      test_root_sessions_flat_in_leaves;
+    Alcotest.test_case "chain lag is depth" `Quick test_chain_lag_is_depth;
+    Alcotest.test_case "referral on uncovered subscription" `Quick
+      test_referral_on_uncovered_subscription;
+    Alcotest.test_case "admitted subscription served at node" `Quick
+      test_admitted_subscription_served_at_node;
+    Alcotest.test_case "re-parented cookie degrades with retain" `Quick
+      test_reparented_cookie_degrades_with_retain;
+    Alcotest.test_case "trimmed root history heals through node" `Quick
+      test_trimmed_root_history_heals_through_node;
+    Alcotest.test_case "killed node re-parents leaves" `Quick
+      test_kill_node_reparents_and_converges;
+    QCheck_alcotest.to_alcotest chain_equivalence_test;
+  ]
