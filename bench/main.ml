@@ -11,10 +11,15 @@
       primitives (filter parse/eval, DN algebra, indexed search).
 
    Usage: main.exe [--quick] [--micro-only | --figures-only | --smoke
-                   | tree-fanout [--smoke] [--json]]
+                   | tree-fanout [--smoke] [--json]
+                   | latency-staleness [--smoke] [--json]]
 
    tree-fanout runs the cascading-topology sweep (flat star vs 2-tier
    tree, Ldap_topology.Sweep); with --json it writes BENCH_PR3.json.
+
+   latency-staleness runs the discrete-event sweep (per-poll response
+   time and per-update staleness percentiles, star vs tree, clean vs
+   lossy links); with --json it writes BENCH_PR4.json.
 
    --smoke runs a seconds-scale deterministic subset (the protocol
    illustrations plus a tiny lossy-network sweep) and is wired into
@@ -361,6 +366,55 @@ let run_tree_fanout ~smoke ~json () =
     Printf.printf "wrote %s\n%!" path
   end
 
+(* --- Latency/staleness sweep ------------------------------------------ *)
+
+let lat_rows points =
+  List.map
+    (fun (p : T.Sweep.lat_point) ->
+      [
+        p.T.Sweep.lp_shape;
+        p.T.Sweep.lp_faults;
+        string_of_int p.T.Sweep.lp_polls;
+        string_of_int p.T.Sweep.lp_resp_p50;
+        string_of_int p.T.Sweep.lp_resp_p90;
+        string_of_int p.T.Sweep.lp_resp_max;
+        string_of_int p.T.Sweep.lp_stale_p50;
+        string_of_int p.T.Sweep.lp_stale_p90;
+        string_of_int p.T.Sweep.lp_stale_max;
+        string_of_int p.T.Sweep.lp_stale_censored;
+      ])
+    points
+
+let run_latency_staleness ~smoke ~json () =
+  let config =
+    if smoke then T.Sweep.lat_smoke_config else T.Sweep.lat_default_config
+  in
+  let points = T.Sweep.latency_staleness ~config () in
+  Eval.Report.print
+    (Eval.Report.make
+       ~title:"Latency/staleness: star vs tree, clean vs lossy (virtual ticks)"
+       ~notes:
+         [
+           "event-driven run: every participant polls on its own staggered loop";
+           "over links with uniform latency; staleness is commit-to-leaf-ack time.";
+           "expected: tree staleness >= star (extra tier), lossy response >= clean";
+         ]
+       ~columns:
+         [
+           "shape"; "faults"; "polls"; "resp p50"; "resp p90"; "resp max";
+           "stale p50"; "stale p90"; "stale max"; "censored";
+         ]
+       ~rows:(lat_rows points) ());
+  if json then begin
+    let path = "BENCH_PR4.json" in
+    let oc = open_out path in
+    Printf.fprintf oc "{\n  \"config\": \"%s\",\n  \"latency_staleness\": %s\n}\n"
+      (if smoke then "smoke" else "default")
+      (T.Sweep.json_of_lat_points points);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  end
+
 (* --- Entry point ------------------------------------------------------ *)
 
 let smoke () =
@@ -377,6 +431,10 @@ let () =
   let figures_only = List.mem "--figures-only" args in
   if List.mem "tree-fanout" args then
     run_tree_fanout
+      ~smoke:(quick || List.mem "--smoke" args)
+      ~json:(List.mem "--json" args) ()
+  else if List.mem "latency-staleness" args then
+    run_latency_staleness
       ~smoke:(quick || List.mem "--smoke" args)
       ~json:(List.mem "--json" args) ()
   else if List.mem "--smoke" args then smoke ()

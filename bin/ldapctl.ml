@@ -419,7 +419,8 @@ let experiment_cmd =
   let which =
     let doc =
       "Which experiment: table1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, \
-       fig9, location, consistency, rootbase, evolution, ablation, overhead, or all."
+       fig9, location, consistency, rootbase, evolution, ablation, overhead, \
+       latency, or all."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
   in
@@ -458,6 +459,12 @@ let experiment_cmd =
     | "evolution" -> Eval.Report.print (Eval.Figures.evolution_ablation ())
     | "ablation" -> Eval.Report.print (Eval.Figures.resync_ablation ())
     | "overhead" -> Eval.Report.print (Eval.Figures.processing_overhead (scenario ()))
+    | "latency" ->
+        let config =
+          if quick then Ldap_topology.Sweep.lat_smoke_config
+          else Ldap_topology.Sweep.lat_default_config
+        in
+        Eval.Report.print (Eval.Figures.latency_staleness ~config ())
     | "all" -> Eval.Figures.all ~quick ()
     | other ->
         Printf.eprintf "unknown experiment %S\n" other;

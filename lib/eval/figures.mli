@@ -102,6 +102,13 @@ val tree_fanout : ?config:Ldap_topology.Sweep.config -> unit -> Report.table
     counts — root sessions, root-link Ber bytes and convergence
     rounds.  See {!Ldap_topology.Sweep}. *)
 
+val latency_staleness :
+  ?config:Ldap_topology.Sweep.lat_config -> unit -> Report.table
+(** The discrete-event latency/staleness sweep: star vs tree, clean vs
+    lossy links, with per-poll response-time and per-update staleness
+    percentiles in virtual ticks.  See
+    {!Ldap_topology.Sweep.latency_staleness}. *)
+
 val all : ?quick:bool -> unit -> unit
 (** Runs every reproduction and prints the tables.  [quick] shrinks
     directory and workload sizes (used by the test suite). *)

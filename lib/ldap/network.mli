@@ -76,6 +76,34 @@ module Faults : sig
 end
 
 val create : unit -> t
+
+val attach_engine : t -> Ldap_sim.Engine.t -> unit
+(** Attaches a discrete-event engine.  From then on {!rpc_send}
+    schedules exchanges as timed events (charging per-link latency) and
+    {!rpc} becomes a thin wrapper that runs the engine to quiescence.
+    Without an engine both behave as immediate calls — the legacy
+    execution model. *)
+
+val engine : t -> Ldap_sim.Engine.t option
+(** The attached engine, if any. *)
+
+val set_link_latency :
+  t -> a:string -> b:string -> Ldap_sim.Latency.t -> unit
+(** Latency distribution for the (undirected) link between two hosts.
+    Each direction of an exchange draws independently. *)
+
+val set_default_latency : t -> Ldap_sim.Latency.t -> unit
+(** Fallback distribution for links without an explicit setting
+    (default {!Ldap_sim.Latency.Zero}). *)
+
+val link_latency : t -> a:string -> b:string -> Ldap_sim.Latency.t
+(** Effective distribution for a link. *)
+
+val set_rpc_timeout : t -> int option -> unit
+(** Virtual time a client waits before reporting a lost exchange.
+    [None] (default) charges exactly the round trip the exchange would
+    have taken. *)
+
 val add_server : t -> Server.t -> unit
 
 val add_handler : t -> name:string -> (Query.t -> Server.response) -> unit
@@ -113,7 +141,29 @@ val rpc :
     consulted first: a partitioned link or dropped request means the
     thunk never runs; a dropped {e reply} means the thunk {e did} run —
     its side effects stand — but the caller only sees [Timeout].  All
-    attempts, bytes and losses are accounted in {!stats}. *)
+    attempts, bytes and losses are accounted in {!stats}.
+
+    With an engine attached (and not already running), the exchange is
+    scheduled and the engine is run to quiescence before returning, so
+    virtual time advances by the link's round trip.  Called from inside
+    an event callback, it falls back to the immediate exchange. *)
+
+val rpc_send :
+  t ->
+  ?faults:Faults.t ->
+  from:string ->
+  host:string ->
+  request_bytes:int ->
+  reply_bytes:('r -> int) ->
+  (unit -> 'r) ->
+  (('r, failure) result -> unit) ->
+  unit
+(** Asynchronous form of {!rpc}: the continuation receives the result
+    when the reply (or failure) is delivered.  With an engine attached
+    the request is served after one link-latency draw and the reply
+    delivered after a second; failures surface after the RPC timeout
+    ({!set_rpc_timeout}).  Without an engine the continuation runs
+    immediately, preserving the legacy execution model. *)
 
 val account_push : t -> bytes:int -> unit
 (** Accounts one delivered persistent-search push PDU. *)

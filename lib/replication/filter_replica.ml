@@ -168,5 +168,29 @@ let sync_where t pred =
 
 let sync t = sync_where t (fun _ -> true)
 
+let sync_async t k =
+  (* Sequential CPS walk over the stored filters: one in-flight poll per
+     replica at a time, so a slow upstream never interleaves two
+     exchanges for the same consumer. *)
+  let consumers =
+    C.Containment_index.fold t.index ~init:[] ~f:(fun acc _ c -> c :: acc)
+  in
+  let rec go = function
+    | [] -> k ()
+    | consumer :: rest ->
+        Resync.Consumer.sync_async consumer t.transport ~host:t.master_host
+          ~from:t.host (fun result ->
+            (match result with
+            | Ok outcome ->
+                Stats.add_reply t.stats outcome.Resync.Consumer.reply ~fetch:false;
+                Stats.record_sync_outcome t.stats outcome
+            | Error (Resync.Consumer.Exhausted _) ->
+                Stats.record_sync_failure t.stats
+            | Error (Resync.Consumer.Rejected msg) ->
+                invalid_arg ("Filter_replica.sync_async: " ^ msg));
+            go rest)
+  in
+  go (List.rev consumers)
+
 let comparisons t =
   C.Containment_index.comparisons t.index + Query_cache.comparisons t.cache

@@ -126,6 +126,13 @@ val sync : t -> unit
     whose poll exhausts its retry budget is left stale (and counted in
     {!Stats.t.sync_failures}) rather than aborting the round. *)
 
+val sync_async : t -> (unit -> unit) -> unit
+(** Asynchronous form of {!sync} for event-driven drivers: stored
+    filters are polled sequentially in CPS (one in-flight exchange per
+    replica), and the continuation fires when the round completes.
+    Failure handling matches {!sync}.  Without an engine on the
+    transport's network the continuation runs before the call returns. *)
+
 val sync_where : t -> (Query.t -> bool) -> unit
 (** Polls only the stored filters satisfying the predicate.  This is
     the flexibility section 3.2 attributes to the filter model: each

@@ -123,16 +123,61 @@ let with_retries ~max_attempts ~backoff ~send ~accept =
   in
   go 1 0
 
+let sync_async ?(max_attempts = default_attempts) ?(backoff = default_backoff)
+    ?(from = "consumer") t transport ~host k =
+  let had_cookie = t.cookie <> None in
+  let engine = Network.engine (Transport.network transport) in
+  let rec attempt n waited =
+    let request = { Protocol.mode = Protocol.Poll; cookie = t.cookie } in
+    Transport.exchange_async transport ~host ~from request t.query (fun result ->
+        match result with
+        | Ok reply ->
+            apply_reply t reply;
+            k
+              (Ok
+                 {
+                   reply;
+                   attempts = n;
+                   backoff = waited;
+                   resynced = recovered ~had_cookie reply;
+                 })
+        | Error (Transport.Server msg) -> k (Error (Rejected msg))
+        | Error (Transport.Net failure) ->
+            if n >= max_attempts then
+              k (Error (Exhausted { attempts = n; last = failure }))
+            else begin
+              let wait = backoff * (1 lsl (n - 1)) in
+              let retry () = attempt (n + 1) (waited + wait) in
+              match engine with
+              (* The backoff is a real timer: a retrying consumer loses
+                 virtual time equal to the ticks it accounts, so the
+                 [backoff] stat equals elapsed waiting time. *)
+              | Some e -> Ldap_sim.Engine.after e ~delay:wait retry
+              | None -> retry ()
+            end)
+  in
+  attempt 1 0
+
 let sync_over ?(max_attempts = default_attempts) ?(backoff = default_backoff)
     ?(from = "consumer") t transport ~host =
-  let had_cookie = t.cookie <> None in
-  with_retries ~max_attempts ~backoff
-    ~send:(fun () ->
-      let request = { Protocol.mode = Protocol.Poll; cookie = t.cookie } in
-      Transport.exchange transport ~host ~from request t.query)
-    ~accept:(fun reply ~attempts ~waited ->
-      apply_reply t reply;
-      { reply; attempts; backoff = waited; resynced = recovered ~had_cookie reply })
+  match Network.engine (Transport.network transport) with
+  | Some e when not (Ldap_sim.Engine.running e) ->
+      let cell = ref None in
+      sync_async ~max_attempts ~backoff ~from t transport ~host (fun r ->
+          cell := Some r);
+      Ldap_sim.Engine.run e;
+      (match !cell with
+      | Some r -> r
+      | None -> Error (Exhausted { attempts = 0; last = Network.Timeout }))
+  | _ ->
+      let had_cookie = t.cookie <> None in
+      with_retries ~max_attempts ~backoff
+        ~send:(fun () ->
+          let request = { Protocol.mode = Protocol.Poll; cookie = t.cookie } in
+          Transport.exchange transport ~host ~from request t.query)
+        ~accept:(fun reply ~attempts ~waited ->
+          apply_reply t reply;
+          { reply; attempts; backoff = waited; resynced = recovered ~had_cookie reply })
 
 (* --- Persist mode ---------------------------------------------------- *)
 

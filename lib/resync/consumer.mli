@@ -74,7 +74,25 @@ val sync_over :
     [backoff * 2^(i-1)] ticks (default base 1).  A reply lost after
     the master processed the poll is recovered on the retry: the
     master sees the stale acknowledged CSN in the cookie and answers
-    with a degraded resynchronization, which the consumer applies. *)
+    with a degraded resynchronization, which the consumer applies.
+
+    With an engine attached to the transport's network, the backoff is
+    charged as a real timer: the outcome's [backoff] stat equals the
+    virtual time spent waiting between attempts. *)
+
+val sync_async :
+  ?max_attempts:int ->
+  ?backoff:int ->
+  ?from:string ->
+  t ->
+  Transport.t ->
+  host:string ->
+  ((outcome, sync_error) result -> unit) ->
+  unit
+(** Asynchronous form of {!sync_over}, usable from inside engine event
+    callbacks: each attempt is an {!Transport.exchange_async} exchange
+    and each inter-attempt backoff an engine timer.  Without an engine
+    the continuation runs before [sync_async] returns. *)
 
 val sync : t -> Master.t -> (Protocol.reply, string) result
 (** Co-located convenience: one poll through a private loopback

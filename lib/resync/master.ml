@@ -306,6 +306,10 @@ let degraded_actions t q ~since =
     members
 
 let new_session t query ~persist_push =
+  (* Session id 0 is the reserved foreign-session marker
+     ({!Protocol.reparent_cookie}); a master must never allocate it,
+     even if [next_id] wraps around. *)
+  if t.next_id = 0 then t.next_id <- 1;
   let id = t.next_id in
   t.next_id <- t.next_id + 1;
   let session =
@@ -444,6 +448,10 @@ let expire_sessions t ~idle_limit =
   in
   List.iter (remove_session t) stale;
   gc_tombstones t
+
+let schedule_expiry t engine ~every ~until ~idle_limit =
+  Ldap_sim.Engine.every engine ~every ~until (fun () ->
+      expire_sessions t ~idle_limit)
 
 let session_count t = Hashtbl.length t.sessions
 

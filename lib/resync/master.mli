@@ -87,6 +87,13 @@ val expire_sessions : t -> idle_limit:int -> unit
     activity rather than wall clock to keep the simulation
     deterministic).  [~idle_limit:0] drops every session. *)
 
+val schedule_expiry :
+  t -> Ldap_sim.Engine.t -> every:int -> until:int -> idle_limit:int -> unit
+(** Registers session expiry as a periodic clock event: every [every]
+    virtual ticks up to [until], {!expire_sessions} runs with the given
+    [idle_limit] — the admin time limit becomes an actual timer instead
+    of a call a driver must remember to make. *)
+
 val session_count : t -> int
 
 val persistent_count : t -> int

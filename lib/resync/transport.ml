@@ -81,15 +81,35 @@ let exchange_with t ~host ~from ~push request query =
 let exchange t ~host ?(from = "consumer") request query =
   exchange_with t ~host ~from ~push:None request query
 
+let exchange_with_async t ~host ~from ~push request query k =
+  match Hashtbl.find_opt t.endpoints host with
+  | None -> k (Error (Net (Network.Unreachable host)))
+  | Some ep ->
+      Network.rpc_send t.net ?faults:t.faults ~from ~host
+        ~request_bytes:(Protocol.request_bytes request)
+        ~reply_bytes:(function
+          | Ok reply -> Protocol.reply_bytes reply
+          | Error _ -> Ber.message_overhead)
+        (fun () -> ep.ep_handle ~push request query)
+        (fun result ->
+          k
+            (match result with
+            | Ok (Ok reply) -> Ok reply
+            | Ok (Error msg) -> Error (Server msg)
+            | Error failure -> Error (Net failure)))
+
+let exchange_async t ~host ?(from = "consumer") request query k =
+  exchange_with_async t ~host ~from ~push:None request query k
+
 (* --- Persistent connections ------------------------------------------ *)
 
-type conn = { mutable alive : bool }
+type conn = { mutable alive : bool; mutable last_delivery : int }
 
 let conn_alive c = c.alive
 let kill c = c.alive <- false
 
 let connect t ~host ?(from = "consumer") ~push request query =
-  let conn = { alive = true } in
+  let conn = { alive = true; last_delivery = 0 } in
   (* Notifications cross the same lossy link as everything else; the
      first one that does not arrive intact breaks the connection, and
      everything after it is lost until the consumer reconnects. *)
@@ -103,8 +123,23 @@ let connect t ~host ?(from = "consumer") ~push request query =
             && Network.Faults.next_outcome f = Network.Faults.Deliver
       in
       if delivered then begin
-        Network.account_push t.net ~bytes:(Action.bytes_cost action);
-        push action
+        match Network.engine t.net with
+        | Some e ->
+            (* Scheduled delivery, one link-latency draw per push; the
+               per-connection clamp keeps pushes FIFO even when a later
+               push draws a smaller latency.  The connection may die in
+               flight, in which case the push is discarded on arrival. *)
+            let d = Ldap_sim.Engine.draw e (Network.link_latency t.net ~a:from ~b:host) in
+            let at = max (Ldap_sim.Engine.now e + d) conn.last_delivery in
+            conn.last_delivery <- at;
+            Ldap_sim.Engine.schedule e ~time:at (fun () ->
+                if conn.alive then begin
+                  Network.account_push t.net ~bytes:(Action.bytes_cost action);
+                  push action
+                end)
+        | None ->
+            Network.account_push t.net ~bytes:(Action.bytes_cost action);
+            push action
       end
       else begin
         conn.alive <- false;

@@ -81,6 +81,19 @@ val exchange :
     (default ["consumer"]) names the client end for partition checks
     and accounting. *)
 
+val exchange_async :
+  t ->
+  host:string ->
+  ?from:string ->
+  Protocol.request ->
+  Query.t ->
+  ((Protocol.reply, error) result -> unit) ->
+  unit
+(** Asynchronous form of {!exchange} over {!Ldap.Network.rpc_send}:
+    with an engine attached to the underlying network the exchange is
+    delivered as timed events and the continuation fires when the reply
+    (or failure) arrives; without one it fires immediately. *)
+
 (** A persistent-search connection. *)
 type conn
 
@@ -102,4 +115,8 @@ val connect :
     the server keeps pushing into the void until the session expires,
     exactly like a half-open TCP connection.  If the establishment
     reply itself is lost, the server-side session exists but the
-    returned error carries no connection: the consumer must retry. *)
+    returned error carries no connection: the consumer must retry.
+
+    With an engine attached to the network, each delivered push is
+    scheduled after one link-latency draw; deliveries stay FIFO per
+    connection even when a later push draws a smaller latency. *)

@@ -75,6 +75,11 @@ let observe t q =
   end
 
 let force_revolution t = revolution t
+
+let schedule_revolutions t engine ~every ~until =
+  Ldap_sim.Engine.every engine ~every ~until (fun () ->
+      t.since_revolution <- 0;
+      revolution t)
 let revolutions t = t.revolutions
 let candidate_count t = Candidate.count t.candidates
 

@@ -32,6 +32,14 @@ val observe : t -> Query.t -> unit
     stored filters. *)
 
 val force_revolution : t -> unit
+
+val schedule_revolutions : t -> Ldap_sim.Engine.t -> every:int -> until:int -> unit
+(** Registers revolutions as periodic clock events: every [every]
+    virtual ticks up to [until] a revolution re-selects the stored
+    filters and resets the query-count trigger, turning the interval R
+    into an actual period of virtual time rather than a query count. *)
+
+
 val revolutions : t -> int
 val candidate_count : t -> int
 

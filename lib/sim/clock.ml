@@ -1,0 +1,10 @@
+type t = { mutable now : int }
+
+let create () = { now = 0 }
+let now t = t.now
+
+let advance_to t time =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Clock.advance_to: %d is before current time %d" time t.now);
+  t.now <- time

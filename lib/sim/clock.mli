@@ -1,0 +1,16 @@
+(** Virtual clock for the discrete-event engine.
+
+    Time is an abstract non-negative integer tick count.  The clock only
+    moves forward: [advance_to] with a time earlier than [now] raises. *)
+
+type t
+
+val create : unit -> t
+(** A fresh clock at time 0. *)
+
+val now : t -> int
+(** Current virtual time. *)
+
+val advance_to : t -> int -> unit
+(** Move the clock forward to the given time.  Raises [Invalid_argument]
+    if the target is earlier than [now] — virtual time is monotone. *)

@@ -1,0 +1,58 @@
+type event = { time : int; seq : int; run : unit -> unit }
+
+(* Binary min-heap in a growable array, ordered by (time, seq). *)
+type t = { mutable heap : event array; mutable size : int }
+
+let dummy = { time = 0; seq = 0; run = ignore }
+
+let create () = { heap = Array.make 16 dummy; size = 0 }
+
+let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if precedes t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && precedes t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && precedes t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let add t ev =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- dummy;
+    if t.size > 0 then sift_down t 0;
+    Some top
+  end
+
+let min_time t = if t.size = 0 then None else Some t.heap.(0).time
+let length t = t.size

@@ -1,0 +1,25 @@
+(** Pending-event priority queue.
+
+    Events are ordered by [(time, seq)]: earliest time first, and among
+    events scheduled for the same tick, lowest sequence number (i.e.
+    scheduling order) first.  The total order makes engine runs
+    deterministic for a given seed and schedule. *)
+
+type t
+
+type event = { time : int; seq : int; run : unit -> unit }
+
+val create : unit -> t
+(** An empty queue. *)
+
+val add : t -> event -> unit
+(** Insert an event. *)
+
+val pop : t -> event option
+(** Remove and return the minimum event, or [None] when empty. *)
+
+val min_time : t -> int option
+(** Time of the earliest pending event without removing it. *)
+
+val length : t -> int
+(** Number of pending events. *)

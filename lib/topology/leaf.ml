@@ -39,7 +39,27 @@ let rec subscribe ?(max_referrals = 4) t q =
 
 let sync t = R.Filter_replica.sync t.replica
 
+let sync_async t k = R.Filter_replica.sync_async t.replica k
+
 let subscriptions t = R.Filter_replica.stored_filters t.replica
+
+let acked_csn t =
+  (* The CSN this leaf has acknowledged across every subscription: the
+     minimum of its cookies' CSNs (a leaf is only as fresh as its
+     stalest filter).  [Csn.zero] before any successful exchange. *)
+  List.fold_left
+    (fun acc q ->
+      match R.Filter_replica.consumer_for t.replica q with
+      | None -> Csn.zero
+      | Some c -> (
+          match Resync.Consumer.cookie c with
+          | None -> Csn.zero
+          | Some cookie -> (
+              match Resync.Protocol.parse_cookie cookie with
+              | Some (_, csn) -> if Csn.( < ) csn acc then csn else acc
+              | None -> Csn.zero)))
+    (Csn.of_int max_int) (subscriptions t)
+  |> fun m -> if Csn.equal m (Csn.of_int max_int) then Csn.zero else m
 
 let content t q =
   match R.Filter_replica.consumer_for t.replica q with

@@ -38,6 +38,18 @@ val subscribe : ?max_referrals:int -> t -> Query.t -> (unit, string) result
 val sync : t -> unit
 (** One poll round against the parent. *)
 
+val sync_async : t -> (unit -> unit) -> unit
+(** Asynchronous poll round for event-driven drivers: the continuation
+    fires when every subscription's exchange has completed (immediately
+    when the transport's network has no engine attached). *)
+
+val acked_csn : t -> Ldap.Csn.t
+(** The CSN this leaf has acknowledged across all subscriptions — the
+    minimum of its resume cookies' CSNs, since a leaf is only as fresh
+    as its stalest filter.  [Csn.zero] before the first successful
+    exchange.  The staleness metric of the latency sweep measures how
+    long an update's CSN takes to be covered by this value. *)
+
 val reparent : t -> parent:string -> unit
 (** Re-attaches the leaf (cookie translation included): the next poll
     resynchronizes degraded from the acknowledged CSN. *)

@@ -59,6 +59,9 @@ let remove_session t id =
   Option.iter (fun idx -> C.Predicate_index.remove idx id) t.dispatch
 
 let new_session t query ~stored ~persist_push ~csn =
+  (* Id 0 is the reserved foreign-session marker (reparent translation):
+     an intermediate master must never hand it out either. *)
+  if t.next_id = 0 then t.next_id <- 1;
   let id = t.next_id in
   t.next_id <- t.next_id + 1;
   let session =
@@ -370,4 +373,5 @@ let create ?(cache_capacity = 0) ?(dispatch = Resync.Master.Routed) transport
 let install_cover t q = R.Filter_replica.install_filter t.replica q
 let covers t = R.Filter_replica.stored_filters t.replica
 let sync t = R.Filter_replica.sync t.replica
+let sync_async t k = R.Filter_replica.sync_async t.replica k
 let retarget t ~upstream = R.Filter_replica.retarget t.replica ~master_host:upstream

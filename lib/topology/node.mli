@@ -72,6 +72,10 @@ val sync : t -> unit
     relayed immediately to persistent downstream sessions; polling
     downstream sessions pick them up at their next poll. *)
 
+val sync_async : t -> (unit -> unit) -> unit
+(** Asynchronous form of {!sync} for event-driven drivers; the
+    continuation fires when the upstream poll round completes. *)
+
 val retarget : t -> upstream:string -> unit
 (** Re-parents the node (cookie translation included) — used when its
     upstream dies.  Downstream sessions are untouched and survive. *)

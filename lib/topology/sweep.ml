@@ -120,6 +120,247 @@ let tree_fanout ?(config = default_config) () =
       ])
     config.consumers_list
 
+(* --- Latency/staleness sweep ------------------------------------------ *)
+
+type lat_config = {
+  lat_consumers : int;
+  lat_filters : int;
+  lat_arity : int;
+  lat_employees : int;
+  lat_seed : int;
+  lat_poll_every : int;
+  lat_update_every : int;
+  lat_updates : int;
+  lat_link_lo : int;
+  lat_link_hi : int;
+  lat_drop_rate : float;
+  lat_horizon : int;
+}
+
+let lat_default_config =
+  {
+    lat_consumers = 48;
+    lat_filters = 8;
+    lat_arity = 4;
+    lat_employees = 2000;
+    lat_seed = 7;
+    lat_poll_every = 50;
+    lat_update_every = 20;
+    lat_updates = 40;
+    lat_link_lo = 2;
+    lat_link_hi = 8;
+    lat_drop_rate = 0.2;
+    lat_horizon = 1600;
+  }
+
+let lat_smoke_config =
+  {
+    lat_consumers = 12;
+    lat_filters = 4;
+    lat_arity = 2;
+    lat_employees = 400;
+    lat_seed = 7;
+    lat_poll_every = 40;
+    lat_update_every = 20;
+    lat_updates = 12;
+    lat_link_lo = 2;
+    lat_link_hi = 8;
+    lat_drop_rate = 0.2;
+    lat_horizon = 700;
+  }
+
+type lat_point = {
+  lp_shape : string;
+  lp_faults : string;
+  lp_polls : int;
+  lp_resp_p50 : int;
+  lp_resp_p90 : int;
+  lp_resp_p99 : int;
+  lp_resp_max : int;
+  lp_stale_samples : int;
+  lp_stale_censored : int;
+  lp_stale_mean : int;
+  lp_stale_p50 : int;
+  lp_stale_p90 : int;
+  lp_stale_p99 : int;
+  lp_stale_max : int;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else sorted.(min (n - 1) (int_of_float (Float.round (p *. float_of_int (n - 1)))))
+
+let summarize samples =
+  let arr = Array.of_list samples in
+  Array.sort compare arr;
+  ( percentile arr 0.5,
+    percentile arr 0.9,
+    percentile arr 0.99,
+    if Array.length arr = 0 then 0 else arr.(Array.length arr - 1) )
+
+let run_lat_point cfg shape ~lossy =
+  let module Sim = Ldap_sim.Engine in
+  let ent = enterprise { default_config with seed = cfg.lat_seed; employees = cfg.lat_employees } in
+  let backend = D.Enterprise.backend ent in
+  let base = D.Enterprise.root_dn ent in
+  let all_depts = D.Enterprise.dept_numbers ent in
+  let filters = min cfg.lat_filters (Array.length all_depts) in
+  let query_of d =
+    Query.make ~base
+      (Filter.of_string_exn (Printf.sprintf "(departmentNumber=%s)" d))
+  in
+  let covers = List.init filters (fun i -> query_of all_depts.(i)) in
+  let leaf_queries =
+    List.init cfg.lat_consumers (fun i -> query_of all_depts.(i mod filters))
+  in
+  (* Faults stay muted during the synchronous build phase so both
+     variants start from an identical, fully fetched topology; the roll
+     consumes no PRNG draws while muted, keeping runs reproducible. *)
+  let faults_active = ref false in
+  let fault_prng = D.Prng.create (cfg.lat_seed + 3) in
+  let faults =
+    if not lossy then None
+    else
+      Some
+        (Network.Faults.create
+           ~drop_request:(cfg.lat_drop_rate /. 2.0)
+           ~drop_reply:(cfg.lat_drop_rate /. 2.0)
+           ~roll:(fun () ->
+             if !faults_active then D.Prng.float fault_prng 1.0 else 1.0)
+           ())
+  in
+  match Topology.build ?faults ~shape ~covers ~leaf_queries backend with
+  | Error e -> failwith ("latency-staleness build: " ^ e)
+  | Ok t ->
+      (* The engine attaches only after the build: all fetches above ran
+         immediately at time 0, and from here on every exchange costs
+         per-link latency in virtual time. *)
+      let engine = Sim.create ~seed:(cfg.lat_seed + 2) () in
+      let net = Topology.network t in
+      Network.attach_engine net engine;
+      Network.set_default_latency net
+        (Ldap_sim.Latency.Uniform { lo = cfg.lat_link_lo; hi = cfg.lat_link_hi });
+      faults_active := true;
+      (* Update stream: one committed update every [lat_update_every]
+         ticks, each recording (CSN, commit time) for the staleness
+         match below. *)
+      let stream =
+        D.Update_stream.create ent
+          { D.Update_stream.default_config with seed = cfg.lat_seed + 1 }
+      in
+      let update_times = ref [] in
+      let rec update_tick remaining =
+        if remaining > 0 then
+          Sim.after engine ~delay:cfg.lat_update_every (fun () ->
+              D.Update_stream.steps stream 1;
+              update_times :=
+                (Csn.to_int (Backend.csn backend), Sim.now engine) :: !update_times;
+              update_tick (remaining - 1))
+      in
+      update_tick cfg.lat_updates;
+      (* Poll loops: per-leaf response times, and an ack record whenever
+         a completed poll advances the leaf's acknowledged CSN. *)
+      let resp_samples = ref [] in
+      let last_acked = Hashtbl.create (max 4 cfg.lat_consumers) in
+      let ack_events = ref [] in
+      let on_leaf_poll leaf ~start ~finish =
+        resp_samples := (finish - start) :: !resp_samples;
+        let name = Leaf.name leaf in
+        let csn = Csn.to_int (Leaf.acked_csn leaf) in
+        let prev = Option.value ~default:(-1) (Hashtbl.find_opt last_acked name) in
+        if csn > prev then begin
+          Hashtbl.replace last_acked name csn;
+          ack_events := (name, csn, finish) :: !ack_events
+        end
+      in
+      Topology.drive_events ~on_leaf_poll t engine ~poll_every:cfg.lat_poll_every
+        ~until:cfg.lat_horizon;
+      Sim.run engine;
+      (* Staleness: for each committed update and each leaf, the virtual
+         time from commit until the leaf first acknowledged a CSN at or
+         past the update's.  Updates never covered within the horizon
+         are counted censored rather than sampled. *)
+      let updates_chrono = List.rev !update_times in
+      let stale_samples = ref [] in
+      let censored = ref 0 in
+      List.iter
+        (fun leaf ->
+          let name = Leaf.name leaf in
+          let acks =
+            List.rev
+              (List.filter_map
+                 (fun (n, csn, at) -> if n = name then Some (csn, at) else None)
+                 !ack_events)
+          in
+          let rec go updates acks =
+            match (updates, acks) with
+            | [], _ -> ()
+            | rest, [] -> censored := !censored + List.length rest
+            | (u_csn, u_t) :: urest, ((a_csn, a_t) :: _ as acks) ->
+                if a_csn >= u_csn then begin
+                  stale_samples := (a_t - u_t) :: !stale_samples;
+                  go urest acks
+                end
+                else go updates (List.tl acks)
+          in
+          go updates_chrono acks)
+        (Topology.leaves t);
+      let resp_p50, resp_p90, resp_p99, resp_max = summarize !resp_samples in
+      let stale_p50, stale_p90, stale_p99, stale_max = summarize !stale_samples in
+      let stale_mean =
+        match !stale_samples with
+        | [] -> 0
+        | l ->
+            int_of_float
+              (Float.round
+                 (float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)))
+      in
+      {
+        lp_shape = shape_name shape;
+        lp_faults = (if lossy then "lossy" else "clean");
+        lp_polls = List.length !resp_samples;
+        lp_resp_p50 = resp_p50;
+        lp_resp_p90 = resp_p90;
+        lp_resp_p99 = resp_p99;
+        lp_resp_max = resp_max;
+        lp_stale_samples = List.length !stale_samples;
+        lp_stale_censored = !censored;
+        lp_stale_mean = stale_mean;
+        lp_stale_p50 = stale_p50;
+        lp_stale_p90 = stale_p90;
+        lp_stale_p99 = stale_p99;
+        lp_stale_max = stale_max;
+      }
+
+let latency_staleness ?(config = lat_default_config) () =
+  let shapes = [ Topology.Star; Topology.Tree { arity = config.lat_arity } ] in
+  List.concat_map
+    (fun shape ->
+      [ run_lat_point config shape ~lossy:false; run_lat_point config shape ~lossy:true ])
+    shapes
+
+let json_of_lat_points points =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "[\n";
+  List.iteri
+    (fun i p ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"shape\": \"%s\", \"faults\": \"%s\", \"polls\": %d, \
+            \"response_p50\": %d, \"response_p90\": %d, \"response_p99\": %d, \
+            \"response_max\": %d, \"stale_samples\": %d, \"stale_censored\": %d, \
+            \"stale_mean\": %d, \"stale_p50\": %d, \"stale_p90\": %d, \
+            \"stale_p99\": %d, \"stale_max\": %d}%s\n"
+           p.lp_shape p.lp_faults p.lp_polls p.lp_resp_p50 p.lp_resp_p90
+           p.lp_resp_p99 p.lp_resp_max p.lp_stale_samples p.lp_stale_censored
+           p.lp_stale_mean p.lp_stale_p50 p.lp_stale_p90 p.lp_stale_p99
+           p.lp_stale_max
+           (if i = List.length points - 1 then "" else ",")))
+    points;
+  Buffer.add_string b "  ]";
+  Buffer.contents b
+
 let json_of_points points =
   let b = Buffer.create 1024 in
   Buffer.add_string b "[\n";

@@ -48,3 +48,63 @@ val tree_fanout : ?config:config -> unit -> point list
 val json_of_points : point list -> string
 (** A JSON array (indented for embedding as a [BENCH_PR3.json]
     field). *)
+
+(** Parameters of the latency/staleness sweep. *)
+type lat_config = {
+  lat_consumers : int;  (** Leaves per topology. *)
+  lat_filters : int;  (** Distinct leaf filters (and interior covers). *)
+  lat_arity : int;  (** Interior nodes of the tree variant. *)
+  lat_employees : int;  (** Directory size. *)
+  lat_seed : int;  (** Seeds directory, updates, faults and engine. *)
+  lat_poll_every : int;  (** Virtual ticks between a participant's polls. *)
+  lat_update_every : int;  (** Virtual ticks between committed updates. *)
+  lat_updates : int;  (** Updates committed during the run. *)
+  lat_link_lo : int;  (** Uniform per-link latency lower bound (ticks). *)
+  lat_link_hi : int;  (** Uniform per-link latency upper bound (ticks). *)
+  lat_drop_rate : float;
+      (** Total loss probability of the lossy variants, split evenly
+          between dropped requests and dropped replies. *)
+  lat_horizon : int;  (** Virtual time when poll loops stop rescheduling. *)
+}
+
+val lat_default_config : lat_config
+(** 48 consumers, 8 filters, arity 4, uniform 2–8 tick links, 20%
+    loss, horizon 1600. *)
+
+val lat_smoke_config : lat_config
+(** CI-sized: 12 consumers, 4 filters, arity 2, horizon 700. *)
+
+(** One measured topology/fault variant of the latency sweep. *)
+type lat_point = {
+  lp_shape : string;  (** ["star"] or ["tree<arity>"]. *)
+  lp_faults : string;  (** ["clean"] or ["lossy"]. *)
+  lp_polls : int;  (** Completed leaf polls (response-time samples). *)
+  lp_resp_p50 : int;  (** Median leaf poll response time, virtual ticks. *)
+  lp_resp_p90 : int;  (** 90th-percentile response time. *)
+  lp_resp_p99 : int;  (** 99th-percentile response time. *)
+  lp_resp_max : int;  (** Worst observed response time. *)
+  lp_stale_samples : int;  (** Matched (update, leaf) staleness samples. *)
+  lp_stale_censored : int;
+      (** (update, leaf) pairs never covered within the horizon. *)
+  lp_stale_mean : int;  (** Mean staleness, rounded to a tick. *)
+  lp_stale_p50 : int;  (** Median staleness. *)
+  lp_stale_p90 : int;  (** 90th-percentile staleness. *)
+  lp_stale_p99 : int;  (** 99th-percentile staleness. *)
+  lp_stale_max : int;  (** Worst observed staleness. *)
+}
+
+val latency_staleness : ?config:lat_config -> unit -> lat_point list
+(** The event-driven sweep: star and tree topologies, each clean and
+    lossy, over identical seeds.  Per variant the topology is built
+    synchronously (no virtual time), then a discrete-event engine is
+    attached, updates are committed on a periodic schedule and every
+    participant polls on its own staggered loop; each completed leaf
+    poll samples its response time, and staleness is the virtual time
+    from an update's commit until a leaf first acknowledged a CSN at or
+    past it.  Expected ordering: tree staleness ≥ star (one extra tier
+    of polling), lossy response time ≥ clean (retry backoff burns
+    virtual time). *)
+
+val json_of_lat_points : lat_point list -> string
+(** A JSON array (indented for embedding as the [BENCH_PR4.json]
+    [points] field). *)

@@ -139,6 +139,46 @@ let sync_round t =
   in
   List.iter Node.sync by_depth_desc
 
+(* Event-driven polling: every participant — each leaf and each interior
+   node — runs its own self-rescheduling poll loop, so polls from
+   different tiers interleave in virtual time instead of running as one
+   big sequential round.  Start phases are staggered across the poll
+   period; the next poll is scheduled [poll_every] ticks after the
+   previous one {e completes}, which keeps at most one exchange chain in
+   flight per participant.  Quiescence is reached once every loop passes
+   [until]. *)
+let drive_events ?on_leaf_poll t engine ~poll_every ~until =
+  if poll_every <= 0 then invalid_arg "Topology.drive_events: poll_every must be positive";
+  heal t;
+  let launch i sync_async ~completed =
+    let rec poll () =
+      let start = Ldap_sim.Engine.now engine in
+      sync_async (fun () ->
+          completed ~start ~finish:(Ldap_sim.Engine.now engine);
+          let next = Ldap_sim.Engine.now engine + poll_every in
+          if next <= until then Ldap_sim.Engine.schedule engine ~time:next poll)
+    in
+    let stagger = i mod poll_every in
+    let first = Ldap_sim.Engine.now engine + stagger in
+    if first <= until then Ldap_sim.Engine.schedule engine ~time:first poll
+  in
+  let i = ref 0 in
+  List.iter
+    (fun leaf ->
+      let completed ~start ~finish =
+        match on_leaf_poll with
+        | Some f -> f leaf ~start ~finish
+        | None -> ()
+      in
+      launch !i (Leaf.sync_async leaf) ~completed;
+      incr i)
+    t.leaves;
+  List.iter
+    (fun node ->
+      launch !i (Node.sync_async node) ~completed:(fun ~start:_ ~finish:_ -> ());
+      incr i)
+    t.nodes
+
 let leaf_converged t leaf =
   let schema = schema t in
   let backend = Resync.Master.backend t.master in

@@ -97,6 +97,26 @@ val sync_round : t -> unit
 (** {!heal}, then one poll round children-before-parents: all leaves,
     then interior nodes deepest tier first. *)
 
+val drive_events :
+  ?on_leaf_poll:(Leaf.t -> start:int -> finish:int -> unit) ->
+  t ->
+  Ldap_sim.Engine.t ->
+  poll_every:int ->
+  until:int ->
+  unit
+(** Registers one self-rescheduling poll loop per participant (every
+    leaf and every interior node) on the engine: polls from different
+    tiers interleave in virtual time, so a tree's extra tier shows up
+    as measurable propagation delay instead of vanishing inside a
+    sequential round.  Start phases are staggered across the poll
+    period and each next poll is scheduled [poll_every] ticks after the
+    previous one completes; loops stop once the next occurrence would
+    pass [until], keeping run-to-quiescence terminating.
+    [on_leaf_poll] fires at each completed leaf poll with its virtual
+    start/finish times — the hook the latency/staleness sweep samples.
+    The caller runs the engine afterwards.
+    @raise Invalid_argument if [poll_every <= 0]. *)
+
 val depth : t -> string -> int
 (** Tier of a host: 0 for the root, parents' depth + 1 otherwise. *)
 

@@ -11,6 +11,7 @@ let () =
       ("dit+index", Test_dit.suite);
       ("backend", Test_backend.suite);
       ("network", Test_network.suite);
+      ("sim", Test_sim.suite);
       ("resync", Test_resync.suite);
       ("dispatch", Test_dispatch.suite);
       ("topology", Test_topology.suite);

@@ -235,6 +235,72 @@ let test_log_ring () =
     | () -> false
     | exception Invalid_argument _ -> true)
 
+(* Edge cases around the ring's floor: trims that empty the log, trims
+   past the head, and a wraparound immediately read back at the floor. *)
+
+let ring_record i =
+  { Update.csn = Csn.of_int i; op = Update.delete (dn "o=xyz"); before = None;
+    after = None }
+
+let test_log_trim_to_empty () =
+  let log = Changelog.create () in
+  for i = 1 to 5 do Changelog.append log (ring_record i) done;
+  Changelog.trim log ~before:(Csn.of_int 6);
+  check_int "emptied" 0 (Changelog.length log);
+  check_bool "floor raised to before-1" true
+    (Csn.equal (Changelog.floor log) (Csn.of_int 5));
+  check_int "since floor empty" 0
+    (List.length (Changelog.since log (Changelog.floor log)));
+  check_bool "complete from the floor" true
+    (Changelog.complete_since log (Csn.of_int 5));
+  check_bool "incomplete below the floor" false
+    (Changelog.complete_since log (Csn.of_int 4));
+  (* Appending resumes normally on the empty ring. *)
+  Changelog.append log (ring_record 6);
+  check_int "one record" 1 (Changelog.length log);
+  check_int "replay from the floor" 1
+    (List.length (Changelog.since log (Csn.of_int 5)))
+
+let test_log_trim_past_head () =
+  let log = Changelog.create () in
+  for i = 1 to 5 do Changelog.append log (ring_record i) done;
+  (* Trim far beyond anything appended: everything goes and the floor
+     lands at before-1, not at the last record. *)
+  Changelog.trim log ~before:(Csn.of_int 100);
+  check_int "emptied" 0 (Changelog.length log);
+  check_bool "floor at before-1" true
+    (Csn.equal (Changelog.floor log) (Csn.of_int 99));
+  check_bool "complete from 99" true (Changelog.complete_since log (Csn.of_int 99));
+  check_bool "incomplete from 98" false (Changelog.complete_since log (Csn.of_int 98));
+  Changelog.append log (ring_record 100);
+  match Changelog.since log (Csn.of_int 99) with
+  | [ r ] -> check_bool "resumed at 100" true (Csn.equal r.Update.csn (Csn.of_int 100))
+  | l -> check_int "one record after resume" 1 (List.length l)
+
+let test_log_wraparound_since_floor () =
+  (* Fill the initial 16-slot ring, trim to move the head forward, then
+     append enough to wrap physically and read straight back at the
+     floor: the seam must be invisible in [since]. *)
+  let log = Changelog.create () in
+  for i = 1 to 16 do Changelog.append log (ring_record i) done;
+  Changelog.trim log ~before:(Csn.of_int 9);
+  check_int "eight retained" 8 (Changelog.length log);
+  for i = 17 to 24 do Changelog.append log (ring_record i) done;
+  check_int "full again" 16 (Changelog.length log);
+  check_bool "floor" true (Csn.equal (Changelog.floor log) (Csn.of_int 8));
+  let all = Changelog.since log (Changelog.floor log) in
+  check_int "all retained records" 16 (List.length all);
+  List.iteri
+    (fun k (r : Update.record) ->
+      check_bool "csn order across the seam" true
+        (Csn.equal r.Update.csn (Csn.of_int (9 + k))))
+    all;
+  check_int "suffix past the seam" 4
+    (List.length (Changelog.since log (Csn.of_int 20)));
+  check_bool "complete from the floor" true
+    (Changelog.complete_since log (Changelog.floor log));
+  check_bool "incomplete below" false (Changelog.complete_since log (Csn.of_int 7))
+
 let test_subscribers () =
   let b = make_backend () in
   let seen = ref [] in
@@ -429,6 +495,10 @@ let suite =
     Alcotest.test_case "count matching" `Quick test_count_matching;
     Alcotest.test_case "update log" `Quick test_log;
     Alcotest.test_case "changelog ring" `Quick test_log_ring;
+    Alcotest.test_case "changelog trim to empty" `Quick test_log_trim_to_empty;
+    Alcotest.test_case "changelog trim past head" `Quick test_log_trim_past_head;
+    Alcotest.test_case "changelog wraparound since floor" `Quick
+      test_log_wraparound_since_floor;
     Alcotest.test_case "subscribers" `Quick test_subscribers;
     Alcotest.test_case "many subscribers ordered" `Quick test_many_subscribers_ordered;
     QCheck_alcotest.to_alcotest prop_search_matches_naive;

@@ -579,6 +579,63 @@ let prop_convergence_changelog =
       (match Consumer.sync consumer master with Ok _ -> () | Error e -> failwith e);
       entry_sets_equal consumer b query)
 
+(* --- Cookie round trips and session-id hygiene ----------------------- *)
+
+let prop_reparent_cookie_roundtrip =
+  QCheck.Test.make ~name:"resync: reparent_cookie round trips" ~count:200
+    QCheck.(pair (int_bound 10_000) (int_bound 1_000_000))
+    (fun (id, csn_i) ->
+      let csn = Csn.of_int csn_i in
+      let cookie = Protocol.cookie_of ~id ~csn in
+      let parses_back =
+        match Protocol.parse_cookie cookie with
+        | Some (id', csn') -> id' = id && Csn.equal csn' csn
+        | None -> false
+      in
+      let reparents =
+        match Protocol.reparent_cookie cookie with
+        | None -> false
+        | Some foreign -> (
+            (* The CSN survives, the session id becomes the reserved
+               foreign marker 0, and reparenting is idempotent. *)
+            match Protocol.parse_cookie foreign with
+            | Some (0, csn') ->
+                Csn.equal csn' csn
+                && Protocol.reparent_cookie foreign = Some foreign
+            | _ -> false)
+      in
+      parses_back && reparents)
+
+let test_reparent_malformed () =
+  List.iter
+    (fun s ->
+      check_bool (Printf.sprintf "parse %S" s) true (Protocol.parse_cookie s = None);
+      check_bool
+        (Printf.sprintf "reparent %S" s)
+        true
+        (Protocol.reparent_cookie s = None))
+    [ ""; "rs"; "rs:"; "rs:1"; "rs:x:2"; "rs:1:y"; "sync:1:2"; "rs:1:2:3" ]
+
+let test_session_ids_never_zero () =
+  (* Id 0 is the reserved foreign-session marker of reparented cookies:
+     a master minting it would make a reparented consumer look locally
+     established. *)
+  let b = make_backend () in
+  let master = Master.create b in
+  for n = 1 to 50 do
+    match
+      Master.handle master { Protocol.mode = Protocol.Poll; cookie = None }
+        (dept_query "7")
+    with
+    | Ok reply -> (
+        match Option.bind reply.Protocol.cookie Protocol.parse_cookie with
+        | Some (id, _) ->
+            check_bool (Printf.sprintf "session %d id positive" n) true (id > 0)
+        | None -> Alcotest.fail "poll reply carried no parseable cookie")
+    | Error e -> failwith e
+  done;
+  check_int "fifty sessions" 50 (Master.session_count master)
+
 let suite =
   [
     Alcotest.test_case "initial content" `Quick test_initial_content;
@@ -592,6 +649,9 @@ let suite =
     Alcotest.test_case "persist filters content" `Quick test_persist_filters_out_of_content;
     Alcotest.test_case "attribute selection" `Quick test_attribute_selection_in_actions;
     Alcotest.test_case "malformed cookie" `Quick test_malformed_cookie;
+    Alcotest.test_case "reparent malformed" `Quick test_reparent_malformed;
+    Alcotest.test_case "session ids never zero" `Quick test_session_ids_never_zero;
+    QCheck_alcotest.to_alcotest prop_reparent_cookie_roundtrip;
     Alcotest.test_case "session history exact" `Quick test_session_history_exact;
     Alcotest.test_case "changelog conservative" `Quick test_changelog_conservative;
     Alcotest.test_case "tombstone conservative" `Quick test_tombstone_conservative;
