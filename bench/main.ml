@@ -12,7 +12,8 @@
 
    Usage: main.exe [--quick] [--micro-only | --figures-only | --smoke
                    | tree-fanout [--smoke] [--json]
-                   | latency-staleness [--smoke] [--json]]
+                   | latency-staleness [--smoke] [--json]
+                   | crash-restart [--smoke] [--json]]
 
    tree-fanout runs the cascading-topology sweep (flat star vs 2-tier
    tree, Ldap_topology.Sweep); with --json it writes BENCH_PR3.json.
@@ -20,6 +21,11 @@
    latency-staleness runs the discrete-event sweep (per-poll response
    time and per-update staleness percentiles, star vs tree, clean vs
    lossy links); with --json it writes BENCH_PR4.json.
+
+   crash-restart runs the durable-store recovery sweep (durable-cookie
+   resume, clean and torn-tail, vs cold re-fetch vs reparent) plus the
+   randomized WAL-corruption sweep; with --json it writes
+   BENCH_PR5.json.
 
    --smoke runs a seconds-scale deterministic subset (the protocol
    illustrations plus a tiny lossy-network sweep) and is wired into
@@ -415,6 +421,69 @@ let run_latency_staleness ~smoke ~json () =
     Printf.printf "wrote %s\n%!" path
   end
 
+let run_crash_restart ~smoke ~json () =
+  let config =
+    if smoke then T.Sweep.cr_smoke_config else T.Sweep.cr_default_config
+  in
+  let points = T.Sweep.crash_restart ~config () in
+  let corruption = T.Sweep.corruption_sweep ~config () in
+  Eval.Report.print
+    (Eval.Report.make
+       ~title:"Crash/restart recovery: durable resume vs cold re-fetch"
+       ~notes:
+         [
+           "a fraction of star leaves crash mid-run, updates land while down,";
+           "then they restart; durable modes recover from WAL+snapshot and";
+           "resume ReSync from the durable cookie, cold re-fetches everything.";
+           "expected: durable resync bytes < cold; torn tails truncate cleanly";
+         ]
+       ~columns:
+         [
+           "mode"; "affected"; "resync bytes"; "replayed"; "truncated";
+           "recover mean"; "recover max"; "converged";
+         ]
+       ~rows:
+         (List.map
+            (fun (p : T.Sweep.cr_point) ->
+              [
+                p.T.Sweep.cp_mode;
+                string_of_int p.T.Sweep.cp_affected;
+                string_of_int p.T.Sweep.cp_resync_bytes;
+                string_of_int p.T.Sweep.cp_replayed;
+                string_of_int p.T.Sweep.cp_truncated;
+                string_of_int p.T.Sweep.cp_recover_ticks_mean;
+                string_of_int p.T.Sweep.cp_recover_ticks_max;
+                string_of_int p.T.Sweep.cp_converged;
+              ])
+            points)
+       ());
+  Printf.printf
+    "corruption sweep: %d trials, %d recovered, %d truncated, %d stale, %d panics\n%!"
+    corruption.T.Sweep.cs_trials corruption.T.Sweep.cs_recovered
+    corruption.T.Sweep.cs_truncated corruption.T.Sweep.cs_stale
+    corruption.T.Sweep.cs_panics;
+  if corruption.T.Sweep.cs_panics > 0 then
+    failwith "crash-restart: corruption sweep panicked";
+  (let durable =
+     List.find (fun (p : T.Sweep.cr_point) -> p.T.Sweep.cp_mode = "durable") points
+   in
+   let cold =
+     List.find (fun (p : T.Sweep.cr_point) -> p.T.Sweep.cp_mode = "cold") points
+   in
+   if durable.T.Sweep.cp_resync_bytes >= cold.T.Sweep.cp_resync_bytes then
+     failwith "crash-restart: durable resume did not undercut cold re-fetch");
+  if json then begin
+    let path = "BENCH_PR5.json" in
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n  \"config\": \"%s\",\n  \"crash_restart\": %s,\n  \"corruption\": %s\n}\n"
+      (if smoke then "smoke" else "default")
+      (T.Sweep.json_of_cr_points points)
+      (T.Sweep.json_of_corruption corruption);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  end
+
 (* --- Entry point ------------------------------------------------------ *)
 
 let smoke () =
@@ -435,6 +504,10 @@ let () =
       ~json:(List.mem "--json" args) ()
   else if List.mem "latency-staleness" args then
     run_latency_staleness
+      ~smoke:(quick || List.mem "--smoke" args)
+      ~json:(List.mem "--json" args) ()
+  else if List.mem "crash-restart" args then
+    run_crash_restart
       ~smoke:(quick || List.mem "--smoke" args)
       ~json:(List.mem "--json" args) ()
   else if List.mem "--smoke" args then smoke ()

@@ -9,7 +9,8 @@
      resync     - run a scripted ReSync session against a tiny master
      workload   - generate a workload and print its distribution
      experiment - run one of the paper's tables/figures
-     topology   - build a cascading replication topology and summarize it *)
+     topology   - build a cascading replication topology and summarize it
+     store      - journal a replica, crash it, and report its recovery *)
 
 open Cmdliner
 open Ldap
@@ -413,6 +414,134 @@ let topology_cmd =
       const run $ employees_arg $ seed_arg $ leaves_arg $ arity_arg
       $ filters_arg $ updates_arg $ shape_arg)
 
+(* --- store --------------------------------------------------------------- *)
+
+let store_cmd =
+  let module Resync = Ldap_resync in
+  let module R = Ldap_replication in
+  let module Store = Ldap_store in
+  let filters_arg =
+    Arg.(value & opt int 4
+         & info [ "filters" ] ~doc:"Distinct department filters journaled.")
+  in
+  let updates_arg =
+    Arg.(value & opt int 60
+         & info [ "updates" ] ~doc:"Update-stream steps applied after the checkpoint.")
+  in
+  let torn_arg =
+    Arg.(value & flag
+         & info [ "torn" ]
+             ~doc:"Journal without per-append fsync and tear the WAL tail at \
+                   the crash, so recovery must truncate.")
+  in
+  let run employees seed filters updates torn =
+    let ent = Dirgen.Enterprise.build (enterprise_config employees seed) in
+    let backend = Dirgen.Enterprise.backend ent in
+    let base = Dirgen.Enterprise.root_dn ent in
+    let all_depts = Dirgen.Enterprise.dept_numbers ent in
+    let filters = min filters (Array.length all_depts) in
+    let master = Resync.Master.create backend in
+    let replica = R.Filter_replica.create master in
+    let medium =
+      if torn then
+        let prng = Dirgen.Prng.create (seed + 3) in
+        let faults =
+          Store.Medium.Faults.create ~torn_tail:1.0
+            ~roll:(fun () -> Dirgen.Prng.float prng 1.0)
+            ()
+        in
+        Store.Medium.memory ~faults ()
+      else Store.Medium.memory ()
+    in
+    R.Filter_replica.attach_store ~sync:(not torn) replica medium
+      ~prefix:"replica";
+    List.iteri
+      (fun i () ->
+        let q =
+          Query.make ~base
+            (Filter.of_string_exn
+               (Printf.sprintf "(departmentNumber=%s)" all_depts.(i)))
+        in
+        match R.Filter_replica.install_filter replica q with
+        | Ok () -> ()
+        | Error e ->
+            Printf.eprintf "install_filter: %s\n" e;
+            exit 1)
+      (List.init filters (fun _ -> ()));
+    R.Filter_replica.sync replica;
+    (* Checkpoint establishes the durable baseline; the update batch
+       below lands in the WAL tails (unsynced under --torn). *)
+    R.Filter_replica.checkpoint replica;
+    let stream =
+      Dirgen.Update_stream.create ent
+        { Dirgen.Update_stream.default_config with seed = seed + 1 }
+    in
+    Dirgen.Update_stream.steps stream updates;
+    R.Filter_replica.sync replica;
+    (* Simulated crash: fault-roll the medium, detach the zombie. *)
+    Store.Medium.crash medium;
+    R.Filter_replica.detach_store replica;
+    match
+      R.Filter_replica.recover_over
+        (R.Filter_replica.transport replica)
+        ~master_host:(R.Filter_replica.master_host replica)
+        medium ~prefix:"replica"
+    with
+    | Error e ->
+        Printf.eprintf "recovery failed: %s\n" e;
+        exit 1
+    | Ok (_, report) ->
+        let rows =
+          List.map
+            (fun (fr : R.Filter_replica.filter_recovery) ->
+              [
+                string_of_int fr.R.Filter_replica.fr_slot;
+                Query.to_string fr.R.Filter_replica.fr_query;
+                string_of_int fr.R.Filter_replica.fr_entries;
+                string_of_int fr.R.Filter_replica.fr_wal_bytes;
+                string_of_int fr.R.Filter_replica.fr_snapshot_bytes;
+                string_of_int fr.R.Filter_replica.fr_replayed;
+                (if fr.R.Filter_replica.fr_truncated then
+                   Printf.sprintf "@%d" fr.R.Filter_replica.fr_truncation_point
+                 else "-");
+                (match fr.R.Filter_replica.fr_cookie with
+                | Some c -> c
+                | None -> "-");
+              ])
+            report.R.Filter_replica.filters
+        in
+        Eval.Report.print
+          (Eval.Report.make ~title:"Durable store recovery"
+             ~notes:
+               [
+                 Printf.sprintf
+                   "meta store: %d records replayed, truncated: %s"
+                   report.R.Filter_replica.meta_replayed
+                   (if report.R.Filter_replica.meta_truncated then "yes"
+                    else "no");
+                 Printf.sprintf "%d updates journaled %s the checkpoint"
+                   updates
+                   (if torn then "without fsync after" else "after");
+                 "trunc: byte offset where WAL replay stopped (- = clean)";
+                 "cookie: last durable ReSync cookie (resume point)";
+               ]
+             ~columns:
+               [
+                 "slot"; "filter"; "entries"; "WAL B"; "snap B"; "replayed";
+                 "trunc"; "cookie";
+               ]
+             ~rows ())
+  in
+  let doc =
+    "Journal a filter replica to a durable store, crash it, recover, and \
+     report per-replica WAL/snapshot sizes, records replayed, truncation \
+     points and last durable cookies."
+  in
+  Cmd.v (Cmd.info "store" ~doc)
+    Term.(
+      const run $ employees_arg $ seed_arg $ filters_arg $ updates_arg
+      $ torn_arg)
+
 (* --- experiment ---------------------------------------------------------- *)
 
 let experiment_cmd =
@@ -482,5 +611,5 @@ let () =
           [
             gen_cmd; search_cmd; export_cmd; compare_cmd; contains_cmd;
             condition_cmd; resync_cmd; workload_cmd; replay_cmd; experiment_cmd;
-            topology_cmd;
+            topology_cmd; store_cmd;
           ]))

@@ -1273,6 +1273,42 @@ let latency_staleness ?config () =
       ]
     ~rows ()
 
+(* --- Crash/restart recovery --------------------------------------------- *)
+
+let crash_restart ?config () =
+  let points = Ldap_topology.Sweep.crash_restart ?config () in
+  let rows =
+    List.map
+      (fun (p : Ldap_topology.Sweep.cr_point) ->
+        [
+          p.Ldap_topology.Sweep.cp_mode;
+          string_of_int p.Ldap_topology.Sweep.cp_affected;
+          string_of_int p.Ldap_topology.Sweep.cp_resync_bytes;
+          string_of_int p.Ldap_topology.Sweep.cp_replayed;
+          string_of_int p.Ldap_topology.Sweep.cp_truncated;
+          string_of_int p.Ldap_topology.Sweep.cp_recover_ticks_mean;
+          string_of_int p.Ldap_topology.Sweep.cp_recover_ticks_max;
+          string_of_int p.Ldap_topology.Sweep.cp_converged;
+        ])
+      points
+  in
+  Report.make ~title:"Crash/restart recovery: durable resume vs cold re-fetch"
+    ~notes:
+      [
+        "a fraction of star leaves crash, updates land while they are down,";
+        "then they restart: durable modes recover content + cookie from the";
+        "WAL/snapshot store and resume ReSync incrementally (torn mode first";
+        "truncates the crash-torn journal tail); cold re-subscribes with full";
+        "fetches and reparent is PR 3's no-death cookie-translation baseline.";
+        "resync bytes = upstream Ber bytes affected leaves paid after recovery";
+      ]
+    ~columns:
+      [
+        "mode"; "affected"; "resync bytes"; "replayed"; "truncated";
+        "recover mean"; "recover max"; "converged";
+      ]
+    ~rows ()
+
 (* --- Everything -------------------------------------------------------- *)
 
 let all ?(quick = false) () =
@@ -1310,4 +1346,9 @@ let all ?(quick = false) () =
     if quick then Ldap_topology.Sweep.lat_smoke_config
     else Ldap_topology.Sweep.lat_default_config
   in
-  Report.print (latency_staleness ~config:lat_config ())
+  Report.print (latency_staleness ~config:lat_config ());
+  let cr_config =
+    if quick then Ldap_topology.Sweep.cr_smoke_config
+    else Ldap_topology.Sweep.cr_default_config
+  in
+  Report.print (crash_restart ~config:cr_config ())

@@ -109,6 +109,13 @@ val latency_staleness :
     percentiles in virtual ticks.  See
     {!Ldap_topology.Sweep.latency_staleness}. *)
 
+val crash_restart :
+  ?config:Ldap_topology.Sweep.cr_config -> unit -> Report.table
+(** The crash/restart recovery sweep: durable-cookie resume (clean and
+    torn-tail WAL) vs cold re-fetch vs reparent, comparing resync
+    bytes and virtual recovery time.  See
+    {!Ldap_topology.Sweep.crash_restart}. *)
+
 val all : ?quick:bool -> unit -> unit
 (** Runs every reproduction and prints the tables.  [quick] shrinks
     directory and workload sizes (used by the test suite). *)

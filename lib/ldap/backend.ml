@@ -393,6 +393,93 @@ let log_since t since = Changelog.since t.log since
 let log_complete_since t since = Changelog.complete_since t.log since
 let trim_log t ~before = Changelog.trim t.log ~before
 let log_length t = Changelog.length t.log
+let log_floor t = Changelog.floor t.log
+
+(* --- Recovery --------------------------------------------------------
+   Hooks for the durable store: rebuild a backend from a snapshot image
+   plus a replayed WAL suffix.  The images already carry their committed
+   stamps, so nothing here validates, re-stamps or notifies
+   subscribers. *)
+
+let no_context dn =
+  Error (Printf.sprintf "no naming context for %S" (Dn.to_string dn))
+
+let restore_entry t entry =
+  let dn = Entry.dn entry in
+  match context_for t dn with
+  | None -> no_context dn
+  | Some dit -> (
+      match Dit.find dit dn with
+      | Some old ->
+          dit_result (Dit.replace dit entry) ~on_ok:(fun dit' ->
+              set_context t dit';
+              note_entry t old ~add:false;
+              note_entry t entry ~add:true;
+              Ok ())
+      | None ->
+          dit_result (Dit.add dit entry) ~on_ok:(fun dit' ->
+              set_context t dit';
+              note_entry t entry ~add:true;
+              Ok ()))
+
+let restore_csn t csn = t.csn <- csn
+
+let restore_log t ~floor records =
+  if Csn.( < ) Csn.zero floor then
+    Changelog.trim t.log ~before:(Csn.of_int (Csn.to_int floor + 1));
+  List.iter (Changelog.append t.log) records
+
+let replay_record t (r : Update.record) =
+  let delete_image e =
+    let dn = Entry.dn e in
+    match context_for t dn with
+    | None -> no_context dn
+    | Some dit ->
+        dit_result (Dit.delete dit dn) ~on_ok:(fun dit' ->
+            set_context t dit';
+            note_entry t e ~add:false;
+            Ok ())
+  in
+  let add_image e =
+    let dn = Entry.dn e in
+    match context_for t dn with
+    | None -> no_context dn
+    | Some dit ->
+        dit_result (Dit.add dit e) ~on_ok:(fun dit' ->
+            set_context t dit';
+            note_entry t e ~add:true;
+            Ok ())
+  in
+  let step =
+    match (r.Update.before, r.Update.after) with
+    | None, None -> Ok ()
+    | Some b, Some a when Dn.equal (Entry.dn b) (Entry.dn a) -> (
+        (* In-place modify: replace keeps the subtree below. *)
+        let dn = Entry.dn a in
+        match context_for t dn with
+        | None -> no_context dn
+        | Some dit ->
+            dit_result (Dit.replace dit a) ~on_ok:(fun dit' ->
+                set_context t dit';
+                note_entry t b ~add:false;
+                note_entry t a ~add:true;
+                Ok ()))
+    | before, after -> (
+        (* Delete and modifyDN only commit on leaves, so the old image
+           is deletable; then install the new one, if any. *)
+        let deleted =
+          match before with None -> Ok () | Some b -> delete_image b
+        in
+        match deleted with
+        | Error _ as e -> e
+        | Ok () -> ( match after with None -> Ok () | Some a -> add_image a))
+  in
+  match step with
+  | Error _ as e -> e
+  | Ok () ->
+      t.csn <- r.Update.csn;
+      Changelog.append t.log r;
+      Ok ()
 
 let subscribe t f =
   if t.subscriber_count = Array.length t.subscribers then begin

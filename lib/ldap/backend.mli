@@ -78,5 +78,33 @@ val trim_log : t -> before:Csn.t -> unit
 
 val log_length : t -> int
 
+val log_floor : t -> Csn.t
+(** The changelog's trim floor: records at or below it are gone. *)
+
 val subscribe : t -> (Update.record -> unit) -> unit
 (** Called synchronously, in commit order, after each commit. *)
+
+(** {1 Recovery}
+
+    Hooks for the durable store: rebuild a backend from a snapshot
+    image plus a replayed WAL suffix.  None of these validate,
+    re-stamp or notify subscribers — the images already carry their
+    committed state. *)
+
+val restore_entry : t -> Entry.t -> (unit, string) result
+(** Inserts (or, for an already-present DN such as a context suffix,
+    replaces) a snapshot entry image verbatim, maintaining indexes
+    and referral bookkeeping.  Parents must be restored before
+    children. *)
+
+val restore_csn : t -> Csn.t -> unit
+(** Sets the committed CSN to the snapshot's value. *)
+
+val restore_log : t -> floor:Csn.t -> Update.record list -> unit
+(** Restores the changelog ring: its trim floor, then the retained
+    records oldest first. *)
+
+val replay_record : t -> Update.record -> (unit, string) result
+(** Replays one WAL record past the snapshot: applies its recorded
+    images to the DIT, appends it to the changelog and advances the
+    CSN to the record's — without re-notifying subscribers. *)

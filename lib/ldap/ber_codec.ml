@@ -413,3 +413,28 @@ let search_request ?(id = 1) q =
   { id; op = Search_request q; controls }
 
 let entry_message ?(id = 1) e = { id; op = Search_result_entry e; controls = [] }
+
+module Der = struct
+  type nonrec cursor = cursor
+
+  let integer = der_integer
+  let boolean = der_bool
+  let enum n = der_enum n
+  let octets s = der_octets s
+  let seq parts = der_seq parts
+  let option f = function None -> der_seq [] | Some v -> der_seq [ f v ]
+  let entry = encode_entry
+  let query = encode_search_request
+  let cursor s = { buf = s; pos = 0; limit = String.length s }
+  let at_end = at_end
+  let read_integer c = read_integer c
+  let read_boolean = read_bool
+  let read_enum c = read_enum c
+  let read_octets c = read_octets c
+  let read_seq c = expect_tag tag_sequence (read_tlv c)
+  let read_option f c =
+    let inner = read_seq c in
+    if at_end inner then None else Some (f inner)
+  let read_entry c = decode_entry (expect_tag (app 4) (read_tlv c))
+  let read_query c = decode_search_request (expect_tag (app 3) (read_tlv c))
+end

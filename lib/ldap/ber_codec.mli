@@ -52,3 +52,71 @@ val search_request : ?id:int -> Query.t -> message
     attached when the query asks for it. *)
 
 val entry_message : ?id:int -> Entry.t -> message
+
+exception Decode_error of string
+(** Raised by the {!Der} cursor readers on malformed input; {!decode}
+    catches it internally, callers of [Der] handle it themselves. *)
+
+(** The raw DER primitives behind the codec, exposed for other
+    serialization clients — notably the durable store, whose WAL
+    records and snapshots reuse this codec for entries, queries and
+    framing rather than inventing a second wire format. *)
+module Der : sig
+  type cursor
+  (** Read position inside one DER value. *)
+
+  val integer : int -> string
+  (** DER INTEGER (non-negative, minimal two's-complement). *)
+
+  val boolean : bool -> string
+  (** DER BOOLEAN. *)
+
+  val enum : int -> string
+  (** DER ENUMERATED, single byte [0..255]. *)
+
+  val octets : string -> string
+  (** DER OCTET STRING. *)
+
+  val seq : string list -> string
+  (** DER SEQUENCE of already-encoded parts. *)
+
+  val option : ('a -> string) -> 'a option -> string
+  (** [None] as an empty SEQUENCE, [Some v] as a one-element one. *)
+
+  val entry : Entry.t -> string
+  (** A SearchResultEntry TLV (same image as {!entry_message}'s op). *)
+
+  val query : Query.t -> string
+  (** A SearchRequest TLV.  The [manage_dsa_it] flag travels as a
+      control at the message layer, so it is {e not} preserved. *)
+
+  val cursor : string -> cursor
+  (** Cursor over a whole buffer. *)
+
+  val at_end : cursor -> bool
+  (** No bytes left under the cursor's limit. *)
+
+  val read_integer : cursor -> int
+  (** Reads an INTEGER; raises {!Decode_error} on anything else. *)
+
+  val read_boolean : cursor -> bool
+  (** Reads a BOOLEAN. *)
+
+  val read_enum : cursor -> int
+  (** Reads an ENUMERATED. *)
+
+  val read_octets : cursor -> string
+  (** Reads an OCTET STRING. *)
+
+  val read_seq : cursor -> cursor
+  (** Enters a SEQUENCE, returning a cursor over its contents. *)
+
+  val read_option : (cursor -> 'a) -> cursor -> 'a option
+  (** Inverse of {!option}. *)
+
+  val read_entry : cursor -> Entry.t
+  (** Inverse of {!entry}. *)
+
+  val read_query : cursor -> Query.t
+  (** Inverse of {!query}. *)
+end

@@ -2,6 +2,19 @@ open Ldap
 module C = Ldap_containment
 module Resync = Ldap_resync
 
+(* Durable state: one meta store (installed filters, slot-numbered so
+   consumer store names stay stable across restarts) plus one consumer
+   store per stored filter, all on the same medium under a common name
+   prefix. *)
+type durable = {
+  medium : Ldap_store.Medium.t;
+  prefix : string;
+  meta : Ldap_store.Store.t;
+  sync_each : bool;
+  mutable slots : (Query.t * int) list;
+  mutable next_slot : int;
+}
+
 type t = {
   schema : Schema.t;
   transport : Resync.Transport.t;
@@ -16,6 +29,7 @@ type t = {
     after:Entry.t option ->
     unit)
     option;
+  mutable durable : durable option;
 }
 
 let upstream t =
@@ -46,6 +60,7 @@ let create_over ?(cache_capacity = 0) ?(host = "replica") transport ~master_host
     cache = Query_cache.create schema ~capacity:cache_capacity;
     stats = Stats.create ();
     on_change = None;
+    durable = None;
   }
 
 let create ?cache_capacity master =
@@ -70,8 +85,72 @@ let retarget t ~master_host =
      first exchange resynchronize degraded from that CSN. *)
   C.Containment_index.iter t.index ~f:(fun _ consumer ->
       match Resync.Consumer.cookie consumer with
-      | Some c -> Resync.Consumer.set_cookie consumer (Resync.Protocol.reparent_cookie c)
+      | Some c ->
+          Resync.Consumer.set_cookie consumer (Resync.Protocol.reparent_cookie c);
+          (* [set_cookie] bypasses the journal; a checkpoint (no-op
+             without a store) makes the rewritten cookie durable. *)
+          Resync.Consumer.checkpoint consumer
       | None -> ())
+
+(* --- Durability ------------------------------------------------------ *)
+
+module Der = Ber_codec.Der
+
+(* Meta WAL records: a filter installed into a slot, or a slot's
+   filter removed.  Slots number consumer stores ([<prefix>.f<slot>])
+   so the name survives install/remove churn of other filters. *)
+let installed_record ~slot q =
+  Der.seq [ Der.enum 0; Der.integer slot; Der.query q ]
+
+let removed_record ~slot = Der.seq [ Der.enum 1; Der.integer slot ]
+let consumer_store_name d slot = Printf.sprintf "%s.f%d" d.prefix slot
+
+let slot_of d q =
+  let rec go = function
+    | [] -> None
+    | (q', s) :: rest -> if Query.equal q' q then Some s else go rest
+  in
+  go d.slots
+
+let consumer_store d slot =
+  Ldap_store.Store.create ~sync:d.sync_each d.medium
+    ~name:(consumer_store_name d slot)
+
+let meta_snapshot d =
+  let slots = List.sort (fun (_, a) (_, b) -> compare a b) d.slots in
+  Der.seq
+    [
+      Der.integer d.next_slot;
+      Der.seq
+        (List.map
+           (fun (q, slot) -> Der.seq [ Der.integer slot; Der.query q ])
+           slots);
+    ]
+
+let install_durable t q consumer =
+  match t.durable with
+  | None -> ()
+  | Some d ->
+      let slot = d.next_slot in
+      d.next_slot <- slot + 1;
+      d.slots <- (q, slot) :: d.slots;
+      Ldap_store.Store.append d.meta (installed_record ~slot q);
+      let store = consumer_store d slot in
+      Resync.Consumer.attach_store consumer store;
+      (* The initial content was fetched before the store existed:
+         a checkpoint captures it (and the cookie) in the snapshot. *)
+      Resync.Consumer.checkpoint consumer
+
+let remove_durable t q =
+  match t.durable with
+  | None -> ()
+  | Some d -> (
+      match slot_of d q with
+      | None -> ()
+      | Some slot ->
+          d.slots <- List.filter (fun (q', _) -> not (Query.equal q' q)) d.slots;
+          Ldap_store.Store.append d.meta (removed_record ~slot);
+          Ldap_store.Store.destroy (consumer_store d slot))
 
 let sync_consumer t consumer ~fetch =
   match
@@ -98,6 +177,7 @@ let install_filter t q =
     match sync_consumer t consumer ~fetch:true with
     | Ok () ->
         C.Containment_index.add t.index q consumer;
+        install_durable t q consumer;
         Ok ()
     | Error e -> Error (Resync.Consumer.sync_error_to_string e)
 
@@ -110,6 +190,7 @@ let remove_filter t q =
       | Some cookie, Some ep -> ep.Resync.Transport.ep_abandon ~cookie
       | _ -> ())
   | None -> ());
+  remove_durable t q;
   C.Containment_index.remove t.index q
 
 let stored_filters t = C.Containment_index.fold t.index ~init:[] ~f:(fun acc q _ -> q :: acc)
@@ -194,3 +275,148 @@ let sync_async t k =
 
 let comparisons t =
   C.Containment_index.comparisons t.index + Query_cache.comparisons t.cache
+
+(* --- Durable state --------------------------------------------------- *)
+
+type filter_recovery = {
+  fr_query : Query.t;
+  fr_slot : int;
+  fr_cookie : string option;
+  fr_entries : int;
+  fr_replayed : int;
+  fr_truncated : bool;
+  fr_truncation_point : int;
+  fr_wal_bytes : int;
+  fr_snapshot_bytes : int;
+}
+
+type recovery_report = {
+  meta_replayed : int;
+  meta_truncated : bool;
+  filters : filter_recovery list;
+}
+
+let durable t = t.durable <> None
+
+let detach_store t =
+  match t.durable with
+  | None -> ()
+  | Some _ ->
+      t.durable <- None;
+      C.Containment_index.iter t.index ~f:(fun _ consumer ->
+          Resync.Consumer.detach_store consumer)
+
+let attach_store ?(sync = true) t medium ~prefix =
+  let meta = Ldap_store.Store.create ~sync medium ~name:(prefix ^ ".meta") in
+  let d =
+    { medium; prefix; meta; sync_each = sync; slots = []; next_slot = 0 }
+  in
+  t.durable <- Some d;
+  (* Filters installed before durability was enabled get slots and
+     stores now; checkpointing captures their content, and the meta
+     checkpoint below makes the slot table itself durable. *)
+  C.Containment_index.iter t.index ~f:(fun q consumer ->
+      let slot = d.next_slot in
+      d.next_slot <- slot + 1;
+      d.slots <- (q, slot) :: d.slots;
+      Resync.Consumer.attach_store consumer (consumer_store d slot);
+      Resync.Consumer.checkpoint consumer);
+  Ldap_store.Store.checkpoint d.meta (meta_snapshot d)
+
+let checkpoint t =
+  match t.durable with
+  | None -> ()
+  | Some d ->
+      Ldap_store.Store.checkpoint d.meta (meta_snapshot d);
+      C.Containment_index.iter t.index ~f:(fun _ consumer ->
+          Resync.Consumer.checkpoint consumer)
+
+let recover_over ?(cache_capacity = 0) ?(host = "replica") ?(sync = true)
+    transport ~master_host medium ~prefix =
+  let ( let* ) = Result.bind in
+  let t = create_over ~cache_capacity ~host transport ~master_host in
+  let meta = Ldap_store.Store.create ~sync medium ~name:(prefix ^ ".meta") in
+  let d =
+    { medium; prefix; meta; sync_each = sync; slots = []; next_slot = 0 }
+  in
+  let recovery = Ldap_store.Store.recover meta in
+  let* () =
+    match recovery.Ldap_store.Store.snapshot with
+    | None -> Ok ()
+    | Some payload ->
+        Ldap_store.Codec.decode
+          (fun c ->
+            let inner = Der.read_seq c in
+            d.next_slot <- Der.read_integer inner;
+            let slots = Der.read_seq inner in
+            while not (Der.at_end slots) do
+              let s = Der.read_seq slots in
+              let slot = Der.read_integer s in
+              let q = Der.read_query s in
+              d.slots <- (q, slot) :: d.slots
+            done)
+          payload
+  in
+  let* () =
+    List.fold_left
+      (fun acc payload ->
+        let* () = acc in
+        Ldap_store.Codec.decode
+          (fun c ->
+            let inner = Der.read_seq c in
+            match Der.read_enum inner with
+            | 0 ->
+                let slot = Der.read_integer inner in
+                let q = Der.read_query inner in
+                d.slots <- (q, slot) :: d.slots;
+                if slot >= d.next_slot then d.next_slot <- slot + 1
+            | 1 ->
+                let slot = Der.read_integer inner in
+                d.slots <- List.filter (fun (_, s) -> s <> slot) d.slots
+            | n ->
+                raise
+                  (Ber_codec.Decode_error
+                     (Printf.sprintf "bad replica meta record %d" n)))
+          payload)
+      (Ok ()) recovery.Ldap_store.Store.records
+  in
+  t.durable <- Some d;
+  (* Rebuild the containment index from each slot's durable consumer
+     state — content and cookie come from the store, not a re-fetch;
+     the next poll resumes ReSync from the durable cookie. *)
+  let slots = List.sort (fun (_, a) (_, b) -> compare a b) d.slots in
+  let* filters =
+    List.fold_left
+      (fun acc (q, slot) ->
+        let* reports = acc in
+        let store = consumer_store d slot in
+        let* consumer, crec =
+          Resync.Consumer.recover t.schema (Replica.widen_attrs q) store
+        in
+        Resync.Consumer.set_on_change consumer (fun ~before ~after ->
+            match t.on_change with
+            | Some f -> f ~stored:q ~before ~after
+            | None -> ());
+        C.Containment_index.add t.index q consumer;
+        Ok
+          ({
+             fr_query = q;
+             fr_slot = slot;
+             fr_cookie = Resync.Consumer.cookie consumer;
+             fr_entries = Resync.Consumer.size consumer;
+             fr_replayed = List.length crec.Ldap_store.Store.records;
+             fr_truncated = crec.Ldap_store.Store.truncated;
+             fr_truncation_point = crec.Ldap_store.Store.truncation_point;
+             fr_wal_bytes = crec.Ldap_store.Store.wal_bytes;
+             fr_snapshot_bytes = crec.Ldap_store.Store.snapshot_bytes;
+           }
+          :: reports))
+      (Ok []) slots
+  in
+  Ok
+    ( t,
+      {
+        meta_replayed = List.length recovery.Ldap_store.Store.records;
+        meta_truncated = recovery.Ldap_store.Store.truncated;
+        filters = List.rev filters;
+      } )

@@ -142,3 +142,69 @@ val sync_where : t -> (Query.t -> bool) -> unit
 
 val comparisons : t -> int
 (** Total containment comparisons performed (stored + cached). *)
+
+(** {1 Durability}
+
+    A durable replica keeps one meta store (the slot-numbered table of
+    installed filters) plus one consumer store per stored filter on a
+    shared {!Ldap_store.Medium}, all under a common name prefix.
+    Installs and removals are journaled; each consumer journals the
+    replies it applies.  {!recover_over} rebuilds the replica — index,
+    content and resume cookies — from the medium without re-fetching,
+    so the first poll after a restart resumes ReSync from the durable
+    cookie instead of reloading content. *)
+
+(** Per-filter recovery outcome, as reported by [ldapctl store]. *)
+type filter_recovery = {
+  fr_query : Query.t;  (** The stored (un-widened) query. *)
+  fr_slot : int;  (** Slot number = consumer store name suffix. *)
+  fr_cookie : string option;  (** Last durable resume cookie. *)
+  fr_entries : int;  (** Entries recovered into the content. *)
+  fr_replayed : int;  (** WAL records replayed over the snapshot. *)
+  fr_truncated : bool;  (** A torn WAL tail was truncated. *)
+  fr_truncation_point : int;
+      (** Byte offset where replay stopped (= WAL length when clean). *)
+  fr_wal_bytes : int;  (** WAL size after recovery. *)
+  fr_snapshot_bytes : int;  (** Snapshot size. *)
+}
+
+(** Whole-replica recovery outcome. *)
+type recovery_report = {
+  meta_replayed : int;  (** Meta-store WAL records replayed. *)
+  meta_truncated : bool;  (** Meta WAL tail was truncated. *)
+  filters : filter_recovery list;  (** One per recovered filter, by slot. *)
+}
+
+val durable : t -> bool
+(** Whether a store is attached. *)
+
+val detach_store : t -> unit
+(** Stops journaling everywhere (meta and consumers).  A simulated
+    crash detaches the zombie in-memory replica so in-flight activity
+    finishing after the crash cannot touch the durable state captured
+    at crash time. *)
+
+val attach_store : ?sync:bool -> t -> Ldap_store.Medium.t -> prefix:string -> unit
+(** Makes the replica durable on the medium under [prefix]: already
+    installed filters get slots and checkpointed consumer stores, and
+    subsequent installs/removals/replies are journaled.  [sync]
+    (default true) controls per-record fsync of every store. *)
+
+val checkpoint : t -> unit
+(** Checkpoints the meta store and every consumer store (snapshot +
+    WAL reset).  No-op without an attached store. *)
+
+val recover_over :
+  ?cache_capacity:int ->
+  ?host:string ->
+  ?sync:bool ->
+  Ldap_resync.Transport.t ->
+  master_host:string ->
+  Ldap_store.Medium.t ->
+  prefix:string ->
+  (t * recovery_report, string) result
+(** Rebuilds a durable replica from the medium: recovers the meta
+    store's slot table, then each slot's consumer (snapshot + WAL
+    replay, torn tails truncated), and re-registers everything in the
+    containment index.  An empty medium recovers to a fresh replica
+    with no filters. *)

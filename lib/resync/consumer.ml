@@ -8,6 +8,7 @@ type t = {
   mutable loopback : (Master.t * Transport.t) option;
   mutable on_change :
     (before:Entry.t option -> after:Entry.t option -> unit) option;
+  mutable store : Ldap_store.Store.t option;
 }
 
 type outcome = {
@@ -36,6 +37,7 @@ let create schema query =
     conn = None;
     loopback = None;
     on_change = None;
+    store = None;
   }
 
 let query t = t.query
@@ -73,7 +75,24 @@ let prune t ~keep =
         kept)
       t.entries
 
+(* --- Durability ------------------------------------------------------ *)
+
+module Der = Ber_codec.Der
+
+let journal t payload =
+  match t.store with Some s -> Ldap_store.Store.append s payload | None -> ()
+
+(* WAL record kinds: a whole reply (cookie + actions as one record —
+   the atomicity boundary), or one pushed persist action. *)
+let reply_record reply = Der.seq [ Der.enum 0; Store_codec.reply reply ]
+let action_record a = Der.seq [ Der.enum 1; Store_codec.action a ]
+
 let apply_reply t (reply : Protocol.reply) =
+  (* Write-ahead: the whole reply — new cookie and all actions — is
+     journaled as one WAL record before any in-memory mutation, so a
+     crash mid-apply replays cookie and content together or not at
+     all; the durable cookie can never run ahead of durable content. *)
+  journal t (reply_record reply);
   (* The cookie is stored before the actions are applied: an observer
      registered with {!set_on_change} fires during application, and
      anything it derives from this consumer's state — e.g. the CSN an
@@ -188,6 +207,7 @@ let connect_persist ?(max_attempts = default_attempts) ?(backoff = default_backo
     ?(from = "consumer") ?(observe = fun (_ : Action.t) -> ()) t transport ~host =
   let had_cookie = t.cookie <> None in
   let push a =
+    journal t (action_record a);
     apply_action t a;
     observe a
   in
@@ -225,6 +245,63 @@ let sync t master =
   match sync_over t (loopback_for t master) ~host:Transport.loopback_host with
   | Ok outcome -> Ok outcome.reply
   | Error e -> Error (sync_error_to_string e)
+
+(* --- Durable state --------------------------------------------------- *)
+
+let attach_store t store = t.store <- Some store
+let detach_store t = t.store <- None
+let store t = t.store
+
+let checkpoint t =
+  match t.store with
+  | None -> ()
+  | Some s ->
+      let entries =
+        List.map (fun (_, e) -> Der.entry e) (Dn.Map.bindings t.entries)
+      in
+      Ldap_store.Store.checkpoint s
+        (Der.seq [ Store_codec.cookie_opt t.cookie; Der.seq entries ])
+
+let replay_record t payload =
+  Ldap_store.Codec.decode
+    (fun c ->
+      let inner = Der.read_seq c in
+      match Der.read_enum inner with
+      | 0 -> apply_reply t (Store_codec.read_reply inner)
+      | 1 -> apply_action t (Store_codec.read_action inner)
+      | n ->
+          raise
+            (Ber_codec.Decode_error (Printf.sprintf "bad consumer record %d" n)))
+    payload
+
+let recover schema query store =
+  let ( let* ) = Result.bind in
+  let recovery = Ldap_store.Store.recover store in
+  let t = create schema query in
+  let* () =
+    match recovery.Ldap_store.Store.snapshot with
+    | None -> Ok ()
+    | Some payload ->
+        Ldap_store.Codec.decode
+          (fun c ->
+            let inner = Der.read_seq c in
+            t.cookie <- Store_codec.read_cookie_opt inner;
+            let entries = Der.read_seq inner in
+            while not (Der.at_end entries) do
+              let e = Der.read_entry entries in
+              t.entries <- Dn.Map.add (Entry.dn e) e t.entries
+            done)
+          payload
+  in
+  let* () =
+    List.fold_left
+      (fun acc payload ->
+        let* () = acc in
+        replay_record t payload)
+      (Ok ()) recovery.Ldap_store.Store.records
+  in
+  t.store <- Some store;
+  Ok (t, recovery)
 
 let entries t = List.map snd (Dn.Map.bindings t.entries)
 let dns t = Dn.Map.fold (fun dn _ acc -> Dn.Set.add dn acc) t.entries Dn.Set.empty

@@ -139,3 +139,38 @@ val entries : t -> Entry.t list
 val dns : t -> Dn.Set.t
 val find : t -> Dn.t -> Entry.t option
 val size : t -> int
+
+(** {1 Durability}
+
+    With a store attached, every applied reply is journaled as {e one}
+    WAL record carrying the new cookie and all actions — the
+    atomicity boundary that keeps the durable cookie from running
+    ahead of durable content when a crash lands mid-apply; persist
+    pushes journal one record per action.  A restarted consumer
+    recovered from its store resumes ReSync from the durable cookie
+    instead of re-fetching. *)
+
+val attach_store : t -> Ldap_store.Store.t -> unit
+(** Starts journaling state transitions to the store.  Checkpoint
+    once after attaching to an already-populated consumer. *)
+
+val detach_store : t -> unit
+(** Stops journaling.  A simulated crash detaches the zombie in-memory
+    consumer so nothing it does afterwards can touch the durable state
+    captured at crash time. *)
+
+val store : t -> Ldap_store.Store.t option
+(** The attached store, if any. *)
+
+val checkpoint : t -> unit
+(** Snapshots cookie + entries and resets the WAL.  No-op without an
+    attached store. *)
+
+val recover :
+  Schema.t ->
+  Query.t ->
+  Ldap_store.Store.t ->
+  (t * Ldap_store.Store.recovery, string) result
+(** Rebuilds a consumer from durable state: loads the snapshot,
+    replays the WAL (truncating a torn tail), and re-attaches the
+    store.  An empty store recovers to a fresh consumer. *)

@@ -25,10 +25,55 @@ type t = {
   mutable tombstones : tombstone list;  (* newest first; Tombstone only *)
   mutable next_id : int;
   mutable clock : int;  (* protocol activity ticks *)
+  mutable store : Ldap_store.Store.t option;
 }
 
 let backend t = t.backend
 let strategy t = t.strategy
+
+(* --- Durable journal --------------------------------------------------
+   Session-table transitions are journaled as WAL records so a
+   restarted master still recognizes the cookies it handed out:
+
+   - [New] (id, query, synced CSN) on session creation,
+   - [Removed] on sync_end/abandon/expiry/disruption,
+   - [Pending] appended per-session history (Session_history),
+   - [Synced] acknowledged-CSN advance, optionally clearing pending,
+   - [Ts] a tombstone (Tombstone strategy).
+
+   Replay mirrors each mutation exactly; persistent push channels are
+   process state and die with the process — reconnection presents the
+   cookie, which the recovered session table answers incrementally. *)
+
+module Der = Ber_codec.Der
+
+let journal t payload =
+  match t.store with Some s -> Ldap_store.Store.append s payload | None -> ()
+
+let new_record (s : session) =
+  Der.seq
+    [
+      Der.enum 0;
+      Der.integer s.id;
+      Der.query s.query;
+      Der.integer (Csn.to_int s.synced_csn);
+    ]
+
+let removed_record id = Der.seq [ Der.enum 1; Der.integer id ]
+
+let pending_record id actions =
+  (* Oldest first on the wire; [pending] holds newest first. *)
+  Der.seq [ Der.enum 2; Der.integer id; Store_codec.actions actions ]
+
+let synced_record id csn ~clear =
+  Der.seq
+    [ Der.enum 3; Der.integer id; Der.integer (Csn.to_int csn);
+      Der.boolean clear ]
+
+let ts_record ts =
+  Der.seq
+    [ Der.enum 4; Der.octets (Dn.to_string ts.ts_dn);
+      Der.integer (Csn.to_int ts.ts_csn) ]
 
 (* The [persist] table and the dispatch index shadow [sessions]; all
    membership changes go through these helpers to keep them in sync. *)
@@ -39,6 +84,7 @@ let set_persist t session push =
   | None -> Hashtbl.remove t.persist session.id
 
 let remove_session t id =
+  if Hashtbl.mem t.sessions id then journal t (removed_record id);
   Hashtbl.remove t.sessions id;
   Hashtbl.remove t.persist id;
   Option.iter
@@ -89,18 +135,25 @@ let classify_for t (record : Update.record) session =
       (* Every update — even one producing no actions for this
          filter — is pushed through up to its CSN, so the session
          must not pin retained history at an older CSN. *)
-      session.synced_csn <- record.csn
+      session.synced_csn <- record.csn;
+      journal t (synced_record session.id record.csn ~clear:false)
   | None ->
-      if actions <> [] && t.strategy = Session_history then
-        session.pending <- List.rev_append actions session.pending
+      if actions <> [] && t.strategy = Session_history then begin
+        session.pending <- List.rev_append actions session.pending;
+        journal t (pending_record session.id actions)
+      end
+
+let add_tombstone t ts =
+  t.tombstones <- ts :: t.tombstones;
+  journal t (ts_record ts)
 
 let on_update t (record : Update.record) =
   (if t.strategy = Tombstone then
      match record.Update.op with
-     | Update.Delete dn -> t.tombstones <- { ts_dn = dn; ts_csn = record.csn } :: t.tombstones
+     | Update.Delete dn -> add_tombstone t { ts_dn = dn; ts_csn = record.csn }
      | Update.Modify_dn { dn; _ } ->
          (* The old DN disappears: tombstone it. *)
-         t.tombstones <- { ts_dn = dn; ts_csn = record.csn } :: t.tombstones
+         add_tombstone t { ts_dn = dn; ts_csn = record.csn }
      | Update.Add _ | Update.Modify _ -> ());
   (match t.dispatch with
   | None ->
@@ -125,8 +178,10 @@ let on_update t (record : Update.record) =
         affected;
       Hashtbl.iter
         (fun id session ->
-          if not (Ldap_containment.Predicate_index.mem affected id) then
-            session.synced_csn <- record.csn)
+          if not (Ldap_containment.Predicate_index.mem affected id) then begin
+            session.synced_csn <- record.csn;
+            journal t (synced_record id record.csn ~clear:false)
+          end)
         t.persist);
   gc_tombstones t
 
@@ -144,6 +199,7 @@ let create ?(strategy = Session_history) ?(dispatch = Routed) backend =
       tombstones = [];
       next_id = 1;
       clock = 0;
+      store = None;
     }
   in
   Backend.subscribe backend (on_update t);
@@ -328,6 +384,7 @@ let new_session t query ~persist_push =
     (fun idx ->
       Ldap_containment.Predicate_index.add idx id query.Query.filter)
     t.dispatch;
+  journal t (new_record session);
   session
 
 (* Poll replies carry the resume cookie; persist replies carry the
@@ -340,10 +397,15 @@ let session_cookie session ~mode =
   | Protocol.Poll | Protocol.Persist -> Some (cookie_of session.id session.synced_csn)
   | Protocol.Sync_end -> None
 
+let advance_synced t session ~clear =
+  let csn = Backend.csn t.backend in
+  session.synced_csn <- csn;
+  journal t (synced_record session.id csn ~clear)
+
 let initial_reply t session ~mode =
   let entries = Content.current t.backend session.query in
   let actions = List.map (fun e -> Action.Add e) entries in
-  session.synced_csn <- Backend.csn t.backend;
+  advance_synced t session ~clear:false;
   { Protocol.kind = Protocol.Initial_content; actions; cookie = session_cookie session ~mode }
 
 let incremental_reply t session ~mode =
@@ -371,13 +433,13 @@ let incremental_reply t session ~mode =
         else degraded_fallback ()
     | Tombstone -> (Protocol.Incremental, tombstone_actions t session)
   in
-  session.synced_csn <- Backend.csn t.backend;
+  advance_synced t session ~clear:(t.strategy = Session_history);
   { Protocol.kind; actions; cookie = session_cookie session ~mode }
 
 let degraded_reply t query ~since ~mode ~persist_push =
   let session = new_session t query ~persist_push in
   let actions = degraded_actions t query ~since in
-  session.synced_csn <- Backend.csn t.backend;
+  advance_synced t session ~clear:false;
   { Protocol.kind = Protocol.Degraded; actions; cookie = session_cookie session ~mode }
 
 let handle t ?push (request : Protocol.request) query =
@@ -456,6 +518,200 @@ let schedule_expiry t engine ~every ~until ~idle_limit =
 let session_count t = Hashtbl.length t.sessions
 
 let persistent_count t = Hashtbl.length t.persist
+
+(* --- Durable state --------------------------------------------------- *)
+
+let attach_store t store = t.store <- Some store
+let store t = t.store
+
+let strategy_code = function
+  | Session_history -> 0
+  | Changelog -> 1
+  | Tombstone -> 2
+
+let strategy_of_code = function
+  | 0 -> Session_history
+  | 1 -> Changelog
+  | 2 -> Tombstone
+  | n -> raise (Ber_codec.Decode_error (Printf.sprintf "bad strategy %d" n))
+
+(* Snapshot layout: SEQ [ strategy; next_id; clock; sessions;
+   tombstones ].  Sessions are sorted by id so the image is
+   deterministic regardless of hash-table iteration order. *)
+let snapshot_payload t =
+  let sessions =
+    Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions []
+    |> List.sort (fun a b -> Int.compare a.id b.id)
+    |> List.map (fun s ->
+           Der.seq
+             [
+               Der.integer s.id;
+               Der.query s.query;
+               Store_codec.actions (List.rev s.pending);
+               Der.integer (Csn.to_int s.synced_csn);
+               Der.integer s.last_active;
+             ])
+  in
+  let tombstones = List.map ts_record t.tombstones in
+  Der.seq
+    [
+      Der.enum (strategy_code t.strategy);
+      Der.integer t.next_id;
+      Der.integer t.clock;
+      Der.seq sessions;
+      Der.seq tombstones;
+    ]
+
+let checkpoint t =
+  match t.store with
+  | None -> ()
+  | Some s -> Ldap_store.Store.checkpoint s (snapshot_payload t)
+
+let read_snapshot c =
+  let inner = Der.read_seq c in
+  let strat = strategy_of_code (Der.read_enum inner) in
+  let next_id = Der.read_integer inner in
+  let clock = Der.read_integer inner in
+  let sessions =
+    let seq = Der.read_seq inner in
+    let rec go acc =
+      if Der.at_end seq then List.rev acc
+      else begin
+        let s = Der.read_seq seq in
+        let id = Der.read_integer s in
+        let query = Der.read_query s in
+        let pending_oldest = Store_codec.read_actions s in
+        let synced = Csn.of_int (Der.read_integer s) in
+        let last_active = Der.read_integer s in
+        go ((id, query, pending_oldest, synced, last_active) :: acc)
+      end
+    in
+    go []
+  in
+  let tombstones =
+    let seq = Der.read_seq inner in
+    let rec go acc =
+      if Der.at_end seq then List.rev acc
+      else begin
+        let ts = Der.read_seq seq in
+        (* Same image as a [Ts] WAL record, minus the kind. *)
+        let kind = Der.read_enum ts in
+        if kind <> 4 then
+          raise (Ber_codec.Decode_error "bad tombstone image");
+        let dn =
+          match Dn.of_string (Der.read_octets ts) with
+          | Ok d -> d
+          | Error e -> raise (Ber_codec.Decode_error e)
+        in
+        let csn = Csn.of_int (Der.read_integer ts) in
+        go ({ ts_dn = dn; ts_csn = csn } :: acc)
+      end
+    in
+    go []
+  in
+  (strat, next_id, clock, sessions, tombstones)
+
+let replay_record t payload =
+  Ldap_store.Codec.decode
+    (fun c ->
+      let inner = Der.read_seq c in
+      match Der.read_enum inner with
+      | 0 ->
+          let id = Der.read_integer inner in
+          let query = Der.read_query inner in
+          let csn = Csn.of_int (Der.read_integer inner) in
+          let session =
+            {
+              id;
+              query;
+              pending = [];
+              synced_csn = csn;
+              persist_push = None;
+              last_active = t.clock;
+            }
+          in
+          Hashtbl.replace t.sessions id session;
+          Option.iter
+            (fun idx ->
+              Ldap_containment.Predicate_index.add idx id query.Query.filter)
+            t.dispatch;
+          if id >= t.next_id then t.next_id <- id + 1
+      | 1 -> remove_session t (Der.read_integer inner)
+      | 2 -> (
+          let id = Der.read_integer inner in
+          let actions = Store_codec.read_actions inner in
+          match Hashtbl.find_opt t.sessions id with
+          | Some s -> s.pending <- List.rev_append actions s.pending
+          | None -> ())
+      | 3 -> (
+          let id = Der.read_integer inner in
+          let csn = Csn.of_int (Der.read_integer inner) in
+          let clear = Der.read_boolean inner in
+          match Hashtbl.find_opt t.sessions id with
+          | Some s ->
+              s.synced_csn <- csn;
+              if clear then s.pending <- []
+          | None -> ())
+      | 4 ->
+          let dn =
+            match Dn.of_string (Der.read_octets inner) with
+            | Ok d -> d
+            | Error e -> raise (Ber_codec.Decode_error e)
+          in
+          let csn = Csn.of_int (Der.read_integer inner) in
+          t.tombstones <- { ts_dn = dn; ts_csn = csn } :: t.tombstones
+      | n ->
+          raise
+            (Ber_codec.Decode_error (Printf.sprintf "bad master record %d" n)))
+    payload
+
+let recover ?strategy ?dispatch backend store =
+  let ( let* ) = Result.bind in
+  let recovery = Ldap_store.Store.recover store in
+  let* snap =
+    match recovery.Ldap_store.Store.snapshot with
+    | None -> Ok None
+    | Some payload ->
+        Result.map Option.some (Ldap_store.Codec.decode read_snapshot payload)
+  in
+  let strategy =
+    match snap with Some (s, _, _, _, _) -> Some s | None -> strategy
+  in
+  let t = create ?strategy ?dispatch backend in
+  (match snap with
+  | None -> ()
+  | Some (_, next_id, clock, sessions, tombstones) ->
+      t.next_id <- next_id;
+      t.clock <- clock;
+      List.iter
+        (fun (id, query, pending_oldest, synced, last_active) ->
+          let session =
+            {
+              id;
+              query;
+              pending = List.rev pending_oldest;
+              synced_csn = synced;
+              persist_push = None;
+              last_active;
+            }
+          in
+          Hashtbl.replace t.sessions id session;
+          Option.iter
+            (fun idx ->
+              Ldap_containment.Predicate_index.add idx id query.Query.filter)
+            t.dispatch)
+        sessions;
+      t.tombstones <- tombstones);
+  let* () =
+    List.fold_left
+      (fun acc payload ->
+        let* () = acc in
+        replay_record t payload)
+      (Ok ()) recovery.Ldap_store.Store.records
+  in
+  gc_tombstones t;
+  t.store <- Some store;
+  Ok (t, recovery)
 
 let history_size t =
   match t.strategy with

@@ -108,3 +108,37 @@ val history_size : t -> int
 
 val parse_cookie : string -> (int * Csn.t) option
 (** Exposed for tests: session id and CSN embedded in a cookie. *)
+
+(** {1 Durability}
+
+    With a store attached, every session-table transition — creation,
+    removal, per-session pending history, acknowledged-CSN advances
+    and tombstones — is journaled, and {!checkpoint} snapshots the
+    whole table.  A restarted master recovered from its store still
+    recognizes the cookies it handed out, so surviving consumers
+    resume incrementally instead of being forced through degraded
+    resynchronization. *)
+
+val attach_store : t -> Ldap_store.Store.t -> unit
+(** Starts journaling session-table transitions to the store. *)
+
+val store : t -> Ldap_store.Store.t option
+(** The attached store, if any. *)
+
+val checkpoint : t -> unit
+(** Snapshots the session table (strategy, sessions with pending
+    history, tombstones) and resets the WAL.  No-op without a store. *)
+
+val recover :
+  ?strategy:strategy ->
+  ?dispatch:dispatch ->
+  Backend.t ->
+  Ldap_store.Store.t ->
+  (t * Ldap_store.Store.recovery, string) result
+(** Rebuilds a master over an (already recovered) backend from its
+    durable session table: loads the snapshot, replays the WAL and
+    re-attaches the store.  The snapshot's strategy wins over the
+    [strategy] argument; the dispatch index is rebuilt from the
+    recovered sessions' filters.  Persistent push channels are not
+    recovered — they die with the process, and consumers re-establish
+    them by presenting their cookies. *)

@@ -1,0 +1,61 @@
+open Ldap
+module Der = Ber_codec.Der
+
+let action (a : Action.t) =
+  match a with
+  | Action.Add e -> Der.seq [ Der.enum 0; Der.entry e ]
+  | Action.Modify e -> Der.seq [ Der.enum 1; Der.entry e ]
+  | Action.Delete dn -> Der.seq [ Der.enum 2; Der.octets (Dn.to_string dn) ]
+  | Action.Retain dn -> Der.seq [ Der.enum 3; Der.octets (Dn.to_string dn) ]
+
+let read_dn c =
+  match Dn.of_string (Der.read_octets c) with
+  | Ok d -> d
+  | Error e -> raise (Ber_codec.Decode_error e)
+
+let read_action c =
+  let inner = Der.read_seq c in
+  match Der.read_enum inner with
+  | 0 -> Action.Add (Der.read_entry inner)
+  | 1 -> Action.Modify (Der.read_entry inner)
+  | 2 -> Action.Delete (read_dn inner)
+  | 3 -> Action.Retain (read_dn inner)
+  | n -> raise (Ber_codec.Decode_error (Printf.sprintf "bad action kind %d" n))
+
+let actions l = Der.seq (List.map action l)
+
+let read_actions c =
+  let inner = Der.read_seq c in
+  let rec go acc =
+    if Der.at_end inner then List.rev acc else go (read_action inner :: acc)
+  in
+  go []
+
+let kind_code = function
+  | Protocol.Initial_content -> 0
+  | Protocol.Incremental -> 1
+  | Protocol.Degraded -> 2
+
+let kind_of_code = function
+  | 0 -> Protocol.Initial_content
+  | 1 -> Protocol.Incremental
+  | 2 -> Protocol.Degraded
+  | n -> raise (Ber_codec.Decode_error (Printf.sprintf "bad reply kind %d" n))
+
+let cookie_opt c = Der.option Der.octets c
+let read_cookie_opt c = Der.read_option Der.read_octets c
+
+let reply (r : Protocol.reply) =
+  Der.seq
+    [
+      Der.enum (kind_code r.Protocol.kind);
+      actions r.Protocol.actions;
+      cookie_opt r.Protocol.cookie;
+    ]
+
+let read_reply c =
+  let inner = Der.read_seq c in
+  let kind = kind_of_code (Der.read_enum inner) in
+  let acts = read_actions inner in
+  let cookie = read_cookie_opt inner in
+  { Protocol.kind; actions = acts; cookie }

@@ -1,0 +1,35 @@
+(** DER payload codecs for the ReSync values the durable store
+    journals — actions, replies and cookies — shared by the
+    {!Consumer} and {!Master} persistence layers so both sides of the
+    protocol write one wire format.
+
+    Readers raise {!Ldap.Ber_codec.Decode_error} on malformed input;
+    recovery paths wrap them via {!Ldap_store.Codec.decode}. *)
+
+open Ldap
+
+val action : Action.t -> string
+(** One update action, with the full entry image for Add/Modify. *)
+
+val read_action : Ber_codec.Der.cursor -> Action.t
+(** Inverse of {!action}. *)
+
+val actions : Action.t list -> string
+(** A SEQUENCE of actions. *)
+
+val read_actions : Ber_codec.Der.cursor -> Action.t list
+(** Inverse of {!actions}. *)
+
+val reply : Protocol.reply -> string
+(** A whole reply — kind, actions and cookie — as {e one} value, the
+    consumer's atomicity boundary: cookie and content replay from the
+    same record or not at all. *)
+
+val read_reply : Ber_codec.Der.cursor -> Protocol.reply
+(** Inverse of {!reply}. *)
+
+val cookie_opt : string option -> string
+(** An optional cookie. *)
+
+val read_cookie_opt : Ber_codec.Der.cursor -> string option
+(** Inverse of {!cookie_opt}. *)

@@ -28,6 +28,23 @@ let schedule t ~time run =
 
 let after t ~delay run = schedule t ~time:(now t + max 0 delay) run
 
+(* Cancellation wraps the scheduled thunk with a flag check: the queue
+   entry stays (Event.t has no removal), it just fires as a no-op.
+   Determinism is unaffected — the entry keeps its time and sequence
+   number whether or not it was cancelled. *)
+type handle = { mutable cancelled : bool }
+
+let cancel h = h.cancelled <- true
+let cancelled h = h.cancelled
+
+let schedule_cancellable t ~time run =
+  let h = { cancelled = false } in
+  schedule t ~time (fun () -> if not h.cancelled then run ());
+  h
+
+let after_cancellable t ~delay run =
+  schedule_cancellable t ~time:(now t + max 0 delay) run
+
 let every t ~every:period ~until run =
   if period <= 0 then invalid_arg "Engine.every: period must be positive";
   let rec tick () =
@@ -37,6 +54,20 @@ let every t ~every:period ~until run =
   in
   let first = now t + period in
   if first <= until then schedule t ~time:first tick
+
+let every_cancellable t ~every:period ~until run =
+  if period <= 0 then invalid_arg "Engine.every_cancellable: period must be positive";
+  let h = { cancelled = false } in
+  let rec tick () =
+    if not h.cancelled then begin
+      run ();
+      let next = now t + period in
+      if next <= until then schedule t ~time:next tick
+    end
+  in
+  let first = now t + period in
+  if first <= until then schedule t ~time:first tick;
+  h
 
 (* splitmix64, same constants as Ldap_dirgen.Prng; ldap_sim sits below
    ldap in the dependency order so it keeps its own copy. *)

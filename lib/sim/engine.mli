@@ -34,6 +34,31 @@ val every : t -> every:int -> until:int -> (unit -> unit) -> unit
     The bound keeps run-to-quiescence terminating.  Raises
     [Invalid_argument] if [every <= 0]. *)
 
+type handle
+(** A cancellation handle on a scheduled event.  Cancelling does not
+    remove the queue entry — it fires as a no-op — so timing and
+    ordering of the remaining events are unchanged (the determinism
+    rule holds with or without cancellations). *)
+
+val cancel : handle -> unit
+(** Marks the event cancelled: when its time comes, nothing runs.  For
+    a periodic event the whole series stops.  Idempotent. *)
+
+val cancelled : handle -> bool
+(** Whether {!cancel} was called. *)
+
+val schedule_cancellable : t -> time:int -> (unit -> unit) -> handle
+(** {!schedule} returning a cancellation handle — how a simulated
+    crash silences a node's pending activity. *)
+
+val after_cancellable : t -> delay:int -> (unit -> unit) -> handle
+(** {!after} returning a cancellation handle. *)
+
+val every_cancellable : t -> every:int -> until:int -> (unit -> unit) -> handle
+(** {!every} returning one handle for the whole periodic series —
+    cancelling stops all future occurrences (the way a crashed
+    replica's poll loop dies with it). *)
+
 val float01 : t -> float
 (** Next uniform float in [0, 1) from the engine's seeded stream. *)
 

@@ -1,0 +1,111 @@
+open Ldap
+module Der = Ber_codec.Der
+
+type t = { backend : Backend.t; store : Store.t }
+
+let attach backend store =
+  Backend.subscribe backend (fun record -> Store.append store (Codec.record record));
+  { backend; store }
+
+let backend t = t.backend
+let store t = t.store
+
+(* Snapshot layout: SEQ [ csn; floor; contexts; log ] where contexts
+   is a SEQ of per-context SEQs of entry images (parent before
+   children, suffix entry first) and log is a SEQ of retained
+   changelog records, oldest first. *)
+let snapshot_payload backend =
+  let contexts =
+    List.map
+      (fun dit ->
+        let entries =
+          List.rev
+            (Dit.fold dit ~init:[] ~f:(fun acc e -> Der.entry e :: acc))
+        in
+        Der.seq entries)
+      (Backend.contexts backend)
+  in
+  let log =
+    List.map Codec.record (Backend.log_since backend (Backend.log_floor backend))
+  in
+  Der.seq
+    [
+      Codec.csn (Backend.csn backend);
+      Codec.csn (Backend.log_floor backend);
+      Der.seq contexts;
+      Der.seq log;
+    ]
+
+let checkpoint t = Store.checkpoint t.store (snapshot_payload t.backend)
+
+let restore_snapshot backend payload =
+  let ( let* ) = Result.bind in
+  let* csn, floor, contexts, log =
+    Codec.decode
+      (fun c ->
+        let inner = Der.read_seq c in
+        let csn = Codec.read_csn inner in
+        let floor = Codec.read_csn inner in
+        let contexts =
+          let outer = Der.read_seq inner in
+          let rec per_ctx acc =
+            if Der.at_end outer then List.rev acc
+            else begin
+              let ctx = Der.read_seq outer in
+              let rec entries eacc =
+                if Der.at_end ctx then List.rev eacc
+                else entries (Der.read_entry ctx :: eacc)
+              in
+              per_ctx (entries [] :: acc)
+            end
+          in
+          per_ctx []
+        in
+        let log =
+          let records = Der.read_seq inner in
+          let rec go acc =
+            if Der.at_end records then List.rev acc
+            else go (Codec.read_record records :: acc)
+          in
+          go []
+        in
+        (csn, floor, contexts, log))
+      payload
+  in
+  let* () =
+    List.fold_left
+      (fun acc entries ->
+        let* () = acc in
+        match entries with
+        | [] -> Ok ()
+        | suffix :: rest ->
+            let* () = Backend.add_context backend suffix in
+            List.fold_left
+              (fun acc e ->
+                let* () = acc in
+                Backend.restore_entry backend e)
+              (Ok ()) rest)
+      (Ok ()) contexts
+  in
+  Backend.restore_csn backend csn;
+  Backend.restore_log backend ~floor log;
+  Ok ()
+
+let recover ?indexed schema store =
+  let ( let* ) = Result.bind in
+  let recovery = Store.recover store in
+  let backend = Backend.create ?indexed schema in
+  let* () =
+    match recovery.Store.snapshot with
+    | None -> Ok ()
+    | Some payload -> restore_snapshot backend payload
+  in
+  let* () =
+    List.fold_left
+      (fun acc payload ->
+        let* () = acc in
+        let* record = Codec.decode Codec.read_record payload in
+        Backend.replay_record backend record)
+      (Ok ()) recovery.Store.records
+  in
+  Ok (backend, recovery)

@@ -1,0 +1,105 @@
+open Ldap
+module Der = Ber_codec.Der
+
+let decode reader payload =
+  match reader (Der.cursor payload) with
+  | v -> Ok v
+  | exception Ber_codec.Decode_error e -> Error ("decode: " ^ e)
+
+let csn c = Der.integer (Csn.to_int c)
+let read_csn c = Csn.of_int (Der.read_integer c)
+
+let dn d = Der.octets (Dn.to_string d)
+
+let read_dn c =
+  match Dn.of_string (Der.read_octets c) with
+  | Ok d -> d
+  | Error e -> raise (Ber_codec.Decode_error e)
+
+let entry_opt e = Der.option Der.entry e
+let read_entry_opt c = Der.read_option Der.read_entry c
+
+let mod_item (m : Update.mod_item) =
+  let kind =
+    match m.Update.mod_kind with
+    | Update.Add_values -> 0
+    | Update.Delete_values -> 1
+    | Update.Replace_values -> 2
+  in
+  Der.seq
+    [
+      Der.enum kind;
+      Der.octets m.Update.mod_attr;
+      Der.seq (List.map Der.octets m.Update.mod_values);
+    ]
+
+let read_mod_item c =
+  let inner = Der.read_seq c in
+  let kind =
+    match Der.read_enum inner with
+    | 0 -> Update.Add_values
+    | 1 -> Update.Delete_values
+    | 2 -> Update.Replace_values
+    | n ->
+        raise (Ber_codec.Decode_error (Printf.sprintf "bad mod kind %d" n))
+  in
+  let attr = Der.read_octets inner in
+  let values = Der.read_seq inner in
+  let rec vals acc =
+    if Der.at_end values then List.rev acc
+    else vals (Der.read_octets values :: acc)
+  in
+  { Update.mod_kind = kind; mod_attr = attr; mod_values = vals [] }
+
+let op (o : Update.op) =
+  match o with
+  | Update.Add e -> Der.seq [ Der.enum 0; Der.entry e ]
+  | Update.Delete d -> Der.seq [ Der.enum 1; dn d ]
+  | Update.Modify (d, items) ->
+      Der.seq [ Der.enum 2; dn d; Der.seq (List.map mod_item items) ]
+  | Update.Modify_dn { dn = d; new_rdn; delete_old_rdn; new_superior } ->
+      Der.seq
+        [
+          Der.enum 3;
+          dn d;
+          Der.octets (Dn.rdn_to_string new_rdn);
+          Der.boolean delete_old_rdn;
+          Der.option (fun s -> dn s) new_superior;
+        ]
+
+let read_op c =
+  let inner = Der.read_seq c in
+  match Der.read_enum inner with
+  | 0 -> Update.Add (Der.read_entry inner)
+  | 1 -> Update.Delete (read_dn inner)
+  | 2 ->
+      let d = read_dn inner in
+      let items = Der.read_seq inner in
+      let rec go acc =
+        if Der.at_end items then List.rev acc
+        else go (read_mod_item items :: acc)
+      in
+      Update.Modify (d, go [])
+  | 3 ->
+      let d = read_dn inner in
+      let rdn =
+        match Dn.rdn_of_string (Der.read_octets inner) with
+        | Ok r -> r
+        | Error e -> raise (Ber_codec.Decode_error e)
+      in
+      let delete_old_rdn = Der.read_boolean inner in
+      let new_superior = Der.read_option read_dn inner in
+      Update.Modify_dn { dn = d; new_rdn = rdn; delete_old_rdn; new_superior }
+  | n -> raise (Ber_codec.Decode_error (Printf.sprintf "bad op kind %d" n))
+
+let record (r : Update.record) =
+  Der.seq [ csn r.Update.csn; op r.Update.op; entry_opt r.Update.before;
+            entry_opt r.Update.after ]
+
+let read_record c =
+  let inner = Der.read_seq c in
+  let rcsn = read_csn inner in
+  let rop = read_op inner in
+  let before = read_entry_opt inner in
+  let after = read_entry_opt inner in
+  { Update.csn = rcsn; op = rop; before; after }

@@ -1,0 +1,47 @@
+(** DER payload codecs for the directory-level values the durable
+    store records — entries, queries, CSNs and committed-update
+    records — built on {!Ldap.Ber_codec.Der} so WAL records and wire
+    PDUs share one encoding.
+
+    Encoders return self-delimiting DER values that concatenate
+    freely; readers consume exactly one value from a cursor and raise
+    {!Ldap.Ber_codec.Decode_error} on malformed input.  {!decode}
+    wraps a whole-payload read into a [result] for recovery paths
+    that must never raise. *)
+
+open Ldap
+
+val decode : (Ber_codec.Der.cursor -> 'a) -> string -> ('a, string) result
+(** Runs a reader over the whole payload, catching decode and DN
+    parse errors. *)
+
+val csn : Csn.t -> string
+(** CSN as a DER INTEGER. *)
+
+val read_csn : Ber_codec.Der.cursor -> Csn.t
+(** Inverse of {!csn}. *)
+
+val dn : Dn.t -> string
+(** DN in string form as a DER OCTET STRING. *)
+
+val read_dn : Ber_codec.Der.cursor -> Dn.t
+(** Inverse of {!dn}. *)
+
+val entry_opt : Entry.t option -> string
+(** Optional entry image. *)
+
+val read_entry_opt : Ber_codec.Der.cursor -> Entry.t option
+(** Inverse of {!entry_opt}. *)
+
+val op : Update.op -> string
+(** One update operation, with full payload for each of the four
+    kinds. *)
+
+val read_op : Ber_codec.Der.cursor -> Update.op
+(** Inverse of {!op}. *)
+
+val record : Update.record -> string
+(** One committed-update record: CSN, operation and both images. *)
+
+val read_record : Ber_codec.Der.cursor -> Update.record
+(** Inverse of {!record}. *)

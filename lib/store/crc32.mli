@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE 802.3, the zlib polynomial) used to guard every WAL
+    record and snapshot image in the durable store.  A checksum
+    mismatch on recovery marks the first torn or corrupt record, where
+    replay truncates. *)
+
+val string : string -> int
+(** Checksum of a whole string, as a non-negative 32-bit value. *)
+
+val sub : string -> pos:int -> len:int -> int
+(** Checksum of a substring. *)

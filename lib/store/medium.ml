@@ -1,0 +1,201 @@
+module Faults = struct
+  type crash_outcome = Keep_all | Lose_unsynced | Torn_tail
+
+  type t = {
+    keep_all : float;
+    torn_tail : float;
+    short_read : float;
+    roll : (unit -> float) option;
+    mutable scripted : crash_outcome list;
+  }
+
+  let create ?(keep_all = 0.) ?(torn_tail = 0.) ?(short_read = 0.) ?roll () =
+    { keep_all; torn_tail; short_read; roll; scripted = [] }
+
+  let none = create ()
+
+  let script t outcomes = t.scripted <- t.scripted @ outcomes
+
+  let next_crash t =
+    match t.scripted with
+    | o :: rest ->
+        t.scripted <- rest;
+        o
+    | [] -> (
+        match t.roll with
+        | None -> Lose_unsynced
+        | Some roll ->
+            let x = roll () in
+            if x < t.keep_all then Keep_all
+            else if x < t.keep_all +. t.torn_tail then Torn_tail
+            else Lose_unsynced)
+
+  let read_fraction t =
+    match t.roll with
+    | None -> None
+    | Some roll ->
+        if t.short_read > 0. && roll () < t.short_read then Some (roll ())
+        else None
+end
+
+type file = {
+  buf : Buffer.t;
+  mutable synced_len : int;
+  (* Byte lengths of appends since the last sync, oldest first; the
+     head is the append a torn-tail crash tears. *)
+  mutable unsynced : int list;
+}
+
+type t = {
+  table : (string, file) Hashtbl.t;
+  faults : Faults.t;
+  dir : string option;  (* write-through directory for disk media *)
+}
+
+(* --- Disk write-through --------------------------------------------- *)
+
+let path dir name = Filename.concat dir name
+
+let disk_write dir name contents =
+  let tmp = path dir (name ^ ".tmp") in
+  let oc = open_out_bin tmp in
+  output_string oc contents;
+  close_out oc;
+  Sys.rename tmp (path dir name)
+
+let disk_append dir name bytes =
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644
+      (path dir name)
+  in
+  output_string oc bytes;
+  close_out oc
+
+let disk_remove dir name =
+  let p = path dir name in
+  if Sys.file_exists p then Sys.remove p
+
+let write_through t name =
+  match t.dir with
+  | None -> fun () -> ()
+  | Some dir ->
+      fun () ->
+        let file = Hashtbl.find t.table name in
+        disk_write dir name (Buffer.contents file.buf)
+
+(* --- Construction ---------------------------------------------------- *)
+
+let memory ?(faults = Faults.none) () =
+  { table = Hashtbl.create 8; faults; dir = None }
+
+let read_file p =
+  let ic = open_in_bin p in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let disk ?(faults = Faults.none) ~dir () =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let t = { table = Hashtbl.create 8; faults; dir = Some dir } in
+  Array.iter
+    (fun name ->
+      let p = path dir name in
+      if (not (Sys.is_directory p)) && not (Filename.check_suffix name ".tmp")
+      then begin
+        let contents = read_file p in
+        let buf = Buffer.create (String.length contents + 64) in
+        Buffer.add_string buf contents;
+        Hashtbl.replace t.table name
+          { buf; synced_len = String.length contents; unsynced = [] }
+      end)
+    (Sys.readdir dir);
+  t
+
+(* --- Operations ------------------------------------------------------ *)
+
+let file t name =
+  match Hashtbl.find_opt t.table name with
+  | Some f -> f
+  | None ->
+      let f = { buf = Buffer.create 256; synced_len = 0; unsynced = [] } in
+      Hashtbl.replace t.table name f;
+      f
+
+let append t ~name bytes =
+  let f = file t name in
+  Buffer.add_string f.buf bytes;
+  f.unsynced <- f.unsynced @ [ String.length bytes ];
+  Option.iter (fun dir -> disk_append dir name bytes) t.dir
+
+let sync t ~name =
+  match Hashtbl.find_opt t.table name with
+  | None -> ()
+  | Some f ->
+      f.synced_len <- Buffer.length f.buf;
+      f.unsynced <- []
+
+let write_atomic t ~name contents =
+  let f = file t name in
+  Buffer.clear f.buf;
+  Buffer.add_string f.buf contents;
+  f.synced_len <- String.length contents;
+  f.unsynced <- [];
+  Option.iter (fun dir -> disk_write dir name contents) t.dir
+
+let read t ~name =
+  match Hashtbl.find_opt t.table name with
+  | None -> None
+  | Some f -> (
+      let s = Buffer.contents f.buf in
+      match Faults.read_fraction t.faults with
+      | None -> Some s
+      | Some frac ->
+          let keep = int_of_float (frac *. float_of_int (String.length s)) in
+          Some (String.sub s 0 (min keep (String.length s))))
+
+let size t ~name =
+  match Hashtbl.find_opt t.table name with
+  | None -> 0
+  | Some f -> Buffer.length f.buf
+
+let truncate t ~name n =
+  match Hashtbl.find_opt t.table name with
+  | None -> ()
+  | Some f ->
+      let n = min n (Buffer.length f.buf) in
+      Buffer.truncate f.buf n;
+      f.synced_len <- min f.synced_len n;
+      f.unsynced <- [];
+      write_through t name ()
+
+let remove t ~name =
+  Hashtbl.remove t.table name;
+  Option.iter (fun dir -> disk_remove dir name) t.dir
+
+let files t =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.table [])
+
+let crash t =
+  Hashtbl.iter
+    (fun name f ->
+      if f.unsynced <> [] then begin
+        (match Faults.next_crash t.faults with
+        | Faults.Keep_all -> f.synced_len <- Buffer.length f.buf
+        | Faults.Lose_unsynced -> Buffer.truncate f.buf f.synced_len
+        | Faults.Torn_tail ->
+            let first = List.hd f.unsynced in
+            (* Keep a strict prefix of the first unsynced append:
+               deterministic, and empty when it was a 1-byte write. *)
+            let torn =
+              match t.faults.Faults.roll with
+              | Some roll when first > 1 ->
+                  1 + int_of_float (roll () *. float_of_int (first - 2))
+              | _ -> first / 2
+            in
+            Buffer.truncate f.buf (f.synced_len + min torn (max 0 (first - 1))));
+        f.synced_len <- Buffer.length f.buf;
+        f.unsynced <- [];
+        write_through t name ()
+      end)
+    t.table

@@ -1,0 +1,101 @@
+(** Fault-injectable storage media under the durable store.
+
+    A medium is a namespace of flat files supporting append,
+    whole-file atomic replace, sync, truncate and — the point of the
+    exercise — {!crash}: the transition a process death imposes on the
+    bytes it wrote.  Two implementations share the same fault logic:
+    an in-memory medium (tests, simulator) and an on-disk one that
+    writes through to real files (used by [ldapctl store]).
+
+    The fault model mirrors {!Ldap.Network.Faults}: decisions are
+    deterministic, coming from an explicit script or a caller-supplied
+    roll function, never from global randomness.  Three injectable
+    behaviours cover the classic storage failure shapes: on crash,
+    unsynced appends are lost (fsync loss) and the first lost append
+    may additionally leave a torn prefix on the tail (torn write);
+    independently, reads may return a short prefix (short read). *)
+
+(** Deterministic fault schedules for storage media. *)
+module Faults : sig
+  type crash_outcome =
+    | Keep_all  (** Everything written survives, synced or not. *)
+    | Lose_unsynced  (** Bytes past the last {!sync} are gone. *)
+    | Torn_tail
+        (** Unsynced bytes are gone {e except} a strict prefix of the
+            first unsynced append — a torn record on the tail. *)
+
+  type t
+
+  val none : t
+  (** No faults: crashes keep only synced bytes ({!Lose_unsynced},
+      the honest default), reads are full. *)
+
+  val create :
+    ?keep_all:float ->
+    ?torn_tail:float ->
+    ?short_read:float ->
+    ?roll:(unit -> float) ->
+    unit ->
+    t
+  (** Probabilistic schedule: each crash draws one number from [roll]
+      and maps it to an outcome by cumulative probability
+      ([keep_all], then [torn_tail], else [Lose_unsynced]); each read
+      independently returns a prefix with probability [short_read].
+      Without [roll] only scripted outcomes fire. *)
+
+  val script : t -> crash_outcome list -> unit
+  (** Appends forced crash outcomes, consumed one per {!crash} before
+      any probabilistic roll — the way tests stage exact failures. *)
+
+  val next_crash : t -> crash_outcome
+  (** Consumes the next scripted outcome, or rolls. *)
+
+  val read_fraction : t -> float option
+  (** [Some f] when the next read should be cut to fraction [f] of
+      its length (a short read); [None] for a full read. *)
+end
+
+type t
+
+val memory : ?faults:Faults.t -> unit -> t
+(** A purely in-memory medium. *)
+
+val disk : ?faults:Faults.t -> dir:string -> unit -> t
+(** A medium backed by real files under [dir] (created if missing).
+    Existing files are loaded and considered fully synced; mutations
+    write through, so durable state survives real process restarts. *)
+
+val append : t -> name:string -> string -> unit
+(** Appends bytes to a file, creating it when missing.  The bytes are
+    {e not} durable until {!sync}. *)
+
+val sync : t -> name:string -> unit
+(** Makes every appended byte of the file durable (fsync). *)
+
+val write_atomic : t -> name:string -> string -> unit
+(** Replaces the whole file all-or-nothing and durably (the
+    write-temp-then-rename idiom); a later {!crash} never sees a
+    partial image of it. *)
+
+val read : t -> name:string -> string option
+(** Whole-file contents, or [None] when the file does not exist.
+    Subject to the short-read fault. *)
+
+val size : t -> name:string -> int
+(** Current length in bytes; 0 when the file does not exist. *)
+
+val truncate : t -> name:string -> int -> unit
+(** Durably cuts the file to the first [n] bytes — how recovery
+    discards a torn tail. *)
+
+val remove : t -> name:string -> unit
+(** Deletes the file, if present. *)
+
+val files : t -> string list
+(** Names of existing files, sorted. *)
+
+val crash : t -> unit
+(** Simulates a process crash across the whole medium: each file
+    keeps its synced prefix and loses the rest, per the fault
+    schedule (one {!Faults.next_crash} draw per file with unsynced
+    bytes). *)

@@ -1,0 +1,20 @@
+(* Image layout: "SNP1" | 4-byte BE CRC-32 of payload | payload. *)
+
+let magic = "SNP1"
+
+let write medium ~name payload =
+  let b = Buffer.create (String.length payload + 8) in
+  Buffer.add_string b magic;
+  Buffer.add_string b (Wal.be32 (Crc32.string payload));
+  Buffer.add_string b payload;
+  Medium.write_atomic medium ~name (Buffer.contents b)
+
+let read medium ~name =
+  match Medium.read medium ~name with
+  | None -> None
+  | Some s ->
+      if String.length s < 8 || String.sub s 0 4 <> magic then None
+      else
+        let crc = Wal.read_be32 s 4 in
+        let payload = String.sub s 8 (String.length s - 8) in
+        if Crc32.string payload = crc then Some payload else None

@@ -1,0 +1,11 @@
+(** Checkpoint images: one whole-state payload per file, CRC-guarded
+    and written via {!Medium.write_atomic} (the write-temp-then-rename
+    idiom), so a crash never leaves a partial snapshot — recovery sees
+    either the old image or the new one. *)
+
+val write : Medium.t -> name:string -> string -> unit
+(** Atomically replaces the snapshot file with the payload. *)
+
+val read : Medium.t -> name:string -> string option
+(** The payload, or [None] when the file is missing, too short, has a
+    wrong magic or fails its checksum.  Never raises. *)

@@ -1,0 +1,67 @@
+let magic = '\xd1'
+let frame_overhead = 9
+
+let be32 n =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.unsafe_to_string b
+
+let read_be32 s pos =
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+let frame payload =
+  let b = Buffer.create (String.length payload + frame_overhead) in
+  Buffer.add_char b magic;
+  Buffer.add_string b (be32 (String.length payload));
+  Buffer.add_string b (be32 (Crc32.string payload));
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let append ?(sync = true) medium ~name payload =
+  Medium.append medium ~name (frame payload);
+  if sync then Medium.sync medium ~name
+
+type recovery = {
+  records : string list;
+  valid_len : int;
+  total_len : int;
+  truncated : bool;
+}
+
+let scan s =
+  let total = String.length s in
+  let records = ref [] in
+  let pos = ref 0 in
+  let ok = ref true in
+  while !ok && !pos < total do
+    if
+      total - !pos < frame_overhead
+      || s.[!pos] <> magic
+      ||
+      let len = read_be32 s (!pos + 1) in
+      len < 0 || total - !pos - frame_overhead < len
+    then ok := false
+    else begin
+      let len = read_be32 s (!pos + 1) in
+      let crc = read_be32 s (!pos + 5) in
+      if Crc32.sub s ~pos:(!pos + frame_overhead) ~len <> crc then ok := false
+      else begin
+        records := String.sub s (!pos + frame_overhead) len :: !records;
+        pos := !pos + frame_overhead + len
+      end
+    end
+  done;
+  (List.rev !records, !pos, total)
+
+let recover medium ~name =
+  let contents = Option.value ~default:"" (Medium.read medium ~name) in
+  let records, valid_len, total_len = scan contents in
+  let truncated = valid_len < total_len in
+  if truncated then Medium.truncate medium ~name valid_len;
+  { records; valid_len; total_len; truncated }

@@ -65,3 +65,19 @@ let content t q =
   match R.Filter_replica.consumer_for t.replica q with
   | Some c -> Resync.Consumer.entries c
   | None -> []
+
+(* --- Durability ------------------------------------------------------ *)
+
+let attach_store ?sync t medium =
+  R.Filter_replica.attach_store ?sync t.replica medium ~prefix:t.name
+
+let checkpoint t = R.Filter_replica.checkpoint t.replica
+let detach_store t = R.Filter_replica.detach_store t.replica
+
+let recover ?cache_capacity ?sync transport ~name ~parent medium =
+  match
+    R.Filter_replica.recover_over ?cache_capacity ?sync ~host:name transport
+      ~master_host:parent medium ~prefix:name
+  with
+  | Ok (replica, report) -> Ok ({ replica; name }, report)
+  | Error _ as e -> e

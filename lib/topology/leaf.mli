@@ -59,3 +59,29 @@ val subscriptions : t -> Query.t list
 val content : t -> Query.t -> Entry.t list
 (** Current local content of one subscription (empty when not
     installed) — what convergence checks compare against the root. *)
+
+(** {1 Durability} *)
+
+val attach_store : ?sync:bool -> t -> Ldap_store.Medium.t -> unit
+(** Makes the leaf's replica durable on the medium, under the leaf's
+    name as prefix (see {!Ldap_replication.Filter_replica.attach_store}). *)
+
+val checkpoint : t -> unit
+(** Checkpoints every store of the leaf's replica. *)
+
+val detach_store : t -> unit
+(** Stops journaling (see
+    {!Ldap_replication.Filter_replica.detach_store}). *)
+
+val recover :
+  ?cache_capacity:int ->
+  ?sync:bool ->
+  Ldap_resync.Transport.t ->
+  name:string ->
+  parent:string ->
+  Ldap_store.Medium.t ->
+  (t * Ldap_replication.Filter_replica.recovery_report, string) result
+(** Rebuilds a restarted leaf from its medium: subscriptions, content
+    and resume cookies come from durable state, so the next poll
+    resumes ReSync incrementally instead of re-fetching.
+    @raise Invalid_argument if no endpoint is registered at [parent]. *)

@@ -361,6 +361,387 @@ let json_of_lat_points points =
   Buffer.add_string b "  ]";
   Buffer.contents b
 
+(* --- Crash/restart sweep ---------------------------------------------- *)
+
+type cr_config = {
+  cr_consumers : int;
+  cr_filters : int;
+  cr_employees : int;
+  cr_seed : int;
+  cr_poll_every : int;
+  cr_update_every : int;
+  cr_updates_before : int;
+  cr_updates_after : int;
+  cr_crash_fraction : float;
+  cr_horizon : int;
+  cr_corruptions : int;
+}
+
+let cr_default_config =
+  {
+    cr_consumers = 24;
+    cr_filters = 12;
+    cr_employees = 1200;
+    cr_seed = 7;
+    cr_poll_every = 40;
+    cr_update_every = 20;
+    cr_updates_before = 20;
+    cr_updates_after = 40;
+    cr_crash_fraction = 0.25;
+    cr_horizon = 2000;
+    cr_corruptions = 40;
+  }
+
+let cr_smoke_config =
+  {
+    cr_consumers = 8;
+    cr_filters = 3;
+    cr_employees = 300;
+    cr_seed = 7;
+    cr_poll_every = 40;
+    cr_update_every = 20;
+    cr_updates_before = 6;
+    cr_updates_after = 6;
+    cr_crash_fraction = 0.25;
+    cr_horizon = 900;
+    cr_corruptions = 12;
+  }
+
+type cr_mode = Durable | Durable_torn | Cold | Reparent
+
+let cr_mode_name = function
+  | Durable -> "durable"
+  | Durable_torn -> "durable-torn"
+  | Cold -> "cold"
+  | Reparent -> "reparent"
+
+type cr_point = {
+  cp_mode : string;
+  cp_affected : int;
+  cp_resync_bytes : int;
+  cp_replayed : int;
+  cp_truncated : int;
+  cp_recover_ticks_mean : int;
+  cp_recover_ticks_max : int;
+  cp_converged : int;
+}
+
+let run_cr_point cfg mode =
+  let module Sim = Ldap_sim.Engine in
+  let ent =
+    enterprise { default_config with seed = cfg.cr_seed; employees = cfg.cr_employees }
+  in
+  let backend = D.Enterprise.backend ent in
+  let base = D.Enterprise.root_dn ent in
+  let all_depts = D.Enterprise.dept_numbers ent in
+  let filters = min cfg.cr_filters (Array.length all_depts) in
+  let query_of d =
+    Query.make ~base
+      (Filter.of_string_exn (Printf.sprintf "(departmentNumber=%s)" d))
+  in
+  let leaf_queries =
+    List.init cfg.cr_consumers (fun i -> query_of all_depts.(i mod filters))
+  in
+  let affected =
+    let n =
+      max 1
+        (int_of_float
+           (Float.round (cfg.cr_crash_fraction *. float_of_int cfg.cr_consumers)))
+    in
+    (* Matches the builder's leaf naming (leaf1, leaf2, ...). *)
+    List.init n (fun i -> Printf.sprintf "leaf%d" (i + 1))
+  in
+  let is_affected name = List.mem name affected in
+  let t =
+    match mode with
+    | Reparent ->
+        (* The reparent baseline is PR 3's heal: the affected leaves
+           sit under a relay node that dies at crash time, so they miss
+           the same updates the crashed leaves of the other modes miss,
+           and their recovery is cookie-translation plus a degraded
+           resync from the root. *)
+        let covers = List.init filters (fun i -> query_of all_depts.(i)) in
+        let t = Topology.create backend in
+        (match
+           Topology.add_node t ~name:"relay" ~parent:(Topology.root t) ~covers
+         with
+        | Ok _ -> ()
+        | Error e -> failwith ("crash-restart relay: " ^ e));
+        List.iteri
+          (fun i q ->
+            let name = Printf.sprintf "leaf%d" (i + 1) in
+            let parent = if is_affected name then "relay" else Topology.root t in
+            match Topology.add_leaf t ~name ~parent q with
+            | Ok _ -> ()
+            | Error e -> failwith ("crash-restart leaf: " ^ e))
+          leaf_queries;
+        t
+    | Durable | Durable_torn | Cold -> (
+        match
+          Topology.build ~shape:Topology.Star ~covers:[] ~leaf_queries backend
+        with
+        | Error e -> failwith ("crash-restart build: " ^ e)
+        | Ok t -> t)
+  in
+  (* Durable variants: every leaf journals to its own medium.  The
+         clean variant fsyncs each record, so a crash loses nothing;
+         the torn variant syncs only at checkpoints and every crash
+         tears the unsynced journal tail (the classic partial-write),
+         which recovery must truncate. *)
+      let fault_prng = D.Prng.create (cfg.cr_seed + 3) in
+      (match mode with
+      | Durable -> Topology.enable_durability ~sync:true t
+      | Durable_torn ->
+          let faults =
+            Ldap_store.Medium.Faults.create ~torn_tail:1.0
+              ~roll:(fun () -> D.Prng.float fault_prng 1.0)
+              ()
+          in
+          Topology.enable_durability ~faults ~sync:false t;
+          Topology.checkpoint_leaves t
+      | Cold | Reparent -> ());
+      let engine = Sim.create ~seed:(cfg.cr_seed + 2) () in
+      let net = Topology.network t in
+      Network.attach_engine net engine;
+      Network.set_default_latency net (Ldap_sim.Latency.Uniform { lo = 2; hi = 8 });
+      let stream =
+        D.Update_stream.create ent
+          { D.Update_stream.default_config with seed = cfg.cr_seed + 1 }
+      in
+      let total_updates = cfg.cr_updates_before + cfg.cr_updates_after in
+      let rec update_tick remaining =
+        if remaining > 0 then
+          Sim.after engine ~delay:cfg.cr_update_every (fun () ->
+              D.Update_stream.steps stream 1;
+              update_tick (remaining - 1))
+      in
+      update_tick total_updates;
+      let crash_time = cfg.cr_updates_before * cfg.cr_update_every in
+      let restart_time = (total_updates + 1) * cfg.cr_update_every in
+      (* Bytes already paid by an affected leaf when its recovery
+         starts; resync bytes are what it pays on top of this.  Crash
+         modes restart with a fresh leaf (baseline 0); reparent keeps
+         the leaf object and its stats. *)
+      let baselines = Hashtbl.create 8 in
+      let replayed = ref 0 in
+      let truncations = ref 0 in
+      let restart_failed = ref false in
+      (match mode with
+      | Reparent ->
+          Sim.schedule engine ~time:crash_time (fun () ->
+              List.iter
+                (fun node ->
+                  if Node.host node = "relay" then Topology.kill_node t node)
+                (Topology.nodes t))
+      | Durable | Durable_torn | Cold ->
+          Sim.schedule engine ~time:crash_time (fun () ->
+              List.iter
+                (fun leaf ->
+                  if is_affected (Leaf.name leaf) then Topology.crash_leaf t leaf)
+                (Topology.leaves t)));
+      let recovered_at = Hashtbl.create 8 in
+      Sim.schedule engine ~time:restart_time (fun () ->
+          match mode with
+          | Reparent ->
+              (* No process death: the orphaned leaves keep in-memory
+                 content, and heal re-parents them to the root with
+                 cookie translation — the next poll resynchronizes
+                 degraded from the acknowledged CSN. *)
+              List.iter
+                (fun leaf ->
+                  let name = Leaf.name leaf in
+                  if is_affected name then
+                    Hashtbl.replace baselines name
+                      (upstream_bytes (Leaf.stats leaf)))
+                (Topology.leaves t);
+              Topology.heal t
+          | Durable | Durable_torn | Cold ->
+              List.iter
+                (fun name ->
+                  Hashtbl.replace baselines name 0;
+                  match Topology.restart_leaf t ~name with
+                  | Ok (_, report) -> (
+                      match report with
+                      | None -> ()
+                      | Some r ->
+                          replayed := !replayed + r.R.Filter_replica.meta_replayed;
+                          List.iter
+                            (fun f ->
+                              replayed := !replayed + f.R.Filter_replica.fr_replayed;
+                              if f.R.Filter_replica.fr_truncated then incr truncations)
+                            r.R.Filter_replica.filters)
+                  | Error _ -> restart_failed := true)
+                affected);
+      (* Convergence watcher: the first completed poll after recovery
+         start at which an affected leaf matches the root marks its
+         recovery time. *)
+      let on_leaf_poll leaf ~start:_ ~finish =
+        let name = Leaf.name leaf in
+        if
+          is_affected name && finish >= restart_time
+          && not (Hashtbl.mem recovered_at name)
+          && Topology.leaf_converged t leaf
+        then Hashtbl.replace recovered_at name finish
+      in
+      Topology.drive_events ~on_leaf_poll t engine ~poll_every:cfg.cr_poll_every
+        ~until:cfg.cr_horizon;
+      Sim.run engine;
+      if !restart_failed then failwith "crash-restart: a leaf failed to restart";
+      let resync_bytes =
+        List.fold_left
+          (fun acc leaf ->
+            let name = Leaf.name leaf in
+            if is_affected name then
+              acc + upstream_bytes (Leaf.stats leaf)
+              - Option.value ~default:0 (Hashtbl.find_opt baselines name)
+            else acc)
+          0 (Topology.leaves t)
+      in
+      let recovery_ticks =
+        List.filter_map
+          (fun name ->
+            Option.map (fun at -> at - restart_time) (Hashtbl.find_opt recovered_at name))
+          affected
+      in
+      let mean l =
+        match l with
+        | [] -> 0
+        | _ ->
+            int_of_float
+              (Float.round
+                 (float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)))
+      in
+      {
+        cp_mode = cr_mode_name mode;
+        cp_affected = List.length affected;
+        cp_resync_bytes = resync_bytes;
+        cp_replayed = !replayed;
+        cp_truncated = !truncations;
+        cp_recover_ticks_mean = mean recovery_ticks;
+        cp_recover_ticks_max = List.fold_left max 0 recovery_ticks;
+        cp_converged = List.length recovery_ticks;
+      }
+
+let crash_restart ?(config = cr_default_config) () =
+  List.map (run_cr_point config) [ Durable; Durable_torn; Cold; Reparent ]
+
+(* --- Randomized WAL-corruption sweep ----------------------------------- *)
+
+type corruption_summary = {
+  cs_trials : int;
+  cs_recovered : int;  (** Recoveries that returned a consumer. *)
+  cs_truncated : int;  (** Recoveries that had to cut a torn/corrupt tail. *)
+  cs_stale : int;  (** Recoveries that discarded a stale-generation log. *)
+  cs_panics : int;  (** Recoveries that raised — must be 0. *)
+}
+
+let corruption_sweep ?(config = cr_default_config) () =
+  (* Grow a reference consumer store — snapshot mid-stream, journal
+     records after — then recover from randomly mutilated copies of
+     its files: truncated at an arbitrary byte, or with one byte
+     flipped.  Whatever the damage, recovery must return (possibly
+     with truncation), never raise. *)
+  let ent =
+    enterprise
+      { default_config with seed = config.cr_seed; employees = config.cr_employees }
+  in
+  let backend = D.Enterprise.backend ent in
+  let base = D.Enterprise.root_dn ent in
+  let all_depts = D.Enterprise.dept_numbers ent in
+  let query =
+    Query.make ~base
+      (Filter.of_string_exn (Printf.sprintf "(departmentNumber=%s)" all_depts.(0)))
+  in
+  let schema = Backend.schema backend in
+  let master = Resync.Master.create backend in
+  let consumer = Resync.Consumer.create schema query in
+  let medium = Ldap_store.Medium.memory () in
+  let store = Ldap_store.Store.create medium ~name:"c" in
+  Resync.Consumer.attach_store consumer store;
+  let stream =
+    D.Update_stream.create ent
+      { D.Update_stream.default_config with seed = config.cr_seed + 1 }
+  in
+  let poll () =
+    match Resync.Consumer.sync consumer master with
+    | Ok _ -> ()
+    | Error e -> failwith ("corruption sweep poll: " ^ e)
+  in
+  poll ();
+  D.Update_stream.steps stream config.cr_updates_before;
+  poll ();
+  Resync.Consumer.checkpoint consumer;
+  D.Update_stream.steps stream config.cr_updates_after;
+  poll ();
+  let wal = Option.value ~default:"" (Ldap_store.Medium.read medium ~name:"c.wal") in
+  let snap = Option.value ~default:"" (Ldap_store.Medium.read medium ~name:"c.snap") in
+  let prng = D.Prng.create (config.cr_seed + 5) in
+  let recovered = ref 0 and truncated = ref 0 and stale = ref 0 and panics = ref 0 in
+  for _ = 1 to config.cr_corruptions do
+    let mutate s =
+      if String.length s = 0 then s
+      else
+        match D.Prng.int prng 3 with
+        | 0 -> String.sub s 0 (D.Prng.int prng (String.length s))
+        | 1 ->
+            let i = D.Prng.int prng (String.length s) in
+            let b = Bytes.of_string s in
+            Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 + D.Prng.int prng 255)));
+            Bytes.to_string b
+        | _ -> s
+    in
+    let m = Ldap_store.Medium.memory () in
+    let put name s =
+      if String.length s > 0 then begin
+        Ldap_store.Medium.append m ~name s;
+        Ldap_store.Medium.sync m ~name
+      end
+    in
+    (* The snapshot is replaced atomically in real operation, so only
+       the WAL gets arbitrary damage; still flip snapshot bytes in a
+       third of the trials to check the CRC path. *)
+    put "c.wal" (mutate wal);
+    put "c.snap" (if D.Prng.int prng 3 = 0 then mutate snap else snap);
+    let fresh = Ldap_store.Store.create m ~name:"c" in
+    match Resync.Consumer.recover schema query fresh with
+    | Ok (_, r) ->
+        incr recovered;
+        if r.Ldap_store.Store.truncated then incr truncated;
+        if r.Ldap_store.Store.stale > 0 then incr stale
+    | Error _ -> ()
+    | exception _ -> incr panics
+  done;
+  {
+    cs_trials = config.cr_corruptions;
+    cs_recovered = !recovered;
+    cs_truncated = !truncated;
+    cs_stale = !stale;
+    cs_panics = !panics;
+  }
+
+let json_of_cr_points points =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "[\n";
+  List.iteri
+    (fun i p ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"mode\": \"%s\", \"affected\": %d, \"resync_bytes\": %d, \
+            \"replayed\": %d, \"truncated\": %d, \"recover_ticks_mean\": %d, \
+            \"recover_ticks_max\": %d, \"converged\": %d}%s\n"
+           p.cp_mode p.cp_affected p.cp_resync_bytes p.cp_replayed p.cp_truncated
+           p.cp_recover_ticks_mean p.cp_recover_ticks_max p.cp_converged
+           (if i = List.length points - 1 then "" else ",")))
+    points;
+  Buffer.add_string b "  ]";
+  Buffer.contents b
+
+let json_of_corruption c =
+  Printf.sprintf
+    "{\"trials\": %d, \"recovered\": %d, \"truncated\": %d, \"stale\": %d, \
+     \"panics\": %d}"
+    c.cs_trials c.cs_recovered c.cs_truncated c.cs_stale c.cs_panics
+
 let json_of_points points =
   let b = Buffer.create 1024 in
   Buffer.add_string b "[\n";

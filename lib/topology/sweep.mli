@@ -108,3 +108,76 @@ val latency_staleness : ?config:lat_config -> unit -> lat_point list
 val json_of_lat_points : lat_point list -> string
 (** A JSON array (indented for embedding as the [BENCH_PR4.json]
     [points] field). *)
+
+(** Parameters of the crash/restart sweep. *)
+type cr_config = {
+  cr_consumers : int;  (** Leaves in the star topology. *)
+  cr_filters : int;  (** Distinct leaf filters. *)
+  cr_employees : int;  (** Directory size. *)
+  cr_seed : int;  (** Seeds directory, updates, faults and engine. *)
+  cr_poll_every : int;  (** Virtual ticks between a leaf's polls. *)
+  cr_update_every : int;  (** Virtual ticks between committed updates. *)
+  cr_updates_before : int;  (** Updates committed before the crash. *)
+  cr_updates_after : int;  (** Updates committed while the leaves are down. *)
+  cr_crash_fraction : float;  (** Fraction of leaves crashed (at least one). *)
+  cr_horizon : int;  (** Virtual time when poll loops stop rescheduling. *)
+  cr_corruptions : int;  (** Trials of the randomized corruption sweep. *)
+}
+
+val cr_default_config : cr_config
+(** 24 leaves, 12 filters, a quarter crashed, 20+40 updates. *)
+
+val cr_smoke_config : cr_config
+(** CI-sized: 8 leaves, 3 filters, 6+6 updates, 12 corruption trials. *)
+
+(** One recovery mode of the crash/restart sweep. *)
+type cr_point = {
+  cp_mode : string;
+      (** ["durable"] (fsynced journal, clean recovery),
+          ["durable-torn"] (unsynced journal torn by the crash),
+          ["cold"] (no durable state, full re-fetch) or ["reparent"]
+          (no death: PR 3's cookie-translation heal as baseline). *)
+  cp_affected : int;  (** Leaves crashed (or reparented). *)
+  cp_resync_bytes : int;
+      (** Ber bytes the affected leaves paid upstream from recovery
+          start to the horizon — the headline comparison: durable
+          resume must undercut cold re-fetch. *)
+  cp_replayed : int;  (** WAL records replayed across all recoveries. *)
+  cp_truncated : int;  (** Per-filter stores whose WAL tail was cut. *)
+  cp_recover_ticks_mean : int;
+      (** Mean virtual time from recovery start until an affected
+          leaf's content matched the root again. *)
+  cp_recover_ticks_max : int;  (** Worst leaf recovery time. *)
+  cp_converged : int;  (** Affected leaves converged by the horizon. *)
+}
+
+val crash_restart : ?config:cr_config -> unit -> cr_point list
+(** Runs all four modes over identical seeds: a star is built, a
+    fraction of its leaves crash after the first update batch, more
+    updates are committed while they are down, and they restart (or
+    are reparented) once the updates stop.  Durable modes recover
+    from per-leaf media and resume ReSync from the durable cookie;
+    cold mode re-subscribes with full fetches. *)
+
+val json_of_cr_points : cr_point list -> string
+(** A JSON array (indented for embedding as the [BENCH_PR5.json]
+    [points] field). *)
+
+(** Outcome of the randomized WAL-corruption sweep. *)
+type corruption_summary = {
+  cs_trials : int;
+  cs_recovered : int;  (** Recoveries that returned a consumer. *)
+  cs_truncated : int;  (** Recoveries that cut a torn/corrupt tail. *)
+  cs_stale : int;  (** Recoveries that discarded a stale-generation log. *)
+  cs_panics : int;  (** Recoveries that raised — must be 0. *)
+}
+
+val corruption_sweep : ?config:cr_config -> unit -> corruption_summary
+(** Journals a reference consumer store, then recovers from
+    [cr_corruptions] randomly mutilated copies (truncation at an
+    arbitrary byte, single-byte flips in WAL and occasionally
+    snapshot).  Every trial must recover or fail cleanly — a raise is
+    counted as a panic and fails the acceptance gate. *)
+
+val json_of_corruption : corruption_summary -> string
+(** A JSON object for the [BENCH_PR5.json] [corruption] field. *)

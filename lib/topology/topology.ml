@@ -4,6 +4,25 @@ module R = Ldap_replication
 
 type shape = Star | Chain of int | Tree of { arity : int }
 
+(* Per-leaf durable media, created lazily by [enable_durability]. *)
+type durability = {
+  dmedia : (string, Ldap_store.Medium.t) Hashtbl.t;
+  dfaults : Ldap_store.Medium.Faults.t option;
+  dsync : bool;
+}
+
+(* What a cold restart (no durable state) needs to rebuild a leaf. *)
+type crash_info = { ci_parent : string; ci_queries : Query.t list }
+
+(* The event-driven poll configuration, kept so a restarted leaf can
+   resume its own poll loop. *)
+type driver = {
+  dr_engine : Ldap_sim.Engine.t;
+  dr_poll_every : int;
+  dr_until : int;
+  dr_on_leaf_poll : (Leaf.t -> start:int -> finish:int -> unit) option;
+}
+
 type t = {
   net : Network.t;
   transport : Resync.Transport.t;
@@ -12,6 +31,11 @@ type t = {
   parents : (string, string) Hashtbl.t;  (* host -> parent at attach time *)
   mutable nodes : Node.t list;
   mutable leaves : Leaf.t list;
+  mutable durability : durability option;
+  crashed : (string, crash_info) Hashtbl.t;
+  loops : (string, Ldap_sim.Engine.handle) Hashtbl.t;
+      (* participant -> latest scheduled poll event *)
+  mutable driver : driver option;
 }
 
 let transport t = t.transport
@@ -35,6 +59,10 @@ let create ?faults ?strategy ?dispatch ?(root = "root") backend =
     parents = Hashtbl.create 64;
     nodes = [];
     leaves = [];
+    durability = None;
+    crashed = Hashtbl.create 8;
+    loops = Hashtbl.create 64;
+    driver = None;
   }
 
 let add_node ?dispatch t ~name ~parent ~covers =
@@ -55,8 +83,26 @@ let add_node ?dispatch t ~name ~parent ~covers =
       Resync.Transport.remove_endpoint t.transport ~name;
       Error e
 
+(* A topology with durability enabled gives each leaf its own medium;
+   leaves added later are attached on creation, before their first
+   fetch, so the initial content is journaled too. *)
+let leaf_medium t name =
+  match t.durability with
+  | None -> None
+  | Some d ->
+      Some
+        (match Hashtbl.find_opt d.dmedia name with
+        | Some m -> m
+        | None ->
+            let m = Ldap_store.Medium.memory ?faults:d.dfaults () in
+            Hashtbl.replace d.dmedia name m;
+            m)
+
 let add_leaf t ~name ~parent query =
   let leaf = Leaf.create t.transport ~name ~parent in
+  (match (t.durability, leaf_medium t name) with
+  | Some d, Some m -> Leaf.attach_store ~sync:d.dsync leaf m
+  | _ -> ());
   match Leaf.subscribe leaf query with
   | Ok () ->
       Hashtbl.replace t.parents name (Leaf.parent leaf);
@@ -147,37 +193,145 @@ let sync_round t =
    previous one {e completes}, which keeps at most one exchange chain in
    flight per participant.  Quiescence is reached once every loop passes
    [until]. *)
+(* One participant's self-rescheduling poll loop.  Every scheduled
+   occurrence is cancellable and the latest handle is recorded under
+   the participant's name, so a crash can silence the loop; the
+   crashed-set check covers the window where an exchange is already in
+   flight when the crash fires (its continuation must not reschedule
+   the dead participant). *)
+let launch_loop t d name stagger sync_async ~completed =
+  let alive () = not (Hashtbl.mem t.crashed name) in
+  let rec poll () =
+    if alive () then begin
+      let start = Ldap_sim.Engine.now d.dr_engine in
+      sync_async (fun () ->
+          completed ~start ~finish:(Ldap_sim.Engine.now d.dr_engine);
+          let next = Ldap_sim.Engine.now d.dr_engine + d.dr_poll_every in
+          if next <= d.dr_until && alive () then
+            Hashtbl.replace t.loops name
+              (Ldap_sim.Engine.schedule_cancellable d.dr_engine ~time:next poll))
+    end
+  in
+  let first = Ldap_sim.Engine.now d.dr_engine + stagger in
+  if first <= d.dr_until then
+    Hashtbl.replace t.loops name
+      (Ldap_sim.Engine.schedule_cancellable d.dr_engine ~time:first poll)
+
+let launch_leaf_loop t d stagger leaf =
+  let completed ~start ~finish =
+    match d.dr_on_leaf_poll with
+    | Some f -> f leaf ~start ~finish
+    | None -> ()
+  in
+  launch_loop t d (Leaf.name leaf) stagger (Leaf.sync_async leaf) ~completed
+
 let drive_events ?on_leaf_poll t engine ~poll_every ~until =
   if poll_every <= 0 then invalid_arg "Topology.drive_events: poll_every must be positive";
   heal t;
-  let launch i sync_async ~completed =
-    let rec poll () =
-      let start = Ldap_sim.Engine.now engine in
-      sync_async (fun () ->
-          completed ~start ~finish:(Ldap_sim.Engine.now engine);
-          let next = Ldap_sim.Engine.now engine + poll_every in
-          if next <= until then Ldap_sim.Engine.schedule engine ~time:next poll)
-    in
-    let stagger = i mod poll_every in
-    let first = Ldap_sim.Engine.now engine + stagger in
-    if first <= until then Ldap_sim.Engine.schedule engine ~time:first poll
+  let d =
+    {
+      dr_engine = engine;
+      dr_poll_every = poll_every;
+      dr_until = until;
+      dr_on_leaf_poll = on_leaf_poll;
+    }
   in
+  t.driver <- Some d;
   let i = ref 0 in
   List.iter
     (fun leaf ->
-      let completed ~start ~finish =
-        match on_leaf_poll with
-        | Some f -> f leaf ~start ~finish
-        | None -> ()
-      in
-      launch !i (Leaf.sync_async leaf) ~completed;
+      launch_leaf_loop t d (!i mod poll_every) leaf;
       incr i)
     t.leaves;
   List.iter
     (fun node ->
-      launch !i (Node.sync_async node) ~completed:(fun ~start:_ ~finish:_ -> ());
+      launch_loop t d (Node.host node) (!i mod poll_every)
+        (Node.sync_async node)
+        ~completed:(fun ~start:_ ~finish:_ -> ());
       incr i)
     t.nodes
+
+(* --- Crash and restart ----------------------------------------------- *)
+
+let enable_durability ?faults ?(sync = true) t =
+  let d = { dmedia = Hashtbl.create 16; dfaults = faults; dsync = sync } in
+  t.durability <- Some d;
+  (* Already-attached leaves become durable now: their current content
+     is checkpointed into their media by [attach_store]. *)
+  List.iter
+    (fun leaf ->
+      match leaf_medium t (Leaf.name leaf) with
+      | Some m -> Leaf.attach_store ~sync leaf m
+      | None -> ())
+    t.leaves
+
+let checkpoint_leaves t = List.iter Leaf.checkpoint t.leaves
+
+let medium_of t ~name =
+  match t.durability with
+  | None -> None
+  | Some d -> Hashtbl.find_opt d.dmedia name
+
+let crash_leaf t leaf =
+  let name = Leaf.name leaf in
+  if Hashtbl.mem t.crashed name then
+    invalid_arg ("Topology.crash_leaf: " ^ name ^ " is already down");
+  Hashtbl.replace t.crashed name
+    { ci_parent = Leaf.parent leaf; ci_queries = Leaf.subscriptions leaf };
+  (match Hashtbl.find_opt t.loops name with
+  | Some h -> Ldap_sim.Engine.cancel h
+  | None -> ());
+  Hashtbl.remove t.loops name;
+  (* Impose the crash on the durable medium first, then detach the
+     zombie in-memory leaf: an exchange still in flight when the crash
+     fires can no longer journal into post-crash durable state. *)
+  (match medium_of t ~name with
+  | Some m -> Ldap_store.Medium.crash m
+  | None -> ());
+  Leaf.detach_store leaf;
+  t.leaves <- List.filter (fun l -> Leaf.name l <> name) t.leaves
+
+let restart_leaf t ~name =
+  match Hashtbl.find_opt t.crashed name with
+  | None -> Error ("Topology.restart_leaf: " ^ name ^ " is not down")
+  | Some info -> (
+      let parent = live_host t info.ci_parent in
+      let resume leaf report =
+        Hashtbl.remove t.crashed name;
+        Hashtbl.replace t.parents name (Leaf.parent leaf);
+        t.leaves <- leaf :: t.leaves;
+        (match t.driver with
+        | Some d when Ldap_sim.Engine.now d.dr_engine <= d.dr_until ->
+            launch_leaf_loop t d 0 leaf
+        | _ -> ());
+        Ok (leaf, report)
+      in
+      match medium_of t ~name with
+      | Some medium -> (
+          (* Durable restart: subscriptions, content and resume cookies
+             come from the medium; the next poll resumes ReSync from
+             the durable cookie instead of re-fetching. *)
+          let sync =
+            match t.durability with Some d -> d.dsync | None -> true
+          in
+          match Leaf.recover ~sync t.transport ~name ~parent medium with
+          | Ok (leaf, report) -> resume leaf (Some report)
+          | Error e -> Error e)
+      | None ->
+          (* Cold restart: a fresh leaf re-subscribes from scratch —
+             every subscription pays a full initial fetch. *)
+          let leaf = Leaf.create t.transport ~name ~parent in
+          let rec re_subscribe = function
+            | [] -> resume leaf None
+            | q :: rest -> (
+                match Leaf.subscribe leaf q with
+                | Ok () -> re_subscribe rest
+                | Error e -> Error e)
+          in
+          re_subscribe info.ci_queries)
+
+let crashed_leaves t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.crashed [] |> List.sort compare
 
 let leaf_converged t leaf =
   let schema = schema t in

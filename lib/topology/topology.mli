@@ -120,6 +120,53 @@ val drive_events :
 val depth : t -> string -> int
 (** Tier of a host: 0 for the root, parents' depth + 1 otherwise. *)
 
+(** {1 Crash and restart}
+
+    Complements {!kill_node}'s heal-by-reparent: a {e leaf} can crash
+    — its poll loop is cancelled, its durable medium takes the
+    configured crash transition — and later restart, either recovered
+    from durable state (resuming ReSync from the durable cookie) or
+    cold (re-subscribing with full fetches). *)
+
+val enable_durability :
+  ?faults:Ldap_store.Medium.Faults.t -> ?sync:bool -> t -> unit
+(** Gives every leaf (present and future) its own in-memory durable
+    medium and attaches its stores.  [faults] is shared across media —
+    scripted crash outcomes are consumed in crash-call order.  [sync]
+    (default true) controls per-record fsync; with [sync:false] only
+    checkpoints are durable and a crash loses (or tears) the journal
+    tail. *)
+
+val checkpoint_leaves : t -> unit
+(** Checkpoints every live leaf's stores. *)
+
+val medium_of : t -> name:string -> Ldap_store.Medium.t option
+(** The durable medium of a (live or crashed) leaf, if durability is
+    enabled. *)
+
+val crash_leaf : t -> Leaf.t -> unit
+(** Crashes the leaf: cancels its poll loop, imposes the crash
+    transition on its medium (unsynced bytes lost or torn per the
+    fault schedule), detaches the zombie in-memory object and removes
+    it from {!leaves}.  The master keeps the leaf's sessions until
+    expiry, exactly like a real silent process death.
+    @raise Invalid_argument if the leaf is already down. *)
+
+val restart_leaf :
+  t ->
+  name:string ->
+  (Leaf.t * Ldap_replication.Filter_replica.recovery_report option, string)
+  result
+(** Restarts a crashed leaf under its closest live parent.  With
+    durability the leaf is rebuilt from its medium (report returned);
+    without, a fresh leaf re-subscribes to the crashed leaf's queries
+    with full initial fetches ([None]).  Either way the leaf rejoins
+    {!leaves}, and if {!drive_events} is active its poll loop
+    resumes. *)
+
+val crashed_leaves : t -> string list
+(** Names of currently-down leaves, sorted. *)
+
 val leaf_converged : t -> Leaf.t -> bool
 (** Whether each of the leaf's subscriptions holds exactly the
     content the root backend currently defines for it. *)

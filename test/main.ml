@@ -21,5 +21,7 @@ let () =
       ("ldif", Test_ldif.suite);
       ("extensions", Test_extensions.suite);
       ("ber", Test_ber.suite);
+      ("store", Test_store.suite);
+      ("recovery", Test_recovery.suite);
       ("eval", Test_eval.suite);
     ]

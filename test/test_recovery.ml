@@ -1,0 +1,380 @@
+(* Crash/restart recovery across the stack: backend snapshot+WAL
+   round trips, a restarted master that still recognizes its cookies,
+   the consumer's cookie+content atomicity boundary (every WAL prefix
+   recovers to a state one poll away from convergence), observational
+   equivalence of interrupted and uninterrupted runs under all three
+   history strategies, and topology-level crash/restart. *)
+open Ldap
+open Ldap_resync
+module Store = Ldap_store
+module R = Ldap_replication
+module T = Ldap_topology
+
+let schema = Schema.default
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let dn = Dn.of_string_exn
+let f = Filter.of_string_exn
+
+let org = Entry.make (dn "o=xyz") [ ("objectclass", [ "organization" ]); ("o", [ "xyz" ]) ]
+
+let person name ?(dept = "7") () =
+  Entry.make
+    (dn (Printf.sprintf "cn=%s,o=xyz" name))
+    [
+      ("objectclass", [ "inetOrgPerson" ]);
+      ("cn", [ name ]);
+      ("sn", [ name ]);
+      ("departmentNumber", [ dept ]);
+    ]
+
+let make_backend () =
+  let b = Backend.create ~indexed:[ "departmentnumber" ] schema in
+  (match Backend.add_context b org with Ok () -> () | Error e -> failwith e);
+  b
+
+let apply b op = match Backend.apply b op with Ok _ -> () | Error e -> failwith e
+let must = function Ok v -> v | Error e -> failwith e
+
+let dept_query d =
+  Query.make ~base:(dn "o=xyz") (f (Printf.sprintf "(departmentNumber=%s)" d))
+
+let canon entries =
+  List.sort (fun a b -> Dn.compare (Entry.dn a) (Entry.dn b)) entries
+
+let entry_sets_equal consumer backend query =
+  let expected = canon (Content.current backend query) in
+  let actual = canon (Consumer.entries consumer) in
+  List.length expected = List.length actual
+  && List.for_all2 Entry.equal expected actual
+
+let poll consumer master =
+  match Consumer.sync consumer master with
+  | Ok reply -> reply
+  | Error e -> failwith e
+
+(* --- Backend recovery ------------------------------------------------- *)
+
+let test_backend_recovery () =
+  let b = make_backend () in
+  let m = Store.Medium.memory () in
+  let bs = Store.Backend_store.attach b (Store.Store.create m ~name:"backend") in
+  apply b (Update.add (person "alice" ()));
+  apply b (Update.add (person "bob" ~dept:"8" ()));
+  Store.Backend_store.checkpoint bs;
+  apply b (Update.add (person "carol" ()));
+  apply b
+    (Update.modify (dn "cn=alice,o=xyz")
+       [ Update.replace_values "departmentNumber" [ "9" ] ]);
+  apply b (Update.delete (dn "cn=bob,o=xyz"));
+  Store.Medium.crash m;
+  let b2, recovery =
+    must
+      (Store.Backend_store.recover ~indexed:[ "departmentnumber" ] schema
+         (Store.Store.create m ~name:"backend"))
+  in
+  check_int "post-checkpoint commits replayed" 3
+    (List.length recovery.Store.Store.records);
+  check_bool "snapshot present" true (recovery.Store.Store.snapshot <> None);
+  check_int "entry count survives" (Backend.total_entries b)
+    (Backend.total_entries b2);
+  check_bool "CSN survives" true (Csn.equal (Backend.csn b) (Backend.csn b2));
+  List.iter
+    (fun d ->
+      let q = dept_query d in
+      let expected = canon (Content.current b q) in
+      let actual = canon (Content.current b2 q) in
+      check_bool ("search equal in dept " ^ d) true
+        (List.length expected = List.length actual
+        && List.for_all2 Entry.equal expected actual))
+    [ "7"; "8"; "9" ]
+
+(* --- Master recovery -------------------------------------------------- *)
+
+let test_master_recovery_keeps_sessions () =
+  let b = make_backend () in
+  apply b (Update.add (person "alice" ()));
+  let master = Master.create b in
+  let m = Store.Medium.memory () in
+  Master.attach_store master (Store.Store.create m ~name:"master");
+  let consumer = Consumer.create schema (dept_query "7") in
+  ignore (poll consumer master);
+  apply b (Update.add (person "dave" ()));
+  ignore (poll consumer master);
+  apply b (Update.add (person "erin" ()));
+  Store.Medium.crash m;
+  let master2, _ =
+    must (Master.recover b (Store.Store.create m ~name:"master"))
+  in
+  (* The restarted master still recognizes the cookie it handed out:
+     the next poll replays incrementally instead of resyncing. *)
+  let reply = poll consumer master2 in
+  check_bool "incremental resume after master restart" true
+    (reply.Protocol.kind = Protocol.Incremental);
+  check_bool "consumer converged" true (entry_sets_equal consumer b (dept_query "7"))
+
+let test_master_cold_cookie_degrades () =
+  (* Without durable session state the same restart forces a resync —
+     the contrast that motivates journaling the session table. *)
+  let b = make_backend () in
+  apply b (Update.add (person "alice" ()));
+  let master = Master.create b in
+  let consumer = Consumer.create schema (dept_query "7") in
+  ignore (poll consumer master);
+  apply b (Update.add (person "dave" ()));
+  let master2 = Master.create b in
+  let reply = poll consumer master2 in
+  check_bool "unknown cookie cannot resume incrementally" true
+    (reply.Protocol.kind <> Protocol.Incremental);
+  check_bool "still converges" true (entry_sets_equal consumer b (dept_query "7"))
+
+(* --- Consumer atomicity: every WAL prefix is consistent --------------- *)
+
+let test_consumer_every_prefix_consistent () =
+  let b = make_backend () in
+  apply b (Update.add (person "alice" ()));
+  let master = Master.create b in
+  let q = dept_query "7" in
+  let consumer = Consumer.create schema q in
+  let m = Store.Medium.memory () in
+  Consumer.attach_store consumer (Store.Store.create m ~name:"c");
+  ignore (poll consumer master);
+  apply b (Update.add (person "dave" ()));
+  apply b (Update.delete (dn "cn=alice,o=xyz"));
+  ignore (poll consumer master);
+  apply b (Update.add (person "erin" ()));
+  apply b
+    (Update.modify (dn "cn=dave,o=xyz")
+       [ Update.replace_values "departmentNumber" [ "8" ] ]);
+  ignore (poll consumer master);
+  let wal = Option.get (Store.Medium.read m ~name:"c.wal") in
+  (* Cookie and content travel in one WAL record, so any byte-prefix
+     of the journal — any crash point — recovers to a state the master
+     can bring to convergence in a single poll.  A cookie journaled
+     ahead of its content would make the resumed session skip those
+     actions forever. *)
+  for cut = 0 to String.length wal do
+    let m2 = Store.Medium.memory () in
+    Store.Medium.append m2 ~name:"c.wal" (String.sub wal 0 cut);
+    Store.Medium.sync m2 ~name:"c.wal";
+    let recovered, _ =
+      must (Consumer.recover schema q (Store.Store.create m2 ~name:"c"))
+    in
+    ignore (poll recovered master);
+    if not (entry_sets_equal recovered b q) then
+      Alcotest.failf "prefix of %d bytes did not reconverge" cut
+  done
+
+(* --- Interrupted ≡ uninterrupted, all three strategies ----------------- *)
+
+let strategy_name = function
+  | Master.Session_history -> "session history"
+  | Master.Changelog -> "changelog"
+  | Master.Tombstone -> "tombstone"
+
+let phase1 b =
+  apply b (Update.add (person "dave" ()));
+  apply b (Update.delete (dn "cn=alice,o=xyz"));
+  apply b (Update.add (person "erin" ~dept:"8" ()))
+
+let phase2 b =
+  apply b (Update.add (person "fred" ()));
+  apply b
+    (Update.modify (dn "cn=erin,o=xyz")
+       [ Update.replace_values "departmentNumber" [ "7" ] ]);
+  apply b (Update.delete (dn "cn=dave,o=xyz"))
+
+let run_strategy strategy ~interrupt =
+  let b = make_backend () in
+  apply b (Update.add (person "alice" ()));
+  let master = Master.create ~strategy b in
+  let q = dept_query "7" in
+  let consumer = Consumer.create schema q in
+  let m = Store.Medium.memory () in
+  Consumer.attach_store consumer (Store.Store.create m ~name:"c");
+  ignore (poll consumer master);
+  phase1 b;
+  ignore (poll consumer master);
+  let consumer =
+    if interrupt then begin
+      (* Crash after the second poll: recovery resumes from the
+         durable cookie, not from scratch. *)
+      Store.Medium.crash m;
+      Consumer.detach_store consumer;
+      let recovered, recovery =
+        must (Consumer.recover schema q (Store.Store.create m ~name:"c"))
+      in
+      check_bool
+        (strategy_name strategy ^ ": journal replayed on recovery")
+        true
+        (recovery.Store.Store.records <> []);
+      recovered
+    end
+    else consumer
+  in
+  phase2 b;
+  ignore (poll consumer master);
+  check_bool (strategy_name strategy ^ ": converged") true
+    (entry_sets_equal consumer b q);
+  canon (Consumer.entries consumer)
+
+let test_interrupted_equals_uninterrupted () =
+  List.iter
+    (fun strategy ->
+      let plain = run_strategy strategy ~interrupt:false in
+      let resumed = run_strategy strategy ~interrupt:true in
+      check_bool
+        (strategy_name strategy ^ ": interrupted run observationally equal")
+        true
+        (List.length plain = List.length resumed
+        && List.for_all2 Entry.equal plain resumed))
+    [ Master.Session_history; Master.Changelog; Master.Tombstone ]
+
+(* --- Snapshot/replay ≡ in-memory (property) ---------------------------- *)
+
+let ops_arb =
+  (* (op code, person index, checkpoint after?) per step. *)
+  QCheck.(list_of_size (Gen.int_range 1 12) (triple (int_bound 3) (int_bound 5) bool))
+
+let prop_recovered_equals_live =
+  QCheck.Test.make ~count:60
+    ~name:"recovery: snapshot+replay equals in-memory consumer" ops_arb
+    (fun steps ->
+      let b = make_backend () in
+      apply b (Update.add (person "p0" ()));
+      let master = Master.create b in
+      let q = dept_query "7" in
+      let live = Consumer.create schema q in
+      let journaled = Consumer.create schema q in
+      let m = Store.Medium.memory () in
+      Consumer.attach_store journaled (Store.Store.create m ~name:"c");
+      ignore (poll live master);
+      ignore (poll journaled master);
+      List.iter
+        (fun (code, i, ckpt) ->
+          let name = Printf.sprintf "p%d" i in
+          let target = dn (Printf.sprintf "cn=%s,o=xyz" name) in
+          (match code with
+          | 0 -> ignore (Backend.apply b (Update.add (person name ())))
+          | 1 -> ignore (Backend.apply b (Update.delete target))
+          | 2 ->
+              ignore
+                (Backend.apply b
+                   (Update.modify target
+                      [ Update.replace_values "departmentNumber" [ "8" ] ]))
+          | _ ->
+              ignore
+                (Backend.apply b
+                   (Update.modify target
+                      [ Update.replace_values "departmentNumber" [ "7" ] ])));
+          ignore (poll live master);
+          ignore (poll journaled master);
+          if ckpt then Consumer.checkpoint journaled)
+        steps;
+      Store.Medium.crash m;
+      Consumer.detach_store journaled;
+      let recovered, _ =
+        must (Consumer.recover schema q (Store.Store.create m ~name:"c"))
+      in
+      let csn_of c =
+        match c with
+        | None -> None
+        | Some cookie -> Option.map snd (Master.parse_cookie cookie)
+      in
+      let a = canon (Consumer.entries recovered) in
+      let b = canon (Consumer.entries live) in
+      (* Session ids differ (two sessions at the same master), so the
+         cookies agree on the acknowledged CSN, not byte-for-byte. *)
+      csn_of (Consumer.cookie recovered) = csn_of (Consumer.cookie live)
+      && List.length a = List.length b
+      && List.for_all2 Entry.equal a b)
+
+(* --- Topology crash/restart ------------------------------------------- *)
+
+let build_directory () =
+  let b = make_backend () in
+  for d = 1 to 4 do
+    for i = 1 to 3 do
+      apply b
+        (Update.add
+           (person (Printf.sprintf "p%d_%d" d i) ~dept:(string_of_int d) ()))
+    done
+  done;
+  b
+
+let build_star () =
+  let b = build_directory () in
+  let leaf_queries = List.init 4 (fun i -> dept_query (string_of_int (i + 1))) in
+  (b, must (T.Topology.build ~shape:T.Topology.Star ~covers:[] ~leaf_queries b))
+
+let test_topology_durable_restart () =
+  let b, t = build_star () in
+  T.Topology.enable_durability t;
+  let victim = List.hd (T.Topology.leaves t) in
+  let name = T.Leaf.name victim in
+  T.Topology.crash_leaf t victim;
+  Alcotest.(check (list string)) "victim listed as down" [ name ]
+    (T.Topology.crashed_leaves t);
+  check_int "leaf gone from the live set" 3 (List.length (T.Topology.leaves t));
+  apply b (Update.add (person "while_down" ~dept:"1" ()));
+  let leaf, report = must (T.Topology.restart_leaf t ~name) in
+  check_bool "durable restart carries a recovery report" true (report <> None);
+  Alcotest.(check (list string)) "no leaf down anymore" []
+    (T.Topology.crashed_leaves t);
+  (match report with
+  | Some r ->
+      check_bool "subscription recovered from the slot table" true
+        (List.length r.R.Filter_replica.filters = 1);
+      check_bool "resume cookie was durable" true
+        (List.for_all
+           (fun (fr : R.Filter_replica.filter_recovery) ->
+             fr.R.Filter_replica.fr_cookie <> None)
+           r.R.Filter_replica.filters)
+  | None -> ());
+  T.Topology.sync_round t;
+  check_bool "restarted leaf converges on the missed update" true
+    (T.Topology.leaf_converged t leaf)
+
+let test_topology_cold_restart () =
+  let b, t = build_star () in
+  let victim = List.hd (T.Topology.leaves t) in
+  let name = T.Leaf.name victim in
+  T.Topology.crash_leaf t victim;
+  apply b (Update.add (person "while_down" ~dept:"1" ()));
+  let leaf, report = must (T.Topology.restart_leaf t ~name) in
+  check_bool "cold restart has no recovery report" true (report = None);
+  T.Topology.sync_round t;
+  check_bool "cold restart re-subscribes and converges" true
+    (T.Topology.leaf_converged t leaf)
+
+let test_topology_restart_errors () =
+  let _, t = build_star () in
+  let victim = List.hd (T.Topology.leaves t) in
+  check_bool "restarting a live leaf is an error" true
+    (match T.Topology.restart_leaf t ~name:(T.Leaf.name victim) with
+    | Error _ -> true
+    | Ok _ -> false);
+  T.Topology.crash_leaf t victim;
+  check_bool "crashing a down leaf is an error" true
+    (match T.Topology.crash_leaf t victim with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let suite =
+  [
+    Alcotest.test_case "backend recovery" `Quick test_backend_recovery;
+    Alcotest.test_case "master keeps sessions" `Quick
+      test_master_recovery_keeps_sessions;
+    Alcotest.test_case "cold master degrades" `Quick
+      test_master_cold_cookie_degrades;
+    Alcotest.test_case "consumer prefix consistency" `Quick
+      test_consumer_every_prefix_consistent;
+    Alcotest.test_case "interrupted = uninterrupted" `Quick
+      test_interrupted_equals_uninterrupted;
+    QCheck_alcotest.to_alcotest prop_recovered_equals_live;
+    Alcotest.test_case "topology durable restart" `Quick
+      test_topology_durable_restart;
+    Alcotest.test_case "topology cold restart" `Quick test_topology_cold_restart;
+    Alcotest.test_case "topology restart errors" `Quick
+      test_topology_restart_errors;
+  ]

@@ -361,9 +361,44 @@ let test_latency_staleness_ordering () =
   let points2 = Topology.Sweep.latency_staleness ~config () in
   check_bool "deterministic rerun" true (points = points2)
 
+(* --- Cancellable events ----------------------------------------------- *)
+
+let test_cancellable_events () =
+  let e = Sim.Engine.create () in
+  let fired = ref [] in
+  let mark label () = fired := label :: !fired in
+  let h1 = Sim.Engine.schedule_cancellable e ~time:5 (mark "a") in
+  let _h2 = Sim.Engine.schedule_cancellable e ~time:7 (mark "b") in
+  Sim.Engine.cancel h1;
+  check_bool "handle reports cancellation" true (Sim.Engine.cancelled h1);
+  (* The queue entry stays: the clock still visits time 5 (determinism
+     preserved), but the thunk is a no-op. *)
+  check_int "cancelled event still queued" 2 (Sim.Engine.pending e);
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "only the live event fired" [ "b" ] !fired;
+  check_int "clock visited the final event" 7 (Sim.Engine.now e)
+
+let test_cancellable_series () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  let h =
+    Sim.Engine.every_cancellable e ~every:10 ~until:100 (fun () -> incr count)
+  in
+  (* Cancel mid-series from inside an event: one handle silences the
+     whole chain of reschedules. *)
+  Sim.Engine.schedule e ~time:35 (fun () -> Sim.Engine.cancel h);
+  Sim.Engine.run e;
+  check_int "ticks before cancellation" 3 !count;
+  let h2 = Sim.Engine.after_cancellable e ~delay:5 (fun () -> incr count) in
+  Sim.Engine.cancel h2;
+  Sim.Engine.run e;
+  check_int "cancelled after_cancellable never fires" 3 !count
+
 let suite =
   [
     Alcotest.test_case "event order deterministic" `Quick test_event_order;
+    Alcotest.test_case "cancellable events" `Quick test_cancellable_events;
+    Alcotest.test_case "cancellable series" `Quick test_cancellable_series;
     Alcotest.test_case "schedule bounds" `Quick test_schedule_bounds;
     Alcotest.test_case "every + run_until" `Quick test_every_and_run_until;
     Alcotest.test_case "latency draws" `Quick test_latency_draws;

@@ -1,0 +1,256 @@
+(* Tests for the durable store: CRC framing, WAL recovery and
+   truncation, atomic snapshots, the generation guard tying them
+   together, and the fault-injectable medium's crash semantics.  The
+   QCheck properties pin the two recovery invariants down: every
+   record written round-trips, and every byte-prefix of a valid log
+   recovers without raising to a prefix of its records. *)
+module Store = Ldap_store
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string_list = Alcotest.(check (list string))
+
+(* --- CRC-32 ----------------------------------------------------------- *)
+
+let test_crc32_vectors () =
+  (* The IEEE 802.3 check value: crc32("123456789") = 0xCBF43926. *)
+  check_int "check value" 0xCBF43926 (Store.Crc32.string "123456789");
+  check_int "empty string" 0 (Store.Crc32.string "");
+  check_int "sub matches whole" (Store.Crc32.string "456")
+    (Store.Crc32.sub "123456789" ~pos:3 ~len:3);
+  check_bool "single bit flips the sum" true
+    (Store.Crc32.string "hello" <> Store.Crc32.string "hellp")
+
+(* --- WAL framing ------------------------------------------------------ *)
+
+let test_wal_round_trip () =
+  let m = Store.Medium.memory () in
+  let payloads = [ "alpha"; ""; "beta\x00binary\xff"; String.make 300 'x' ] in
+  List.iter (Store.Wal.append m ~name:"log") payloads;
+  let r = Store.Wal.recover m ~name:"log" in
+  check_string_list "payloads back, oldest first" payloads r.Store.Wal.records;
+  check_bool "clean log" false r.Store.Wal.truncated;
+  check_int "valid_len is the file length" (Store.Medium.size m ~name:"log")
+    r.Store.Wal.valid_len
+
+let test_wal_torn_tail_truncates () =
+  let m = Store.Medium.memory () in
+  Store.Wal.append m ~name:"log" "first";
+  Store.Wal.append m ~name:"log" "second";
+  let good_len = Store.Medium.size m ~name:"log" in
+  (* A torn third record: frame header promising more bytes than the
+     file holds. *)
+  Store.Medium.append m ~name:"log" "\xd1\x00\x00\x00\x20gar";
+  Store.Medium.sync m ~name:"log";
+  let r = Store.Wal.recover m ~name:"log" in
+  check_string_list "whole records survive" [ "first"; "second" ]
+    r.Store.Wal.records;
+  check_bool "tail reported torn" true r.Store.Wal.truncated;
+  check_int "truncated back to the last whole record" good_len
+    r.Store.Wal.valid_len;
+  check_int "medium file physically cut" good_len
+    (Store.Medium.size m ~name:"log");
+  (* Appends continue from the clean boundary. *)
+  Store.Wal.append m ~name:"log" "third";
+  let r2 = Store.Wal.recover m ~name:"log" in
+  check_string_list "log continues after truncation"
+    [ "first"; "second"; "third" ]
+    r2.Store.Wal.records;
+  check_bool "second recovery is clean" false r2.Store.Wal.truncated
+
+let test_wal_corrupt_byte_truncates () =
+  let m = Store.Medium.memory () in
+  Store.Wal.append m ~name:"log" "first";
+  let good_len = Store.Medium.size m ~name:"log" in
+  Store.Wal.append m ~name:"log" "second";
+  (* Flip one payload byte of the second record: its CRC now fails, so
+     replay must stop after the first. *)
+  let bytes = Bytes.of_string (Option.get (Store.Medium.read m ~name:"log")) in
+  Bytes.set bytes (Bytes.length bytes - 1) '!';
+  Store.Medium.truncate m ~name:"log" 0;
+  Store.Medium.append m ~name:"log" (Bytes.to_string bytes);
+  Store.Medium.sync m ~name:"log";
+  let r = Store.Wal.recover m ~name:"log" in
+  check_string_list "replay stops before the corrupt record" [ "first" ]
+    r.Store.Wal.records;
+  check_bool "corruption reported" true r.Store.Wal.truncated;
+  check_int "cut back to the last good record" good_len r.Store.Wal.valid_len
+
+(* --- Snapshots -------------------------------------------------------- *)
+
+let test_snapshot_round_trip () =
+  let m = Store.Medium.memory () in
+  Store.Snapshot.write m ~name:"snap" "state one";
+  Alcotest.(check (option string))
+    "payload back" (Some "state one")
+    (Store.Snapshot.read m ~name:"snap");
+  Store.Snapshot.write m ~name:"snap" "state two";
+  Alcotest.(check (option string))
+    "replaced atomically" (Some "state two")
+    (Store.Snapshot.read m ~name:"snap");
+  Alcotest.(check (option string))
+    "missing file" None
+    (Store.Snapshot.read m ~name:"absent")
+
+let test_snapshot_corruption_detected () =
+  let m = Store.Medium.memory () in
+  Store.Snapshot.write m ~name:"snap" "precious";
+  let bytes = Bytes.of_string (Option.get (Store.Medium.read m ~name:"snap")) in
+  let i = Bytes.length bytes - 2 in
+  Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor 1));
+  Store.Medium.truncate m ~name:"snap" 0;
+  Store.Medium.append m ~name:"snap" (Bytes.to_string bytes);
+  Alcotest.(check (option string))
+    "checksum mismatch rejected" None
+    (Store.Snapshot.read m ~name:"snap")
+
+(* --- Medium crash semantics ------------------------------------------- *)
+
+let test_crash_lose_unsynced () =
+  let m = Store.Medium.memory () in
+  Store.Medium.append m ~name:"f" "synced";
+  Store.Medium.sync m ~name:"f";
+  Store.Medium.append m ~name:"f" " and not";
+  Store.Medium.crash m;
+  Alcotest.(check (option string))
+    "only the synced prefix survives" (Some "synced")
+    (Store.Medium.read m ~name:"f")
+
+let test_crash_scripted_outcomes () =
+  let faults = Store.Medium.Faults.create () in
+  let m = Store.Medium.memory ~faults () in
+  Store.Medium.append m ~name:"f" "synced|";
+  Store.Medium.sync m ~name:"f";
+  Store.Medium.append m ~name:"f" "unsynced tail";
+  Store.Medium.Faults.script faults [ Store.Medium.Faults.Keep_all ];
+  Store.Medium.crash m;
+  Alcotest.(check (option string))
+    "Keep_all keeps everything" (Some "synced|unsynced tail")
+    (Store.Medium.read m ~name:"f");
+  (* Now the whole file is considered synced (it survived), so tear a
+     fresh unsynced append. *)
+  Store.Medium.append m ~name:"f" "!second tail";
+  Store.Medium.Faults.script faults [ Store.Medium.Faults.Torn_tail ];
+  Store.Medium.crash m;
+  let survived = Option.get (Store.Medium.read m ~name:"f") in
+  let base = "synced|unsynced tail" in
+  check_bool "torn tail keeps a strict prefix of the unsynced append" true
+    (String.length survived >= String.length base
+    && String.length survived < String.length base + String.length "!second tail"
+    && String.sub survived 0 (String.length base) = base)
+
+let test_write_atomic_survives_crash () =
+  let m = Store.Medium.memory () in
+  Store.Medium.write_atomic m ~name:"f" "whole image";
+  Store.Medium.crash m;
+  Alcotest.(check (option string))
+    "atomic write is durable without an explicit sync" (Some "whole image")
+    (Store.Medium.read m ~name:"f")
+
+(* --- Store: snapshot + WAL + generation guard ------------------------- *)
+
+let test_store_checkpoint_and_replay () =
+  let m = Store.Medium.memory () in
+  let s = Store.Store.create m ~name:"acct" in
+  Store.Store.append s "r1";
+  Store.Store.append s "r2";
+  Store.Store.checkpoint s "state@2";
+  Store.Store.append s "r3";
+  let r = Store.Store.recover s in
+  Alcotest.(check (option string))
+    "snapshot from the checkpoint" (Some "state@2") r.Store.Store.snapshot;
+  check_string_list "only post-checkpoint records replay" [ "r3" ]
+    r.Store.Store.records;
+  check_bool "clean" false r.Store.Store.truncated;
+  check_int "no stale records" 0 r.Store.Store.stale
+
+let test_store_generation_guard () =
+  let m = Store.Medium.memory () in
+  let s = Store.Store.create m ~name:"acct" in
+  Store.Store.append s "old1";
+  Store.Store.append s "old2";
+  let stale_wal = Option.get (Store.Medium.read m ~name:"acct.wal") in
+  Store.Store.checkpoint s "new state";
+  (* Simulate the crash window between snapshot install and WAL reset:
+     the WAL still holds the previous generation's log. *)
+  Store.Medium.truncate m ~name:"acct.wal" 0;
+  Store.Medium.append m ~name:"acct.wal" stale_wal;
+  Store.Medium.sync m ~name:"acct.wal";
+  let r = Store.Store.recover (Store.Store.create m ~name:"acct") in
+  Alcotest.(check (option string))
+    "newer snapshot wins" (Some "new state") r.Store.Store.snapshot;
+  check_string_list "stale-generation records not replayed" []
+    r.Store.Store.records;
+  check_int "both stale records counted" 2 r.Store.Store.stale
+
+let test_store_destroy () =
+  let m = Store.Medium.memory () in
+  let s = Store.Store.create m ~name:"acct" in
+  Store.Store.append s "r1";
+  Store.Store.checkpoint s "state";
+  check_bool "durable state present" true (Store.Store.exists s);
+  Store.Store.destroy s;
+  check_bool "all files gone" false (Store.Store.exists s);
+  check_string_list "medium empty" [] (Store.Medium.files m)
+
+(* --- Properties ------------------------------------------------------- *)
+
+let payload_gen =
+  (* Arbitrary bytes, including empties, NULs and the frame magic. *)
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 64))
+
+let payloads_arb =
+  QCheck.make
+    ~print:(fun ps -> String.concat "," (List.map String.escaped ps))
+    QCheck.Gen.(list_size (int_bound 12) payload_gen)
+
+let prop_wal_round_trip =
+  QCheck.Test.make ~name:"store: wal record round trip" ~count:300 payloads_arb
+    (fun payloads ->
+      let m = Store.Medium.memory () in
+      List.iter (Store.Wal.append m ~name:"log") payloads;
+      let r = Store.Wal.recover m ~name:"log" in
+      r.Store.Wal.records = payloads && not r.Store.Wal.truncated)
+
+let prop_every_prefix_recovers =
+  QCheck.Test.make ~name:"store: every wal prefix recovers" ~count:100
+    payloads_arb (fun payloads ->
+      let m = Store.Medium.memory () in
+      List.iter (Store.Wal.append m ~name:"log") payloads;
+      let file =
+        match Store.Medium.read m ~name:"log" with Some s -> s | None -> ""
+      in
+      let ok = ref true in
+      for cut = 0 to String.length file do
+        let m2 = Store.Medium.memory () in
+        Store.Medium.append m2 ~name:"log" (String.sub file 0 cut);
+        Store.Medium.sync m2 ~name:"log";
+        let r = Store.Wal.recover m2 ~name:"log" in
+        (* The records of any byte-prefix are a prefix of the original
+           records, and replay stops exactly at a record boundary. *)
+        let n = List.length r.Store.Wal.records in
+        if
+          n > List.length payloads
+          || r.Store.Wal.records <> List.filteri (fun i _ -> i < n) payloads
+          || r.Store.Wal.valid_len > cut
+        then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "crc32 vectors" `Quick test_crc32_vectors;
+    Alcotest.test_case "wal round trip" `Quick test_wal_round_trip;
+    Alcotest.test_case "wal torn tail" `Quick test_wal_torn_tail_truncates;
+    Alcotest.test_case "wal corrupt byte" `Quick test_wal_corrupt_byte_truncates;
+    Alcotest.test_case "snapshot round trip" `Quick test_snapshot_round_trip;
+    Alcotest.test_case "snapshot corruption" `Quick test_snapshot_corruption_detected;
+    Alcotest.test_case "crash loses unsynced" `Quick test_crash_lose_unsynced;
+    Alcotest.test_case "crash scripted outcomes" `Quick test_crash_scripted_outcomes;
+    Alcotest.test_case "write_atomic durable" `Quick test_write_atomic_survives_crash;
+    Alcotest.test_case "store checkpoint+replay" `Quick test_store_checkpoint_and_replay;
+    Alcotest.test_case "store generation guard" `Quick test_store_generation_guard;
+    Alcotest.test_case "store destroy" `Quick test_store_destroy;
+    QCheck_alcotest.to_alcotest prop_wal_round_trip;
+    QCheck_alcotest.to_alcotest prop_every_prefix_recovers;
+  ]
