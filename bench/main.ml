@@ -13,7 +13,8 @@
    Usage: main.exe [--quick] [--micro-only | --figures-only | --smoke
                    | tree-fanout [--smoke] [--json]
                    | latency-staleness [--smoke] [--json]
-                   | crash-restart [--smoke] [--json]]
+                   | crash-restart [--smoke] [--json]
+                   | anti-entropy [--smoke] [--json]]
 
    tree-fanout runs the cascading-topology sweep (flat star vs 2-tier
    tree, Ldap_topology.Sweep); with --json it writes BENCH_PR3.json.
@@ -26,6 +27,10 @@
    resume, clean and torn-tail, vs cold re-fetch vs reparent) plus the
    randomized WAL-corruption sweep; with --json it writes
    BENCH_PR5.json.
+
+   anti-entropy runs the drifted crash/restart sweep (Merkle hash-tree
+   reconciliation vs cold re-fetch across drift fractions); with --json
+   it writes BENCH_PR6.json.
 
    --smoke runs a seconds-scale deterministic subset (the protocol
    illustrations plus a tiny lossy-network sweep) and is wired into
@@ -458,20 +463,37 @@ let run_crash_restart ~smoke ~json () =
             points)
        ());
   Printf.printf
-    "corruption sweep: %d trials, %d recovered, %d truncated, %d stale, %d panics\n%!"
+    "corruption sweep: %d trials, %d recovered, %d truncated, %d discarded, \
+     %d merkle-repaired, %d cold-repaired, %d stale, %d panics\n%!"
     corruption.T.Sweep.cs_trials corruption.T.Sweep.cs_recovered
-    corruption.T.Sweep.cs_truncated corruption.T.Sweep.cs_stale
-    corruption.T.Sweep.cs_panics;
+    corruption.T.Sweep.cs_truncated corruption.T.Sweep.cs_discarded
+    corruption.T.Sweep.cs_repaired_merkle corruption.T.Sweep.cs_repaired_cold
+    corruption.T.Sweep.cs_stale corruption.T.Sweep.cs_panics;
   if corruption.T.Sweep.cs_panics > 0 then
     failwith "crash-restart: corruption sweep panicked";
+  if corruption.T.Sweep.cs_stale > 0 then
+    failwith
+      "crash-restart: corruption sweep left a replica serving stale content";
   (let durable =
      List.find (fun (p : T.Sweep.cr_point) -> p.T.Sweep.cp_mode = "durable") points
    in
    let cold =
      List.find (fun (p : T.Sweep.cr_point) -> p.T.Sweep.cp_mode = "cold") points
    in
+   let reparent =
+     List.find (fun (p : T.Sweep.cr_point) -> p.T.Sweep.cp_mode = "reparent") points
+   in
    if durable.T.Sweep.cp_resync_bytes >= cold.T.Sweep.cp_resync_bytes then
-     failwith "crash-restart: durable resume did not undercut cold re-fetch");
+     failwith "crash-restart: durable resume did not undercut cold re-fetch";
+   if
+     reparent.T.Sweep.cp_recover_ticks_max
+     > 2 * max 1 durable.T.Sweep.cp_recover_ticks_max
+   then
+     failwith
+       (Printf.sprintf
+          "crash-restart: reparent heal too slow (max %d ticks vs durable %d)"
+          reparent.T.Sweep.cp_recover_ticks_max
+          durable.T.Sweep.cp_recover_ticks_max));
   if json then begin
     let path = "BENCH_PR5.json" in
     let oc = open_out path in
@@ -480,6 +502,87 @@ let run_crash_restart ~smoke ~json () =
       (if smoke then "smoke" else "default")
       (T.Sweep.json_of_cr_points points)
       (T.Sweep.json_of_corruption corruption);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  end
+
+(* --- Anti-entropy drift sweep ----------------------------------------- *)
+
+let run_anti_entropy ~smoke ~json () =
+  let config =
+    if smoke then T.Sweep.ae_smoke_config else T.Sweep.ae_default_config
+  in
+  let points = T.Sweep.anti_entropy ~config () in
+  Eval.Report.print
+    (Eval.Report.make
+       ~title:"Anti-entropy: Merkle reconciliation vs cold re-fetch by drift"
+       ~notes:
+         [
+           "a fraction of division replicas crash with unsynced journals, a";
+           "burst of drift*employees updates lands while they are down, then";
+           "they restart: Merkle mode walks root/branch/segment hashes and";
+           "ships only drifted segments, cold mode re-fetches everything.";
+           "expected: merkle bytes grow with drift, cold stays at full cost";
+         ]
+       ~columns:
+         [
+           "drift"; "updates"; "affected"; "merkle B"; "cold B"; "ratio";
+           "m conv"; "c conv"; "m ticks"; "c ticks";
+         ]
+       ~rows:
+         (List.map
+            (fun (p : T.Sweep.ae_point) ->
+              [
+                Printf.sprintf "%.2f" p.T.Sweep.ap_drift;
+                string_of_int p.T.Sweep.ap_updates;
+                string_of_int p.T.Sweep.ap_affected;
+                string_of_int p.T.Sweep.ap_merkle_bytes;
+                string_of_int p.T.Sweep.ap_cold_bytes;
+                Printf.sprintf "%.3f"
+                  (float_of_int p.T.Sweep.ap_merkle_bytes
+                  /. float_of_int (max 1 p.T.Sweep.ap_cold_bytes));
+                string_of_int p.T.Sweep.ap_merkle_converged;
+                string_of_int p.T.Sweep.ap_cold_converged;
+                string_of_int p.T.Sweep.ap_merkle_ticks_max;
+                string_of_int p.T.Sweep.ap_cold_ticks_max;
+              ])
+            points)
+       ());
+  List.iter
+    (fun (p : T.Sweep.ae_point) ->
+      if p.T.Sweep.ap_merkle_converged < p.T.Sweep.ap_affected then
+        failwith
+          (Printf.sprintf
+             "anti-entropy: merkle run at drift %.2f left %d replicas diverged"
+             p.T.Sweep.ap_drift
+             (p.T.Sweep.ap_affected - p.T.Sweep.ap_merkle_converged));
+      if p.T.Sweep.ap_cold_converged < p.T.Sweep.ap_affected then
+        failwith
+          (Printf.sprintf
+             "anti-entropy: cold run at drift %.2f left %d replicas diverged"
+             p.T.Sweep.ap_drift
+             (p.T.Sweep.ap_affected - p.T.Sweep.ap_cold_converged)))
+    points;
+  (let headline =
+     List.find (fun (p : T.Sweep.ae_point) -> p.T.Sweep.ap_drift = 0.1) points
+   in
+   let ratio =
+     float_of_int headline.T.Sweep.ap_merkle_bytes
+     /. float_of_int (max 1 headline.T.Sweep.ap_cold_bytes)
+   in
+   let cap = if smoke then 1.0 else 0.25 in
+   if ratio >= cap then
+     failwith
+       (Printf.sprintf
+          "anti-entropy: merkle/cold ratio %.3f at 10%% drift exceeds the \
+           %.2f gate"
+          ratio cap));
+  if json then begin
+    let path = "BENCH_PR6.json" in
+    let oc = open_out path in
+    Printf.fprintf oc "{\n  \"config\": \"%s\",\n  \"anti_entropy\": %s\n}\n"
+      (if smoke then "smoke" else "default")
+      (T.Sweep.json_of_ae_points points);
     close_out oc;
     Printf.printf "wrote %s\n%!" path
   end
@@ -508,6 +611,10 @@ let () =
       ~json:(List.mem "--json" args) ()
   else if List.mem "crash-restart" args then
     run_crash_restart
+      ~smoke:(quick || List.mem "--smoke" args)
+      ~json:(List.mem "--json" args) ()
+  else if List.mem "anti-entropy" args then
+    run_anti_entropy
       ~smoke:(quick || List.mem "--smoke" args)
       ~json:(List.mem "--json" args) ()
   else if List.mem "--smoke" args then smoke ()

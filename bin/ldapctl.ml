@@ -10,7 +10,8 @@
      workload   - generate a workload and print its distribution
      experiment - run one of the paper's tables/figures
      topology   - build a cascading replication topology and summarize it
-     store      - journal a replica, crash it, and report its recovery *)
+     store      - journal a replica, crash it, and report its recovery
+     antientropy - reconcile a drifted replica by Merkle walk and report it *)
 
 open Cmdliner
 open Ldap
@@ -542,6 +543,104 @@ let store_cmd =
       const run $ employees_arg $ seed_arg $ filters_arg $ updates_arg
       $ torn_arg)
 
+(* --- antientropy ---------------------------------------------------------- *)
+
+let antientropy_cmd =
+  let module Resync = Ldap_resync in
+  let module AE = Ldap_antientropy in
+  let filter_arg =
+    Arg.(value & opt string "(departmentNumber=01*)"
+         & info [ "filter"; "f" ] ~doc:"Replicated filter to reconcile.")
+  in
+  let drift_arg =
+    Arg.(value & opt int 60
+         & info [ "drift" ]
+             ~doc:"Update-stream steps applied at the master while the \
+                   replica is detached.")
+  in
+  let segments_arg =
+    Arg.(value & opt int AE.Tree.default_config.AE.Tree.segments
+         & info [ "segments" ] ~doc:"Leaf segments of the hash tree.")
+  in
+  let run employees seed filter drift segments =
+    match Query.of_strings ~base:"o=xyz" filter with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok query -> (
+        let ent = Dirgen.Enterprise.build (enterprise_config employees seed) in
+        let backend = Dirgen.Enterprise.backend ent in
+        let master = Resync.Master.create backend in
+        let transport = Resync.Transport.loopback master in
+        let consumer = Resync.Consumer.create schema query in
+        (match
+           Resync.Consumer.sync_over consumer transport
+             ~host:Resync.Transport.loopback_host
+         with
+        | Ok _ -> ()
+        | Error e ->
+            prerr_endline (Resync.Consumer.sync_error_to_string e);
+            exit 1);
+        let before = Resync.Consumer.size consumer in
+        (* The replica now holds the filter's content.  Drift the master
+           underneath it, then reconcile by Merkle walk instead of a
+           ReSync poll — the stale-cookie recovery path. *)
+        let stream =
+          Dirgen.Update_stream.create ent
+            { Dirgen.Update_stream.default_config with seed = seed + 1 }
+        in
+        Dirgen.Update_stream.steps stream drift;
+        let config = { AE.Tree.default_config with AE.Tree.segments } in
+        match
+          Resync.Consumer.merkle_sync ~config consumer transport
+            ~host:Resync.Transport.loopback_host
+        with
+        | Error e ->
+            prerr_endline ("merkle sync failed: " ^ e);
+            exit 1
+        | Ok r ->
+            let pct a b =
+              if b = 0 then "-" else Printf.sprintf "%.1f%%" (100. *. float_of_int a /. float_of_int b)
+            in
+            Eval.Report.print
+              (Eval.Report.make ~title:"Merkle anti-entropy reconciliation"
+                 ~notes:
+                   [
+                     Printf.sprintf "filter %s: %d entries before, %d after"
+                       (Query.to_string query) before
+                       (Resync.Consumer.size consumer);
+                     Printf.sprintf "%d update steps drifted the master underneath" drift;
+                     "shipped %: drifted segments as a share of those compared";
+                   ]
+                 ~columns:[ "metric"; "value" ]
+                 ~rows:
+                   [
+                     [ "rounds"; string_of_int r.AE.Exchange.rounds ];
+                     [ "tree depth"; string_of_int r.AE.Exchange.depth ];
+                     [ "segments total"; string_of_int r.AE.Exchange.segments_total ];
+                     [ "segments compared"; string_of_int r.AE.Exchange.segments_compared ];
+                     [ "segments shipped"; string_of_int r.AE.Exchange.segments_shipped ];
+                     [
+                       "shipped %";
+                       pct r.AE.Exchange.segments_shipped r.AE.Exchange.segments_compared;
+                     ];
+                     [ "entries shipped"; string_of_int r.AE.Exchange.entries_shipped ];
+                     [ "bytes sent"; string_of_int r.AE.Exchange.bytes_sent ];
+                     [ "bytes received"; string_of_int r.AE.Exchange.bytes_received ];
+                     [ "converged"; string_of_bool r.AE.Exchange.converged ];
+                   ]
+                 ()))
+  in
+  let doc =
+    "Reconcile a drifted filter replica against its master by Merkle \
+     anti-entropy and report the walk: tree depth, segments compared and \
+     shipped, and modelled bytes both ways."
+  in
+  Cmd.v (Cmd.info "antientropy" ~doc)
+    Term.(
+      const run $ employees_arg $ seed_arg $ filter_arg $ drift_arg
+      $ segments_arg)
+
 (* --- experiment ---------------------------------------------------------- *)
 
 let experiment_cmd =
@@ -611,5 +710,5 @@ let () =
           [
             gen_cmd; search_cmd; export_cmd; compare_cmd; contains_cmd;
             condition_cmd; resync_cmd; workload_cmd; replay_cmd; experiment_cmd;
-            topology_cmd; store_cmd;
+            topology_cmd; store_cmd; antientropy_cmd;
           ]))

@@ -276,7 +276,31 @@ let sync_async t k =
 let comparisons t =
   C.Containment_index.comparisons t.index + Query_cache.comparisons t.cache
 
+(* --- Merkle anti-entropy --------------------------------------------- *)
+
+let merkle_consumer t consumer =
+  match
+    Resync.Consumer.merkle_sync consumer t.transport ~host:t.master_host
+      ~from:t.host
+  with
+  | Ok report ->
+      Stats.record_merkle t.stats report;
+      if report.Ldap_antientropy.Exchange.converged then Ok report
+      else Error "anti-entropy did not converge within the round budget"
+  | Error e -> Error e
+
+let merkle_sync_filter t q =
+  match C.Containment_index.find t.index q with
+  | None -> Error "Filter_replica.merkle_sync_filter: no such stored filter"
+  | Some consumer -> merkle_consumer t consumer
+
+let merkle_sync_all t =
+  C.Containment_index.fold t.index ~init:[] ~f:(fun acc q consumer ->
+      (q, merkle_consumer t consumer) :: acc)
+
 (* --- Durable state --------------------------------------------------- *)
+
+type forced_resync = Resync_none | Resync_merkle | Resync_cold
 
 type filter_recovery = {
   fr_query : Query.t;
@@ -286,8 +310,10 @@ type filter_recovery = {
   fr_replayed : int;
   fr_truncated : bool;
   fr_truncation_point : int;
+  fr_stale : int;
   fr_wal_bytes : int;
   fr_snapshot_bytes : int;
+  fr_resync : forced_resync;
 }
 
 type recovery_report = {
@@ -398,6 +424,27 @@ let recover_over ?(cache_capacity = 0) ?(host = "replica") ?(sync = true)
             | Some f -> f ~stored:q ~before ~after
             | None -> ());
         C.Containment_index.add t.index q consumer;
+        (* A truncated WAL or a stale generation means durable replay
+           lost acknowledged updates: the recovered content may lag the
+           CSN any surviving cookie claims, or just silently lag the
+           master.  Resynchronize {e before} this filter serves reads —
+           Merkle anti-entropy first (ships only the drift), cold
+           re-fetch if the walk cannot converge or the link is down. *)
+        let damaged =
+          crec.Ldap_store.Store.truncated || crec.Ldap_store.Store.stale > 0
+        in
+        let resync =
+          if not damaged then Resync_none
+          else
+            match merkle_consumer t consumer with
+            | Ok _ -> Resync_merkle
+            | Error _ ->
+                Resync.Consumer.set_cookie consumer None;
+                (match sync_consumer t consumer ~fetch:true with
+                | Ok () -> ()
+                | Error _ -> Stats.record_sync_failure t.stats);
+                Resync_cold
+        in
         Ok
           ({
              fr_query = q;
@@ -407,8 +454,10 @@ let recover_over ?(cache_capacity = 0) ?(host = "replica") ?(sync = true)
              fr_replayed = List.length crec.Ldap_store.Store.records;
              fr_truncated = crec.Ldap_store.Store.truncated;
              fr_truncation_point = crec.Ldap_store.Store.truncation_point;
+             fr_stale = crec.Ldap_store.Store.stale;
              fr_wal_bytes = crec.Ldap_store.Store.wal_bytes;
              fr_snapshot_bytes = crec.Ldap_store.Store.snapshot_bytes;
+             fr_resync = resync;
            }
           :: reports))
       (Ok []) slots

@@ -143,6 +143,27 @@ val sync_where : t -> (Query.t -> bool) -> unit
 val comparisons : t -> int
 (** Total containment comparisons performed (stored + cached). *)
 
+(** {1 Merkle anti-entropy}
+
+    The third recovery mode, between durable resume (cheap, needs an
+    intact WAL and an acceptable cookie) and cold re-subscribe
+    (always works, re-ships everything): walk a hash tree against the
+    upstream's content under the stored filter and ship only the
+    segments that differ ({!Ldap_antientropy.Exchange}). *)
+
+val merkle_sync_filter :
+  t -> Query.t -> (Ldap_antientropy.Exchange.report, string) result
+(** Reconciles one stored filter's content against the upstream by
+    Merkle walk ({!Ldap_resync.Consumer.merkle_sync}); the walk's wire
+    cost is recorded in {!Stats.t.merkle_bytes}.  [Error] when the
+    query is not stored, the upstream is unreachable, or the walk did
+    not converge within its round budget — the caller should fall back
+    to a cold re-subscribe. *)
+
+val merkle_sync_all :
+  t -> (Query.t * (Ldap_antientropy.Exchange.report, string) result) list
+(** {!merkle_sync_filter} over every stored filter. *)
+
 (** {1 Durability}
 
     A durable replica keeps one meta store (the slot-numbered table of
@@ -154,6 +175,14 @@ val comparisons : t -> int
     so the first poll after a restart resumes ReSync from the durable
     cookie instead of reloading content. *)
 
+(** How a damaged filter was brought back in sync during recovery. *)
+type forced_resync =
+  | Resync_none  (** Durable state was intact: plain resume. *)
+  | Resync_merkle  (** Merkle anti-entropy repaired the drift. *)
+  | Resync_cold
+      (** The walk failed (or could not converge): cookie dropped and
+          content re-fetched from scratch. *)
+
 (** Per-filter recovery outcome, as reported by [ldapctl store]. *)
 type filter_recovery = {
   fr_query : Query.t;  (** The stored (un-widened) query. *)
@@ -164,8 +193,15 @@ type filter_recovery = {
   fr_truncated : bool;  (** A torn WAL tail was truncated. *)
   fr_truncation_point : int;
       (** Byte offset where replay stopped (= WAL length when clean). *)
+  fr_stale : int;
+      (** WAL records discarded because they belonged to a generation
+          other than the recovered snapshot's. *)
   fr_wal_bytes : int;  (** WAL size after recovery. *)
   fr_snapshot_bytes : int;  (** Snapshot size. *)
+  fr_resync : forced_resync;
+      (** [Resync_none] unless recovery found the WAL truncated or
+          stale, in which case the filter was resynchronized {e before}
+          the replica serves reads — Merkle first, cold fallback. *)
 }
 
 (** Whole-replica recovery outcome. *)

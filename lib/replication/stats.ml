@@ -12,6 +12,8 @@ type t = {
   mutable sync_backoff_ticks : int;
   mutable resyncs : int;
   mutable recovery_bytes : int;
+  mutable merkle_syncs : int;
+  mutable merkle_bytes : int;
   mutable sync_failures : int;
   mutable served_replies : int;
   mutable served_entries : int;
@@ -34,6 +36,8 @@ let create () =
     sync_backoff_ticks = 0;
     resyncs = 0;
     recovery_bytes = 0;
+    merkle_syncs = 0;
+    merkle_bytes = 0;
     sync_failures = 0;
     served_replies = 0;
     served_entries = 0;
@@ -55,6 +59,8 @@ let reset t =
   t.sync_backoff_ticks <- 0;
   t.resyncs <- 0;
   t.recovery_bytes <- 0;
+  t.merkle_syncs <- 0;
+  t.merkle_bytes <- 0;
   t.sync_failures <- 0;
   t.served_replies <- 0;
   t.served_entries <- 0;
@@ -96,6 +102,13 @@ let record_sync_outcome t (o : Ldap_resync.Consumer.outcome) =
 
 let record_sync_failure t = t.sync_failures <- t.sync_failures + 1
 
+let record_merkle t (r : Ldap_antientropy.Exchange.report) =
+  t.merkle_syncs <- t.merkle_syncs + 1;
+  t.merkle_bytes <-
+    t.merkle_bytes
+    + r.Ldap_antientropy.Exchange.bytes_sent
+    + r.Ldap_antientropy.Exchange.bytes_received
+
 let record_served_reply t reply =
   t.served_replies <- t.served_replies + 1;
   t.served_entries <- t.served_entries + Ldap_resync.Protocol.entries_cost reply;
@@ -110,8 +123,9 @@ let record_served_push t action =
 let pp ppf t =
   Format.fprintf ppf
     "queries=%d hits=%d (%.3f) sync=%de/%dB fetch=%de/%dB comparisons=%d \
-     retries=%d backoff=%d resyncs=%d/%dB failures=%d served=%dr/%de/%dB"
+     retries=%d backoff=%d resyncs=%d/%dB merkle=%d/%dB failures=%d \
+     served=%dr/%de/%dB"
     t.queries t.hits (hit_ratio t) t.sync_entries t.sync_bytes t.fetch_entries
     t.fetch_bytes t.comparisons t.sync_retries t.sync_backoff_ticks t.resyncs
-    t.recovery_bytes t.sync_failures t.served_replies t.served_entries
-    t.served_bytes
+    t.recovery_bytes t.merkle_syncs t.merkle_bytes t.sync_failures
+    t.served_replies t.served_entries t.served_bytes

@@ -30,6 +30,12 @@ type t = {
       (** Established sessions recovered through a full or degraded
           resynchronization after a disruption. *)
   mutable recovery_bytes : int;  (** Bytes of those recovery replies. *)
+  mutable merkle_syncs : int;
+      (** Merkle anti-entropy reconciliations driven over the upstream
+          link. *)
+  mutable merkle_bytes : int;
+      (** Total modelled wire bytes of those walks — hash messages both
+          ways plus the shipped segment entries. *)
   mutable sync_failures : int;  (** Polls abandoned with the retry budget spent. *)
   mutable served_replies : int;
       (** Downstream-facing: resync replies served to own consumers. *)
@@ -56,6 +62,11 @@ val record_sync_outcome : t -> Ldap_resync.Consumer.outcome -> unit
     bytes the recovery reply cost. *)
 
 val record_sync_failure : t -> unit
+
+val record_merkle : t -> Ldap_antientropy.Exchange.report -> unit
+(** Accounts one Merkle anti-entropy reconciliation: its request and
+    reply bytes land in [merkle_bytes] (upstream-facing, like
+    [sync_bytes]). *)
 
 val record_served_reply : t -> Ldap_resync.Protocol.reply -> unit
 (** Accounts one reply served downstream by this replica acting as an

@@ -198,6 +198,41 @@ let sync_over ?(max_attempts = default_attempts) ?(backoff = default_backoff)
           apply_reply t reply;
           { reply; attempts; backoff = waited; resynced = recovered ~had_cookie reply })
 
+(* --- Merkle anti-entropy --------------------------------------------- *)
+
+(* Each application is funnelled through {!apply_reply} as a synthetic
+   incremental reply, so the shipped entries, the deletions and the
+   server's resume cookie land in one WAL record — merkle repair gets
+   the same cookie/content atomicity as a polled reply. *)
+let merkle_sync ?config ?max_rounds ?(from = "consumer") t transport ~host =
+  let old_cookie = t.cookie in
+  let result =
+    Ldap_antientropy.Exchange.reconcile ?config ?max_rounds
+      ~local:(fun () -> List.map snd (Dn.Map.bindings t.entries))
+      ~apply:(fun ~upserts ~deletes ~cookie ->
+        let actions =
+          List.map (fun dn -> Action.Delete dn) deletes
+          @ List.map (fun e -> Action.Add e) upserts
+        in
+        apply_reply t { Protocol.kind = Protocol.Incremental; actions; cookie })
+      ~rpc:(fun request ->
+        Transport.tree_exchange transport ~host ~from request t.query
+        |> Result.map_error Transport.error_to_string)
+      ()
+  in
+  (* The reconciliation minted a fresh session; release the one the old
+     cookie pinned so the server does not keep history for it. *)
+  (match result with
+  | Ok { Ldap_antientropy.Exchange.converged = true; _ } -> (
+      match old_cookie with
+      | Some c when t.cookie <> old_cookie -> (
+          match Transport.endpoint transport host with
+          | Some ep -> ep.Transport.ep_abandon ~cookie:c
+          | None -> ())
+      | _ -> ())
+  | _ -> ());
+  result
+
 (* --- Persist mode ---------------------------------------------------- *)
 
 let persist_alive t =

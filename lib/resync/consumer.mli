@@ -94,6 +94,27 @@ val sync_async :
     and each inter-attempt backoff an engine timer.  Without an engine
     the continuation runs before [sync_async] returns. *)
 
+val merkle_sync :
+  ?config:Ldap_antientropy.Tree.config ->
+  ?max_rounds:int ->
+  ?from:string ->
+  t ->
+  Transport.t ->
+  host:string ->
+  (Ldap_antientropy.Exchange.report, string) result
+(** Merkle anti-entropy reconciliation against the endpoint at [host]:
+    walks root → branch → segment hashes over
+    {!Transport.tree_exchange} and ships only the entries of differing
+    segments (see {!Ldap_antientropy.Exchange.reconcile}).  The repair
+    is applied through {!apply_reply} as one synthetic incremental
+    reply per round — deletes, upserts and the server's fresh resume
+    cookie in a single WAL record — after which the consumer polls
+    incrementally from the new cookie.  The previously held cookie's
+    session is abandoned at the endpoint once the walk converges.
+    This is the recovery mode for a replica whose WAL is truncated or
+    whose cookie the upstream rejected: cheaper than a cold reload
+    whenever drift is small. *)
+
 val sync : t -> Master.t -> (Protocol.reply, string) result
 (** Co-located convenience: one poll through a private loopback
     {!Transport} holding [master] — the exchange is still routed,

@@ -495,6 +495,22 @@ let handle t ?push (request : Protocol.request) query =
   gc_tombstones t;
   result
 
+(* Merkle anti-entropy service: walk steps are answered from the
+   backend's current content under the replica's filter — the same
+   "content I should hold" predicate containment gives a search — with
+   the tree rebuilt lazily per request.  A [Fetch] mints a fresh
+   session at the current CSN, so the consumer that installs the
+   shipped entries resumes incremental polling from there. *)
+let antientropy_serve t request query =
+  let select e = Entry.select e (Query.attr_list query.Query.attrs) in
+  Ok
+    (Ldap_antientropy.Exchange.serve
+       ~content:(fun () -> List.map select (Content.current t.backend query))
+       ~cookie:(fun () ->
+         let session = new_session t query ~persist_push:None in
+         session_cookie session ~mode:Protocol.Poll)
+       request)
+
 let abandon t ~cookie =
   (match parse_cookie cookie with
   | Some (id, _) -> remove_session t id

@@ -81,6 +81,18 @@ val handle :
 val abandon : t -> cookie:string -> unit
 (** Client abandoned a persistent search: equivalent to sync_end. *)
 
+val antientropy_serve :
+  t ->
+  Ldap_antientropy.Exchange.request ->
+  Query.t ->
+  (Ldap_antientropy.Exchange.reply, string) result
+(** Answers one Merkle anti-entropy walk step over the master's current
+    content as seen through [query] — the containment predicate gives
+    "what the replica should hold", so the tree is computed lazily under
+    the replica's filter.  A [Fetch] step mints a fresh session pinned
+    at the current CSN and ships its cookie with the entries, letting
+    the reconciled consumer resume incremental polling. *)
+
 val expire_sessions : t -> idle_limit:int -> unit
 (** Drops sessions idle for at least [idle_limit] requests handled by
     this master (the paper's admin time limit, measured in protocol

@@ -15,6 +15,10 @@ type endpoint = {
     (Protocol.reply, string) result;
   ep_abandon : cookie:string -> unit;
   ep_estimate : Query.t -> int;
+  ep_tree :
+    Ldap_antientropy.Exchange.request ->
+    Query.t ->
+    (Ldap_antientropy.Exchange.reply, string) result;
 }
 
 type t = {
@@ -46,6 +50,7 @@ let endpoint_of_master m =
     ep_handle = (fun ~push request query -> Master.handle m ?push request query);
     ep_abandon = (fun ~cookie -> Master.abandon m ~cookie);
     ep_estimate = (fun q -> Backend.count_matching (Master.backend m) q);
+    ep_tree = (fun request query -> Master.antientropy_serve m request query);
   }
 
 let add_master t ~name master =
@@ -100,6 +105,26 @@ let exchange_with_async t ~host ~from ~push request query k =
 
 let exchange_async t ~host ?(from = "consumer") request query k =
   exchange_with_async t ~host ~from ~push:None request query k
+
+(* One Merkle anti-entropy walk step over the same RPC layer as the
+   resync exchanges: hash messages and shipped entries pay the same
+   fault schedule and byte accounting as everything else. *)
+let tree_exchange t ~host ?(from = "consumer") request query =
+  match Hashtbl.find_opt t.endpoints host with
+  | None -> Error (Net (Network.Unreachable host))
+  | Some ep -> (
+      let result =
+        Network.rpc t.net ?faults:t.faults ~from ~host
+          ~request_bytes:(Ldap_antientropy.Exchange.request_bytes request)
+          ~reply_bytes:(function
+            | Ok reply -> Ldap_antientropy.Exchange.reply_bytes reply
+            | Error _ -> Ber.message_overhead)
+          (fun () -> ep.ep_tree request query)
+      in
+      match result with
+      | Ok (Ok reply) -> Ok reply
+      | Ok (Error msg) -> Error (Server msg)
+      | Error failure -> Error (Net failure))
 
 (* --- Persistent connections ------------------------------------------ *)
 

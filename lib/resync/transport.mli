@@ -44,6 +44,13 @@ type endpoint = {
   ep_estimate : Query.t -> int;
       (** Entries currently held for the query — the size estimate used
           by benefit/size filter selection. *)
+  ep_tree :
+    Ldap_antientropy.Exchange.request ->
+    Query.t ->
+    (Ldap_antientropy.Exchange.reply, string) result;
+      (** Serves one Merkle anti-entropy walk step over the content the
+          endpoint holds for the query (see
+          {!Ldap_antientropy.Exchange.serve}). *)
 }
 
 val create : ?faults:Network.Faults.t -> Network.t -> t
@@ -93,6 +100,17 @@ val exchange_async :
     with an engine attached to the underlying network the exchange is
     delivered as timed events and the continuation fires when the reply
     (or failure) arrives; without one it fires immediately. *)
+
+val tree_exchange :
+  t ->
+  host:string ->
+  ?from:string ->
+  Ldap_antientropy.Exchange.request ->
+  Query.t ->
+  (Ldap_antientropy.Exchange.reply, error) result
+(** One Merkle anti-entropy walk step against the endpoint at [host],
+    over the same RPC layer (and fault schedule, and byte accounting)
+    as the resync exchanges. *)
 
 (** A persistent-search connection. *)
 type conn

@@ -274,6 +274,31 @@ let abandon t ~cookie =
   | Some (id, _) -> remove_session t id
   | None -> ()
 
+(* An intermediate master answers Merkle walk steps from its own
+   replica content, so anti-entropy cascades tier-by-tier: a leaf
+   repairs against its node while the node independently repairs
+   against its parent.  Same containment check and referral escape as
+   [handle]; a [Fetch] mints a session whose snapshot is the content
+   being shipped, so the repaired downstream resumes incrementally. *)
+let antientropy_serve t request query =
+  match R.Filter_replica.containing_consumer t.replica query with
+  | None -> Error (referral_error (Referral.make ~host:(upstream t) ()))
+  | Some (stored, c) ->
+      let content () =
+        R.Replica.eval_over_entries (schema t) query
+          (Resync.Consumer.entries c)
+      in
+      Ok
+        (Ldap_antientropy.Exchange.serve ~content
+           ~cookie:(fun () ->
+             let session =
+               new_session t query ~stored ~persist_push:None
+                 ~csn:(node_csn t stored)
+             in
+             session.snapshot <- map_of (content ());
+             session_cookie session ~mode:Resync.Protocol.Poll)
+           request)
+
 let estimate t query =
   match R.Filter_replica.containing_consumer t.replica query with
   | Some (_, c) ->
@@ -342,6 +367,7 @@ let endpoint t =
     ep_handle = (fun ~push req q -> handle t ?push req q);
     ep_abandon = (fun ~cookie -> abandon t ~cookie);
     ep_estimate = (fun q -> estimate t q);
+    ep_tree = (fun request q -> antientropy_serve t request q);
   }
 
 let create ?(cache_capacity = 0) ?(dispatch = Resync.Master.Routed) transport

@@ -92,6 +92,19 @@ val handle :
 
 val abandon : t -> cookie:string -> unit
 
+val antientropy_serve :
+  t ->
+  Ldap_antientropy.Exchange.request ->
+  Query.t ->
+  (Ldap_antientropy.Exchange.reply, string) result
+(** Answers one Merkle anti-entropy walk step from the node's own
+    replica content evaluated under the requesting query — the
+    tier-by-tier cascade: a leaf repairs against its node while the
+    node independently repairs against its parent.  A non-admitted
+    query fails with the same referral as {!handle}; a [Fetch] step
+    mints a downstream session so the repaired consumer can resume
+    incremental polling here. *)
+
 val estimate : t -> Query.t -> int
 (** Entries currently held for an admissible query; 0 when not
     admitted. *)

@@ -55,7 +55,8 @@ let enterprise cfg =
       target_countries = 2;
     }
 
-let upstream_bytes (s : R.Stats.t) = s.R.Stats.sync_bytes + s.R.Stats.fetch_bytes
+let upstream_bytes (s : R.Stats.t) =
+  s.R.Stats.sync_bytes + s.R.Stats.fetch_bytes + s.R.Stats.merkle_bytes
 
 let participants_bytes t =
   List.fold_left
@@ -631,7 +632,14 @@ type corruption_summary = {
   cs_trials : int;
   cs_recovered : int;  (** Recoveries that returned a consumer. *)
   cs_truncated : int;  (** Recoveries that had to cut a torn/corrupt tail. *)
-  cs_stale : int;  (** Recoveries that discarded a stale-generation log. *)
+  cs_discarded : int;  (** Recoveries that discarded a stale-generation log. *)
+  cs_repaired_merkle : int;  (** Damaged recoveries repaired by Merkle walk. *)
+  cs_repaired_cold : int;  (** Damaged recoveries repaired by cold re-fetch. *)
+  cs_stale : int;
+      (** Trials whose content still diverged from the master after
+          recovery completed — forced repair for damaged recoveries, a
+          resume poll for clean ones — must be 0: no corruption may
+          leave a replica serving stale reads. *)
   cs_panics : int;  (** Recoveries that raised — must be 0. *)
 }
 
@@ -640,7 +648,13 @@ let corruption_sweep ?(config = cr_default_config) () =
      records after — then recover from randomly mutilated copies of
      its files: truncated at an arbitrary byte, or with one byte
      flipped.  Whatever the damage, recovery must return (possibly
-     with truncation), never raise. *)
+     with truncation), never raise — and must never leave the replica
+     serving stale reads: a damaged recovery (torn or stale WAL) is
+     repaired in place by Merkle anti-entropy (cold re-fetch as
+     fallback), and a clean one resumes from its durable cookie with
+     one poll, exactly the path a restarted replica takes before
+     answering queries.  Any trial still divergent afterwards counts
+     as stale. *)
   let ent =
     enterprise
       { default_config with seed = config.cr_seed; employees = config.cr_employees }
@@ -675,8 +689,22 @@ let corruption_sweep ?(config = cr_default_config) () =
   poll ();
   let wal = Option.value ~default:"" (Ldap_store.Medium.read medium ~name:"c.wal") in
   let snap = Option.value ~default:"" (Ldap_store.Medium.read medium ~name:"c.snap") in
+  let transport = Resync.Transport.loopback master in
+  let canon entries =
+    List.sort
+      (fun a b -> compare (Dn.canonical (Entry.dn a)) (Dn.canonical (Entry.dn b)))
+      entries
+  in
+  let reference = canon (Resync.Content.current backend query) in
+  let diverged c =
+    let got = canon (Resync.Consumer.entries c) in
+    List.length got <> List.length reference
+    || not (List.for_all2 Entry.equal got reference)
+  in
   let prng = D.Prng.create (config.cr_seed + 5) in
-  let recovered = ref 0 and truncated = ref 0 and stale = ref 0 and panics = ref 0 in
+  let recovered = ref 0 and truncated = ref 0 and discarded = ref 0 in
+  let repaired_merkle = ref 0 and repaired_cold = ref 0 in
+  let stale = ref 0 and panics = ref 0 in
   for _ = 1 to config.cr_corruptions do
     let mutate s =
       if String.length s = 0 then s
@@ -704,10 +732,36 @@ let corruption_sweep ?(config = cr_default_config) () =
     put "c.snap" (if D.Prng.int prng 3 = 0 then mutate snap else snap);
     let fresh = Ldap_store.Store.create m ~name:"c" in
     match Resync.Consumer.recover schema query fresh with
-    | Ok (_, r) ->
+    | Ok (c, r) ->
         incr recovered;
         if r.Ldap_store.Store.truncated then incr truncated;
-        if r.Ldap_store.Store.stale > 0 then incr stale
+        if r.Ldap_store.Store.stale > 0 then incr discarded;
+        (* Close the recovery before the replica serves reads: damaged
+           durable state forces an immediate resync (Merkle first,
+           cold fallback); clean state resumes from its coherent
+           durable cookie with one poll — which also recovers a
+           cleanly-lost WAL tail via the master's degraded reply. *)
+        let damaged =
+          r.Ldap_store.Store.truncated || r.Ldap_store.Store.stale > 0
+        in
+        (if damaged then
+           match
+             Resync.Consumer.merkle_sync c transport
+               ~host:Resync.Transport.loopback_host
+           with
+           | Ok { Ldap_antientropy.Exchange.converged = true; _ } ->
+               incr repaired_merkle
+           | Ok _ | Error _ ->
+               incr repaired_cold;
+               Resync.Consumer.set_cookie c None;
+               ignore
+                 (Resync.Consumer.sync_over c transport
+                    ~host:Resync.Transport.loopback_host)
+         else
+           ignore
+             (Resync.Consumer.sync_over c transport
+                ~host:Resync.Transport.loopback_host));
+        if diverged c then incr stale
     | Error _ -> ()
     | exception _ -> incr panics
   done;
@@ -715,6 +769,9 @@ let corruption_sweep ?(config = cr_default_config) () =
     cs_trials = config.cr_corruptions;
     cs_recovered = !recovered;
     cs_truncated = !truncated;
+    cs_discarded = !discarded;
+    cs_repaired_merkle = !repaired_merkle;
+    cs_repaired_cold = !repaired_cold;
     cs_stale = !stale;
     cs_panics = !panics;
   }
@@ -738,9 +795,205 @@ let json_of_cr_points points =
 
 let json_of_corruption c =
   Printf.sprintf
-    "{\"trials\": %d, \"recovered\": %d, \"truncated\": %d, \"stale\": %d, \
+    "{\"trials\": %d, \"recovered\": %d, \"truncated\": %d, \"discarded\": %d, \
+     \"repaired_merkle\": %d, \"repaired_cold\": %d, \"stale\": %d, \
      \"panics\": %d}"
-    c.cs_trials c.cs_recovered c.cs_truncated c.cs_stale c.cs_panics
+    c.cs_trials c.cs_recovered c.cs_truncated c.cs_discarded c.cs_repaired_merkle
+    c.cs_repaired_cold c.cs_stale c.cs_panics
+
+(* --- Anti-entropy drift sweep ------------------------------------------ *)
+
+type ae_config = {
+  ae_consumers : int;
+  ae_employees : int;
+  ae_seed : int;
+  ae_poll_every : int;
+  ae_crash_fraction : float;
+  ae_drifts : float list;
+  ae_horizon : int;
+}
+
+let ae_default_config =
+  {
+    ae_consumers = 16;
+    ae_employees = 1200;
+    ae_seed = 7;
+    ae_poll_every = 40;
+    ae_crash_fraction = 0.25;
+    ae_drifts = [ 0.0; 0.05; 0.1; 0.25; 0.5 ];
+    ae_horizon = 1200;
+  }
+
+let ae_smoke_config =
+  {
+    ae_consumers = 8;
+    ae_employees = 400;
+    ae_seed = 7;
+    ae_poll_every = 40;
+    ae_crash_fraction = 0.25;
+    ae_drifts = [ 0.0; 0.1; 0.5 ];
+    ae_horizon = 800;
+  }
+
+type ae_point = {
+  ap_drift : float;
+  ap_updates : int;  (** Updates the downed replicas missed. *)
+  ap_affected : int;
+  ap_merkle_bytes : int;
+  ap_cold_bytes : int;
+  ap_merkle_converged : int;
+  ap_cold_converged : int;
+  ap_merkle_ticks_max : int;
+  ap_cold_ticks_max : int;
+}
+
+(* One drifted crash/restart scenario: a star of division replicas with
+   unsynced durability, checkpointed after the build.  A fraction of
+   the leaves crashes {e before} a burst of [round (drift * employees)]
+   updates lands at the root, so their durable checkpoints miss exactly
+   that drift; they then restart in the given mode — [Merkle] walks the
+   hash tree and ships only drifted segments, [Cold] re-fetches
+   everything — and the bytes each affected leaf pays to rejoin are
+   captured at restart time, before regular polling resumes. *)
+let run_ae_mode cfg drift mode =
+  let module Sim = Ldap_sim.Engine in
+  let ent =
+    enterprise
+      { default_config with seed = cfg.ae_seed; employees = cfg.ae_employees }
+  in
+  let backend = D.Enterprise.backend ent in
+  let base = D.Enterprise.root_dn ent in
+  let query_of d =
+    Query.make ~base
+      (Filter.of_string_exn (Printf.sprintf "(departmentNumber=%02d*)" d))
+  in
+  (* Division-prefix filters — department numbers are
+     <division><dept>, so the prefix selects a whole division's
+     employees and department entries — give each replica a
+     substantial slice (a quarter of the directory), measuring the
+     hash-tree overhead against a realistic content size unlike the
+     tiny single-department filters. *)
+  let divisions = 4 in
+  let leaf_queries =
+    List.init cfg.ae_consumers (fun i -> query_of (i mod divisions))
+  in
+  let affected =
+    let n =
+      max 1
+        (int_of_float
+           (Float.round (cfg.ae_crash_fraction *. float_of_int cfg.ae_consumers)))
+    in
+    List.init n (fun i -> Printf.sprintf "leaf%d" (i + 1))
+  in
+  let is_affected name = List.mem name affected in
+  let t =
+    match Topology.build ~shape:Topology.Star ~covers:[] ~leaf_queries backend with
+    | Error e -> failwith ("anti-entropy build: " ^ e)
+    | Ok t -> t
+  in
+  (* Unsynced durability: only checkpoints survive a crash, so the
+     downed replicas recover exactly their pre-drift checkpoint. *)
+  Topology.enable_durability ~sync:false t;
+  Topology.checkpoint_leaves t;
+  let engine = Sim.create ~seed:(cfg.ae_seed + 2) () in
+  let net = Topology.network t in
+  Network.attach_engine net engine;
+  Network.set_default_latency net (Ldap_sim.Latency.Uniform { lo = 2; hi = 8 });
+  let updates =
+    int_of_float (Float.round (drift *. float_of_int cfg.ae_employees))
+  in
+  let stream =
+    D.Update_stream.create ent
+      { D.Update_stream.default_config with seed = cfg.ae_seed + 1 }
+  in
+  let crash_time = 10 in
+  let drift_time = 20 in
+  let restart_time = 30 in
+  Sim.schedule engine ~time:crash_time (fun () ->
+      List.iter
+        (fun leaf ->
+          if is_affected (Leaf.name leaf) then Topology.crash_leaf t leaf)
+        (Topology.leaves t));
+  Sim.schedule engine ~time:drift_time (fun () ->
+      D.Update_stream.steps stream updates);
+  let resync_bytes = ref 0 in
+  let restart_failed = ref false in
+  Sim.schedule engine ~time:restart_time (fun () ->
+      List.iter
+        (fun name ->
+          match Topology.restart_leaf ~mode t ~name with
+          | Ok (leaf, _) ->
+              (* The Merkle walk (or the cold re-fetch) completes inside
+                 the restart, so the leaf's upstream bytes here are
+                 exactly its cost to rejoin. *)
+              resync_bytes := !resync_bytes + upstream_bytes (Leaf.stats leaf)
+          | Error _ -> restart_failed := true)
+        affected);
+  let recovered_at = Hashtbl.create 8 in
+  let on_leaf_poll leaf ~start:_ ~finish =
+    let name = Leaf.name leaf in
+    if
+      is_affected name && finish >= restart_time
+      && not (Hashtbl.mem recovered_at name)
+      && Topology.leaf_converged t leaf
+    then Hashtbl.replace recovered_at name finish
+  in
+  Topology.drive_events ~on_leaf_poll t engine ~poll_every:cfg.ae_poll_every
+    ~until:cfg.ae_horizon;
+  Sim.run engine;
+  if !restart_failed then failwith "anti-entropy sweep: a leaf failed to restart";
+  let ticks =
+    List.filter_map
+      (fun name ->
+        Option.map
+          (fun at -> at - restart_time)
+          (Hashtbl.find_opt recovered_at name))
+      affected
+  in
+  ( !resync_bytes,
+    List.length ticks,
+    List.fold_left max 0 ticks,
+    List.length affected,
+    updates )
+
+let run_ae_point cfg drift =
+  let m_bytes, m_conv, m_ticks, affected, updates =
+    run_ae_mode cfg drift Topology.Merkle
+  in
+  let c_bytes, c_conv, c_ticks, _, _ = run_ae_mode cfg drift Topology.Cold in
+  {
+    ap_drift = drift;
+    ap_updates = updates;
+    ap_affected = affected;
+    ap_merkle_bytes = m_bytes;
+    ap_cold_bytes = c_bytes;
+    ap_merkle_converged = m_conv;
+    ap_cold_converged = c_conv;
+    ap_merkle_ticks_max = m_ticks;
+    ap_cold_ticks_max = c_ticks;
+  }
+
+let anti_entropy ?(config = ae_default_config) () =
+  List.map (run_ae_point config) config.ae_drifts
+
+let json_of_ae_points points =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "[\n";
+  List.iteri
+    (fun i p ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"drift\": %.2f, \"updates\": %d, \"affected\": %d, \
+            \"merkle_bytes\": %d, \"cold_bytes\": %d, \"merkle_converged\": %d, \
+            \"cold_converged\": %d, \"merkle_ticks_max\": %d, \
+            \"cold_ticks_max\": %d}%s\n"
+           p.ap_drift p.ap_updates p.ap_affected p.ap_merkle_bytes p.ap_cold_bytes
+           p.ap_merkle_converged p.ap_cold_converged p.ap_merkle_ticks_max
+           p.ap_cold_ticks_max
+           (if i = List.length points - 1 then "" else ",")))
+    points;
+  Buffer.add_string b "  ]";
+  Buffer.contents b
 
 let json_of_points points =
   let b = Buffer.create 1024 in

@@ -168,7 +168,14 @@ type corruption_summary = {
   cs_trials : int;
   cs_recovered : int;  (** Recoveries that returned a consumer. *)
   cs_truncated : int;  (** Recoveries that cut a torn/corrupt tail. *)
-  cs_stale : int;  (** Recoveries that discarded a stale-generation log. *)
+  cs_discarded : int;  (** Recoveries that discarded a stale-generation log. *)
+  cs_repaired_merkle : int;  (** Damaged recoveries repaired by Merkle walk. *)
+  cs_repaired_cold : int;  (** Damaged recoveries repaired by cold re-fetch. *)
+  cs_stale : int;
+      (** Trials whose content still diverged from the master after the
+          recovery completed — forced repair for damaged recoveries, a
+          resume poll for clean ones.  Gated to 0: no corruption may
+          leave a replica serving stale reads. *)
   cs_panics : int;  (** Recoveries that raised — must be 0. *)
 }
 
@@ -177,7 +184,61 @@ val corruption_sweep : ?config:cr_config -> unit -> corruption_summary
     [cr_corruptions] randomly mutilated copies (truncation at an
     arbitrary byte, single-byte flips in WAL and occasionally
     snapshot).  Every trial must recover or fail cleanly — a raise is
-    counted as a panic and fails the acceptance gate. *)
+    counted as a panic — and must end with content matching the
+    master: damaged recoveries are repaired in place (Merkle walk,
+    cold fallback), clean ones resume from their durable cookie with
+    one poll.  Divergence after that counts as stale; panics and
+    stales both fail the acceptance gate. *)
 
 val json_of_corruption : corruption_summary -> string
 (** A JSON object for the [BENCH_PR5.json] [corruption] field. *)
+
+(** Parameters of the anti-entropy drift sweep. *)
+type ae_config = {
+  ae_consumers : int;  (** Leaves in the star topology. *)
+  ae_employees : int;  (** Directory size. *)
+  ae_seed : int;  (** Seeds directory, updates and engine. *)
+  ae_poll_every : int;  (** Virtual ticks between a leaf's polls. *)
+  ae_crash_fraction : float;  (** Fraction of leaves crashed (at least one). *)
+  ae_drifts : float list;
+      (** Drift fractions swept: each downed replica misses
+          [round (drift * employees)] updates. *)
+  ae_horizon : int;  (** Virtual time when poll loops stop rescheduling. *)
+}
+
+val ae_default_config : ae_config
+(** 16 division replicas, a quarter crashed, drifts 0–50%. *)
+
+val ae_smoke_config : ae_config
+(** CI-sized: 8 replicas, drifts 0/10/50%. *)
+
+(** One drift fraction of the anti-entropy sweep: the same scenario
+    restarted in [Merkle] and in [Cold] mode. *)
+type ae_point = {
+  ap_drift : float;
+  ap_updates : int;  (** Updates the downed replicas missed. *)
+  ap_affected : int;  (** Replicas crashed and restarted. *)
+  ap_merkle_bytes : int;
+      (** Ber bytes the affected replicas paid to rejoin by Merkle
+          walk — hash exchanges plus drifted-segment shipping. *)
+  ap_cold_bytes : int;  (** Same replicas rejoining by full re-fetch. *)
+  ap_merkle_converged : int;  (** Affected replicas converged, Merkle run. *)
+  ap_cold_converged : int;  (** Affected replicas converged, cold run. *)
+  ap_merkle_ticks_max : int;  (** Worst recovery time, Merkle run. *)
+  ap_cold_ticks_max : int;  (** Worst recovery time, cold run. *)
+}
+
+val anti_entropy : ?config:ae_config -> unit -> ae_point list
+(** The drifted crash/restart sweep: per drift fraction, a star of
+    division replicas with unsynced durability is checkpointed, a
+    fraction of its leaves crashes, a burst of
+    [round (drift * employees)] updates lands while they are down, and
+    they restart either by Merkle anti-entropy or by cold re-fetch
+    (identical seeds).  Expected shape: merkle bytes grow with drift
+    while cold bytes stay flat at full-content cost, with the
+    crossover well past the sweep's range — the headline gate asserts
+    merkle ≤ 25% of cold at 10% drift. *)
+
+val json_of_ae_points : ae_point list -> string
+(** A JSON array (indented for embedding as the [BENCH_PR6.json]
+    [points] field). *)

@@ -23,6 +23,13 @@ type driver = {
   dr_on_leaf_poll : (Leaf.t -> start:int -> finish:int -> unit) option;
 }
 
+(* A participant's poll loop: its latest scheduled occurrence plus a
+   liveness token.  The token lets a loop be superseded even while an
+   exchange is in flight (nothing scheduled to cancel): the in-flight
+   continuation re-checks its own token and quietly stops rescheduling
+   once a replacement loop owns the name. *)
+type loop_handle = { lh_event : Ldap_sim.Engine.handle; lh_live : bool ref }
+
 type t = {
   net : Network.t;
   transport : Resync.Transport.t;
@@ -33,8 +40,7 @@ type t = {
   mutable leaves : Leaf.t list;
   mutable durability : durability option;
   crashed : (string, crash_info) Hashtbl.t;
-  loops : (string, Ldap_sim.Engine.handle) Hashtbl.t;
-      (* participant -> latest scheduled poll event *)
+  loops : (string, loop_handle) Hashtbl.t;
   mutable driver : driver option;
 }
 
@@ -132,32 +138,7 @@ let kill_node t node =
   Resync.Transport.remove_endpoint t.transport ~name:(Node.host node);
   t.nodes <- List.filter (fun n -> Node.host n <> Node.host node) t.nodes
 
-(* Re-parents every participant whose upstream endpoint has vanished to
-   its closest live ancestor (usually the grandparent).  Cookie
-   translation happens inside [retarget]/[reparent]: content is kept
-   and the next poll resynchronizes degraded from the acknowledged
-   CSN — downstream sessions of a healed node survive untouched. *)
-let heal t =
-  List.iter
-    (fun node ->
-      let up = Node.upstream node in
-      if Resync.Transport.endpoint t.transport up = None then begin
-        let p = live_host t up in
-        Node.retarget node ~upstream:p;
-        Hashtbl.replace t.parents (Node.host node) p
-      end)
-    t.nodes;
-  List.iter
-    (fun leaf ->
-      let up = Leaf.parent leaf in
-      if Resync.Transport.endpoint t.transport up = None then begin
-        let p = live_host t up in
-        Leaf.reparent leaf ~parent:p;
-        Hashtbl.replace t.parents (Leaf.name leaf) p
-      end)
-    t.leaves
-
-(* --- Synchronization ------------------------------------------------- *)
+(* --- Poll loops ------------------------------------------------------ *)
 
 let depth t host =
   let rec go h acc =
@@ -168,6 +149,104 @@ let depth t host =
       | None -> acc
   in
   go host 0
+
+(* Event-driven polling: every participant — each leaf and each interior
+   node — runs its own self-rescheduling poll loop, so polls from
+   different tiers interleave in virtual time instead of running as one
+   big sequential round.  Start phases are staggered across the poll
+   period; the next poll is scheduled [poll_every] ticks after the
+   previous one {e completes}, which keeps at most one exchange chain in
+   flight per participant.  Quiescence is reached once every loop passes
+   [until]. *)
+(* One participant's self-rescheduling poll loop.  Every scheduled
+   occurrence is cancellable and the latest handle is recorded under
+   the participant's name, so a crash can silence the loop; the
+   crashed-set check covers the window where an exchange is already in
+   flight when the crash fires, and the liveness token the window where
+   the loop was superseded by a {!poke_loop} relaunch (either way the
+   continuation must not reschedule). *)
+let launch_loop t d name stagger sync_async ~completed =
+  let live = ref true in
+  let alive () = !live && not (Hashtbl.mem t.crashed name) in
+  let record h = Hashtbl.replace t.loops name { lh_event = h; lh_live = live } in
+  let rec poll () =
+    if alive () then begin
+      let start = Ldap_sim.Engine.now d.dr_engine in
+      sync_async (fun () ->
+          if alive () then begin
+            completed ~start ~finish:(Ldap_sim.Engine.now d.dr_engine);
+            let next = Ldap_sim.Engine.now d.dr_engine + d.dr_poll_every in
+            if next <= d.dr_until then
+              record
+                (Ldap_sim.Engine.schedule_cancellable d.dr_engine ~time:next
+                   poll)
+          end)
+    end
+  in
+  let first = Ldap_sim.Engine.now d.dr_engine + stagger in
+  if first <= d.dr_until then
+    record (Ldap_sim.Engine.schedule_cancellable d.dr_engine ~time:first poll)
+
+let launch_leaf_loop t d stagger leaf =
+  let completed ~start ~finish =
+    match d.dr_on_leaf_poll with
+    | Some f -> f leaf ~start ~finish
+    | None -> ()
+  in
+  launch_loop t d (Leaf.name leaf) stagger (Leaf.sync_async leaf) ~completed
+
+let launch_node_loop t d stagger node =
+  launch_loop t d (Node.host node) stagger
+    (Node.sync_async node)
+    ~completed:(fun ~start:_ ~finish:_ -> ())
+
+(* Kills a participant's current loop — pending occurrence cancelled,
+   in-flight continuation invalidated through its token — and starts a
+   replacement polling {e now}.  Used by {!heal} so a re-parented
+   participant recovers at re-parent time instead of waiting out the
+   rest of its poll period. *)
+let poke_loop t name relaunch =
+  match t.driver with
+  | Some d when Ldap_sim.Engine.now d.dr_engine <= d.dr_until ->
+      (match Hashtbl.find_opt t.loops name with
+      | Some { lh_event; lh_live } ->
+          Ldap_sim.Engine.cancel lh_event;
+          lh_live := false
+      | None -> ());
+      Hashtbl.remove t.loops name;
+      relaunch d
+  | _ -> ()
+
+(* Re-parents every participant whose upstream endpoint has vanished to
+   its closest live ancestor (usually the grandparent).  Cookie
+   translation happens inside [retarget]/[reparent]: content is kept
+   and the next poll resynchronizes degraded from the acknowledged
+   CSN — downstream sessions of a healed node survive untouched.  With
+   an event driver active, each healed participant's poll loop is poked
+   so that resynchronization starts immediately. *)
+let heal t =
+  List.iter
+    (fun node ->
+      let up = Node.upstream node in
+      if Resync.Transport.endpoint t.transport up = None then begin
+        let p = live_host t up in
+        Node.retarget node ~upstream:p;
+        Hashtbl.replace t.parents (Node.host node) p;
+        poke_loop t (Node.host node) (fun d -> launch_node_loop t d 0 node)
+      end)
+    t.nodes;
+  List.iter
+    (fun leaf ->
+      let up = Leaf.parent leaf in
+      if Resync.Transport.endpoint t.transport up = None then begin
+        let p = live_host t up in
+        Leaf.reparent leaf ~parent:p;
+        Hashtbl.replace t.parents (Leaf.name leaf) p;
+        poke_loop t (Leaf.name leaf) (fun d -> launch_leaf_loop t d 0 leaf)
+      end)
+    t.leaves
+
+(* --- Synchronization ------------------------------------------------- *)
 
 (* One poll round, children before parents: leaves pull from their
    parents' current content first, then the deepest interior tier,
@@ -184,46 +263,6 @@ let sync_round t =
       t.nodes
   in
   List.iter Node.sync by_depth_desc
-
-(* Event-driven polling: every participant — each leaf and each interior
-   node — runs its own self-rescheduling poll loop, so polls from
-   different tiers interleave in virtual time instead of running as one
-   big sequential round.  Start phases are staggered across the poll
-   period; the next poll is scheduled [poll_every] ticks after the
-   previous one {e completes}, which keeps at most one exchange chain in
-   flight per participant.  Quiescence is reached once every loop passes
-   [until]. *)
-(* One participant's self-rescheduling poll loop.  Every scheduled
-   occurrence is cancellable and the latest handle is recorded under
-   the participant's name, so a crash can silence the loop; the
-   crashed-set check covers the window where an exchange is already in
-   flight when the crash fires (its continuation must not reschedule
-   the dead participant). *)
-let launch_loop t d name stagger sync_async ~completed =
-  let alive () = not (Hashtbl.mem t.crashed name) in
-  let rec poll () =
-    if alive () then begin
-      let start = Ldap_sim.Engine.now d.dr_engine in
-      sync_async (fun () ->
-          completed ~start ~finish:(Ldap_sim.Engine.now d.dr_engine);
-          let next = Ldap_sim.Engine.now d.dr_engine + d.dr_poll_every in
-          if next <= d.dr_until && alive () then
-            Hashtbl.replace t.loops name
-              (Ldap_sim.Engine.schedule_cancellable d.dr_engine ~time:next poll))
-    end
-  in
-  let first = Ldap_sim.Engine.now d.dr_engine + stagger in
-  if first <= d.dr_until then
-    Hashtbl.replace t.loops name
-      (Ldap_sim.Engine.schedule_cancellable d.dr_engine ~time:first poll)
-
-let launch_leaf_loop t d stagger leaf =
-  let completed ~start ~finish =
-    match d.dr_on_leaf_poll with
-    | Some f -> f leaf ~start ~finish
-    | None -> ()
-  in
-  launch_loop t d (Leaf.name leaf) stagger (Leaf.sync_async leaf) ~completed
 
 let drive_events ?on_leaf_poll t engine ~poll_every ~until =
   if poll_every <= 0 then invalid_arg "Topology.drive_events: poll_every must be positive";
@@ -245,9 +284,7 @@ let drive_events ?on_leaf_poll t engine ~poll_every ~until =
     t.leaves;
   List.iter
     (fun node ->
-      launch_loop t d (Node.host node) (!i mod poll_every)
-        (Node.sync_async node)
-        ~completed:(fun ~start:_ ~finish:_ -> ());
+      launch_node_loop t d (!i mod poll_every) node;
       incr i)
     t.nodes
 
@@ -279,7 +316,9 @@ let crash_leaf t leaf =
   Hashtbl.replace t.crashed name
     { ci_parent = Leaf.parent leaf; ci_queries = Leaf.subscriptions leaf };
   (match Hashtbl.find_opt t.loops name with
-  | Some h -> Ldap_sim.Engine.cancel h
+  | Some { lh_event; lh_live } ->
+      Ldap_sim.Engine.cancel lh_event;
+      lh_live := false
   | None -> ());
   Hashtbl.remove t.loops name;
   (* Impose the crash on the durable medium first, then detach the
@@ -291,7 +330,9 @@ let crash_leaf t leaf =
   Leaf.detach_store leaf;
   t.leaves <- List.filter (fun l -> Leaf.name l <> name) t.leaves
 
-let restart_leaf t ~name =
+type restart_mode = Resume | Merkle | Cold
+
+let restart_leaf ?(mode = Resume) t ~name =
   match Hashtbl.find_opt t.crashed name with
   | None -> Error ("Topology.restart_leaf: " ^ name ^ " is not down")
   | Some info -> (
@@ -306,29 +347,52 @@ let restart_leaf t ~name =
         | _ -> ());
         Ok (leaf, report)
       in
-      match medium_of t ~name with
-      | Some medium -> (
+      let cold () =
+        (* Cold restart: a fresh leaf re-subscribes from scratch —
+           every subscription pays a full initial fetch. *)
+        let leaf = Leaf.create t.transport ~name ~parent in
+        let rec re_subscribe = function
+          | [] -> resume leaf None
+          | q :: rest -> (
+              match Leaf.subscribe leaf q with
+              | Ok () -> re_subscribe rest
+              | Error e -> Error e)
+        in
+        re_subscribe info.ci_queries
+      in
+      match (mode, medium_of t ~name) with
+      | Cold, _ | _, None -> cold ()
+      | (Resume | Merkle), Some medium -> (
           (* Durable restart: subscriptions, content and resume cookies
              come from the medium; the next poll resumes ReSync from
-             the durable cookie instead of re-fetching. *)
+             the durable cookie instead of re-fetching.  (A damaged
+             store — torn or stale WAL — already forces anti-entropy
+             inside the recovery itself.) *)
           let sync =
             match t.durability with Some d -> d.dsync | None -> true
           in
           match Leaf.recover ~sync t.transport ~name ~parent medium with
-          | Ok (leaf, report) -> resume leaf (Some report)
-          | Error e -> Error e)
-      | None ->
-          (* Cold restart: a fresh leaf re-subscribes from scratch —
-             every subscription pays a full initial fetch. *)
-          let leaf = Leaf.create t.transport ~name ~parent in
-          let rec re_subscribe = function
-            | [] -> resume leaf None
-            | q :: rest -> (
-                match Leaf.subscribe leaf q with
-                | Ok () -> re_subscribe rest
-                | Error e -> Error e)
-          in
-          re_subscribe info.ci_queries)
+          | Ok (leaf, report) ->
+              (* [Merkle] additionally reconciles every subscription
+                 right now, whatever the store's damage flags said —
+                 the mode for a restart known to have lost updates
+                 (e.g. an unsynced WAL).  A filter whose walk fails
+                 falls back cold: its cookie is dropped so the next
+                 poll re-fetches from scratch. *)
+              if mode = Merkle then
+                List.iter
+                  (fun (q, r) ->
+                    match r with
+                    | Ok _ -> ()
+                    | Error _ -> (
+                        match
+                          R.Filter_replica.consumer_for (Leaf.replica leaf) q
+                        with
+                        | Some c -> Resync.Consumer.set_cookie c None
+                        | None -> ()))
+                  (Leaf.merkle_sync leaf);
+              resume leaf (Some report)
+          | Error e -> Error e))
 
 let crashed_leaves t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.crashed [] |> List.sort compare
@@ -424,6 +488,7 @@ let build ?faults ?strategy ?dispatch ~shape ~covers ~leaf_queries backend =
 
 let upstream_bytes stats =
   stats.R.Stats.sync_bytes + stats.R.Stats.fetch_bytes
+  + stats.R.Stats.merkle_bytes
 
 (* Ber bytes that crossed links terminating at the root: the upstream
    traffic of every participant currently attached to it.  In a star

@@ -91,7 +91,11 @@ val kill_node : t -> Node.t -> unit
 val heal : t -> unit
 (** Re-parents every participant whose upstream endpoint vanished to
     its closest live ancestor, translating cookies so content is kept
-    and the next poll resumes in degraded mode. *)
+    and the next poll resumes in degraded mode.  With {!drive_events}
+    active, each healed participant's poll loop is poked — the pending
+    occurrence is cancelled (or the in-flight one invalidated) and a
+    replacement polls immediately — so recovery starts at heal time
+    instead of waiting out the remainder of the poll period. *)
 
 val sync_round : t -> unit
 (** {!heal}, then one poll round children-before-parents: all leaves,
@@ -152,16 +156,31 @@ val crash_leaf : t -> Leaf.t -> unit
     expiry, exactly like a real silent process death.
     @raise Invalid_argument if the leaf is already down. *)
 
+(** How a restarted leaf recovers its content. *)
+type restart_mode =
+  | Resume
+      (** Durable recovery; anti-entropy only if the store itself
+          reports damage (torn or stale WAL). *)
+  | Merkle
+      (** Durable recovery, then Merkle anti-entropy over every
+          subscription regardless of damage flags — for a restart known
+          to have silently lost updates (e.g. an unsynced WAL).  A
+          subscription whose walk fails drops its cookie and re-fetches
+          cold at the next poll. *)
+  | Cold  (** Ignore durable state: re-subscribe with full fetches. *)
+
 val restart_leaf :
+  ?mode:restart_mode ->
   t ->
   name:string ->
   (Leaf.t * Ldap_replication.Filter_replica.recovery_report option, string)
   result
 (** Restarts a crashed leaf under its closest live parent.  With
-    durability the leaf is rebuilt from its medium (report returned);
-    without, a fresh leaf re-subscribes to the crashed leaf's queries
-    with full initial fetches ([None]).  Either way the leaf rejoins
-    {!leaves}, and if {!drive_events} is active its poll loop
+    durability the leaf is rebuilt from its medium (report returned)
+    per [mode] (default [Resume]); without durable state — or with
+    [mode = Cold] — a fresh leaf re-subscribes to the crashed leaf's
+    queries with full initial fetches ([None]).  Either way the leaf
+    rejoins {!leaves}, and if {!drive_events} is active its poll loop
     resumes. *)
 
 val crashed_leaves : t -> string list

@@ -22,6 +22,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("ber", Test_ber.suite);
       ("store", Test_store.suite);
+      ("antientropy", Test_antientropy.suite);
       ("recovery", Test_recovery.suite);
       ("eval", Test_eval.suite);
     ]

@@ -360,9 +360,68 @@ let test_topology_restart_errors () =
     | exception Invalid_argument _ -> true
     | () -> false)
 
+(* --- Checkpoint crash window ------------------------------------------ *)
+
+let test_checkpoint_crash_window_resyncs () =
+  (* A crash between the snapshot rename and the WAL reset leaves the
+     snapshot one generation ahead of the surviving log.  Recovery must
+     discard the stale records, treat the store as damaged and repair
+     the replica against the master before it serves reads — the
+     durable cookie must never run ahead of the recovered content. *)
+  let b = make_backend () in
+  apply b (Update.add (person "alice" ()));
+  let master = Master.create b in
+  let replica = R.Filter_replica.create master in
+  let m = Store.Medium.memory () in
+  R.Filter_replica.attach_store replica m ~prefix:"replica";
+  must (R.Filter_replica.install_filter replica (dept_query "7"));
+  R.Filter_replica.sync replica;
+  R.Filter_replica.checkpoint replica;
+  (* Updates journaled after the checkpoint: the crash window below
+     leaves them behind as a previous-generation log. *)
+  apply b (Update.add (person "dave" ()));
+  R.Filter_replica.sync replica;
+  let wal = Option.get (Store.Medium.read m ~name:"replica.f0.wal") in
+  R.Filter_replica.checkpoint replica;
+  (* Crash window: the checkpoint installed its snapshot but died
+     before resetting the log — restore the pre-checkpoint WAL under
+     the new snapshot. *)
+  Store.Medium.truncate m ~name:"replica.f0.wal" 0;
+  Store.Medium.append m ~name:"replica.f0.wal" wal;
+  Store.Medium.sync m ~name:"replica.f0.wal";
+  R.Filter_replica.detach_store replica;
+  (* The master moves on while the replica is down. *)
+  apply b (Update.add (person "erin" ()));
+  let replica2, report =
+    must
+      (R.Filter_replica.recover_over
+         (R.Filter_replica.transport replica)
+         ~master_host:(R.Filter_replica.master_host replica)
+         m ~prefix:"replica")
+  in
+  (match report.R.Filter_replica.filters with
+  | [ fr ] ->
+      check_bool "stale-generation records discarded" true
+        (fr.R.Filter_replica.fr_stale > 0);
+      check_bool "recovery forced a resync" true
+        (fr.R.Filter_replica.fr_resync <> R.Filter_replica.Resync_none)
+  | frs -> Alcotest.failf "expected one filter recovery, got %d" (List.length frs));
+  (* The repair ran before the replica could serve: content already
+     matches the master including the missed update. *)
+  let c = Option.get (R.Filter_replica.consumer_for replica2 (dept_query "7")) in
+  check_bool "content caught up before serving" true
+    (entry_sets_equal c b (dept_query "7"));
+  (* And the fresh cookie is coherent: the next poll is an incremental
+     no-op, not a degraded resync. *)
+  apply b (Update.add (person "frank" ()));
+  R.Filter_replica.sync replica2;
+  check_bool "cookie resumes incrementally" true (entry_sets_equal c b (dept_query "7"))
+
 let suite =
   [
     Alcotest.test_case "backend recovery" `Quick test_backend_recovery;
+    Alcotest.test_case "checkpoint crash window" `Quick
+      test_checkpoint_crash_window_resyncs;
     Alcotest.test_case "master keeps sessions" `Quick
       test_master_recovery_keeps_sessions;
     Alcotest.test_case "cold master degrades" `Quick
