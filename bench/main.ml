@@ -5,16 +5,25 @@
       evaluation (section 7), the protocol illustrations (Figures 2-3)
       and the section 5.2 history ablation, printed as ASCII tables by
       Ldap_eval.Figures.
-   2. Bechamel micro-benchmarks backing the section 7.4 claims about
+   2. Micro-benchmarks backing the section 7.4 claims about
       query-processing cost: template vs general containment, index
       lookup cost as the number of stored filters grows, plus substrate
-      primitives (filter parse/eval, DN algebra, indexed search).
+      primitives (filter parse/eval, DN algebra, indexed search), all
+      timed by a hand-rolled warm-up + least-squares harness.
 
    Usage: main.exe [--quick] [--micro-only | --figures-only | --smoke
+                   | micro [--smoke] [--json]
                    | tree-fanout [--smoke] [--json]
                    | latency-staleness [--smoke] [--json]
                    | crash-restart [--smoke] [--json]
                    | anti-entropy [--smoke] [--json]]
+
+   micro runs the compiled-vs-interpreted comparison for the hot paths
+   (filter bytecode vs AST interpretation, zero-copy DER writer vs
+   string combinators), checks the two implementations agree on every
+   fixture, enforces a speedup floor, and with --json writes
+   BENCH_PR7.json; --smoke lowers the floor and restricts the JSON to
+   the deterministic equivalence counts so CI can diff two runs.
 
    tree-fanout runs the cascading-topology sweep (flat star vs 2-tier
    tree, Ldap_topology.Sweep); with --json it writes BENCH_PR3.json.
@@ -37,10 +46,73 @@
    the default test alias as an end-to-end exercise of the bench
    harness. *)
 
-open Bechamel
 open Ldap
 module C = Ldap_containment
 module Eval = Ldap_eval
+module Compile = Ldap_compile
+
+(* --- Timing harness ----------------------------------------------------
+   Warm-up iterations first (they fill the memo caches — compiled entry
+   views, interned attributes, hashtable resizes — so the fit sees the
+   steady state), then wall time is sampled at several batch sizes and
+   ns/run is the slope of an ordinary least-squares fit of time against
+   iteration count.  The r^2 reported is the standard coefficient of
+   determination of that fit, which an intercept term keeps in [0, 1] —
+   the previous harness could report negative values on short runs. *)
+
+type fit = { ns : float; r2 : float }
+
+let ols samples =
+  let n = float_of_int (List.length samples) in
+  let mean f = List.fold_left (fun a s -> a +. f s) 0. samples /. n in
+  let mx = mean fst and my = mean snd in
+  let sxx, sxy =
+    List.fold_left
+      (fun (sxx, sxy) (x, y) ->
+        (sxx +. ((x -. mx) *. (x -. mx)), sxy +. ((x -. mx) *. (y -. my))))
+      (0., 0.) samples
+  in
+  let b = if sxx > 0. then sxy /. sxx else 0. in
+  let a = my -. (b *. mx) in
+  let ss_res =
+    List.fold_left
+      (fun acc (x, y) ->
+        let e = y -. a -. (b *. x) in
+        acc +. (e *. e))
+      0. samples
+  in
+  let ss_tot =
+    List.fold_left (fun acc (_, y) -> acc +. ((y -. my) *. (y -. my))) 0. samples
+  in
+  { ns = b *. 1e9; r2 = (if ss_tot > 0. then 1. -. (ss_res /. ss_tot) else 1.) }
+
+let measure f =
+  for _ = 1 to 256 do
+    f ()
+  done;
+  let time n =
+    let t0 = Sys.time () in
+    for _ = 1 to n do
+      f ()
+    done;
+    Sys.time () -. t0
+  in
+  (* Batches must dwarf the clock granularity for the fit to mean
+     anything; grow until one base batch takes ~10 ms of CPU time. *)
+  let rec calibrate n = if time n >= 0.01 then n else calibrate (n * 4) in
+  let base = calibrate 16 in
+  let samples =
+    List.concat_map
+      (fun m ->
+        List.init 2 (fun _ ->
+            let n = base * m in
+            (float_of_int n, time n)))
+      [ 1; 2; 3; 4; 5 ]
+  in
+  ols samples
+
+(* Slope only, for callers that predate the fit diagnostics. *)
+let ns_per_run f = (measure f).ns
 
 (* --- Micro-benchmark fixtures ---------------------------------------- *)
 
@@ -122,24 +194,35 @@ let indexed_search_query =
   Query.make ~base:base_dn (Filter.of_string_exn "(serialNumber=0002500)")
 
 let micro_tests =
-  let open Staged in
   [
-    Test.make ~name:"filter/parse" (stage (fun () -> Filter.of_string_exn filter_string));
-    Test.make ~name:"filter/eval" (stage (fun () -> Filter.matches schema complex_filter fixture_entry));
-    Test.make ~name:"filter/normalize" (stage (fun () -> Filter.normalize complex_filter));
-    Test.make ~name:"dn/parse" (stage (fun () -> Dn.of_string_exn dn_string));
-    Test.make ~name:"dn/ancestor" (stage (fun () -> Dn.ancestor_of base_dn deep_dn));
-    Test.make ~name:"containment/same-template (Prop 3)"
-      (stage (fun () -> C.Filter_containment.contained schema serial_filter serial_filter));
-    Test.make ~name:"containment/cross-template compiled (Prop 2)"
-      (stage (fun () ->
-           C.Symbolic.eval schema compiled_condition ~left:[| "0400456" |] ~right:[| "04004" |]));
-    Test.make ~name:"containment/general (Prop 1)"
-      (stage (fun () -> C.Filter_containment.contained_general schema serial_filter prefix_filter));
-    Test.make ~name:"containment/general conjunctive"
-      (stage (fun () -> C.Filter_containment.contained_general schema dept_filter dept_filter));
-    Test.make ~name:"backend/indexed search"
-      (stage (fun () -> Backend.search small_backend indexed_search_query));
+    ("filter/parse", fun () -> ignore (Filter.of_string_exn filter_string : Filter.t));
+    ( "filter/eval",
+      fun () -> ignore (Filter.matches schema complex_filter fixture_entry : bool) );
+    ("filter/normalize", fun () -> ignore (Filter.normalize complex_filter : Filter.t));
+    ("dn/parse", fun () -> ignore (Dn.of_string_exn dn_string : Dn.t));
+    ("dn/ancestor", fun () -> ignore (Dn.ancestor_of base_dn deep_dn : bool));
+    ( "containment/same-template (Prop 3)",
+      fun () ->
+        ignore (C.Filter_containment.contained schema serial_filter serial_filter : bool)
+    );
+    ( "containment/cross-template compiled (Prop 2)",
+      fun () ->
+        ignore
+          (C.Symbolic.eval schema compiled_condition ~left:[| "0400456" |]
+             ~right:[| "04004" |]
+            : bool) );
+    ( "containment/general (Prop 1)",
+      fun () ->
+        ignore
+          (C.Filter_containment.contained_general schema serial_filter prefix_filter
+            : bool) );
+    ( "containment/general conjunctive",
+      fun () ->
+        ignore
+          (C.Filter_containment.contained_general schema dept_filter dept_filter : bool)
+    );
+    ( "backend/indexed search",
+      fun () -> ignore (Backend.search small_backend indexed_search_query) );
   ]
 
 let index_tests =
@@ -148,29 +231,21 @@ let index_tests =
       let index = make_index n in
       let hit = hit_query n in
       [
-        Test.make ~name:(Printf.sprintf "index/find hit (%d filters)" n)
-          (Staged.stage (fun () -> C.Containment_index.find_container index hit));
-        Test.make ~name:(Printf.sprintf "index/find miss (%d filters)" n)
-          (Staged.stage (fun () -> C.Containment_index.find_container index miss_query));
+        ( Printf.sprintf "index/find hit (%d filters)" n,
+          fun () -> ignore (C.Containment_index.find_container index hit) );
+        ( Printf.sprintf "index/find miss (%d filters)" n,
+          fun () -> ignore (C.Containment_index.find_container index miss_query) );
       ])
     [ 50; 200; 800; 3200 ]
 
 (* Returns measured rows (name, ns/run, r^2) for the JSON dump. *)
 let run_micro () =
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
-  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
-  let test = Test.make_grouped ~name:"micro" (micro_tests @ index_tests) in
-  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
-  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   let measured =
-    Hashtbl.fold
-      (fun name ols acc ->
-        let ns =
-          match Analyze.OLS.estimates ols with Some (v :: _) -> Some v | Some [] | None -> None
-        in
-        (name, ns, Analyze.OLS.r_square ols) :: acc)
-      results []
-    |> List.sort compare
+    List.map
+      (fun (name, f) ->
+        let fit = measure f in
+        ("micro/" ^ name, Some fit.ns, Some fit.r2))
+      (micro_tests @ index_tests)
   in
   let rows =
     List.map
@@ -235,17 +310,6 @@ let make_fanout_master ~sessions ~dispatch =
     | Error e -> failwith e
   done;
   (b, master)
-
-(* Adaptive timing loop: repeat until >= 0.1 s of CPU time. *)
-let ns_per_run f =
-  for _ = 1 to 64 do f () done;
-  let rec measure n =
-    let t0 = Sys.time () in
-    for _ = 1 to n do f () done;
-    let dt = Sys.time () -. t0 in
-    if dt >= 0.1 then dt /. float_of_int n *. 1e9 else measure (n * 4)
-  in
-  measure 128
 
 let fanout_measure ~sessions ~dispatch =
   let b, master = make_fanout_master ~sessions ~dispatch in
@@ -587,6 +651,220 @@ let run_anti_entropy ~smoke ~json () =
     Printf.printf "wrote %s\n%!" path
   end
 
+(* --- Compiled vs interpreted hot paths -------------------------------- *)
+
+(* A spread of entries for the filter-eval pair: half match the complex
+   filter's sn disjunction, ages straddle its >=30 bound, and the last
+   entry lacks most attributes (the absent-attribute path). *)
+let eval_entries =
+  List.init 64 (fun i ->
+      let cn = Printf.sprintf "e%02d" i in
+      Entry.make
+        (Dn.child_ava base_dn "cn" cn)
+        [
+          ("objectclass", [ "inetOrgPerson" ]);
+          ("cn", [ cn ]);
+          ("sn", [ (if i mod 2 = 0 then "Doe" else "smith") ]);
+          ("age", [ string_of_int (15 + i) ]);
+          ("serialNumber", [ Printf.sprintf "%07d" i ]);
+        ])
+  @ [ Entry.make (Dn.child_ava base_dn "cn" "bare") [ ("cn", [ "bare" ]) ] ]
+
+let micro7_filters = [ serial_filter; dept_filter; prefix_filter; complex_filter ]
+
+(* The pre-writer string-combinator entry encoder, reconstructed as the
+   interpreted codec baseline: one intermediate string per nesting
+   level, which is exactly the cost the backwards writer removes.  The
+   equivalence pass checks it byte-identical to the writer image. *)
+let str_tlv tag body =
+  let len = String.length body in
+  let header =
+    if len < 0x80 then Printf.sprintf "%c%c" (Char.chr tag) (Char.chr len)
+    else begin
+      let rec go n acc =
+        if n = 0 then acc
+        else go (n lsr 8) (String.make 1 (Char.chr (n land 0xff)) ^ acc)
+      in
+      let bytes = go len "" in
+      Printf.sprintf "%c%c%s" (Char.chr tag)
+        (Char.chr (0x80 lor String.length bytes))
+        bytes
+    end
+  in
+  header ^ body
+
+let str_entry e =
+  let attrs =
+    String.concat ""
+      (List.map
+         (fun (name, vs) ->
+           str_tlv 0x30
+             (str_tlv 0x04 name
+             ^ str_tlv 0x31 (String.concat "" (List.map (str_tlv 0x04) vs))))
+         (Entry.attributes e))
+  in
+  str_tlv 0x64 (str_tlv 0x04 (Dn.to_string (Entry.dn e)) ^ str_tlv 0x30 attrs)
+
+let run_micro7 ~smoke ~json () =
+  (* Equivalence first: the compiled paths must agree with the
+     interpreted oracles on every fixture.  The counts are
+     deterministic, so the smoke JSON is diffable across runs. *)
+  let filter_cases = ref 0 and filter_agree = ref 0 in
+  List.iter
+    (fun f ->
+      let m = Filter.matcher schema f in
+      List.iter
+        (fun e ->
+          incr filter_cases;
+          if Bool.equal (Filter.matches schema f e) (m e) then incr filter_agree)
+        (fixture_entry :: eval_entries))
+    micro7_filters;
+  let codec_cases = ref 0 and codec_identical = ref 0 in
+  let w = Compile.Wbuf.create () in
+  List.iter
+    (fun e ->
+      incr codec_cases;
+      let s = str_entry e in
+      Compile.Wbuf.clear w;
+      Ber_codec.Der.W.entry w e;
+      if String.equal s (Compile.Wbuf.contents w) then incr codec_identical)
+    (fixture_entry :: eval_entries);
+  let staged_condition = C.Symbolic.Compiled.compile schema compiled_condition in
+  let sym_cases = ref 0 and sym_agree = ref 0 in
+  List.iter
+    (fun (l, r) ->
+      incr sym_cases;
+      if
+        Bool.equal
+          (C.Symbolic.eval schema compiled_condition ~left:[| l |] ~right:[| r |])
+          (C.Symbolic.Compiled.eval staged_condition ~left:[| l |] ~right:[| r |])
+      then incr sym_agree)
+    [ ("0400456", "04004"); ("0400456", "05"); ("123", "123"); ("", "0") ];
+  if !filter_agree <> !filter_cases then
+    failwith "micro: compiled filter disagrees with interpreted matches";
+  if !codec_identical <> !codec_cases then
+    failwith "micro: writer codec image differs from string combinators";
+  if !sym_agree <> !sym_cases then
+    failwith "micro: staged containment condition disagrees with Symbolic.eval";
+  (* Timings: interpreted and compiled forms of the same work, measured
+     in the same process by the same harness. *)
+  let filter_matcher = Filter.matcher schema complex_filter in
+  let pairs =
+    [
+      ( "filter/eval",
+        (fun () ->
+          List.iter
+            (fun e -> ignore (Filter.matches schema complex_filter e : bool))
+            eval_entries),
+        fun () -> List.iter (fun e -> ignore (filter_matcher e : bool)) eval_entries
+      );
+      ( "containment/eval (Prop 2)",
+        (fun () ->
+          ignore
+            (C.Symbolic.eval schema compiled_condition ~left:[| "0400456" |]
+               ~right:[| "04004" |]
+              : bool)),
+        fun () ->
+          ignore
+            (C.Symbolic.Compiled.eval staged_condition ~left:[| "0400456" |]
+               ~right:[| "04004" |]
+              : bool) );
+      ( "codec/encode entry",
+        (fun () -> ignore (str_entry fixture_entry : string)),
+        fun () ->
+          Compile.Wbuf.clear w;
+          Ber_codec.Der.W.entry w fixture_entry );
+    ]
+  in
+  let timed =
+    List.map
+      (fun (name, interp, comp) ->
+        let fi = measure interp and fc = measure comp in
+        (name, fi, fc, fi.ns /. fc.ns))
+      pairs
+  in
+  Eval.Report.print
+    (Eval.Report.make ~title:"Compiled vs interpreted hot paths"
+       ~notes:
+         [
+           "same work, same process: the interpreted column re-walks the filter";
+           "AST / string combinators per call, the compiled column runs the";
+           "bytecode program, staged condition or reused writer buffer";
+         ]
+       ~columns:[ "path"; "interpreted ns"; "compiled ns"; "speedup"; "r^2 (i/c)" ]
+       ~rows:
+         (List.map
+            (fun (name, fi, fc, s) ->
+              [
+                name;
+                Printf.sprintf "%.1f" fi.ns;
+                Printf.sprintf "%.1f" fc.ns;
+                Printf.sprintf "%.1fx" s;
+                Printf.sprintf "%.3f/%.3f" fi.r2 fc.r2;
+              ])
+            timed)
+       ());
+  let speedup_of name =
+    let _, _, _, s = List.find (fun (n, _, _, _) -> String.equal n name) timed in
+    s
+  in
+  let filter_floor = if smoke then 2.0 else 10.0 in
+  let s = speedup_of "filter/eval" in
+  if s < filter_floor then
+    failwith
+      (Printf.sprintf "micro: filter/eval speedup %.1fx below the %.1fx floor" s
+         filter_floor);
+  (if not smoke then
+     let c = speedup_of "codec/encode entry" in
+     if c < 1.5 then
+       failwith (Printf.sprintf "micro: codec speedup %.1fx below the 1.5x floor" c));
+  (* End-to-end context for the full run: the PR 2 fan-out sweep and a
+     latency/staleness sweep, both now running over the compiled paths
+     (predicate-index dispatch, compiled session matchers, writer
+     journalling). *)
+  let fanout = if smoke then [] else run_fanout () in
+  let lat =
+    if smoke then []
+    else T.Sweep.latency_staleness ~config:T.Sweep.lat_smoke_config ()
+  in
+  if json then begin
+    let path = "BENCH_PR7.json" in
+    let oc = open_out path in
+    let out fmt = Printf.fprintf oc fmt in
+    out "{\n  \"config\": \"%s\",\n" (if smoke then "smoke" else "default");
+    out
+      "  \"equivalence\": {\"filter_cases\": %d, \"filter_agree\": %d, \
+       \"codec_cases\": %d, \"codec_identical\": %d, \"symbolic_cases\": %d, \
+       \"symbolic_agree\": %d}"
+      !filter_cases !filter_agree !codec_cases !codec_identical !sym_cases
+      !sym_agree;
+    if not smoke then begin
+      out ",\n  \"micro\": [\n";
+      List.iteri
+        (fun i (name, fi, fc, s) ->
+          out
+            "    {\"name\": \"%s\", \"interpreted_ns\": %.1f, \"compiled_ns\": \
+             %.1f, \"speedup\": %.2f, \"interpreted_r2\": %.4f, \
+             \"compiled_r2\": %.4f}%s\n"
+            (json_escape name) fi.ns fc.ns s fi.r2 fc.r2
+            (if i = List.length timed - 1 then "" else ","))
+        timed;
+      out "  ],\n  \"fanout\": [\n";
+      List.iteri
+        (fun i (sessions, routed, naive) ->
+          out
+            "    {\"sessions\": %d, \"routed_ns_per_update\": %.1f, \
+             \"naive_ns_per_update\": %.1f, \"speedup\": %.2f}%s\n"
+            sessions routed naive (naive /. routed)
+            (if i = List.length fanout - 1 then "" else ","))
+        fanout;
+      out "  ],\n  \"latency_staleness\": %s" (T.Sweep.json_of_lat_points lat)
+    end;
+    out "\n}\n";
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  end
+
 (* --- Entry point ------------------------------------------------------ *)
 
 let smoke () =
@@ -615,6 +893,10 @@ let () =
       ~json:(List.mem "--json" args) ()
   else if List.mem "anti-entropy" args then
     run_anti_entropy
+      ~smoke:(quick || List.mem "--smoke" args)
+      ~json:(List.mem "--json" args) ()
+  else if List.mem "micro" args then
+    run_micro7
       ~smoke:(quick || List.mem "--smoke" args)
       ~json:(List.mem "--json" args) ()
   else if List.mem "--smoke" args then smoke ()

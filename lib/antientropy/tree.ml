@@ -44,7 +44,11 @@ let canonical_string e =
     attrs;
   Buffer.contents b
 
-let entry_hash e = hash64 (canonical_string e)
+(* Memoized on the entry: rebuilding trees across anti-entropy rounds
+   re-hashes only entries mutated since the last round.  The digest
+   bytes are exactly [hash64 (canonical_string e)]. *)
+let entry_hash e =
+  Entry.cached_hash e ~compute:(fun e -> hash64 (canonical_string e))
 
 (* The segment is keyed by the DN alone: mutating an entry's attributes
    changes its hash but never moves it between segments, so a single

@@ -4,7 +4,9 @@ type 'a stored = { query : Query.t; values : string array; payload : 'a }
 
 type 'a bucket = {
   template : Template.t;
-  attrs : string array;  (* hole index -> attribute it fills *)
+  syntaxes : Value.syntax array;
+      (* hole index -> the syntax of the attribute filling it, resolved
+         once at bucket creation instead of per column probe *)
   mutable entries : 'a stored list;
   columns : (int, (string, 'a stored list ref) Hashtbl.t) Hashtbl.t;
       (* hole index -> canonical hole value -> stored queries; built
@@ -24,16 +26,20 @@ type 'a bucket = {
    - [Key_prefix]: the atom holds only when hole [col] is a prefix of
      the resolved [source] — finitely many column lookups. *)
 type plan_atom =
-  | Guard of Symbolic.cond_atom
+  | Guard of Symbolic.Compiled.atom_fn  (* staged once when planned *)
   | Key_eq of { col : int; syntax : Value.syntax; sources : Symbolic.operand list }
   | Key_prefix of { col : int; syntax : Value.syntax; source : Symbolic.operand }
 
 type plan = Scan | Clause of plan_atom list
 
+(* The symbolic CNF is kept for planning; the staged form answers the
+   per-candidate evaluations. *)
+type cond = { sym : Symbolic.t; staged : Symbolic.Compiled.cond }
+
 type 'a t = {
   schema : Schema.t;
   buckets : (string, 'a bucket) Hashtbl.t;  (* shape key -> bucket *)
-  conditions : (string * string, Symbolic.t option) Hashtbl.t;
+  conditions : (string * string, cond option) Hashtbl.t;
       (* (incoming shape, stored shape) -> compiled condition *)
   plans : (string * string, plan) Hashtbl.t;
       (* (incoming shape, stored shape) -> candidate-pruning plan *)
@@ -59,8 +65,8 @@ let decompose t (q : Query.t) =
       (* A filter always matches its own full generalization. *)
       assert false
 
-let column_key t bucket col v =
-  Value.canonical (Schema.syntax_of t.schema bucket.attrs.(col)) v
+let column_key (_ : 'a t) bucket col v =
+  Value.canonical bucket.syntaxes.(col) v
 
 let column_insert t bucket col column s =
   let key = column_key t bucket col s.values.(col) in
@@ -86,7 +92,9 @@ let add t q payload =
     | None ->
         let b =
           { template;
-            attrs = Template.hole_attrs template;
+            syntaxes =
+              Array.map (Schema.syntax_of t.schema)
+                (Template.hole_attrs template);
             entries = [];
             columns = Hashtbl.create 4 }
         in
@@ -167,7 +175,11 @@ let condition t ~incoming_key ~incoming ~bucket_key ~bucket_template =
   match Hashtbl.find_opt t.conditions key with
   | Some c -> c
   | None ->
-      let c = Symbolic.compile t.schema ~left:incoming ~right:bucket_template in
+      let c =
+        Symbolic.compile t.schema ~left:incoming ~right:bucket_template
+        |> Option.map (fun sym ->
+               { sym; staged = Symbolic.Compiled.compile t.schema sym })
+      in
       Hashtbl.replace t.conditions key c;
       c
 
@@ -208,7 +220,7 @@ let plan_atom t ({ Symbolic.attr; atom } as ca) =
     | Symbolic.Point_excluded { low; high; excl } ->
         r_free low && r_free high && r_free excl
   in
-  if all_r_free then Some (Guard ca)
+  if all_r_free then Some (Guard (Symbolic.Compiled.atom t.schema ca))
   else
     match atom with
     | Symbolic.Equal (a, b) -> keyable (a, b)
@@ -259,7 +271,7 @@ let plan t ~incoming_key ~bucket_key cond =
   | None ->
       let p =
         match cond with
-        | Some (Symbolic.Cnf clauses) ->
+        | Some { sym = Symbolic.Cnf clauses; _ } ->
             List.filter_map (plan_of_clause t) clauses
             |> List.fold_left
                  (fun best atoms ->
@@ -268,7 +280,7 @@ let plan t ~incoming_key ~bucket_key cond =
                    | Some _ | None -> Some atoms)
                  None
             |> Option.fold ~none:Scan ~some:(fun atoms -> Clause atoms)
-        | Some Symbolic.Always | Some Symbolic.Never | None -> Scan
+        | Some { sym = Symbolic.Always | Symbolic.Never; _ } | None -> Scan
       in
       Hashtbl.replace t.plans key p;
       p
@@ -284,9 +296,9 @@ let candidates t bucket atoms ~values =
   (* [go] accumulates one stored-list per successful probe. *)
   let rec go acc = function
     | [] -> Some acc
-    | Guard ca :: rest ->
-        if Symbolic.eval t.schema (Symbolic.Cnf [ [ ca ] ]) ~left:values ~right:[||]
-        then None  (* clause holds bucket-wide *)
+    | Guard g :: rest ->
+        if (try g values [||] with Symbolic.Compiled.Unknown -> false) then
+          None  (* clause holds bucket-wide *)
         else go acc rest
     | Key_eq { col; syntax; sources } :: rest -> (
         match List.map (resolve_left values) sources with
@@ -331,7 +343,7 @@ let find_container_where t (q : Query.t) ~pred =
           condition t ~incoming_key ~incoming:template ~bucket_key
             ~bucket_template:bucket.template
         with
-        | Some Symbolic.Never -> None
+        | Some { sym = Symbolic.Never; _ } -> None
         | cond ->
             let entries =
               match plan t ~incoming_key ~bucket_key cond with
@@ -351,7 +363,9 @@ let find_container_where t (q : Query.t) ~pred =
                 else
                   let ok =
                     match cond with
-                    | Some c -> Symbolic.eval t.schema c ~left:values ~right:s.values
+                    | Some c ->
+                        Symbolic.Compiled.eval c.staged ~left:values
+                          ~right:s.values
                     | None ->
                         (* Compilation blew up: direct check. *)
                         Filter_containment.contained t.schema q.Query.filter

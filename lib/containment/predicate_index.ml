@@ -1,4 +1,6 @@
 open Ldap
+module Attr_id = Ldap_compile.Attr_id
+module Prog = Ldap_compile.Prog
 
 (* Substring anchors keep at most this many bytes of the initial
    component; lookups probe every prefix of an entry value up to the
@@ -18,22 +20,25 @@ type bounds = {
   mutable sorted : string array option;  (* None = dirty *)
 }
 
+(* Anchors are keyed by the {e interned id} of the canonical attribute
+   name, matching the [cid] of the entries' compiled slots, so probing
+   does no per-update string canonicalization at all. *)
 type anchor =
-  | A_eq of string * string  (* attr, canonical value *)
-  | A_prefix of string * string  (* attr, normalized prefix, <= width *)
-  | A_attr of string  (* attr presence *)
-  | A_ge of string * string  (* attr, canonical lower bound *)
-  | A_le of string * string  (* attr, canonical upper bound *)
+  | A_eq of Attr_id.t * string  (* attr, canonical value *)
+  | A_prefix of Attr_id.t * string  (* attr, normalized prefix, <= width *)
+  | A_attr of Attr_id.t  (* attr presence *)
+  | A_ge of Attr_id.t * Value.syntax * string  (* attr, canonical lower bound *)
+  | A_le of Attr_id.t * Value.syntax * string  (* attr, canonical upper bound *)
 
 type registration = Anchors of anchor list | Fallback
 
 type t = {
   schema : Schema.t;
-  eq : (string * string, ids) Hashtbl.t;
-  prefix : (string * string, ids) Hashtbl.t;
-  attr : (string, ids) Hashtbl.t;
-  ge : (string, bounds) Hashtbl.t;  (* attr -> bounds *)
-  le : (string, bounds) Hashtbl.t;
+  eq : (Attr_id.t * string, ids) Hashtbl.t;
+  prefix : (Attr_id.t * string, ids) Hashtbl.t;
+  attr : (Attr_id.t, ids) Hashtbl.t;
+  ge : (Attr_id.t, bounds) Hashtbl.t;  (* attr -> bounds *)
+  le : (Attr_id.t, bounds) Hashtbl.t;
   fallback : ids;
   regs : (int, registration) Hashtbl.t;
 }
@@ -59,14 +64,16 @@ let truncate_prefix p =
   if String.length p <= prefix_width then p else String.sub p 0 prefix_width
 
 let pred_anchor t p =
-  let canon a = Schema.canonical_attr t.schema a in
+  let canon a = Attr_id.intern (Schema.canonical_attr t.schema a) in
   let syntax a = Schema.syntax_of t.schema a in
   match p with
   | Filter.Equality (a, v) | Filter.Approx (a, v) ->
       (* Approx is matched as equality by [Filter.matches]. *)
       Some (A_eq (canon a, Value.canonical (syntax a) v))
-  | Filter.Greater_eq (a, v) -> Some (A_ge (canon a, Value.canonical (syntax a) v))
-  | Filter.Less_eq (a, v) -> Some (A_le (canon a, Value.canonical (syntax a) v))
+  | Filter.Greater_eq (a, v) ->
+      Some (A_ge (canon a, syntax a, Value.canonical (syntax a) v))
+  | Filter.Less_eq (a, v) ->
+      Some (A_le (canon a, syntax a, Value.canonical (syntax a) v))
   | Filter.Present a -> Some (A_attr (canon a))
   | Filter.Substrings (a, { initial; _ }) -> (
       (* [Value.matches_substring] is a literal prefix test on
@@ -140,20 +147,16 @@ let bucket_remove tbl key id =
       end
       else false
 
-let bounds_for t tbl attr =
+let bounds_for tbl attr syntax =
   match Hashtbl.find_opt tbl attr with
   | Some b -> b
   | None ->
-      let b =
-        { syntax = Schema.syntax_of t.schema attr;
-          by_bound = Hashtbl.create 8;
-          sorted = None }
-      in
+      let b = { syntax; by_bound = Hashtbl.create 8; sorted = None } in
       Hashtbl.add tbl attr b;
       b
 
-let bounds_add t tbl attr bound id =
-  let b = bounds_for t tbl attr in
+let bounds_add tbl attr syntax bound id =
+  let b = bounds_for tbl attr syntax in
   if not (Hashtbl.mem b.by_bound bound) then b.sorted <- None;
   bucket_add b.by_bound bound id
 
@@ -166,15 +169,15 @@ let apply_anchor t id = function
   | A_eq (a, v) -> bucket_add t.eq (a, v) id
   | A_prefix (a, p) -> bucket_add t.prefix (a, p) id
   | A_attr a -> bucket_add t.attr a id
-  | A_ge (a, v) -> bounds_add t t.ge a v id
-  | A_le (a, v) -> bounds_add t t.le a v id
+  | A_ge (a, syn, v) -> bounds_add t.ge a syn v id
+  | A_le (a, syn, v) -> bounds_add t.le a syn v id
 
 let retract_anchor t id = function
   | A_eq (a, v) -> ignore (bucket_remove t.eq (a, v) id)
   | A_prefix (a, p) -> ignore (bucket_remove t.prefix (a, p) id)
   | A_attr a -> ignore (bucket_remove t.attr a id)
-  | A_ge (a, v) -> bounds_remove t.ge a v id
-  | A_le (a, v) -> bounds_remove t.le a v id
+  | A_ge (a, _, v) -> bounds_remove t.ge a v id
+  | A_le (a, _, v) -> bounds_remove t.le a v id
 
 let remove t id =
   match Hashtbl.find_opt t.regs id with
@@ -251,30 +254,34 @@ let probe_bounds out tbl attr v ~dir =
         | None -> ()
       done
 
+(* Probing walks the entry's compiled view: per-slot interned
+   canonical-attribute ids plus pre-canonicalized and pre-normalized
+   values, computed once per entry per schema instead of once per
+   probed update. *)
 let probe_entry t out entry =
-  List.iter
-    (fun (attr, values) ->
-      let attr = Schema.canonical_attr t.schema attr in
-      let syntax = Schema.syntax_of t.schema attr in
-      (match Hashtbl.find_opt t.attr attr with
+  let ce = Entry.compiled t.schema entry in
+  Array.iter
+    (fun (s : Prog.slot) ->
+      let cid = s.Prog.cid in
+      (match Hashtbl.find_opt t.attr cid with
       | Some ids -> collect out ids
       | None -> ());
-      List.iter
-        (fun v ->
-          (match Hashtbl.find_opt t.eq (attr, Value.canonical syntax v) with
+      let canon = s.Prog.canon and norm = s.Prog.norm in
+      for k = 0 to Array.length canon - 1 do
+        let c = canon.(k) in
+        (match Hashtbl.find_opt t.eq (cid, c) with
+        | Some ids -> collect out ids
+        | None -> ());
+        let n = norm.(k) in
+        for len = 1 to min prefix_width (String.length n) do
+          match Hashtbl.find_opt t.prefix (cid, String.sub n 0 len) with
           | Some ids -> collect out ids
-          | None -> ());
-          let n = Value.normalize syntax v in
-          for len = 1 to min prefix_width (String.length n) do
-            match Hashtbl.find_opt t.prefix (attr, String.sub n 0 len) with
-            | Some ids -> collect out ids
-            | None -> ()
-          done;
-          let c = Value.canonical syntax v in
-          probe_bounds out t.ge attr c ~dir:`Ge;
-          probe_bounds out t.le attr c ~dir:`Le)
-        values)
-    (Entry.attributes entry)
+          | None -> ()
+        done;
+        probe_bounds out t.ge cid c ~dir:`Ge;
+        probe_bounds out t.le cid c ~dir:`Le
+      done)
+    ce.Prog.slots
 
 let affected t ~before ~after =
   let out = Hashtbl.create 16 in

@@ -389,6 +389,170 @@ let contained schema f1 f2 =
   | None -> false
   | Some cond -> eval schema cond ~left:[||] ~right:[||]
 
+(* --- Staged evaluation ------------------------------------------------ *)
+
+module Compiled = struct
+  exception Unknown
+
+  type atom_fn = string array -> string array -> bool
+
+  type cond = Const of bool | Clauses of atom_fn array array
+
+  (* Stage an operand to a raw resolver plus its constant value when it
+     has no holes.  [Error ()] marks a constant [Succ] with no
+     successor: the atom can never hold. *)
+  let rec operand = function
+    | C s -> Ok ((fun (_ : string array) (_ : string array) -> s), Some s)
+    | L i ->
+        Ok
+          ( (fun left (_ : string array) ->
+              if i < Array.length left then left.(i) else raise Unknown),
+            None )
+    | R i ->
+        Ok
+          ( (fun (_ : string array) right ->
+              if i < Array.length right then right.(i) else raise Unknown),
+            None )
+    | Succ o -> (
+        match operand o with
+        | Error () -> Error ()
+        | Ok (_, Some v) -> (
+            match Value.successor_of_prefix v with
+            | s -> Ok ((fun _ _ -> s), Some s)
+            | exception Invalid_argument _ -> Error ())
+        | Ok (f, None) ->
+            Ok
+              ( (fun l r ->
+                  match Value.successor_of_prefix (f l r) with
+                  | s -> s
+                  | exception Invalid_argument _ -> raise Unknown),
+                None ))
+
+  (* Apply projection [prep] once at stage time for constants, per
+     evaluation otherwise. *)
+  let prepared prep = function
+    | Error () -> Error ()
+    | Ok (_, Some v) ->
+        let p = prep v in
+        Ok (fun (_ : string array) (_ : string array) -> p)
+    | Ok (f, None) -> Ok (fun l r -> prep (f l r))
+
+  (* Integer-syntax values travel prepared as (trimmed form, parse):
+     constant bounds are parsed once at stage time. *)
+  let int_prep v =
+    let n = String.trim v in
+    (n, int_of_string_opt n)
+
+  (* [Value.compare_integer] over prepared pairs, reusing the parses. *)
+  let int_cmp (a, ai) (b, bi) =
+    match (ai, bi) with
+    | Some x, Some y -> Int.compare x y
+    | Some _, None -> -1
+    | None, Some _ -> 1
+    | None, None -> String.compare a b
+
+  let never _ _ = false
+
+  (* Stage one atom: the attribute's syntax is resolved, constants are
+     normalized/parsed and constant [Succ]s folded here, once; the
+     returned closure touches only hole values per evaluation.  Truth
+     values agree with {!eval_atom} on every input. *)
+  let atom schema { attr; atom = a } : atom_fn =
+    let syntax = Schema.syntax_of schema attr in
+    let norm v = Value.normalize syntax v in
+    match a with
+    | Empty_range { low; low_strict; high; high_strict } -> (
+        match syntax with
+        | Value.Integer -> (
+            match
+              (prepared int_prep (operand low), prepared int_prep (operand high))
+            with
+            | Error (), _ | _, Error () -> never
+            | Ok lo, Ok hi ->
+                fun l r ->
+                  let ((_, lp) as lv) = lo l r and ((_, hp) as hv) = hi l r in
+                  (match (lp, hp) with
+                  | Some x, Some y ->
+                      let x = if low_strict then x + 1 else x in
+                      let y = if high_strict then y - 1 else y in
+                      x > y
+                  | _ ->
+                      let c = int_cmp lv hv in
+                      c > 0 || (c = 0 && (low_strict || high_strict))))
+        | Value.Case_ignore | Value.Case_exact | Value.Telephone -> (
+            match (prepared norm (operand low), prepared norm (operand high)) with
+            | Error (), _ | _, Error () -> never
+            | Ok lo, Ok hi ->
+                fun l r ->
+                  let c = String.compare (lo l r) (hi l r) in
+                  c > 0 || (c = 0 && (low_strict || high_strict))))
+    | Equal (x, y) -> (
+        match syntax with
+        | Value.Integer -> (
+            match
+              (prepared int_prep (operand x), prepared int_prep (operand y))
+            with
+            | Error (), _ | _, Error () -> never
+            | Ok a, Ok b -> fun l r -> int_cmp (a l r) (b l r) = 0)
+        | Value.Case_ignore | Value.Case_exact | Value.Telephone -> (
+            match (prepared norm (operand x), prepared norm (operand y)) with
+            | Error (), _ | _, Error () -> never
+            | Ok a, Ok b -> fun l r -> String.equal (a l r) (b l r)))
+    | Point_excluded { low; high; excl } -> (
+        match syntax with
+        | Value.Integer -> (
+            match
+              ( prepared int_prep (operand low),
+                prepared int_prep (operand high),
+                prepared int_prep (operand excl) )
+            with
+            | Ok lo, Ok hi, Ok ex ->
+                fun l r ->
+                  let lv = lo l r in
+                  int_cmp lv (hi l r) = 0 && int_cmp lv (ex l r) = 0
+            | _, _, _ -> never)
+        | Value.Case_ignore | Value.Case_exact | Value.Telephone -> (
+            match
+              ( prepared norm (operand low),
+                prepared norm (operand high),
+                prepared norm (operand excl) )
+            with
+            | Ok lo, Ok hi, Ok ex ->
+                fun l r ->
+                  let lv = lo l r in
+                  String.equal lv (hi l r) && String.equal lv (ex l r)
+            | _, _, _ -> never))
+    | Has_prefix (p, v) -> (
+        match (prepared norm (operand p), prepared norm (operand v)) with
+        | Ok pf, Ok vf ->
+            fun l r ->
+              let p = pf l r and v = vf l r in
+              String.length v >= String.length p
+              && String.sub v 0 (String.length p) = p
+        | _, _ -> never)
+
+  let compile schema = function
+    | Always -> Const true
+    | Never -> Const false
+    | Cnf clauses ->
+        Clauses
+          (Array.of_list
+             (List.map
+                (fun clause -> Array.of_list (List.map (atom schema) clause))
+                clauses))
+
+  let eval cond ~left ~right =
+    match cond with
+    | Const b -> b
+    | Clauses clauses ->
+        Array.for_all
+          (fun clause ->
+            Array.exists
+              (fun f -> try f left right with Unknown -> false)
+              clause)
+          clauses
+end
+
 (* --- Printing -------------------------------------------------------- *)
 
 let rec operand_to_string = function

@@ -75,6 +75,35 @@ val compile : Schema.t -> left:Template.t -> right:Template.t -> t option
 val eval : Schema.t -> t -> left:string array -> right:string array -> bool
 (** Evaluates a compiled condition on concrete hole values. *)
 
+(** Staged form of {!eval}: each atom of the CNF is closed over its
+    resolved syntax, normalized/parsed constants and folded constant
+    successors once, so evaluating the condition against a candidate
+    query touches only hole values.  Same truth table as {!eval} —
+    property-tested equivalent. *)
+module Compiled : sig
+  exception Unknown
+  (** Raised inside an {!atom_fn} when a hole value is missing (the
+      analogue of [Unknown_value]); {!eval} treats it as atom-false.
+      Callers invoking an {!atom_fn} directly must catch it. *)
+
+  type atom_fn = string array -> string array -> bool
+  (** One staged atom; arguments are the left and right hole values. *)
+
+  type cond = Const of bool | Clauses of atom_fn array array
+  (** Staged condition: constant, or CNF of staged atoms. *)
+
+  val atom : Schema.t -> cond_atom -> atom_fn
+  (** Stage a single atom (used by pruning plans to pre-stage
+      guards). *)
+
+  val compile : Schema.t -> t -> cond
+  (** Stage a whole condition. *)
+
+  val eval : cond -> left:string array -> right:string array -> bool
+  (** Evaluate on concrete hole values; agrees with {!Symbolic.eval}
+      of the source condition. *)
+end
+
 val contained : Schema.t -> Filter.t -> Filter.t -> bool
 (** Direct (uncompiled) containment of concrete filters: compiles the
     filters as constant-only templates, which folds every atom at

@@ -183,9 +183,12 @@ let search t (q : Query.t) =
             && (Entry.is_referral entry
                || crosses_referral t ~base:q.base (Entry.dn entry))
           in
-          let matches entry =
-            (not (is_excluded entry)) && Filter.matches t.schema q.filter entry
-          in
+          (* Compile the filter once per search; every candidate then
+             evaluates bytecode against its memoized compiled view
+             instead of re-walking the AST with per-predicate schema
+             lookups and value normalization. *)
+          let filter_matches = Filter.matcher t.schema q.filter in
+          let matches entry = (not (is_excluded entry)) && filter_matches entry in
           let collect_traversal () =
             match q.scope with
             | Scope.Base -> (

@@ -71,89 +71,204 @@ let der_bool v = tlv tag_boolean (String.make 1 (if v then '\xff' else '\x00'))
 let der_octets ?(tag = tag_octet_string) s = tlv tag s
 let der_seq ?(tag = tag_sequence) parts = tlv tag (String.concat "" parts)
 
+(* --- Backwards writer (zero-copy encode) --------------------------------- *)
+
+(* DER is [tag length body] with the length in front of a body whose
+   size is only known once it is written.  The [String.concat]
+   combinators above solve that by materializing every nested value;
+   the writer solves it by emitting into an [Ldap_compile.Wbuf]
+   backwards: body first (children in {e reverse} order), then the
+   length and tag prepended over it.  Each byte is written once. *)
+module Writer = struct
+  module Wbuf = Ldap_compile.Wbuf
+
+  let mark = Wbuf.mark
+
+  let prepend_length w n =
+    if n < 0x80 then Wbuf.prepend_char w (Char.chr n)
+    else begin
+      let rec go n count =
+        if n = 0 then count
+        else begin
+          Wbuf.prepend_char w (Char.chr (n land 0xff));
+          go (n lsr 8) (count + 1)
+        end
+      in
+      let count = go n 0 in
+      Wbuf.prepend_char w (Char.chr (0x80 lor count))
+    end
+
+  (* Close the TLV whose body has been emitted since [m]. *)
+  let close w ~tag m =
+    prepend_length w (Wbuf.since w m);
+    Wbuf.prepend_char w (Char.chr tag)
+
+  let octets ?(tag = tag_octet_string) w s =
+    let m = mark w in
+    Wbuf.prepend_string w s;
+    close w ~tag m
+
+  let integer w n =
+    if n < 0 then invalid_arg "der_integer: negative";
+    let m = mark w in
+    if n = 0 then Wbuf.prepend_char w '\000'
+    else begin
+      (* Prepending least-significant first lays bytes out big-endian. *)
+      let rec go n = if n <> 0 then begin
+        Wbuf.prepend_char w (Char.chr (n land 0xff));
+        go (n lsr 8)
+      end
+      in
+      go n;
+      let rec top n = if n < 0x100 then n else top (n lsr 8) in
+      if top n >= 0x80 then Wbuf.prepend_char w '\000'
+    end;
+    close w ~tag:tag_integer m
+
+  let enum ?(tag = tag_enumerated) w n =
+    let m = mark w in
+    Wbuf.prepend_char w (Char.chr n);
+    close w ~tag m
+
+  let boolean w v =
+    let m = mark w in
+    Wbuf.prepend_char w (if v then '\xff' else '\x00');
+    close w ~tag:tag_boolean m
+end
+
 (* --- Filter encoding (RFC 2251 section 4.5.1) --------------------------- *)
 
-let rec encode_filter (f : Filter.t) =
+open struct
+  module Wr = Writer
+end
+
+let rec emit_filter w (f : Filter.t) =
   match f with
-  | Filter.And gs -> der_seq ~tag:(ctxc 0) (List.map encode_filter gs)
-  | Filter.Or gs -> der_seq ~tag:(ctxc 1) (List.map encode_filter gs)
-  | Filter.Not g -> der_seq ~tag:(ctxc 2) [ encode_filter g ]
-  | Filter.Pred p -> encode_pred p
+  | Filter.And gs ->
+      let m = Wr.mark w in
+      List.iter (emit_filter w) (List.rev gs);
+      Wr.close w ~tag:(ctxc 0) m
+  | Filter.Or gs ->
+      let m = Wr.mark w in
+      List.iter (emit_filter w) (List.rev gs);
+      Wr.close w ~tag:(ctxc 1) m
+  | Filter.Not g ->
+      let m = Wr.mark w in
+      emit_filter w g;
+      Wr.close w ~tag:(ctxc 2) m
+  | Filter.Pred p -> emit_pred w p
 
-and ava tag attr value =
-  der_seq ~tag [ der_octets attr; der_octets value ]
+and emit_ava w tag attr value =
+  let m = Wr.mark w in
+  Wr.octets w value;
+  Wr.octets w attr;
+  Wr.close w ~tag m
 
-and encode_pred = function
-  | Filter.Equality (a, v) -> ava (ctxc 3) a v
-  | Filter.Greater_eq (a, v) -> ava (ctxc 5) a v
-  | Filter.Less_eq (a, v) -> ava (ctxc 6) a v
-  | Filter.Approx (a, v) -> ava (ctxc 8) a v
-  | Filter.Present a -> der_octets ~tag:(ctx 7) a
+and emit_pred w = function
+  | Filter.Equality (a, v) -> emit_ava w (ctxc 3) a v
+  | Filter.Greater_eq (a, v) -> emit_ava w (ctxc 5) a v
+  | Filter.Less_eq (a, v) -> emit_ava w (ctxc 6) a v
+  | Filter.Approx (a, v) -> emit_ava w (ctxc 8) a v
+  | Filter.Present a -> Wr.octets ~tag:(ctx 7) w a
   | Filter.Substrings (a, { initial; any; final }) ->
-      let subs =
-        (match initial with Some s -> [ der_octets ~tag:(ctx 0) s ] | None -> [])
-        @ List.map (fun s -> der_octets ~tag:(ctx 1) s) any
-        @ match final with Some s -> [ der_octets ~tag:(ctx 2) s ] | None -> []
-      in
-      der_seq ~tag:(ctxc 4) [ der_octets a; der_seq subs ]
+      let m = Wr.mark w in
+      let ms = Wr.mark w in
+      (match final with Some s -> Wr.octets ~tag:(ctx 2) w s | None -> ());
+      List.iter (fun s -> Wr.octets ~tag:(ctx 1) w s) (List.rev any);
+      (match initial with Some s -> Wr.octets ~tag:(ctx 0) w s | None -> ());
+      Wr.close w ~tag:tag_sequence ms;
+      Wr.octets w a;
+      Wr.close w ~tag:(ctxc 4) m
 
 (* --- Message encoding ---------------------------------------------------- *)
 
-let encode_control c =
-  der_seq
-    ([ der_octets c.control_type ]
-    @ (if c.criticality then [ der_bool true ] else [])
-    @ match c.control_value with Some v -> [ der_octets v ] | None -> [])
+let emit_control w c =
+  let m = Wr.mark w in
+  (match c.control_value with Some v -> Wr.octets w v | None -> ());
+  if c.criticality then Wr.boolean w true;
+  Wr.octets w c.control_type;
+  Wr.close w ~tag:tag_sequence m
 
-let encode_search_request (q : Query.t) =
+let emit_search_request w (q : Query.t) =
   let attrs =
     match q.Query.attrs with Query.All -> [] | Query.Select l -> l
   in
-  der_seq ~tag:(app 3)
-    [
-      der_octets (Dn.to_string q.Query.base);
-      der_enum (Scope.to_int q.Query.scope);
-      der_enum 0 (* neverDerefAliases *);
-      der_integer 0 (* sizeLimit *);
-      der_integer 0 (* timeLimit *);
-      der_bool false (* typesOnly *);
-      encode_filter q.Query.filter;
-      der_seq (List.map (fun a -> der_octets a) attrs);
-    ]
+  let m = Wr.mark w in
+  let ma = Wr.mark w in
+  List.iter (fun a -> Wr.octets w a) (List.rev attrs);
+  Wr.close w ~tag:tag_sequence ma;
+  emit_filter w q.Query.filter;
+  Wr.boolean w false (* typesOnly *);
+  Wr.integer w 0 (* timeLimit *);
+  Wr.integer w 0 (* sizeLimit *);
+  Wr.enum w 0 (* neverDerefAliases *);
+  Wr.enum w (Scope.to_int q.Query.scope);
+  Wr.octets w (Dn.to_string q.Query.base);
+  Wr.close w ~tag:(app 3) m
 
-let encode_entry (e : Entry.t) =
-  der_seq ~tag:(app 4)
-    [
-      der_octets (Dn.to_string (Entry.dn e));
-      der_seq
-        (List.map
-           (fun (name, values) ->
-             der_seq
-               [ der_octets name; der_seq ~tag:tag_set (List.map (fun v -> der_octets v) values) ])
-           (Entry.attributes e));
-    ]
+let emit_entry w (e : Entry.t) =
+  let m = Wr.mark w in
+  let mattrs = Wr.mark w in
+  List.iter
+    (fun (name, values) ->
+      let mone = Wr.mark w in
+      let mvals = Wr.mark w in
+      List.iter (fun v -> Wr.octets w v) (List.rev values);
+      Wr.close w ~tag:tag_set mvals;
+      Wr.octets w name;
+      Wr.close w ~tag:tag_sequence mone)
+    (List.rev (Entry.attributes e));
+  Wr.close w ~tag:tag_sequence mattrs;
+  Wr.octets w (Dn.to_string (Entry.dn e));
+  Wr.close w ~tag:(app 4) m
 
-let encode_done (r : result_done) =
-  der_seq ~tag:(app 5)
-    ([ der_enum r.code; der_octets (Dn.to_string r.matched); der_octets r.diagnostic ]
-    @
-    if r.referral = [] then []
-    else [ der_seq ~tag:(ctxc 3) (List.map (fun u -> der_octets u) r.referral) ])
+let emit_done w (r : result_done) =
+  let m = Wr.mark w in
+  if r.referral <> [] then begin
+    let mr = Wr.mark w in
+    List.iter (fun u -> Wr.octets w u) (List.rev r.referral);
+    Wr.close w ~tag:(ctxc 3) mr
+  end;
+  Wr.octets w r.diagnostic;
+  Wr.octets w (Dn.to_string r.matched);
+  Wr.enum w r.code;
+  Wr.close w ~tag:(app 5) m
 
-let encode_op = function
-  | Search_request q -> encode_search_request q
-  | Search_result_entry e -> encode_entry e
-  | Search_result_reference urls -> der_seq ~tag:(app 19) (List.map (fun u -> der_octets u) urls)
-  | Search_result_done r -> encode_done r
+let emit_op w = function
+  | Search_request q -> emit_search_request w q
+  | Search_result_entry e -> emit_entry w e
+  | Search_result_reference urls ->
+      let m = Wr.mark w in
+      List.iter (fun u -> Wr.octets w u) (List.rev urls);
+      Wr.close w ~tag:(app 19) m
+  | Search_result_done r -> emit_done w r
+
+let emit_message w m =
+  let mm = Wr.mark w in
+  if m.controls <> [] then begin
+    let mc = Wr.mark w in
+    List.iter (emit_control w) (List.rev m.controls);
+    Wr.close w ~tag:(ctxc 0) mc
+  end;
+  emit_op w m.op;
+  Wr.integer w m.id;
+  Wr.close w ~tag:tag_sequence mm
+
+(* One buffer reused across every encode in the process; emitters never
+   re-enter [encode], so sharing is safe. *)
+let scratch = Ldap_compile.Wbuf.create ~capacity:4096 ()
+
+let encode_to = emit_message
 
 let encode m =
-  der_seq
-    ([ der_integer m.id; encode_op m.op ]
-    @
-    if m.controls = [] then []
-    else [ der_seq ~tag:(ctxc 0) (List.map encode_control m.controls) ])
+  Ldap_compile.Wbuf.clear scratch;
+  emit_message scratch m;
+  Ldap_compile.Wbuf.contents scratch
 
-let encoded_size m = String.length (encode m)
+let encoded_size m =
+  Ldap_compile.Wbuf.clear scratch;
+  emit_message scratch m;
+  Ldap_compile.Wbuf.length scratch
 
 (* --- Decoding ------------------------------------------------------------ *)
 
@@ -201,18 +316,22 @@ let contents c = String.sub c.buf c.pos (c.limit - c.pos)
 
 let at_end c = c.pos >= c.limit
 
-let read_integer c =
-  let inner = expect_tag tag_integer (read_tlv c) in
-  let s = contents inner in
-  String.fold_left (fun acc ch -> (acc lsl 8) lor Char.code ch) 0 s
+(* Big-endian fold over the cursor's remaining region in place — the
+   scalar readers never materialize an intermediate substring. *)
+let fold_be inner =
+  let acc = ref 0 in
+  for i = inner.pos to inner.limit - 1 do
+    acc := (!acc lsl 8) lor Char.code (String.unsafe_get inner.buf i)
+  done;
+  !acc
 
-let read_enum ?(tag = tag_enumerated) c =
-  let inner = expect_tag tag (read_tlv c) in
-  String.fold_left (fun acc ch -> (acc lsl 8) lor Char.code ch) 0 (contents inner)
+(* The old reader treated exactly the body "\x00" as false; keep that. *)
+let is_false_body inner =
+  inner.limit - inner.pos = 1 && inner.buf.[inner.pos] = '\x00'
 
-let read_bool c =
-  let inner = expect_tag tag_boolean (read_tlv c) in
-  contents inner <> "\x00"
+let read_integer c = fold_be (expect_tag tag_integer (read_tlv c))
+let read_enum ?(tag = tag_enumerated) c = fold_be (expect_tag tag (read_tlv c))
+let read_bool c = not (is_false_body (expect_tag tag_boolean (read_tlv c)))
 
 let read_octets ?(tag = tag_octet_string) c =
   contents (expect_tag tag (read_tlv c))
@@ -277,7 +396,7 @@ let decode_controls c =
       let criticality = ref false and control_value = ref None in
       while not (at_end inner) do
         let tag, vinner = read_tlv inner in
-        if tag = tag_boolean then criticality := contents vinner <> "\x00"
+        if tag = tag_boolean then criticality := not (is_false_body vinner)
         else if tag = tag_octet_string then control_value := Some (contents vinner)
         else raise (Decode_error "bad control field")
       done;
@@ -423,8 +542,35 @@ module Der = struct
   let octets s = der_octets s
   let seq parts = der_seq parts
   let option f = function None -> der_seq [] | Some v -> der_seq [ f v ]
-  let entry = encode_entry
-  let query = encode_search_request
+
+  let with_scratch emit x =
+    Ldap_compile.Wbuf.clear scratch;
+    emit scratch x;
+    Ldap_compile.Wbuf.contents scratch
+
+  let entry e = with_scratch emit_entry e
+  let query q = with_scratch emit_search_request q
+
+  module W = struct
+    type w = Ldap_compile.Wbuf.t
+
+    let mark = Writer.mark
+    let close_seq w m = Writer.close w ~tag:tag_sequence m
+    let close_octets w m = Writer.close w ~tag:tag_octet_string m
+    let integer = Writer.integer
+    let boolean = Writer.boolean
+    let enum w n = Writer.enum w n
+    let octets w s = Writer.octets w s
+    let option w f = function
+      | None -> close_seq w (mark w)
+      | Some v ->
+          let m = mark w in
+          f v;
+          close_seq w m
+    let entry = emit_entry
+    let query = emit_search_request
+  end
+
   let cursor s = { buf = s; pos = 0; limit = String.length s }
   let at_end = at_end
   let read_integer c = read_integer c

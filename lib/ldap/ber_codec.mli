@@ -40,7 +40,13 @@ val resync_control : mode:string -> cookie:string option -> control
 val decode_resync_control : control -> (string * string option, string) result
 
 val encode : message -> string
-(** DER encoding of the whole LDAPMessage. *)
+(** DER encoding of the whole LDAPMessage.  Internally emits into one
+    reused buffer ({!encode_to}) and copies out once. *)
+
+val encode_to : Ldap_compile.Wbuf.t -> message -> unit
+(** Zero-copy encode: prepend the message's DER image into a caller
+    buffer.  Reusing one buffer across messages makes encoding
+    allocation-free apart from buffer growth. *)
 
 val decode : string -> (message, string) result
 (** Decodes one LDAPMessage occupying the entire input. *)
@@ -89,6 +95,51 @@ module Der : sig
   val query : Query.t -> string
   (** A SearchRequest TLV.  The [manage_dsa_it] flag travels as a
       control at the message layer, so it is {e not} preserved. *)
+
+  (** Writer twins of the combinators above, emitting into an
+      {!Ldap_compile.Wbuf} backwards with no intermediate strings.
+      Because the buffer is written back-to-front, composite values
+      must emit their children in {e reverse} field order between
+      {!W.mark} and {!W.close_seq}; the string combinators remain the
+      readable spelling for cold paths.  Both produce byte-identical
+      DER, so records written by either are read by the same
+      [read_*] cursors. *)
+  module W : sig
+    type w = Ldap_compile.Wbuf.t
+    (** The target buffer. *)
+
+    val mark : w -> int
+    (** Open a composite value; pass the result to {!close_seq}. *)
+
+    val close_seq : w -> int -> unit
+    (** Close a SEQUENCE whose children were emitted (in reverse
+        order) since the given {!mark}. *)
+
+    val close_octets : w -> int -> unit
+    (** Close an OCTET STRING over the raw bytes emitted since the
+        given {!mark} — for wrapping an already-emitted image. *)
+
+    val integer : w -> int -> unit
+    (** Writer twin of {!integer}. *)
+
+    val boolean : w -> bool -> unit
+    (** Writer twin of {!boolean}. *)
+
+    val enum : w -> int -> unit
+    (** Writer twin of {!enum}. *)
+
+    val octets : w -> string -> unit
+    (** Writer twin of {!octets}. *)
+
+    val option : w -> ('a -> unit) -> 'a option -> unit
+    (** Writer twin of {!option}; the callback must emit into [w]. *)
+
+    val entry : w -> Entry.t -> unit
+    (** Writer twin of {!entry}. *)
+
+    val query : w -> Query.t -> unit
+    (** Writer twin of {!query}. *)
+  end
 
   val cursor : string -> cursor
   (** Cursor over a whole buffer. *)

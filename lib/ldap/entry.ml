@@ -1,7 +1,21 @@
 module Smap = Map.Make (String)
 
+(* Per-record memo for derived views.  Mutators must install a fresh
+   memo in every record they build: the field itself is immutable but
+   its contents are not, so a [{ t with ... }] copy would otherwise
+   share (and serve stale) cached state. *)
+type memo = {
+  mutable view : (Schema.t * Ldap_compile.Prog.centry) option;
+      (* keyed by the physical identity of the schema it was built
+         under, compared with [==] — schemas are built once and
+         shared, so pointer identity is the right cache key *)
+  mutable content_hash : int64 option;
+}
+
+let fresh_memo () = { view = None; content_hash = None }
+
 (* [order] keeps first-seen attribute order for stable printing. *)
-type t = { dn : Dn.t; attrs : string list Smap.t; order : string list }
+type t = { dn : Dn.t; attrs : string list Smap.t; order : string list; memo : memo }
 
 let lc = String.lowercase_ascii
 
@@ -22,10 +36,10 @@ let make dn pairs =
         (Smap.add name merged m, order))
       (Smap.empty, []) pairs
   in
-  { dn; attrs; order = List.rev order }
+  { dn; attrs; order = List.rev order; memo = fresh_memo () }
 
 let dn t = t.dn
-let with_dn t dn = { t with dn }
+let with_dn t dn = { t with dn; memo = fresh_memo () }
 
 let attributes t =
   List.filter_map
@@ -57,13 +71,18 @@ let add_values ?(syntax = Value.Case_ignore) t name values =
   if fresh = [] && existing <> [] then t
   else
     let order = if Smap.mem name t.attrs then t.order else t.order @ [ name ] in
-    { t with attrs = Smap.add name (existing @ dedup_values fresh) t.attrs; order }
+    { t with
+      attrs = Smap.add name (existing @ dedup_values fresh) t.attrs;
+      order;
+      memo = fresh_memo ();
+    }
 
 let delete_values ?(syntax = Value.Case_ignore) t name values =
   let name = lc name in
   let existing = get t name in
   if existing = [] then Error (Printf.sprintf "no such attribute: %s" name)
-  else if values = [] then Ok { t with attrs = Smap.remove name t.attrs }
+  else if values = [] then
+    Ok { t with attrs = Smap.remove name t.attrs; memo = fresh_memo () }
   else
     let missing =
       List.filter (fun v -> not (List.exists (fun x -> Value.equal syntax x v) existing)) values
@@ -76,15 +95,16 @@ let delete_values ?(syntax = Value.Case_ignore) t name values =
             (fun x -> not (List.exists (fun v -> Value.equal syntax x v) values))
             existing
         in
-        if remaining = [] then Ok { t with attrs = Smap.remove name t.attrs }
-        else Ok { t with attrs = Smap.add name remaining t.attrs }
+        if remaining = [] then
+          Ok { t with attrs = Smap.remove name t.attrs; memo = fresh_memo () }
+        else Ok { t with attrs = Smap.add name remaining t.attrs; memo = fresh_memo () }
 
 let replace_values t name values =
   let name = lc name in
-  if values = [] then { t with attrs = Smap.remove name t.attrs }
+  if values = [] then { t with attrs = Smap.remove name t.attrs; memo = fresh_memo () }
   else
     let order = if Smap.mem name t.attrs then t.order else t.order @ [ name ] in
-    { t with attrs = Smap.add name (dedup_values values) t.attrs; order }
+    { t with attrs = Smap.add name (dedup_values values) t.attrs; order; memo = fresh_memo () }
 
 let select t requested =
   match requested with
@@ -96,7 +116,7 @@ let select t requested =
         let attrs =
           Smap.filter (fun name _ -> List.mem name keep) t.attrs
         in
-        { t with attrs }
+        { t with attrs; memo = fresh_memo () }
 
 let normalized_attrs t =
   Smap.bindings t.attrs
@@ -104,6 +124,51 @@ let normalized_attrs t =
   |> List.map (fun (name, vs) -> (name, List.sort String.compare vs))
 
 let equal a b = Dn.equal a.dn b.dn && normalized_attrs a = normalized_attrs b
+
+(* --- Compiled view --------------------------------------------------- *)
+
+let build_view schema t =
+  let open Ldap_compile in
+  let slots =
+    List.map
+      (fun (name, vs) ->
+        let syntax = Schema.syntax_of schema name in
+        let vs = Array.of_list vs in
+        let canon = Array.map (Value.canonical syntax) vs in
+        let norm, ints =
+          match (syntax : Value.syntax) with
+          | Integer ->
+              ( Array.map (Value.normalize syntax) vs,
+                Array.map int_of_string_opt canon )
+          | Case_ignore | Case_exact | Telephone -> (canon, [||])
+        in
+        {
+          Prog.id = Attr_id.intern name;
+          cid = Attr_id.intern (Schema.canonical_attr schema name);
+          syntax;
+          canon;
+          norm;
+          ints;
+        })
+      (attributes t)
+  in
+  Prog.make_centry ~dn_canon:(Dn.canonical t.dn) (Array.of_list slots)
+
+let compiled schema t =
+  match t.memo.view with
+  | Some (w, ce) when w == schema -> ce
+  | _ ->
+      let ce = build_view schema t in
+      t.memo.view <- Some (schema, ce);
+      ce
+
+let cached_hash t ~compute =
+  match t.memo.content_hash with
+  | Some h -> h
+  | None ->
+      let h = compute t in
+      t.memo.content_hash <- Some h;
+      h
 
 let pp ppf t =
   Format.fprintf ppf "dn: %s" (Dn.to_string t.dn);

@@ -55,5 +55,21 @@ val equal : t -> t -> bool
 (** Structural equality on DN and normalized attribute sets (order
     insensitive, values compared byte-wise). *)
 
+val compiled : Schema.t -> t -> Ldap_compile.Prog.centry
+(** [compiled schema e] is the entry flattened into the compiled view
+    {!Ldap_compile.Prog.centry}: interned attribute ids (literal and
+    schema-canonical), syntaxes resolved, and every value
+    pre-canonicalized under its matching rule.  Built at most once per
+    entry record and memoized — the cache is keyed on the schema's
+    physical identity and invalidated by every mutator — so hot paths
+    (filter bytecode, predicate-index probes) evaluate against it with
+    no schema lookups or normalization. *)
+
+val cached_hash : t -> compute:(t -> int64) -> int64
+(** [cached_hash e ~compute] memoizes one 64-bit content digest per
+    entry record (used by the anti-entropy tree).  All callers must
+    pass the same [compute]; the cache is invalidated by mutators
+    along with the compiled view. *)
+
 val pp : Format.formatter -> t -> unit
 (** LDIF-ish rendering for debugging and the CLI. *)

@@ -116,6 +116,57 @@ let rec matches schema t entry =
   | And gs -> List.for_all (fun g -> matches schema g entry) gs
   | Or gs -> List.exists (fun g -> matches schema g entry) gs
 
+(* --- Compilation ----------------------------------------------------- *)
+
+(* Lower a predicate to bytecode.  The attribute id is the interned
+   *literal* (lowercased) name, matching [Entry.get]'s key semantics:
+   filters do not resolve schema aliases against entry attributes, and
+   neither may the compiled program.  The syntax lookup, by contrast,
+   is alias-resolving, exactly as [pred_matches] does it. *)
+let compile_pred schema p =
+  let open Ldap_compile in
+  let id a = Attr_id.intern (String.lowercase_ascii a) in
+  let syntax a = Schema.syntax_of schema a in
+  match p with
+  | Present a -> Prog.P_present (id a)
+  | Equality (a, v) | Approx (a, v) ->
+      Prog.P_eq (id a, Value.canonical (syntax a) v)
+  | Greater_eq (a, v) | Less_eq (a, v) -> (
+      let ge = match p with Greater_eq _ -> true | _ -> false in
+      match syntax a with
+      | Value.Integer ->
+          let c = Value.canonical Value.Integer v in
+          Prog.P_cmp_int
+            { i_id = id a; i_ge = ge; i_v = int_of_string_opt c; i_vs = c }
+      | (Value.Case_ignore | Value.Case_exact | Value.Telephone) as s ->
+          Prog.P_cmp { c_id = id a; c_ge = ge; c_v = Value.normalize s v })
+  | Substrings (a, { initial; any; final }) ->
+      let s = syntax a in
+      let norm v = Value.normalize s v in
+      Prog.P_sub
+        {
+          s_id = id a;
+          s_initial = Option.map norm initial;
+          s_any = Array.of_list (List.map norm any);
+          s_final = Option.map norm final;
+        }
+
+let compile schema t =
+  let open Ldap_compile in
+  let rec go = function
+    | Pred p -> compile_pred schema p
+    | Not g -> Prog.P_not (go g)
+    | And [] -> Prog.P_true
+    | Or [] -> Prog.P_false
+    | And gs -> Prog.P_all (Array.of_list (List.map go gs))
+    | Or gs -> Prog.P_any (Array.of_list (List.map go gs))
+  in
+  go t
+
+let matcher schema t =
+  let prog = compile schema t in
+  fun entry -> Ldap_compile.Prog.matches prog (Entry.compiled schema entry)
+
 (* --- Printing ------------------------------------------------------- *)
 
 let escape_assertion v =

@@ -58,6 +58,20 @@ val equal : t -> t -> bool
 
 val compare : t -> t -> int
 
+val compile : Schema.t -> t -> Ldap_compile.Prog.t
+(** [compile schema f] lowers the filter once into the flat bytecode
+    of {!Ldap_compile.Prog}: assertion values pre-canonicalized under
+    each predicate's matching rule, attributes interned to ids,
+    AND/OR as short-circuit arrays.  Evaluate with
+    [Prog.matches (compile schema f) (Entry.compiled schema e)],
+    which agrees with {!matches} (the interpreted oracle) on every
+    entry. *)
+
+val matcher : Schema.t -> t -> Entry.t -> bool
+(** [matcher schema f] compiles [f] and returns a closure evaluating
+    it against entries' compiled views — the convenient form for
+    hoisting one compile out of a per-entry loop. *)
+
 val matches : Schema.t -> t -> Entry.t -> bool
 (** Filter evaluation over an entry, using the schema's matching rules.
     Follows LDAP three-valued semantics collapsed to two: a predicate

@@ -17,9 +17,12 @@ let widen_attrs (q : Query.t) =
       { q with Query.attrs = Query.Select (l @ Filter.attributes q.Query.filter) }
 
 let eval_over_entries schema (q : Query.t) entries =
+  (* Compile the filter once for the whole pass; each entry then
+     evaluates through its cached compiled view. *)
+  let matches = Filter.matcher schema q.Query.filter in
   List.filter_map
     (fun e ->
-      if Query.in_scope q (Entry.dn e) && Filter.matches schema q.Query.filter e then
+      if Query.in_scope q (Entry.dn e) && matches e then
         Some (Entry.select e (Query.attr_list q.Query.attrs))
       else None)
     entries

@@ -78,21 +78,32 @@ let prune t ~keep =
 (* --- Durability ------------------------------------------------------ *)
 
 module Der = Ber_codec.Der
+module DW = Der.W
 
-let journal t payload =
-  match t.store with Some s -> Ldap_store.Store.append s payload | None -> ()
+let journal_w t emit =
+  match t.store with Some s -> Ldap_store.Store.append_w s emit | None -> ()
 
 (* WAL record kinds: a whole reply (cookie + actions as one record —
-   the atomicity boundary), or one pushed persist action. *)
-let reply_record reply = Der.seq [ Der.enum 0; Store_codec.reply reply ]
-let action_record a = Der.seq [ Der.enum 1; Store_codec.action a ]
+   the atomicity boundary), or one pushed persist action.  Emitted
+   backwards into the WAL's reused buffer (see {!Ber_codec.Der.W}). *)
+let reply_record w reply =
+  let m = DW.mark w in
+  Store_codec.W.reply w reply;
+  DW.enum w 0;
+  DW.close_seq w m
+
+let action_record w a =
+  let m = DW.mark w in
+  Store_codec.W.action w a;
+  DW.enum w 1;
+  DW.close_seq w m
 
 let apply_reply t (reply : Protocol.reply) =
   (* Write-ahead: the whole reply — new cookie and all actions — is
      journaled as one WAL record before any in-memory mutation, so a
      crash mid-apply replays cookie and content together or not at
      all; the durable cookie can never run ahead of durable content. *)
-  journal t (reply_record reply);
+  journal_w t (fun w -> reply_record w reply);
   (* The cookie is stored before the actions are applied: an observer
      registered with {!set_on_change} fires during application, and
      anything it derives from this consumer's state — e.g. the CSN an
@@ -242,7 +253,7 @@ let connect_persist ?(max_attempts = default_attempts) ?(backoff = default_backo
     ?(from = "consumer") ?(observe = fun (_ : Action.t) -> ()) t transport ~host =
   let had_cookie = t.cookie <> None in
   let push a =
-    journal t (action_record a);
+    journal_w t (fun w -> action_record w a);
     apply_action t a;
     observe a
   in
@@ -291,11 +302,17 @@ let checkpoint t =
   match t.store with
   | None -> ()
   | Some s ->
-      let entries =
-        List.map (fun (_, e) -> Der.entry e) (Dn.Map.bindings t.entries)
-      in
-      Ldap_store.Store.checkpoint s
-        (Der.seq [ Store_codec.cookie_opt t.cookie; Der.seq entries ])
+      Ldap_store.Store.checkpoint_w s (fun w ->
+          let m = DW.mark w in
+          let me = DW.mark w in
+          (* Backwards writer: bindings emitted in reverse so the image
+             lists them in ascending DN order, as before. *)
+          List.iter
+            (fun (_, e) -> DW.entry w e)
+            (List.rev (Dn.Map.bindings t.entries));
+          DW.close_seq w me;
+          DW.option w (DW.octets w) t.cookie;
+          DW.close_seq w m)
 
 let replay_record t payload =
   Ldap_store.Codec.decode

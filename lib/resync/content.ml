@@ -3,6 +3,21 @@ open Ldap
 let member schema (q : Query.t) entry =
   Query.in_scope q (Entry.dn entry) && Filter.matches schema q.Query.filter entry
 
+(* A membership test with the filter compiled once.  Sessions live for
+   many updates, so the master caches one of these per session and
+   classifies every affected update against bytecode instead of
+   re-walking the filter AST. *)
+type matcher = { mq : Query.t; prog : Ldap_compile.Prog.t; mschema : Schema.t }
+
+let matcher schema (q : Query.t) =
+  { mq = q; prog = Filter.compile schema q.Query.filter; mschema = schema }
+
+let matcher_query m = m.mq
+
+let matches m entry =
+  Query.in_scope m.mq (Entry.dn entry)
+  && Ldap_compile.Prog.matches m.prog (Entry.compiled m.mschema entry)
+
 let current backend q =
   match Backend.search backend q with
   | Ok { Backend.entries; _ } -> entries
@@ -22,11 +37,9 @@ type transition =
   | Changes_within of Entry.t
   | Renames_within of { old_dn : Dn.t; entry : Entry.t }
 
-let classify schema q ~before ~after =
-  let was_in =
-    match before with Some e -> member schema q e | None -> false
-  in
-  let is_in = match after with Some e -> member schema q e | None -> false in
+let classify_with is_member ~before ~after =
+  let was_in = match before with Some e -> is_member e | None -> false in
+  let is_in = match after with Some e -> is_member e | None -> false in
   match (was_in, is_in, before, after) with
   | false, false, _, _ -> Stays_out
   | false, true, _, Some e -> Moves_in e
@@ -38,6 +51,11 @@ let classify schema q ~before ~after =
   | true, true, None, _ ->
       (* Membership implies the corresponding image exists. *)
       assert false
+
+let classify schema q ~before ~after =
+  classify_with (member schema q) ~before ~after
+
+let classify_m m ~before ~after = classify_with (matches m) ~before ~after
 
 let actions_of_transition = function
   | Stays_out -> []

@@ -12,6 +12,20 @@ val member : Schema.t -> Query.t -> Entry.t -> bool
 (** Whether the entry belongs to the query's content: its DN is in the
     base/scope region and the filter matches. *)
 
+type matcher
+(** {!member} with the query's filter compiled once to bytecode; the
+    master builds one per session and reuses it across every routed
+    update. *)
+
+val matcher : Schema.t -> Query.t -> matcher
+(** Compile a membership test for the query. *)
+
+val matcher_query : matcher -> Query.t
+(** The query the matcher was compiled from. *)
+
+val matches : matcher -> Entry.t -> bool
+(** Compiled equivalent of [member schema q entry]. *)
+
 val current : Backend.t -> Query.t -> Entry.t list
 (** [CS(now)]: the content evaluated against the backend, with the
     query's attribute selection applied. *)
@@ -30,6 +44,11 @@ type transition =
 
 val classify :
   Schema.t -> Query.t -> before:Entry.t option -> after:Entry.t option -> transition
+(** Interpreted classification (the oracle for {!classify_m}). *)
+
+val classify_m :
+  matcher -> before:Entry.t option -> after:Entry.t option -> transition
+(** Same classification driven by a compiled {!matcher}. *)
 
 val actions_of_transition : transition -> Action.t list
 (** The PDUs a session must emit for the transition, in order. *)

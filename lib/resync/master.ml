@@ -6,6 +6,7 @@ type dispatch = Routed | Naive
 type session = {
   id : int;
   query : Query.t;
+  matcher : Content.matcher;  (* query compiled once, reused per update *)
   mutable pending : Action.t list;  (* newest first; Session_history only *)
   mutable synced_csn : Csn.t;
   mutable persist_push : (Action.t -> unit) option;
@@ -46,34 +47,51 @@ let strategy t = t.strategy
    cookie, which the recovered session table answers incrementally. *)
 
 module Der = Ber_codec.Der
+module DW = Der.W
 
-let journal t payload =
-  match t.store with Some s -> Ldap_store.Store.append s payload | None -> ()
+(* Journal records are emitted with the backwards writer straight into
+   the WAL's reused buffer — children in reverse field order, images
+   byte-identical to the old [Der.seq] spellings, so logs written by
+   either codec replay in {!replay_record}. *)
+let journal_w t emit =
+  match t.store with Some s -> Ldap_store.Store.append_w s emit | None -> ()
 
-let new_record (s : session) =
-  Der.seq
-    [
-      Der.enum 0;
-      Der.integer s.id;
-      Der.query s.query;
-      Der.integer (Csn.to_int s.synced_csn);
-    ]
+let new_record w (s : session) =
+  let m = DW.mark w in
+  DW.integer w (Csn.to_int s.synced_csn);
+  DW.query w s.query;
+  DW.integer w s.id;
+  DW.enum w 0;
+  DW.close_seq w m
 
-let removed_record id = Der.seq [ Der.enum 1; Der.integer id ]
+let removed_record w id =
+  let m = DW.mark w in
+  DW.integer w id;
+  DW.enum w 1;
+  DW.close_seq w m
 
-let pending_record id actions =
+let pending_record w id actions =
   (* Oldest first on the wire; [pending] holds newest first. *)
-  Der.seq [ Der.enum 2; Der.integer id; Store_codec.actions actions ]
+  let m = DW.mark w in
+  Store_codec.W.actions w actions;
+  DW.integer w id;
+  DW.enum w 2;
+  DW.close_seq w m
 
-let synced_record id csn ~clear =
-  Der.seq
-    [ Der.enum 3; Der.integer id; Der.integer (Csn.to_int csn);
-      Der.boolean clear ]
+let synced_record w id csn ~clear =
+  let m = DW.mark w in
+  DW.boolean w clear;
+  DW.integer w (Csn.to_int csn);
+  DW.integer w id;
+  DW.enum w 3;
+  DW.close_seq w m
 
-let ts_record ts =
-  Der.seq
-    [ Der.enum 4; Der.octets (Dn.to_string ts.ts_dn);
-      Der.integer (Csn.to_int ts.ts_csn) ]
+let ts_record w ts =
+  let m = DW.mark w in
+  DW.integer w (Csn.to_int ts.ts_csn);
+  DW.octets w (Dn.to_string ts.ts_dn);
+  DW.enum w 4;
+  DW.close_seq w m
 
 (* The [persist] table and the dispatch index shadow [sessions]; all
    membership changes go through these helpers to keep them in sync. *)
@@ -84,7 +102,7 @@ let set_persist t session push =
   | None -> Hashtbl.remove t.persist session.id
 
 let remove_session t id =
-  if Hashtbl.mem t.sessions id then journal t (removed_record id);
+  if Hashtbl.mem t.sessions id then journal_w t (fun w -> removed_record w id);
   Hashtbl.remove t.sessions id;
   Hashtbl.remove t.persist id;
   Option.iter
@@ -120,11 +138,12 @@ let gc_tombstones t =
       | None -> []
       | Some m -> List.filter (fun ts -> Csn.( < ) m ts.ts_csn) t.tombstones)
 
-(* Classify a committed update against one session. *)
+(* Classify a committed update against one session, via the session's
+   compiled matcher — the bytecode program built once at session
+   creation rather than re-walking the filter AST per update. *)
 let classify_for t (record : Update.record) session =
-  let schema = Backend.schema t.backend in
   let transition =
-    Content.classify schema session.query ~before:record.before ~after:record.after
+    Content.classify_m session.matcher ~before:record.before ~after:record.after
   in
   let actions =
     List.map (select_action session.query) (Content.actions_of_transition transition)
@@ -136,16 +155,16 @@ let classify_for t (record : Update.record) session =
          filter — is pushed through up to its CSN, so the session
          must not pin retained history at an older CSN. *)
       session.synced_csn <- record.csn;
-      journal t (synced_record session.id record.csn ~clear:false)
+      journal_w t (fun w -> synced_record w session.id record.csn ~clear:false)
   | None ->
       if actions <> [] && t.strategy = Session_history then begin
         session.pending <- List.rev_append actions session.pending;
-        journal t (pending_record session.id actions)
+        journal_w t (fun w -> pending_record w session.id actions)
       end
 
 let add_tombstone t ts =
   t.tombstones <- ts :: t.tombstones;
-  journal t (ts_record ts)
+  journal_w t (fun w -> ts_record w ts)
 
 let on_update t (record : Update.record) =
   (if t.strategy = Tombstone then
@@ -180,7 +199,7 @@ let on_update t (record : Update.record) =
         (fun id session ->
           if not (Ldap_containment.Predicate_index.mem affected id) then begin
             session.synced_csn <- record.csn;
-            journal t (synced_record id record.csn ~clear:false)
+            journal_w t (fun w -> synced_record w id record.csn ~clear:false)
           end)
         t.persist);
   gc_tombstones t
@@ -372,6 +391,7 @@ let new_session t query ~persist_push =
     {
       id;
       query;
+      matcher = Content.matcher (Backend.schema t.backend) query;
       pending = [];
       synced_csn = Backend.csn t.backend;
       persist_push = None;
@@ -384,7 +404,7 @@ let new_session t query ~persist_push =
     (fun idx ->
       Ldap_containment.Predicate_index.add idx id query.Query.filter)
     t.dispatch;
-  journal t (new_record session);
+  journal_w t (fun w -> new_record w session);
   session
 
 (* Poll replies carry the resume cookie; persist replies carry the
@@ -400,7 +420,7 @@ let session_cookie session ~mode =
 let advance_synced t session ~clear =
   let csn = Backend.csn t.backend in
   session.synced_csn <- csn;
-  journal t (synced_record session.id csn ~clear)
+  journal_w t (fun w -> synced_record w session.id csn ~clear)
 
 let initial_reply t session ~mode =
   let entries = Content.current t.backend session.query in
@@ -553,35 +573,39 @@ let strategy_of_code = function
 
 (* Snapshot layout: SEQ [ strategy; next_id; clock; sessions;
    tombstones ].  Sessions are sorted by id so the image is
-   deterministic regardless of hash-table iteration order. *)
-let snapshot_payload t =
+   deterministic regardless of hash-table iteration order.  Emitted
+   backwards into the store's checkpoint buffer (fields and list
+   elements in reverse order). *)
+let snapshot_emit t w =
   let sessions =
     Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions []
-    |> List.sort (fun a b -> Int.compare a.id b.id)
-    |> List.map (fun s ->
-           Der.seq
-             [
-               Der.integer s.id;
-               Der.query s.query;
-               Store_codec.actions (List.rev s.pending);
-               Der.integer (Csn.to_int s.synced_csn);
-               Der.integer s.last_active;
-             ])
+    |> List.sort (fun a b -> Int.compare b.id a.id)
   in
-  let tombstones = List.map ts_record t.tombstones in
-  Der.seq
-    [
-      Der.enum (strategy_code t.strategy);
-      Der.integer t.next_id;
-      Der.integer t.clock;
-      Der.seq sessions;
-      Der.seq tombstones;
-    ]
+  let m = DW.mark w in
+  let mt = DW.mark w in
+  List.iter (ts_record w) (List.rev t.tombstones);
+  DW.close_seq w mt;
+  let ms = DW.mark w in
+  List.iter
+    (fun s ->
+      let mse = DW.mark w in
+      DW.integer w s.last_active;
+      DW.integer w (Csn.to_int s.synced_csn);
+      Store_codec.W.actions w (List.rev s.pending);
+      DW.query w s.query;
+      DW.integer w s.id;
+      DW.close_seq w mse)
+    sessions;
+  DW.close_seq w ms;
+  DW.integer w t.clock;
+  DW.integer w t.next_id;
+  DW.enum w (strategy_code t.strategy);
+  DW.close_seq w m
 
 let checkpoint t =
   match t.store with
   | None -> ()
-  | Some s -> Ldap_store.Store.checkpoint s (snapshot_payload t)
+  | Some s -> Ldap_store.Store.checkpoint_w s (snapshot_emit t)
 
 let read_snapshot c =
   let inner = Der.read_seq c in
@@ -640,6 +664,7 @@ let replay_record t payload =
             {
               id;
               query;
+              matcher = Content.matcher (Backend.schema t.backend) query;
               pending = [];
               synced_csn = csn;
               persist_push = None;
@@ -705,6 +730,7 @@ let recover ?strategy ?dispatch backend store =
             {
               id;
               query;
+              matcher = Content.matcher (Backend.schema backend) query;
               pending = List.rev pending_oldest;
               synced_csn = synced;
               persist_push = None;

@@ -53,6 +53,42 @@ let reply (r : Protocol.reply) =
       cookie_opt r.Protocol.cookie;
     ]
 
+(* Writer twins emitting backwards into a reused buffer (children in
+   reverse field order, see {!Ber_codec.Der.W}); byte-identical to the
+   string encoders above. *)
+module W = struct
+  module DW = Der.W
+
+  let action w (a : Action.t) =
+    let m = DW.mark w in
+    (match a with
+    | Action.Add e ->
+        DW.entry w e;
+        DW.enum w 0
+    | Action.Modify e ->
+        DW.entry w e;
+        DW.enum w 1
+    | Action.Delete dn ->
+        DW.octets w (Dn.to_string dn);
+        DW.enum w 2
+    | Action.Retain dn ->
+        DW.octets w (Dn.to_string dn);
+        DW.enum w 3);
+    DW.close_seq w m
+
+  let actions w l =
+    let m = DW.mark w in
+    List.iter (action w) (List.rev l);
+    DW.close_seq w m
+
+  let reply w (r : Protocol.reply) =
+    let m = DW.mark w in
+    DW.option w (DW.octets w) r.Protocol.cookie;
+    actions w r.Protocol.actions;
+    DW.enum w (kind_code r.Protocol.kind);
+    DW.close_seq w m
+end
+
 let read_reply c =
   let inner = Der.read_seq c in
   let kind = kind_of_code (Der.read_enum inner) in

@@ -31,5 +31,19 @@ val read_reply : Ber_codec.Der.cursor -> Protocol.reply
 val cookie_opt : string option -> string
 (** An optional cookie. *)
 
+(** Writer twins of the encoders above (see {!Ber_codec.Der.W}):
+    byte-identical images emitted backwards into a reused buffer for
+    the hot journal paths. *)
+module W : sig
+  val action : Ldap_compile.Wbuf.t -> Action.t -> unit
+  (** Writer twin of {!action}. *)
+
+  val actions : Ldap_compile.Wbuf.t -> Action.t list -> unit
+  (** Writer twin of {!actions}. *)
+
+  val reply : Ldap_compile.Wbuf.t -> Protocol.reply -> unit
+  (** Writer twin of {!reply}. *)
+end
+
 val read_cookie_opt : Ber_codec.Der.cursor -> string option
 (** Inverse of {!cookie_opt}. *)

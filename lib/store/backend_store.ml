@@ -1,10 +1,12 @@
 open Ldap
 module Der = Ber_codec.Der
+module DW = Der.W
 
 type t = { backend : Backend.t; store : Store.t }
 
 let attach backend store =
-  Backend.subscribe backend (fun record -> Store.append store (Codec.record record));
+  Backend.subscribe backend (fun record ->
+      Store.append_w store (fun w -> Codec.W.record w record));
   { backend; store }
 
 let backend t = t.backend
@@ -13,30 +15,34 @@ let store t = t.store
 (* Snapshot layout: SEQ [ csn; floor; contexts; log ] where contexts
    is a SEQ of per-context SEQs of entry images (parent before
    children, suffix entry first) and log is a SEQ of retained
-   changelog records, oldest first. *)
-let snapshot_payload backend =
-  let contexts =
-    List.map
-      (fun dit ->
-        let entries =
-          List.rev
-            (Dit.fold dit ~init:[] ~f:(fun acc e -> Der.entry e :: acc))
-        in
-        Der.seq entries)
-      (Backend.contexts backend)
-  in
-  let log =
-    List.map Codec.record (Backend.log_since backend (Backend.log_floor backend))
-  in
-  Der.seq
-    [
-      Codec.csn (Backend.csn backend);
-      Codec.csn (Backend.log_floor backend);
-      Der.seq contexts;
-      Der.seq log;
-    ]
+   changelog records, oldest first.  Emitted with the backwards writer
+   (fields and list elements in reverse order), byte-identical to the
+   old string-combinator image. *)
+let snapshot_emit backend w =
+  let m = DW.mark w in
+  let ml = DW.mark w in
+  List.iter
+    (fun r -> Codec.W.record w r)
+    (List.rev (Backend.log_since backend (Backend.log_floor backend)));
+  DW.close_seq w ml;
+  let mc = DW.mark w in
+  List.iter
+    (fun dit ->
+      let mctx = DW.mark w in
+      (* [Dit.fold] yields parent-before-children; consing builds the
+         reverse, which the backwards writer flips back to fold order
+         in the final image. *)
+      List.iter
+        (fun e -> DW.entry w e)
+        (Dit.fold dit ~init:[] ~f:(fun acc e -> e :: acc));
+      DW.close_seq w mctx)
+    (List.rev (Backend.contexts backend));
+  DW.close_seq w mc;
+  Codec.W.csn w (Backend.log_floor backend);
+  Codec.W.csn w (Backend.csn backend);
+  DW.close_seq w m
 
-let checkpoint t = Store.checkpoint t.store (snapshot_payload t.backend)
+let checkpoint t = Store.checkpoint_w t.store (snapshot_emit t.backend)
 
 let restore_snapshot backend payload =
   let ( let* ) = Result.bind in

@@ -96,6 +96,65 @@ let record (r : Update.record) =
   Der.seq [ csn r.Update.csn; op r.Update.op; entry_opt r.Update.before;
             entry_opt r.Update.after ]
 
+(* Writer twins of the encoders above, emitting backwards into a
+   reused buffer (see {!Ber_codec.Der.W}): children of every
+   composite go in reverse field order, and the images are
+   byte-identical to the string encoders, so the same [read_*]
+   cursors decode both. *)
+module W = struct
+  module DW = Der.W
+
+  let csn w c = DW.integer w (Csn.to_int c)
+  let dn w d = DW.octets w (Dn.to_string d)
+  let entry_opt w e = DW.option w (DW.entry w) e
+
+  let mod_item w (m : Update.mod_item) =
+    let kind =
+      match m.Update.mod_kind with
+      | Update.Add_values -> 0
+      | Update.Delete_values -> 1
+      | Update.Replace_values -> 2
+    in
+    let m0 = DW.mark w in
+    let mv = DW.mark w in
+    List.iter (fun v -> DW.octets w v) (List.rev m.Update.mod_values);
+    DW.close_seq w mv;
+    DW.octets w m.Update.mod_attr;
+    DW.enum w kind;
+    DW.close_seq w m0
+
+  let op w (o : Update.op) =
+    let m0 = DW.mark w in
+    (match o with
+    | Update.Add e ->
+        DW.entry w e;
+        DW.enum w 0
+    | Update.Delete d ->
+        dn w d;
+        DW.enum w 1
+    | Update.Modify (d, items) ->
+        let mi = DW.mark w in
+        List.iter (mod_item w) (List.rev items);
+        DW.close_seq w mi;
+        dn w d;
+        DW.enum w 2
+    | Update.Modify_dn { dn = d; new_rdn; delete_old_rdn; new_superior } ->
+        DW.option w (dn w) new_superior;
+        DW.boolean w delete_old_rdn;
+        DW.octets w (Dn.rdn_to_string new_rdn);
+        dn w d;
+        DW.enum w 3);
+    DW.close_seq w m0
+
+  let record w (r : Update.record) =
+    let m0 = DW.mark w in
+    entry_opt w r.Update.after;
+    entry_opt w r.Update.before;
+    op w r.Update.op;
+    csn w r.Update.csn;
+    DW.close_seq w m0
+end
+
 let read_record c =
   let inner = Der.read_seq c in
   let rcsn = read_csn inner in

@@ -43,5 +43,28 @@ val read_op : Ber_codec.Der.cursor -> Update.op
 val record : Update.record -> string
 (** One committed-update record: CSN, operation and both images. *)
 
+(** Writer twins of the encoders above (see {!Ber_codec.Der.W}):
+    byte-identical images emitted backwards into a reused buffer, so
+    the hot journal path allocates no intermediate strings. *)
+module W : sig
+  val csn : Ldap_compile.Wbuf.t -> Csn.t -> unit
+  (** Writer twin of {!csn}. *)
+
+  val dn : Ldap_compile.Wbuf.t -> Dn.t -> unit
+  (** Writer twin of {!dn}. *)
+
+  val entry_opt : Ldap_compile.Wbuf.t -> Entry.t option -> unit
+  (** Writer twin of {!entry_opt}. *)
+
+  val mod_item : Ldap_compile.Wbuf.t -> Update.mod_item -> unit
+  (** Writer twin of {!mod_item}'s image inside {!op}. *)
+
+  val op : Ldap_compile.Wbuf.t -> Update.op -> unit
+  (** Writer twin of {!op}. *)
+
+  val record : Ldap_compile.Wbuf.t -> Update.record -> unit
+  (** Writer twin of {!record}. *)
+end
+
 val read_record : Ber_codec.Der.cursor -> Update.record
 (** Inverse of {!record}. *)

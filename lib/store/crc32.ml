@@ -18,3 +18,11 @@ let sub s ~pos ~len =
   !crc lxor 0xFFFFFFFF
 
 let string s = sub s ~pos:0 ~len:(String.length s)
+
+let bytes_sub b ~pos ~len =
+  let table = Lazy.force table in
+  let crc = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    crc := table.((!crc lxor Char.code (Bytes.get b i)) land 0xff) lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xFFFFFFFF

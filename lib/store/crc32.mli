@@ -8,3 +8,8 @@ val string : string -> int
 
 val sub : string -> pos:int -> len:int -> int
 (** Checksum of a substring. *)
+
+val bytes_sub : Bytes.t -> pos:int -> len:int -> int
+(** Checksum of a byte-buffer region in place — lets the zero-copy
+    WAL writer frame a record without materializing the payload as a
+    string. *)

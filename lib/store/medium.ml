@@ -128,6 +128,14 @@ let append t ~name bytes =
   f.unsynced <- f.unsynced @ [ String.length bytes ];
   Option.iter (fun dir -> disk_append dir name bytes) t.dir
 
+let append_sub t ~name bytes ~pos ~len =
+  let f = file t name in
+  Buffer.add_subbytes f.buf bytes pos len;
+  f.unsynced <- f.unsynced @ [ len ];
+  Option.iter
+    (fun dir -> disk_append dir name (Bytes.sub_string bytes pos len))
+    t.dir
+
 let sync t ~name =
   match Hashtbl.find_opt t.table name with
   | None -> ()

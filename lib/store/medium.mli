@@ -69,6 +69,12 @@ val append : t -> name:string -> string -> unit
 (** Appends bytes to a file, creating it when missing.  The bytes are
     {e not} durable until {!sync}. *)
 
+val append_sub : t -> name:string -> Bytes.t -> pos:int -> len:int -> unit
+(** Appends a region of a byte buffer without copying it into an
+    intermediate string first (one append as far as crash semantics
+    are concerned).  The in-memory medium blits directly; the disk
+    write-through path still materializes the region. *)
+
 val sync : t -> name:string -> unit
 (** Makes every appended byte of the file durable (fsync). *)
 

@@ -37,6 +37,10 @@ let append t payload =
   ensure_header t;
   Wal.append ~sync:t.sync t.medium ~name:(wal_file t) payload
 
+let append_w t emit =
+  ensure_header t;
+  Wal.append_w ~sync:t.sync t.medium ~name:(wal_file t) emit
+
 (* Snapshot payload layout: SEQUENCE-free concatenation is avoided on
    purpose — the generation travels as a DER INTEGER followed by the
    client payload as a DER OCTET STRING, so both sides are
@@ -53,12 +57,35 @@ let parse_snap s =
   | parsed -> Some parsed
   | exception Ldap.Ber_codec.Decode_error _ -> None
 
-let checkpoint t payload =
-  t.gen <- t.gen + 1;
-  Snapshot.write t.medium ~name:(snap_file t) (snap_payload t.gen payload);
+let install_snapshot t image =
+  Snapshot.write t.medium ~name:(snap_file t) image;
   Medium.truncate t.medium ~name:(wal_file t) 0;
   Wal.append ~sync:true t.medium ~name:(wal_file t) (header_payload t.gen);
   t.header_written <- true
+
+let checkpoint t payload =
+  t.gen <- t.gen + 1;
+  install_snapshot t (snap_payload t.gen payload)
+
+(* Writer-based checkpoint: the client payload is emitted backwards
+   into a reused buffer and wrapped as the OCTET STRING of the
+   [snap_payload] layout in place; only the final whole-image copy for
+   {!Snapshot.write} remains. *)
+module Wbuf = Ldap_compile.Wbuf
+
+let snap_scratch = Wbuf.create ~capacity:4096 ()
+
+let checkpoint_w t emit =
+  t.gen <- t.gen + 1;
+  let w = snap_scratch in
+  Wbuf.clear w;
+  let m = Der.W.mark w in
+  emit w;
+  (* Close the payload as an OCTET STRING, then prepend the generation
+     INTEGER — the exact [snap_payload] image. *)
+  Der.W.close_octets w m;
+  Der.W.integer w t.gen;
+  install_snapshot t (Wbuf.contents w)
 
 type recovery = {
   snapshot : string option;

@@ -29,9 +29,19 @@ val medium : t -> Medium.t
 val append : t -> string -> unit
 (** Appends one record payload to the WAL. *)
 
+val append_w : t -> (Ldap_compile.Wbuf.t -> unit) -> unit
+(** Zero-copy twin of {!append}: [emit] writes the payload into the
+    WAL's reused buffer (see {!Wal.append_w}); the framed record is
+    byte-identical to [append] of the same payload. *)
+
 val checkpoint : t -> string -> unit
 (** Atomically installs the payload as the new snapshot and resets
     the WAL to the new generation. *)
+
+val checkpoint_w : t -> (Ldap_compile.Wbuf.t -> unit) -> unit
+(** Writer twin of {!checkpoint}: [emit] produces the snapshot
+    payload into a reused buffer; the installed image is
+    byte-identical to [checkpoint] of the same payload. *)
 
 type recovery = {
   snapshot : string option;  (** Latest good snapshot payload. *)

@@ -27,6 +27,33 @@ let append ?(sync = true) medium ~name payload =
   Medium.append medium ~name (frame payload);
   if sync then Medium.sync medium ~name
 
+(* Zero-copy framing: the payload is emitted backwards into a reused
+   buffer, the CRC is computed over the byte region in place, and the
+   header (magic, length, CRC) is prepended over it — one blit into
+   the medium, no intermediate payload or frame strings. *)
+module Wbuf = Ldap_compile.Wbuf
+
+let prepend_be32 w n =
+  Wbuf.prepend_char w (Char.chr (n land 0xff));
+  Wbuf.prepend_char w (Char.chr ((n lsr 8) land 0xff));
+  Wbuf.prepend_char w (Char.chr ((n lsr 16) land 0xff));
+  Wbuf.prepend_char w (Char.chr ((n lsr 24) land 0xff))
+
+let scratch = Wbuf.create ~capacity:1024 ()
+
+let append_w ?(sync = true) medium ~name emit =
+  let w = scratch in
+  Wbuf.clear w;
+  emit w;
+  let buf, pos, len = Wbuf.view w in
+  let crc = Crc32.bytes_sub buf ~pos ~len in
+  prepend_be32 w crc;
+  prepend_be32 w len;
+  Wbuf.prepend_char w magic;
+  let buf, pos, total = Wbuf.view w in
+  Medium.append_sub medium ~name buf ~pos ~len:total;
+  if sync then Medium.sync medium ~name
+
 type recovery = {
   records : string list;
   valid_len : int;

@@ -21,6 +21,15 @@ val read_be32 : string -> int -> int
 val append : ?sync:bool -> Medium.t -> name:string -> string -> unit
 (** Frames one payload and appends it; syncs by default. *)
 
+val append_w :
+  ?sync:bool -> Medium.t -> name:string -> (Ldap_compile.Wbuf.t -> unit) -> unit
+(** Zero-copy twin of {!append}: [emit] writes the payload backwards
+    into a reused buffer, the frame header is prepended in place and
+    the whole record is blitted into the medium — no intermediate
+    payload/frame strings.  Byte-identical on the log to {!append} of
+    the same payload.  The buffer is shared, so [emit] must not
+    recursively call [append_w]. *)
+
 type recovery = {
   records : string list;  (** Whole-record payloads, oldest first. *)
   valid_len : int;  (** Byte offset of the end of the last whole record. *)

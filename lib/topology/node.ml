@@ -6,6 +6,7 @@ module R = Ldap_replication
 type session = {
   id : int;
   query : Query.t;
+  matcher : Resync.Content.matcher;  (* query compiled once per session *)
   stored : Query.t;  (* the node's stored query this session is served from *)
   mutable snapshot : Entry.t Dn.Map.t;  (* entries sent downstream, selected *)
   mutable synced_csn : Csn.t;
@@ -68,6 +69,7 @@ let new_session t query ~stored ~persist_push ~csn =
     {
       id;
       query;
+      matcher = Resync.Content.matcher (schema t) query;
       stored;
       snapshot = Dn.Map.empty;
       synced_csn = csn;
@@ -334,7 +336,7 @@ let relay t ~stored ~before ~after =
           in
           (if candidate then
              let transition =
-               Resync.Content.classify (schema t) session.query ~before ~after
+               Resync.Content.classify_m session.matcher ~before ~after
              in
              let actions =
                List.map (select_action session.query)

@@ -5,6 +5,7 @@ let () =
       ("value", Test_value.suite);
       ("entry+schema", Test_entry.suite);
       ("filter", Test_filter.suite);
+      ("compile", Test_compile.suite);
       ("query", Test_query.suite);
       ("containment", Test_containment.suite);
       ("symbolic", Test_symbolic.suite);
