@@ -16,7 +16,8 @@
                    | tree-fanout [--smoke] [--json]
                    | latency-staleness [--smoke] [--json]
                    | crash-restart [--smoke] [--json]
-                   | anti-entropy [--smoke] [--json]]
+                   | anti-entropy [--smoke] [--json]
+                   | shard [--smoke] [--json]]
 
    micro runs the compiled-vs-interpreted comparison for the hot paths
    (filter bytecode vs AST interpretation, zero-copy DER writer vs
@@ -40,6 +41,14 @@
    anti-entropy runs the drifted crash/restart sweep (Merkle hash-tree
    reconciliation vs cold re-fetch across drift fractions); with --json
    it writes BENCH_PR6.json.
+
+   shard runs the partitioned-directory sweep (routed write throughput
+   vs shard count, router fan-out vs naive broadcast, per-shard
+   crash/restart through the composite-cookie resume); with --json it
+   writes BENCH_PR8.json.  Gates: single-block filters cover exactly
+   one shard at every count, 4 shards deliver at least twice the
+   1-shard write throughput, every crash recovery converges and the
+   resumed consumer pays less than a cold re-fetch.
 
    --smoke runs a seconds-scale deterministic subset (the protocol
    illustrations plus a tiny lossy-network sweep) and is wired into
@@ -651,6 +660,89 @@ let run_anti_entropy ~smoke ~json () =
     Printf.printf "wrote %s\n%!" path
   end
 
+(* --- Shard sweep ------------------------------------------------------ *)
+
+module Shard_sweep = Ldap_shard.Sweep
+
+let run_shard ~smoke ~json () =
+  let config =
+    if smoke then Shard_sweep.smoke_config else Shard_sweep.default_config
+  in
+  let points = Shard_sweep.run ~config () in
+  Eval.Report.print
+    (Eval.Report.make
+       ~title:"Sharding: routed writes, covered reads, per-shard recovery"
+       ~notes:
+         [
+           "per shard count a router distributes one enterprise directory over";
+           "filter-described partitions: a write burst is booked into virtual";
+           "per-shard service timelines (throughput = writes/makespan), the";
+           "query mix is fanned over containment-derived shard covers, and one";
+           "shard crashes and recovers from its WAL+snapshot while a consumer";
+           "resumes its composite cookie (warm) vs re-fetching cold.";
+         ]
+       ~columns:
+         [
+           "shards"; "makespan"; "thru"; "speedup"; "1-blk cov"; "fanout";
+           "ratio"; "plan hit"; "warm B"; "cold B"; "wal"; "recover";
+         ]
+       ~rows:
+         (List.map
+            (fun (p : Shard_sweep.point) ->
+              [
+                string_of_int p.Shard_sweep.sp_shards;
+                string_of_int p.Shard_sweep.sp_makespan;
+                Printf.sprintf "%.3f" p.Shard_sweep.sp_throughput;
+                Printf.sprintf "%.2fx" p.Shard_sweep.sp_speedup;
+                string_of_int p.Shard_sweep.sp_single_cover_max;
+                Printf.sprintf "%.2f" p.Shard_sweep.sp_fanout_avg;
+                Printf.sprintf "%.3f" p.Shard_sweep.sp_fanout_ratio;
+                Printf.sprintf "%.2f" p.Shard_sweep.sp_plan_hit_ratio;
+                string_of_int p.Shard_sweep.sp_warm_bytes;
+                string_of_int p.Shard_sweep.sp_cold_bytes;
+                string_of_int p.Shard_sweep.sp_wal_replayed;
+                (if p.Shard_sweep.sp_recover_ok then "ok" else "FAIL");
+              ])
+            points)
+       ());
+  List.iter
+    (fun (p : Shard_sweep.point) ->
+      if p.Shard_sweep.sp_single_cover_max <> 1 then
+        failwith
+          (Printf.sprintf
+             "shard: a single-block filter covered %d shards at %d shards"
+             p.Shard_sweep.sp_single_cover_max p.Shard_sweep.sp_shards);
+      if not p.Shard_sweep.sp_recover_ok then
+        failwith
+          (Printf.sprintf "shard: crash recovery diverged at %d shards"
+             p.Shard_sweep.sp_shards);
+      if p.Shard_sweep.sp_warm_bytes >= p.Shard_sweep.sp_cold_bytes then
+        failwith
+          (Printf.sprintf
+             "shard: composite-cookie resume (%d B) not cheaper than cold \
+              re-fetch (%d B) at %d shards"
+             p.Shard_sweep.sp_warm_bytes p.Shard_sweep.sp_cold_bytes
+             p.Shard_sweep.sp_shards))
+    points;
+  (match
+     List.find_opt (fun (p : Shard_sweep.point) -> p.Shard_sweep.sp_shards = 4) points
+   with
+  | Some p when p.Shard_sweep.sp_speedup < 2.0 ->
+      failwith
+        (Printf.sprintf
+           "shard: 4-shard write speedup %.2fx below the 2x gate"
+           p.Shard_sweep.sp_speedup)
+  | _ -> ());
+  if json then begin
+    let path = "BENCH_PR8.json" in
+    let oc = open_out path in
+    Printf.fprintf oc "{\n  \"config\": \"%s\",\n  \"shard\": %s\n}\n"
+      (if smoke then "smoke" else "default")
+      (Shard_sweep.json_of_points points);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  end
+
 (* --- Compiled vs interpreted hot paths -------------------------------- *)
 
 (* A spread of entries for the filter-eval pair: half match the complex
@@ -893,6 +985,10 @@ let () =
       ~json:(List.mem "--json" args) ()
   else if List.mem "anti-entropy" args then
     run_anti_entropy
+      ~smoke:(quick || List.mem "--smoke" args)
+      ~json:(List.mem "--json" args) ()
+  else if List.mem "shard" args then
+    run_shard
       ~smoke:(quick || List.mem "--smoke" args)
       ~json:(List.mem "--json" args) ()
   else if List.mem "micro" args then

@@ -111,3 +111,7 @@ let contained schema f1 f2 =
     match same_shape_contained schema f1 f2 with
     | Some true -> true
     | Some false | None -> contained_general schema f1 f2
+
+(* [f ∧ g] inconsistent ⟺ [f ⊆ ¬g]: the Proposition 1 reduction run
+   backwards, so disjointness rides the same decision procedure. *)
+let disjoint schema f g = contained_general schema f (Filter.Not g)

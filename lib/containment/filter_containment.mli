@@ -29,3 +29,9 @@ val contained : Schema.t -> Filter.t -> Filter.t -> bool
 val contained_general : Schema.t -> Filter.t -> Filter.t -> bool
 (** The general Proposition 1 procedure only (exposed for testing and
     benchmarking against the fast paths). *)
+
+val disjoint : Schema.t -> Filter.t -> Filter.t -> bool
+(** Sound disjointness: [true] means no entry can satisfy both filters
+    — Proposition 1 run backwards ([f ∧ g] inconsistent ⟺
+    [f ⊆ ¬g]).  [false] may be conservative; a shard router that
+    cannot prove a shard disjoint from a query simply contacts it. *)

@@ -231,3 +231,19 @@ let target_countries t =
   List.init t.config.target_countries (fun i -> i)
 
 let dept_numbers t = t.depts
+
+(* --- Partition keys ---------------------------------------------------
+   The write path shards on the serial-number country block; these
+   accessors expose the block and its geography for generated data so a
+   partitioner never has to re-derive either from a DN. *)
+
+let serial_block t i =
+  if i < 0 || i >= t.config.countries then
+    invalid_arg "Enterprise.serial_block: no such country";
+  Namegen.serial_block ~country_index:i
+
+let employee_block e = Namegen.serial_block ~country_index:e.emp_country
+
+let partition_blocks t =
+  Array.init t.config.countries (fun i ->
+      (Namegen.serial_block ~country_index:i, t.country_dns.(i)))

@@ -73,3 +73,23 @@ val dept_numbers : t -> string array
 
 val serial_prefix_length : int
 (** Characters of a serial: 2 (country block) + 5 (sequence). *)
+
+(** {1 Partition keys}
+
+    Deterministic accessors for the natural sharding keys of the
+    generated directory — the serial-number country block and its
+    geography — so a write-path partitioner
+    ({!Ldap_shard.Partition}-style) derives the key from generated
+    data instead of re-parsing DNs. *)
+
+val serial_block : t -> int -> string
+(** The serial country-block prefix of the country ("07" for country
+    7): the key every employee serial of that country starts with. *)
+
+val employee_block : employee -> string
+(** The serial block of a generated employee (pure record access, no
+    DN parse). *)
+
+val partition_blocks : t -> (string * Dn.t) array
+(** All (serial block, country DN) pairs, indexed by country — the
+    block table plus geography a partitioner is built from. *)

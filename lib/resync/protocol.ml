@@ -26,6 +26,66 @@ let reparent_cookie s =
   | Some (_, csn) -> Some (cookie_of ~id:0 ~csn)
   | None -> None
 
+(* --- Composite cookies ------------------------------------------------
+   A sharded deployment has no single CSN stream: each write master
+   advances its own.  The router therefore hands consumers a composite
+   cookie interleaving one ordinary [rs:...] component per shard, keyed
+   by shard id: [rsm:<shard>@rs:<id>:<csn>|<shard>@rs:...].  Components
+   are sorted by shard id so equal session states print identically.  A
+   shard the consumer has never exchanged with simply has no component;
+   the router's next fan-out starts that shard's session from scratch.
+   Resume-ordering discipline lives at the router: a component may only
+   be replaced by a newer one when the matching shard's actions were
+   delivered in the same merged reply (see [Ldap_shard.Router]). *)
+
+let composite_prefix = "rsm:"
+
+let is_composite_cookie s =
+  String.length s >= String.length composite_prefix
+  && String.sub s 0 (String.length composite_prefix) = composite_prefix
+
+let composite_cookie components =
+  let components =
+    List.sort (fun (a, _) (b, _) -> Int.compare a b) components
+  in
+  composite_prefix
+  ^ String.concat "|"
+      (List.map (fun (shard, c) -> Printf.sprintf "%d@%s" shard c) components)
+
+let parse_composite_cookie s =
+  if not (is_composite_cookie s) then None
+  else
+    let body =
+      String.sub s (String.length composite_prefix)
+        (String.length s - String.length composite_prefix)
+    in
+    if body = "" then Some []
+    else
+      let parts = String.split_on_char '|' body in
+      let parse_part p =
+        match String.index_opt p '@' with
+        | None -> None
+        | Some i -> (
+            let shard = String.sub p 0 i in
+            let component = String.sub p (i + 1) (String.length p - i - 1) in
+            match int_of_string_opt shard with
+            | Some shard when component <> "" -> Some (shard, component)
+            | _ -> None)
+      in
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | p :: rest -> (
+            match parse_part p with
+            | Some kv -> go (kv :: acc) rest
+            | None -> None)
+      in
+      go [] parts
+
+let composite_component s ~shard =
+  match parse_composite_cookie s with
+  | None -> None
+  | Some components -> List.assoc_opt shard components
+
 type reply_kind = Initial_content | Incremental | Degraded
 
 type reply = {

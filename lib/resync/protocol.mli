@@ -30,6 +30,25 @@ val reparent_cookie : string -> string option
     degraded resynchronization from exactly the CSN the consumer has
     acknowledged.  [None] if the cookie is malformed. *)
 
+val composite_cookie : (int * string) list -> string
+(** The wire form of a {e composite} cookie, the resume handle a shard
+    router hands out: one ordinary [rs:...] component per shard, keyed
+    by shard id and sorted, as
+    [rsm:<shard>@rs:<id>:<csn>|<shard>@rs:<id>:<csn>].  A shard without
+    an established session has no component.  Like {!cookie_of}, the
+    format is tier-independent: any router parses any router's
+    composite. *)
+
+val parse_composite_cookie : string -> (int * string) list option
+(** Components of a composite cookie, or [None] if the string is not a
+    well-formed composite ([rsm:] with zero or more components). *)
+
+val composite_component : string -> shard:int -> string option
+(** The component for one shard, if the composite holds one. *)
+
+val is_composite_cookie : string -> bool
+(** Whether the cookie carries the [rsm:] composite prefix. *)
+
 type reply_kind =
   | Initial_content
       (** Null cookie: the entire content was sent as [add]s. *)

@@ -1,0 +1,697 @@
+open Ldap
+module Protocol = Ldap_resync.Protocol
+module Master = Ldap_resync.Master
+module Transport = Ldap_resync.Transport
+module Exchange = Ldap_antientropy.Exchange
+
+type okind = Structural | Owned of int
+
+type t = {
+  schema : Schema.t;
+  partition : Partition.t;
+  shards : Shard_master.t array;
+  transport : Transport.t;
+  rt_host : string;
+  owners : (string, okind * Dn.t) Hashtbl.t;
+  mutable geo_ok : bool;
+  mutable searches : int;
+  mutable search_contacts : int;
+  mutable polls : int;
+  mutable poll_contacts : int;
+  mutable moves : int;
+  mutable partials : int;
+  mutable escalations : int;
+}
+
+let default_host = "router"
+let host t = t.rt_host
+let partition t = t.partition
+let shard t i = t.shards.(i)
+let geo_pruning t = t.geo_ok
+let cover t q = Partition.cover ~use_geo:t.geo_ok t.partition q
+let restrict t s q = Partition.restrict t.partition s q
+let shard_host t s = Shard_master.host t.shards.(s)
+
+(* --- Ownership table --------------------------------------------------- *)
+
+let register_owner t dn kind = Hashtbl.replace t.owners (Dn.canonical dn) (kind, dn)
+let forget_owner t dn = Hashtbl.remove t.owners (Dn.canonical dn)
+
+(* A rename moves the whole subtree: re-key every tracked descendant. *)
+let regraft_owners t ~old_base ~new_base =
+  let moved =
+    Hashtbl.fold
+      (fun key (kind, dn) acc ->
+        match Dn.relative_to ~ancestor:old_base dn with
+        | Some (_ :: _ as rel) -> (key, kind, rel) :: acc
+        | Some [] | None -> acc)
+      t.owners []
+  in
+  List.iter
+    (fun (key, kind, rel) ->
+      Hashtbl.remove t.owners key;
+      let dn = List.fold_left Dn.child new_base (List.rev rel) in
+      register_owner t dn kind)
+    moved
+
+let note_geo t after =
+  if t.geo_ok && not (Partition.geo_consistent t.partition after) then
+    t.geo_ok <- false
+
+(* --- Write routing ----------------------------------------------------- *)
+
+let note_rename t (record : Update.record) =
+  match (record.before, record.after) with
+  | Some b, Some a when not (Dn.equal (Entry.dn b) (Entry.dn a)) ->
+      forget_owner t (Entry.dn b);
+      regraft_owners t ~old_base:(Entry.dn b) ~new_base:(Entry.dn a)
+  | _ -> ()
+
+(* Delete the placeholder/owned copy everywhere but [keep]. *)
+let drop_elsewhere t ~keep dn =
+  Array.iteri
+    (fun i sm ->
+      if i <> keep then ignore (Shard_master.apply sm (Update.delete dn)))
+    t.shards
+
+let apply_owned t s op =
+  match Shard_master.apply t.shards.(s) op with
+  | Error _ as e -> e
+  | Ok record ->
+      note_rename t record;
+      (match (record.before, record.after) with
+      | Some b, None -> forget_owner t (Entry.dn b)
+      | _, Some a ->
+          let adn = Entry.dn a in
+          note_geo t a;
+          if Partition.is_structural t.partition a then begin
+            (* The entry lost its key: it is structural now, so every
+               shard needs the scaffolding copy. *)
+            t.moves <- t.moves + 1;
+            Array.iteri
+              (fun i sm ->
+                if i <> s then ignore (Shard_master.apply sm (Update.add a)))
+              t.shards;
+            register_owner t adn Structural
+          end
+          else begin
+            let s' = Partition.of_entry t.partition a in
+            if s' <> s then begin
+              t.moves <- t.moves + 1;
+              ignore (Shard_master.apply t.shards.(s) (Update.delete adn));
+              ignore (Shard_master.apply t.shards.(s') (Update.add a));
+              note_geo t a
+            end;
+            register_owner t adn (Owned s')
+          end
+      | None, None -> ());
+      Ok record
+
+let apply_structural t op =
+  match Shard_master.apply t.shards.(0) op with
+  | Error _ as e -> e
+  | Ok record ->
+      let err = ref None in
+      Array.iteri
+        (fun i sm ->
+          if i > 0 then
+            match Shard_master.apply sm op with
+            | Ok _ -> ()
+            | Error e -> if !err = None then err := Some e)
+        t.shards;
+      (match !err with
+      | Some e -> Error ("structural replication: " ^ e)
+      | None ->
+          note_rename t record;
+          (* A structural rename moves descendants whose geography the
+             partition tracks by the old DN: pruning is no longer
+             trustworthy. *)
+          (match record.op with
+          | Update.Modify_dn _ -> t.geo_ok <- false
+          | _ -> ());
+          (match (record.before, record.after) with
+          | Some b, None -> forget_owner t (Entry.dn b)
+          | _, Some a ->
+              let adn = Entry.dn a in
+              if Partition.is_structural t.partition a then
+                register_owner t adn Structural
+              else begin
+                (* The entry gained a key: one shard owns it now. *)
+                let s' = Partition.of_entry t.partition a in
+                t.moves <- t.moves + 1;
+                drop_elsewhere t ~keep:s' adn;
+                note_geo t a;
+                register_owner t adn (Owned s')
+              end
+          | None, None -> ());
+          Ok record)
+
+let route_of_op t op =
+  match op with
+  | Update.Add e -> (
+      (* A DN that already has an owner routes there even if the new
+         entry's key says otherwise: the owning shard holds the
+         existing entry and correctly rejects the duplicate add. *)
+      match Hashtbl.find_opt t.owners (Dn.canonical (Entry.dn e)) with
+      | Some (kind, _) -> kind
+      | None ->
+          if Partition.is_structural t.partition e then Structural
+          else Owned (Partition.of_entry t.partition e))
+  | Update.Delete dn | Update.Modify (dn, _) | Update.Modify_dn { dn; _ } -> (
+      match Hashtbl.find_opt t.owners (Dn.canonical dn) with
+      | Some (kind, _) -> kind
+      | None -> Structural)
+
+let apply t op =
+  match route_of_op t op with
+  | Structural -> apply_structural t op
+  | Owned s -> apply_owned t s op
+
+let apply_at t ~now op =
+  let s = match route_of_op t op with Structural -> 0 | Owned s -> s in
+  let done_at = Shard_master.enqueue_write t.shards.(s) ~now in
+  (done_at, apply t op)
+
+let makespan t =
+  Array.fold_left (fun acc sm -> max acc (Shard_master.busy_until sm)) 0 t.shards
+
+let reset_timelines t = Array.iter Shard_master.reset_timeline t.shards
+
+(* --- Seeding ----------------------------------------------------------- *)
+
+let seed_from_backend t source =
+  let ( let* ) = Result.bind in
+  let contexts =
+    List.filter_map
+      (fun dit -> Backend.find source (Dit.suffix dit))
+      (Backend.contexts source)
+  in
+  let all =
+    List.rev (Backend.fold_entries source ~init:[] ~f:(fun acc e -> e :: acc))
+  in
+  let rec seed_shards s =
+    if s >= Array.length t.shards then Ok ()
+    else
+      let mine =
+        List.filter
+          (fun e ->
+            Partition.is_structural t.partition e
+            || Partition.of_entry t.partition e = s)
+          all
+      in
+      let* () = Shard_master.seed t.shards.(s) ~contexts mine in
+      seed_shards (s + 1)
+  in
+  let* () = seed_shards 0 in
+  List.iter
+    (fun e ->
+      let kind =
+        if Partition.is_structural t.partition e then Structural
+        else Owned (Partition.of_entry t.partition e)
+      in
+      register_owner t (Entry.dn e) kind)
+    all;
+  Ok ()
+
+(* --- Search fan-out ---------------------------------------------------- *)
+
+let search t (q : Query.t) =
+  let cov = cover t q in
+  t.searches <- t.searches + 1;
+  t.search_contacts <- t.search_contacts + List.length cov;
+  let rec go acc = function
+    | [] -> Ok (List.concat (List.rev acc))
+    | s :: rest -> (
+        let qs = restrict t s q in
+        let serve () =
+          match Backend.search (Shard_master.backend t.shards.(s)) qs with
+          | Ok { entries; _ } -> Ok entries
+          | Error (Backend.No_such_object _) ->
+              (* The base names an entry another shard owns: this shard
+                 simply holds nothing under it. *)
+              Ok []
+          | Error (Backend.Base_referral { urls; _ }) ->
+              Error ("referral: " ^ String.concat " " urls)
+        in
+        let request_bytes =
+          Ber.message_overhead + Ber.dn_size qs.base
+          + String.length (Filter.to_string qs.filter)
+        in
+        let reply_bytes = function
+          | Ok entries ->
+              List.fold_left
+                (fun acc e -> acc + Ber.entry_size e)
+                Ber.message_overhead entries
+          | Error _ -> Ber.message_overhead
+        in
+        match
+          Network.rpc
+            (Transport.network t.transport)
+            ?faults:(Transport.faults t.transport)
+            ~from:t.rt_host ~host:(shard_host t s) ~request_bytes ~reply_bytes
+            serve
+        with
+        | Ok (Ok entries) -> go (entries :: acc) rest
+        | Ok (Error e) -> Error e
+        | Error f -> Error (Network.failure_to_string f))
+  in
+  go [] cov
+
+(* --- ReSync fan-out ---------------------------------------------------- *)
+
+type leg = {
+  lg_shard : int;
+  lg_old : string option;  (** The shard's previous cookie component. *)
+  lg_reply : Protocol.reply;
+  lg_conn : Transport.conn option;
+}
+
+let shard_exchange t ~push ~mode s ~cookie q =
+  let req = { Protocol.mode; cookie } in
+  let qs = restrict t s q in
+  match (mode, push) with
+  | Protocol.Persist, Some dpush -> (
+      match
+        Transport.connect t.transport ~host:(shard_host t s) ~from:t.rt_host
+          ~push:dpush req qs
+      with
+      | Ok (reply, conn) -> Ok (reply, Some conn)
+      | Error e -> Error e)
+  | _ -> (
+      match
+        Transport.exchange t.transport ~host:(shard_host t s) ~from:t.rt_host
+          req qs
+      with
+      | Ok reply -> Ok (reply, None)
+      | Error e -> Error e)
+
+let components_of req_cookie =
+  match req_cookie with
+  | None -> []
+  | Some c -> (
+      match Protocol.parse_composite_cookie c with
+      | Some comps -> comps
+      (* A foreign (non-composite) cookie names sessions no shard
+         knows: start over — the initial reply prunes the consumer
+         clean, which is the sound answer. *)
+      | None -> [])
+
+let sync_end_shard t s cookie q =
+  ignore
+    (shard_exchange t ~push:None ~mode:Protocol.Sync_end s ~cookie:(Some cookie)
+       q)
+
+(* End an Incremental leg's advanced session and re-poll it from the
+   consumer's acknowledged CSN via the foreign-session cookie: the
+   shard answers Degraded from exactly that point. *)
+let escalate t ~push ~mode leg q =
+  t.escalations <- t.escalations + 1;
+  Option.iter Transport.kill leg.lg_conn;
+  (match leg.lg_reply.Protocol.cookie with
+  | Some advanced -> sync_end_shard t leg.lg_shard advanced q
+  | None -> ());
+  let reparent = Option.bind leg.lg_old Protocol.reparent_cookie in
+  match shard_exchange t ~push ~mode leg.lg_shard ~cookie:reparent q with
+  | Ok (reply, conn) -> Ok { leg with lg_reply = reply; lg_conn = conn }
+  | Error e -> Error (Transport.error_to_string e)
+
+let merged_reply ~kind ~stale legs =
+  let components =
+    stale
+    @ List.filter_map
+        (fun leg ->
+          Option.map (fun c -> (leg.lg_shard, c)) leg.lg_reply.Protocol.cookie)
+        legs
+  in
+  let actions =
+    (* An ownership move lands as a delete on the old shard's leg and
+       an add on the new shard's, both for the same DN; per-leg action
+       sets are coalesced to one action per entry, so ordering deletes
+       first keeps every cross-leg pair well-ordered. *)
+    let rank = function Ldap_resync.Action.Delete _ -> 0 | _ -> 1 in
+    List.stable_sort
+      (fun a b -> Int.compare (rank a) (rank b))
+      (List.concat_map (fun leg -> leg.lg_reply.Protocol.actions) legs)
+  in
+  {
+    Protocol.kind;
+    actions;
+    cookie = Some (Protocol.composite_cookie components);
+  }
+
+let handle_poll t ~push mode req_cookie q =
+  if mode = Protocol.Persist && push = None then
+    Error "persist mode requires a push channel"
+  else begin
+    let components = components_of req_cookie in
+    let cov = cover t q in
+    t.polls <- t.polls + 1;
+    t.poll_contacts <- t.poll_contacts + List.length cov;
+    let stale =
+      (* Components of shards outside the cover ride along unchanged:
+         the cover can only widen (geography pruning only switches
+         off), so they stay resumable. *)
+      List.filter (fun (s, _) -> not (List.mem s cov)) components
+    in
+    let legs, failed =
+      List.fold_left
+        (fun (legs, failed) s ->
+          let old = List.assoc_opt s components in
+          match shard_exchange t ~push ~mode s ~cookie:old q with
+          | Ok (reply, conn) ->
+              ( { lg_shard = s; lg_old = old; lg_reply = reply; lg_conn = conn }
+                :: legs,
+                failed )
+          | Error e -> (legs, (s, old, e) :: failed))
+        ([], []) cov
+    in
+    let legs = List.rev legs and failed = List.rev failed in
+    let kill_legs () =
+      List.iter (fun leg -> Option.iter Transport.kill leg.lg_conn) legs
+    in
+    let all_incremental =
+      List.for_all
+        (fun leg -> leg.lg_reply.Protocol.kind = Protocol.Incremental)
+        legs
+    in
+    match failed with
+    | [] ->
+        if all_incremental then Ok (merged_reply ~kind:Protocol.Incremental ~stale legs)
+        else if
+          List.for_all
+            (fun leg -> leg.lg_reply.Protocol.kind <> Protocol.Incremental)
+            legs
+        then begin
+          let kind =
+            if
+              List.for_all
+                (fun leg ->
+                  leg.lg_reply.Protocol.kind = Protocol.Initial_content)
+                legs
+            then Protocol.Initial_content
+            else Protocol.Degraded
+          in
+          Ok (merged_reply ~kind ~stale legs)
+        end
+        else begin
+          (* Mixed: an Initial/Degraded leg prunes the consumer
+             globally, so Incremental legs must be replayed degraded
+             from the acknowledged CSN or their updates would be
+             pruned away. *)
+          let rec re_poll acc = function
+            | [] -> Ok (List.rev acc)
+            | leg :: rest ->
+                if leg.lg_reply.Protocol.kind = Protocol.Incremental then (
+                  match escalate t ~push ~mode leg q with
+                  | Ok leg' -> re_poll (leg' :: acc) rest
+                  | Error e -> Error e)
+                else re_poll (leg :: acc) rest
+          in
+          match re_poll [] legs with
+          | Error e ->
+              kill_legs ();
+              Error ("shard escalation failed: " ^ e)
+          | Ok legs ->
+              let kind =
+                if
+                  List.for_all
+                    (fun leg ->
+                      leg.lg_reply.Protocol.kind = Protocol.Initial_content)
+                    legs
+                then Protocol.Initial_content
+                else Protocol.Degraded
+              in
+              Ok (merged_reply ~kind ~stale legs)
+        end
+    | (s, _, e) :: _ ->
+        if legs <> [] && all_incremental then begin
+          (* Failed shards keep their previous component: their CSNs
+             are acknowledged only up to what the consumer actually
+             applied. *)
+          t.partials <- t.partials + 1;
+          let stale =
+            stale
+            @ List.filter_map
+                (fun (s, old, _) -> Option.map (fun c -> (s, c)) old)
+                failed
+          in
+          Ok (merged_reply ~kind:Protocol.Incremental ~stale legs)
+        end
+        else begin
+          (* A pruning reply merged with a missing shard would discard
+             that shard's entries at the consumer: refuse, let the
+             consumer retry.  Advanced shard sessions answer the retry
+             degraded from the acknowledged CSN. *)
+          kill_legs ();
+          Error
+            (Printf.sprintf "shard %d unreachable: %s" s
+               (Transport.error_to_string e))
+        end
+  end
+
+let handle_sync_end t req_cookie q =
+  match req_cookie with
+  | None -> Error "sync_end requires a cookie"
+  | Some c -> (
+      match Protocol.parse_composite_cookie c with
+      | None -> Error "malformed cookie"
+      | Some comps ->
+          List.iter
+            (fun (s, comp) ->
+              if s >= 0 && s < Array.length t.shards then
+                sync_end_shard t s comp q)
+            comps;
+          Ok { Protocol.kind = Protocol.Incremental; actions = []; cookie = None })
+
+let ep_handle t ~push (req : Protocol.request) q =
+  match req.mode with
+  | Protocol.Sync_end -> handle_sync_end t req.cookie q
+  | Protocol.Poll | Protocol.Persist -> handle_poll t ~push req.mode req.cookie q
+
+let ep_abandon t ~cookie =
+  match Protocol.parse_composite_cookie cookie with
+  | None -> ()
+  | Some comps ->
+      List.iter
+        (fun (s, comp) ->
+          if s >= 0 && s < Array.length t.shards then
+            Master.abandon (Shard_master.master t.shards.(s)) ~cookie:comp)
+        comps
+
+let ep_estimate t q =
+  List.fold_left
+    (fun acc s ->
+      acc + Backend.count_matching (Shard_master.backend t.shards.(s)) (restrict t s q))
+    0 (cover t q)
+
+(* --- Merkle anti-entropy fan-out --------------------------------------- *)
+
+(* Shard contents are disjoint and tree tiers aggregate entry hashes
+   by XOR, so the union's hash at any index is the XOR of the shards'
+   hashes there (absent = zero). *)
+let xor_assoc lists =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (List.iter (fun (i, h) ->
+         let prev = Option.value (Hashtbl.find_opt tbl i) ~default:0L in
+         Hashtbl.replace tbl i (Int64.logxor prev h)))
+    lists;
+  List.sort
+    (fun (a, _) (b, _) -> Int.compare a b)
+    (Hashtbl.fold (fun i h acc -> (i, h) :: acc) tbl [])
+
+let empty_tree_reply = function
+  | Exchange.Root -> Exchange.Root_hash 0L
+  | Exchange.Branches _ -> Exchange.Branch_hashes []
+  | Exchange.Segments _ -> Exchange.Segment_hashes []
+  | Exchange.Fetch _ ->
+      Exchange.Segment_entries
+        { entries = []; cookie = Some (Protocol.composite_cookie []) }
+
+let merge_tree req legs =
+  match legs with
+  | [] -> Ok (empty_tree_reply req)
+  | (_, Exchange.Root_hash _) :: _ ->
+      let rec fold acc = function
+        | [] -> Ok (Exchange.Root_hash acc)
+        | (_, Exchange.Root_hash h) :: rest -> fold (Int64.logxor acc h) rest
+        | _ -> Error "inconsistent anti-entropy replies"
+      in
+      fold 0L legs
+  | (_, Exchange.Branch_hashes _) :: _ ->
+      let rec collect acc = function
+        | [] -> Ok (Exchange.Branch_hashes (xor_assoc (List.rev acc)))
+        | (_, Exchange.Branch_hashes hs) :: rest -> collect (hs :: acc) rest
+        | _ -> Error "inconsistent anti-entropy replies"
+      in
+      collect [] legs
+  | (_, Exchange.Segment_hashes _) :: _ ->
+      let rec collect acc = function
+        | [] -> Ok (Exchange.Segment_hashes (xor_assoc (List.rev acc)))
+        | (_, Exchange.Segment_hashes hs) :: rest -> collect (hs :: acc) rest
+        | _ -> Error "inconsistent anti-entropy replies"
+      in
+      collect [] legs
+  | (_, Exchange.Segment_entries _) :: _ ->
+      let rec collect entries comps = function
+        | [] ->
+            Ok
+              (Exchange.Segment_entries
+                 {
+                   entries = List.concat (List.rev entries);
+                   cookie = Some (Protocol.composite_cookie (List.rev comps));
+                 })
+        | (s, Exchange.Segment_entries { entries = es; cookie }) :: rest ->
+            let comps =
+              match cookie with Some c -> (s, c) :: comps | None -> comps
+            in
+            collect (es :: entries) comps rest
+        | _ -> Error "inconsistent anti-entropy replies"
+      in
+      collect [] [] legs
+
+let ep_tree t req q =
+  let cov = cover t q in
+  let rec go acc = function
+    | [] -> merge_tree req (List.rev acc)
+    | s :: rest -> (
+        match
+          Transport.tree_exchange t.transport ~host:(shard_host t s)
+            ~from:t.rt_host req (restrict t s q)
+        with
+        | Ok reply -> go ((s, reply) :: acc) rest
+        | Error e -> Error (Transport.error_to_string e))
+  in
+  go [] cov
+
+(* --- Wiring ------------------------------------------------------------ *)
+
+let endpoint t =
+  {
+    Transport.ep_schema = t.schema;
+    ep_handle = (fun ~push req q -> ep_handle t ~push req q);
+    ep_abandon = (fun ~cookie -> ep_abandon t ~cookie);
+    ep_estimate = (fun q -> ep_estimate t q);
+    ep_tree = (fun req q -> ep_tree t req q);
+  }
+
+let register_shard t sm =
+  Transport.add_master t.transport ~name:(Shard_master.host sm)
+    (Shard_master.master sm)
+
+let create ?(host = default_host) partition transport shards =
+  if Array.length shards <> Partition.shards partition then
+    invalid_arg "Router.create: shard array does not match partition";
+  if Array.length shards = 0 then invalid_arg "Router.create: no shards";
+  let t =
+    {
+      schema = Shard_master.schema shards.(0);
+      partition;
+      shards = Array.copy shards;
+      transport;
+      rt_host = host;
+      owners = Hashtbl.create 1024;
+      geo_ok = true;
+      searches = 0;
+      search_contacts = 0;
+      polls = 0;
+      poll_contacts = 0;
+      moves = 0;
+      partials = 0;
+      escalations = 0;
+    }
+  in
+  Array.iter (register_shard t) shards;
+  Transport.add_endpoint transport ~name:host (endpoint t);
+  t
+
+let replace_shard t i sm =
+  t.shards.(i) <- sm;
+  register_shard t sm
+
+(* --- Reports ----------------------------------------------------------- *)
+
+type shard_stat = {
+  ss_id : int;
+  ss_host : string;
+  ss_entries : int;
+  ss_owned : int;
+  ss_csn : Csn.t;
+  ss_sessions : int;
+  ss_applied : int;
+  ss_busy_until : int;
+}
+
+type report = {
+  rp_shards : shard_stat list;
+  rp_plan_hits : int;
+  rp_plan_misses : int;
+  rp_searches : int;
+  rp_search_contacts : int;
+  rp_polls : int;
+  rp_poll_contacts : int;
+  rp_moves : int;
+  rp_partials : int;
+  rp_escalations : int;
+  rp_geo_pruning : bool;
+}
+
+let report t =
+  let owned = Array.make (Array.length t.shards) 0 in
+  Hashtbl.iter
+    (fun _ (kind, _) ->
+      match kind with
+      | Owned s -> owned.(s) <- owned.(s) + 1
+      | Structural -> owned.(0) <- owned.(0) + 1)
+    t.owners;
+  let rp_shards =
+    Array.to_list
+      (Array.mapi
+         (fun i sm ->
+           {
+             ss_id = i;
+             ss_host = Shard_master.host sm;
+             ss_entries = Shard_master.entries sm;
+             ss_owned = owned.(i);
+             ss_csn = Shard_master.csn sm;
+             ss_sessions = Master.session_count (Shard_master.master sm);
+             ss_applied = Shard_master.applied sm;
+             ss_busy_until = Shard_master.busy_until sm;
+           })
+         t.shards)
+  in
+  {
+    rp_shards;
+    rp_plan_hits = Partition.plan_hits t.partition;
+    rp_plan_misses = Partition.plan_misses t.partition;
+    rp_searches = t.searches;
+    rp_search_contacts = t.search_contacts;
+    rp_polls = t.polls;
+    rp_poll_contacts = t.poll_contacts;
+    rp_moves = t.moves;
+    rp_partials = t.partials;
+    rp_escalations = t.escalations;
+    rp_geo_pruning = t.geo_ok;
+  }
+
+let pp_report ppf r =
+  let hit_ratio =
+    let total = r.rp_plan_hits + r.rp_plan_misses in
+    if total = 0 then 0.0 else float_of_int r.rp_plan_hits /. float_of_int total
+  in
+  Format.fprintf ppf "@[<v>shards:@,";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf
+        "  %-10s entries %6d  owned %6d  csn %s  sessions %3d  applied %6d@,"
+        s.ss_host s.ss_entries s.ss_owned (Csn.to_string s.ss_csn)
+        s.ss_sessions s.ss_applied)
+    r.rp_shards;
+  Format.fprintf ppf
+    "plan cache: %d hits / %d misses (%.2f hit ratio)@,\
+     searches: %d over %d shard contacts@,\
+     polls: %d over %d shard contacts@,\
+     moves %d, partial merges %d, escalations %d, geo pruning %b@]"
+    r.rp_plan_hits r.rp_plan_misses hit_ratio r.rp_searches r.rp_search_contacts
+    r.rp_polls r.rp_poll_contacts r.rp_moves r.rp_partials r.rp_escalations
+    r.rp_geo_pruning

@@ -1,0 +1,141 @@
+(** The shard router: one endpoint fronting a partitioned set of
+    {!Shard_master}s.
+
+    Writes are routed to the owning shard by partition key (an
+    ownership change re-homes the entry with a delete/add pair);
+    structural entries — those without a key — are applied everywhere,
+    so every shard holds the DIT scaffolding its owned entries hang
+    from, while each shard's {!Partition.ownership_filter} keeps those
+    placeholder copies out of everything it serves.
+
+    Reads and ReSync sessions fan out over the minimal shard
+    {!Partition.cover} of the query, through the same
+    {!Ldap.Network}-backed RPC (fault schedule, byte accounting,
+    virtual clock) every other replication path uses.  The router is
+    itself a {!Ldap_resync.Transport.endpoint}, so consumers, filter
+    replicas and topology leaves subscribe through it exactly as they
+    would to a single master — one upstream session each, over however
+    many per-shard sessions the cover needs.
+
+    A poll reply merges the per-shard replies and interleaves their
+    cookies into one composite resume handle
+    ({!Ldap_resync.Protocol.composite_cookie}).  The merge discipline
+    keeps the composite honest across partial failures — a consumer
+    can never acknowledge a shard CSN whose actions it has not
+    applied:
+
+    - all shards replied [Incremental]: actions concatenate; shards
+      that failed keep their {e previous} cookie component.
+    - any reply was [Initial_content] or [Degraded]: these prune the
+      consumer globally, so the merge is only safe when {e every}
+      covered shard contributed — a partial fan-out returns an error
+      (the consumer retries; shards whose sessions advanced answer the
+      retry degraded from the acknowledged CSN).  On a full fan-out
+      the [Incremental] legs are {e escalated}: their advanced
+      sessions are ended and re-polled through
+      {!Ldap_resync.Protocol.reparent_cookie}, turning them degraded
+      from the consumer's acknowledged CSN, and the merged reply is
+      [Degraded] (or [Initial_content] when every leg was initial).
+
+    Merkle anti-entropy walks fan out the same way: shard contents are
+    disjoint and segment hashes aggregate by XOR, so the union's tree
+    is the per-index XOR of the shard trees, and a [Fetch] merges the
+    shipped entries with a composite of the per-shard resume
+    cookies. *)
+
+open Ldap
+
+type t
+
+val default_host : string
+(** Host name the router registers under (["router"]). *)
+
+val create :
+  ?host:string -> Partition.t -> Ldap_resync.Transport.t -> Shard_master.t array -> t
+(** Wires the router: every shard master is registered on the
+    transport under its host, and the router itself under [host].
+    The array length must equal the partition's shard count. *)
+
+val host : t -> string
+(** Host name this router answers under on the transport. *)
+
+val partition : t -> Partition.t
+(** The partition the router routes by. *)
+
+val shard : t -> int -> Shard_master.t
+(** The shard master currently serving shard [i]. *)
+
+val replace_shard : t -> int -> Shard_master.t -> unit
+(** Swaps in a (typically recovered) shard and re-registers it on the
+    transport — the restart path after a single-shard crash. *)
+
+val seed_from_backend : t -> Backend.t -> (unit, string) result
+(** Distributes a source backend's content over the shards through the
+    restore path: naming contexts and structural entries everywhere,
+    keyed entries at their owner.  Also builds the ownership table. *)
+
+val apply : t -> Update.op -> (Update.record, string) result
+(** Routes one write to its owning shard (by entry key for adds, by
+    the ownership table otherwise).  Structural writes apply at every
+    shard.  A committed after-image whose key moved ownership is
+    re-homed with a delete at the old shard and an add at the new. *)
+
+val apply_at : t -> now:int -> Update.op -> int * (Update.record, string) result
+(** {!apply} plus service-time accounting: books the write into the
+    owning shard's virtual timeline and returns its completion tick. *)
+
+val makespan : t -> int
+(** Latest busy horizon across shards — the virtual completion time of
+    everything booked so far. *)
+
+val reset_timelines : t -> unit
+(** Zeroes every shard's busy horizon. *)
+
+val cover : t -> Query.t -> int list
+(** The shard cover the router would fan a query over (geographic
+    pruning included while no committed write has violated the
+    geography assumption). *)
+
+val geo_pruning : t -> bool
+(** Whether geographic pruning is still enabled (flips off permanently
+    when a write commits an entry outside its block's geography). *)
+
+val search : t -> Query.t -> (Entry.t list, string) result
+(** Fans a search over the cover via {!Ldap.Network.rpc}, restricted
+    to each shard's owned content, and concatenates the (disjoint)
+    results. *)
+
+val endpoint : t -> Ldap_resync.Transport.endpoint
+(** The router as a ReSync endpoint (what {!create} registers). *)
+
+(** Observability for reports and the [ldapctl shard] command. *)
+type shard_stat = {
+  ss_id : int;
+  ss_host : string;
+  ss_entries : int;  (** Entries held, placeholders included. *)
+  ss_owned : int;  (** Entries this shard owns. *)
+  ss_csn : Csn.t;
+  ss_sessions : int;
+  ss_applied : int;
+  ss_busy_until : int;
+}
+
+type report = {
+  rp_shards : shard_stat list;
+  rp_plan_hits : int;
+  rp_plan_misses : int;
+  rp_searches : int;
+  rp_search_contacts : int;  (** Shards contacted by searches. *)
+  rp_polls : int;
+  rp_poll_contacts : int;  (** Shards contacted by resync exchanges. *)
+  rp_moves : int;  (** Ownership re-homings. *)
+  rp_partials : int;  (** Poll replies merged with a failed shard. *)
+  rp_escalations : int;  (** Incremental legs degraded on mixed merges. *)
+  rp_geo_pruning : bool;
+}
+
+val report : t -> report
+(** Snapshot of per-shard state and the router's routing counters. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Human-readable rendering of {!report} (shard table + counters). *)

@@ -26,4 +26,5 @@ let () =
       ("antientropy", Test_antientropy.suite);
       ("recovery", Test_recovery.suite);
       ("eval", Test_eval.suite);
+      ("shard", Test_shard.suite);
     ]
