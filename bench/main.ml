@@ -17,7 +17,8 @@
                    | latency-staleness [--smoke] [--json]
                    | crash-restart [--smoke] [--json]
                    | anti-entropy [--smoke] [--json]
-                   | shard [--smoke] [--json]]
+                   | shard [--smoke] [--json]
+                   | scale [--smoke] [--json]]
 
    micro runs the compiled-vs-interpreted comparison for the hot paths
    (filter bytecode vs AST interpretation, zero-copy DER writer vs
@@ -49,6 +50,23 @@
    one shard at every count, 4 shards deliver at least twice the
    1-shard write throughput, every crash recovery converges and the
    resumed consumer pays less than a cold re-fetch.
+
+   scale runs the paper-scale content-plane sweep (the full 500k-entry
+   enterprise behind a root master, an interior node tier and a
+   1000-leaf fleet, Table 1 query mix with Zipf drift and a diurnally
+   modulated update stream, against a 60k baseline on the same
+   topology); with --json it writes BENCH_PR9.json.  Gates: no node
+   falls back to a full-content rescan, spine entries scanned per poll
+   stay within 2x of the baseline (snapshot-diff serving is O(diff),
+   not O(directory)), live heap words grow sublinearly in leaf count,
+   and (full runs) the wall-clock p99 incremental serve time stays
+   within 2x of the baseline — initial-content and degraded transfers
+   are O(selection) by design and are reported ungated as
+   serve_all_p99_us.
+
+   Every full (non-smoke) JSON dump also records the process peak RSS
+   (VmHWM) so memory regressions show up across PRs; smoke JSON omits
+   it to stay bit-deterministic for the CI double-run diffs.
 
    --smoke runs a seconds-scale deterministic subset (the protocol
    illustrations plus a tiny lossy-network sweep) and is wired into
@@ -399,13 +417,20 @@ let write_json ~path ~micro ~fanout =
         sessions routed naive (naive /. routed)
         (if i = List.length fanout - 1 then "" else ","))
     fanout;
-  out "  ]\n}\n";
+  out "  ],\n  \"peak_rss_kb\": %d\n}\n" (Ldap_topology.Sweep.peak_rss_kb ());
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
 (* --- Cascading topology sweep ----------------------------------------- *)
 
 module T = Ldap_topology
+
+(* Peak process RSS (VmHWM), appended to every BENCH_PR*.json.  Full
+   runs only: RSS is inherently nondeterministic, and the smoke outputs
+   must diff clean across the CI double runs. *)
+let rss_fragment ~smoke =
+  if smoke then ""
+  else Printf.sprintf ",\n  \"peak_rss_kb\": %d" (T.Sweep.peak_rss_kb ())
 
 let run_tree_fanout ~smoke ~json () =
   let config =
@@ -443,9 +468,10 @@ let run_tree_fanout ~smoke ~json () =
   if json then begin
     let path = "BENCH_PR3.json" in
     let oc = open_out path in
-    Printf.fprintf oc "{\n  \"config\": \"%s\",\n  \"tree_fanout\": %s\n}\n"
+    Printf.fprintf oc "{\n  \"config\": \"%s\",\n  \"tree_fanout\": %s%s\n}\n"
       (if smoke then "smoke" else "default")
-      (T.Sweep.json_of_points points);
+      (T.Sweep.json_of_points points)
+      (rss_fragment ~smoke);
     close_out oc;
     Printf.printf "wrote %s\n%!" path
   end
@@ -492,9 +518,10 @@ let run_latency_staleness ~smoke ~json () =
   if json then begin
     let path = "BENCH_PR4.json" in
     let oc = open_out path in
-    Printf.fprintf oc "{\n  \"config\": \"%s\",\n  \"latency_staleness\": %s\n}\n"
+    Printf.fprintf oc "{\n  \"config\": \"%s\",\n  \"latency_staleness\": %s%s\n}\n"
       (if smoke then "smoke" else "default")
-      (T.Sweep.json_of_lat_points points);
+      (T.Sweep.json_of_lat_points points)
+      (rss_fragment ~smoke);
     close_out oc;
     Printf.printf "wrote %s\n%!" path
   end
@@ -571,10 +598,11 @@ let run_crash_restart ~smoke ~json () =
     let path = "BENCH_PR5.json" in
     let oc = open_out path in
     Printf.fprintf oc
-      "{\n  \"config\": \"%s\",\n  \"crash_restart\": %s,\n  \"corruption\": %s\n}\n"
+      "{\n  \"config\": \"%s\",\n  \"crash_restart\": %s,\n  \"corruption\": %s%s\n}\n"
       (if smoke then "smoke" else "default")
       (T.Sweep.json_of_cr_points points)
-      (T.Sweep.json_of_corruption corruption);
+      (T.Sweep.json_of_corruption corruption)
+      (rss_fragment ~smoke);
     close_out oc;
     Printf.printf "wrote %s\n%!" path
   end
@@ -653,9 +681,10 @@ let run_anti_entropy ~smoke ~json () =
   if json then begin
     let path = "BENCH_PR6.json" in
     let oc = open_out path in
-    Printf.fprintf oc "{\n  \"config\": \"%s\",\n  \"anti_entropy\": %s\n}\n"
+    Printf.fprintf oc "{\n  \"config\": \"%s\",\n  \"anti_entropy\": %s%s\n}\n"
       (if smoke then "smoke" else "default")
-      (T.Sweep.json_of_ae_points points);
+      (T.Sweep.json_of_ae_points points)
+      (rss_fragment ~smoke);
     close_out oc;
     Printf.printf "wrote %s\n%!" path
   end
@@ -736,9 +765,151 @@ let run_shard ~smoke ~json () =
   if json then begin
     let path = "BENCH_PR8.json" in
     let oc = open_out path in
-    Printf.fprintf oc "{\n  \"config\": \"%s\",\n  \"shard\": %s\n}\n"
+    Printf.fprintf oc "{\n  \"config\": \"%s\",\n  \"shard\": %s%s\n}\n"
       (if smoke then "smoke" else "default")
-      (Shard_sweep.json_of_points points);
+      (Shard_sweep.json_of_points points)
+      (rss_fragment ~smoke);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  end
+
+(* --- Paper-scale content-plane sweep ---------------------------------- *)
+
+let run_scale ~smoke ~json () =
+  let config =
+    if smoke then T.Sweep.scale_smoke_config else T.Sweep.scale_default_config
+  in
+  let baseline, main = T.Sweep.scale ~config () in
+  let row label (r : T.Sweep.scale_run) =
+    [
+      label;
+      string_of_int r.T.Sweep.sr_entries;
+      string_of_int r.T.Sweep.sr_leaves;
+      string_of_int r.T.Sweep.sr_polls;
+      Printf.sprintf "%.2f" (T.Sweep.scanned_per_poll r);
+      string_of_int r.T.Sweep.sr_rescans;
+      string_of_int r.T.Sweep.sr_resp_p99;
+      string_of_int r.T.Sweep.sr_stale_p99;
+      string_of_int r.T.Sweep.sr_stale_censored;
+      string_of_int r.T.Sweep.sr_pending_max;
+      string_of_int r.T.Sweep.sr_cursor_depth_max;
+    ]
+  in
+  Eval.Report.print
+    (Eval.Report.make
+       ~title:"Paper-scale content plane: baseline vs full directory"
+       ~notes:
+         [
+           "same topology (node tier + leaf fleet over the department filters),";
+           "two directory sizes; incremental polls walk only the change spine, so";
+           "scan/poll must track the update rate, not the directory size, and no";
+           "poll may fall back to a full-content rescan";
+         ]
+       ~columns:
+         [
+           "run"; "entries"; "leaves"; "polls"; "scan/poll"; "rescans";
+           "resp p99"; "stale p99"; "censored"; "pend max"; "cursor max";
+         ]
+       ~rows:[ row "baseline" baseline; row "full" main ]
+       ());
+  Eval.Report.print
+    (Eval.Report.make ~title:"Full-directory heap vs leaf count"
+       ~notes:
+         [
+           "live words after Gc.compact as leaves join one topology; replicas";
+           "share interned entries, so growth must stay well under linear";
+         ]
+       ~columns:[ "leaves"; "live Mwords"; "VmRSS MB" ]
+       ~rows:
+         (List.map
+            (fun (leaves, live, rss) ->
+              [
+                string_of_int leaves;
+                Printf.sprintf "%.1f" (float_of_int live /. 1e6);
+                (if rss = 0 then "n/a"
+                 else Printf.sprintf "%.0f" (float_of_int rss /. 1024.));
+              ])
+            main.T.Sweep.sr_memory)
+       ());
+  (* Gates. *)
+  List.iter
+    (fun (label, (r : T.Sweep.scale_run)) ->
+      if r.T.Sweep.sr_rescans > 0 then
+        failwith
+          (Printf.sprintf "scale: %s run fell back to %d full rescans" label
+             r.T.Sweep.sr_rescans);
+      if r.T.Sweep.sr_stale_samples = 0 then
+        failwith (Printf.sprintf "scale: %s run sampled no staleness" label))
+    [ ("baseline", baseline); ("full", main) ];
+  let spp_base = T.Sweep.scanned_per_poll baseline in
+  let spp_main = T.Sweep.scanned_per_poll main in
+  if spp_main > Float.max 4.0 (2.0 *. spp_base) then
+    failwith
+      (Printf.sprintf
+         "scale: %.2f spine entries scanned per poll at full size vs %.2f at \
+          baseline — snapshot-diff serving is not O(diff)"
+         spp_main spp_base);
+  let leaf_ratio, live_ratio =
+    match main.T.Sweep.sr_memory with
+    | [] | [ _ ] -> (1.0, 1.0)
+    | (l0, w0, _) :: _ ->
+        let ln, wn, _ =
+          List.nth main.T.Sweep.sr_memory
+            (List.length main.T.Sweep.sr_memory - 1)
+        in
+        ( float_of_int ln /. float_of_int (max 1 l0),
+          float_of_int wn /. float_of_int (max 1 w0) )
+  in
+  (* Linear growth from the first sample would multiply live words by
+     the leaf ratio; shared content must keep it under half that
+     slope. *)
+  let allowed = 1.0 +. (0.5 *. (leaf_ratio -. 1.0)) in
+  if live_ratio > allowed then
+    failwith
+      (Printf.sprintf
+         "scale: live words grew %.2fx over a %.1fx leaf increase (cap \
+          %.2fx) — replica memory is not sublinear in consumer count"
+         live_ratio leaf_ratio allowed);
+  if
+    (not smoke)
+    && main.T.Sweep.sr_serve_p99_us
+       > 2.0 *. Float.max 50.0 baseline.T.Sweep.sr_serve_p99_us
+  then
+    failwith
+      (Printf.sprintf
+         "scale: p99 incremental serve time %.1fus at full size vs %.1fus \
+          at baseline exceeds the 2x gate"
+         main.T.Sweep.sr_serve_p99_us baseline.T.Sweep.sr_serve_p99_us);
+  if main.T.Sweep.sr_resp_p99 > 2 * max 1 baseline.T.Sweep.sr_resp_p99 then
+    failwith
+      (Printf.sprintf
+         "scale: p99 poll response %d ticks at full size vs %d at baseline \
+          exceeds the 2x gate"
+         main.T.Sweep.sr_resp_p99 baseline.T.Sweep.sr_resp_p99);
+  Printf.printf
+    "scale gates: rescans 0/0, scan-per-poll %.2f vs %.2f, live-words \
+     %.2fx over %.1fx leaves (cap %.2fx)\n%!"
+    spp_base spp_main live_ratio leaf_ratio allowed;
+  if json then begin
+    let path = "BENCH_PR9.json" in
+    let oc = open_out path in
+    let out fmt = Printf.fprintf oc fmt in
+    out "{\n  \"config\": \"%s\",\n" (if smoke then "smoke" else "default");
+    out "  \"baseline\": %s,\n"
+      (T.Sweep.json_of_scale_run ~full:(not smoke) baseline);
+    out "  \"scale\": %s,\n" (T.Sweep.json_of_scale_run ~full:(not smoke) main);
+    out
+      "  \"gates\": {\"rescans_zero\": true, \"scanned_per_poll_2x\": true, \
+       \"memory_sublinear\": true, \"response_p99_2x\": true, \
+       \"staleness_sampled\": true%s}"
+      (if smoke then ""
+       else
+         Printf.sprintf
+           ", \"serve_p99_2x\": true, \"scanned_per_poll_ratio\": %.3f, \
+            \"live_words_ratio\": %.3f, \"leaf_ratio\": %.2f"
+           (spp_main /. Float.max 0.001 spp_base)
+           live_ratio leaf_ratio);
+    out "%s\n}\n" (rss_fragment ~smoke);
     close_out oc;
     Printf.printf "wrote %s\n%!" path
   end
@@ -952,7 +1123,7 @@ let run_micro7 ~smoke ~json () =
         fanout;
       out "  ],\n  \"latency_staleness\": %s" (T.Sweep.json_of_lat_points lat)
     end;
-    out "\n}\n";
+    out "%s\n}\n" (rss_fragment ~smoke);
     close_out oc;
     Printf.printf "wrote %s\n%!" path
   end
@@ -964,7 +1135,10 @@ let smoke () =
   Eval.Report.print (Eval.Figures.figure3 ());
   Eval.Report.print
     (Eval.Figures.lossy_sync ~rates:[ 0.0; 0.2 ] ~updates:200 ~employees:800
-       ~filters:4 ())
+       ~filters:4 ());
+  (* The paper-scale sweep, scaled down: every runtest exercises the
+     content plane end to end, gates included. *)
+  run_scale ~smoke:true ~json:false ()
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -989,6 +1163,10 @@ let () =
       ~json:(List.mem "--json" args) ()
   else if List.mem "shard" args then
     run_shard
+      ~smoke:(quick || List.mem "--smoke" args)
+      ~json:(List.mem "--json" args) ()
+  else if List.mem "scale" args then
+    run_scale
       ~smoke:(quick || List.mem "--smoke" args)
       ~json:(List.mem "--json" args) ()
   else if List.mem "micro" args then

@@ -12,7 +12,10 @@
      topology   - build a cascading replication topology and summarize it
      store      - journal a replica, crash it, and report its recovery
      antientropy - reconcile a drifted replica by Merkle walk and report it
-     shard      - partition a directory over shards and report the router *)
+     shard      - partition a directory over shards and report the router
+     scale      - build the paper-scale topology and report content-plane
+                  residency (per-tier entries, session history, cursors,
+                  store bytes) *)
 
 open Cmdliner
 open Ldap
@@ -781,6 +784,194 @@ let shard_cmd =
     (Cmd.info "shard" ~doc)
     Term.(const run $ employees_arg $ seed_arg $ shards_arg $ writes_arg)
 
+(* --- scale -------------------------------------------------------------- *)
+
+let scale_cmd =
+  let module T = Ldap_topology in
+  let module Resync = Ldap_resync in
+  let module R = Ldap_replication in
+  let nodes_arg =
+    Arg.(value & opt int 4
+         & info [ "nodes" ] ~doc:"Interior nodes splitting the department filters.")
+  in
+  let leaves_arg =
+    Arg.(value & opt int 48 & info [ "leaves" ] ~doc:"Leaf consumers.")
+  in
+  let updates_arg =
+    Arg.(value & opt int 50
+         & info [ "updates" ] ~doc:"Update-stream steps driven through the topology.")
+  in
+  let history_arg =
+    Arg.(value & opt int 512
+         & info [ "history-limit" ]
+             ~doc:"Root master per-session history high-water mark.")
+  in
+  let run employees seed nodes leaves updates history_limit =
+    let ent = Dirgen.Enterprise.build (enterprise_config employees seed) in
+    let backend = Dirgen.Enterprise.backend ent in
+    let base = Dirgen.Enterprise.root_dn ent in
+    let all_depts = Dirgen.Enterprise.dept_numbers ent in
+    let filters = Array.length all_depts in
+    let dept_queries =
+      Array.map
+        (fun d ->
+          Query.make ~base
+            (Filter.of_string_exn (Printf.sprintf "(departmentNumber=%s)" d)))
+        all_depts
+    in
+    let t = T.Topology.create backend in
+    Resync.Master.set_history_limit (T.Topology.master t) (Some history_limit);
+    let node_count = min nodes filters in
+    for i = 0 to node_count - 1 do
+      let covers =
+        List.filter_map
+          (fun j -> if j mod node_count = i then Some dept_queries.(j) else None)
+          (List.init filters Fun.id)
+      in
+      match
+        T.Topology.add_node t
+          ~name:(Printf.sprintf "node%d" i)
+          ~parent:(T.Topology.root t) ~covers
+      with
+      | Ok _ -> ()
+      | Error e ->
+          Printf.eprintf "add_node: %s\n" e;
+          exit 1
+    done;
+    for i = 0 to leaves - 1 do
+      let fidx = i mod filters in
+      match
+        T.Topology.add_leaf t
+          ~name:(Printf.sprintf "leaf%d" i)
+          ~parent:(Printf.sprintf "node%d" (fidx mod node_count))
+          dept_queries.(fidx)
+      with
+      | Ok _ -> ()
+      | Error e ->
+          Printf.eprintf "add_leaf: %s\n" e;
+          exit 1
+    done;
+    let stream =
+      Dirgen.Update_stream.create ent
+        { Dirgen.Update_stream.default_config with seed = seed + 1 }
+    in
+    (* Interleave commits with poll rounds so the change spine, session
+       history and cursors all carry realistic residue. *)
+    let rounds = 5 in
+    for r = 1 to rounds do
+      Dirgen.Update_stream.steps stream
+        ((updates * r / rounds) - (updates * (r - 1) / rounds));
+      T.Topology.sync_round t
+    done;
+    let store = Backend.content_store backend in
+    let node_entries =
+      List.fold_left
+        (fun acc n -> acc + R.Filter_replica.size_entries (T.Node.replica n))
+        0 (T.Topology.nodes t)
+    in
+    let leaf_entries =
+      List.fold_left
+        (fun acc l -> acc + R.Filter_replica.size_entries (T.Leaf.replica l))
+        0 (T.Topology.leaves t)
+    in
+    let tier_rows =
+      List.map
+        (fun (s : T.Topology.tier_summary) ->
+          let entries =
+            match s.T.Topology.tier with
+            | 0 -> Backend.total_entries backend
+            | 1 -> node_entries
+            | _ -> leaf_entries
+          in
+          [
+            string_of_int s.T.Topology.tier;
+            string_of_int s.T.Topology.members;
+            string_of_int entries;
+            string_of_int s.T.Topology.sessions;
+            string_of_int s.T.Topology.upstream_bytes;
+            string_of_int s.T.Topology.served_bytes;
+          ])
+        (T.Topology.tier_summaries t)
+    in
+    Eval.Report.print
+      (Eval.Report.make ~title:"Per-tier content residency"
+         ~notes:
+           [
+             Printf.sprintf "%d department filters split over %d nodes, %d leaves"
+               filters node_count leaves;
+             "entries: directory size (tier 0) / summed replica content below";
+           ]
+         ~columns:[ "tier"; "members"; "entries"; "sessions"; "upstream B"; "served B" ]
+         ~rows:tier_rows ());
+    let polls, scanned, rescans =
+      List.fold_left
+        (fun (a, b, c) n ->
+          let p, s, r = T.Node.cursor_stats n in
+          (a + p, b + s, c + r))
+        (0, 0, 0) (T.Topology.nodes t)
+    in
+    let seen =
+      List.fold_left (fun acc n -> acc + T.Node.seen_residency n) 0 (T.Topology.nodes t)
+    in
+    let depth_max =
+      List.fold_left
+        (fun acc n -> List.fold_left max acc (T.Node.cursor_depths n))
+        0 (T.Topology.nodes t)
+    in
+    let master = T.Topology.master t in
+    let pending_total, pending_max = Resync.Master.pending_stats master in
+    let low, high =
+      match Content_store.spine_csn_range store with
+      | Some (a, b) -> (Csn.to_string a, Csn.to_string b)
+      | None -> ("-", "-")
+    in
+    Eval.Report.print
+      (Eval.Report.make ~title:"Content plane"
+         ~notes:
+           [
+             "spine: the root store's bounded CSN-ordered change ring;";
+             "cursor depth: spine distance a session still has to walk;";
+             "pending: actions buffered for straggling sessions (capped by";
+             "the history high-water mark, beyond which polls degrade)";
+           ]
+         ~columns:[ "metric"; "value" ]
+         ~rows:
+           [
+             [ "store entries"; string_of_int (Content_store.size store) ];
+             [ "store interned ids"; string_of_int (Content_store.interned store) ];
+             [ "store bytes (reachable)"; string_of_int (Content_store.approx_bytes store) ];
+             [ "spine length"; string_of_int (Content_store.spine_length store) ];
+             [ "spine csn range"; Printf.sprintf "%s .. %s" low high ];
+             [ "incremental polls"; string_of_int polls ];
+             [ "spine entries scanned"; string_of_int scanned ];
+             [ "rescans"; string_of_int rescans ];
+             [ "sent-image residency"; string_of_int seen ];
+             [ "cursor depth max"; string_of_int depth_max ];
+             [ "master sessions"; string_of_int (Resync.Master.session_count master) ];
+             [ "master history entries"; string_of_int (Resync.Master.history_size master) ];
+             [ "master pending total"; string_of_int pending_total ];
+             [ "master pending max"; string_of_int pending_max ];
+             [
+               "history limit";
+               (match Resync.Master.history_limit master with
+               | Some l -> string_of_int l
+               | None -> "unbounded");
+             ];
+           ]
+         ())
+  in
+  let doc =
+    "Build the paper-scale topology (node tier over the department filters, \
+     round-robin leaf fleet), drive an update stream through it, and report \
+     content-plane residency: per-tier entry counts, the root content \
+     store's size/spine/bytes, node cursor statistics and the master's \
+     session-history occupancy."
+  in
+  Cmd.v (Cmd.info "scale" ~doc)
+    Term.(
+      const run $ employees_arg $ seed_arg $ nodes_arg $ leaves_arg
+      $ updates_arg $ history_arg)
+
 let () =
   let doc = "Filter-based LDAP directory replication (ICDCS 2005 reproduction)." in
   let info = Cmd.info "ldapctl" ~version:"1.0.0" ~doc in
@@ -790,5 +981,5 @@ let () =
           [
             gen_cmd; search_cmd; export_cmd; compare_cmd; contains_cmd;
             condition_cmd; resync_cmd; workload_cmd; replay_cmd; experiment_cmd;
-            topology_cmd; store_cmd; antientropy_cmd; shard_cmd;
+            topology_cmd; store_cmd; antientropy_cmd; shard_cmd; scale_cmd;
           ]))

@@ -48,10 +48,10 @@ let in_segments cfg sids dn =
 
 let serve ~content ~cookie request =
   match request with
-  | Root -> Root_hash (Tree.root (Tree.of_entries (content ())))
-  | Branches cfg -> Branch_hashes (Tree.branches (Tree.of_entries ~config:cfg (content ())))
+  | Root -> Root_hash (Tree.root (Tree.of_seq (content ())))
+  | Branches cfg -> Branch_hashes (Tree.branches (Tree.of_seq ~config:cfg (content ())))
   | Segments (cfg, bids) ->
-      let tree = Tree.of_entries ~config:cfg (content ()) in
+      let tree = Tree.of_seq ~config:cfg (content ()) in
       Segment_hashes
         (List.concat_map
            (fun b ->
@@ -64,7 +64,8 @@ let serve ~content ~cookie request =
          hold a cookie ahead of its content. *)
       let cookie = cookie () in
       let entries =
-        List.filter (fun e -> in_segments cfg sids (Entry.dn e)) (content ())
+        List.of_seq
+          (Seq.filter (fun e -> in_segments cfg sids (Entry.dn e)) (content ()))
       in
       Segment_entries { entries; cookie }
 
@@ -121,7 +122,7 @@ let reconcile ?(config = Tree.default_config) ?(max_rounds = default_max_rounds)
   let rec round r =
     if r > max_rounds then Ok (make_report (r - 1) false)
     else
-      let tree = Tree.of_entries ~config (local ()) in
+      let tree = Tree.of_seq ~config (local ()) in
       let* reply = send Root in
       match reply with
       | Root_hash h when Int64.equal h (Tree.root tree) ->
@@ -152,7 +153,7 @@ let reconcile ?(config = Tree.default_config) ?(max_rounds = default_max_rounds)
                                   Dn.Set.empty entries
                               in
                               let deletes =
-                                List.filter_map
+                                Seq.filter_map
                                   (fun e ->
                                     let dn = Entry.dn e in
                                     if
@@ -161,6 +162,7 @@ let reconcile ?(config = Tree.default_config) ?(max_rounds = default_max_rounds)
                                     then Some dn
                                     else None)
                                   (local ())
+                                |> List.of_seq
                               in
                               apply ~upserts:entries ~deletes ~cookie;
                               round (r + 1)

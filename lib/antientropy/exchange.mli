@@ -38,11 +38,13 @@ val reply_bytes : reply -> int
 (** Modelled wire cost of a reply (framing + hashes, or + entries). *)
 
 val serve :
-  content:(unit -> Entry.t list) ->
+  content:(unit -> Entry.t Seq.t) ->
   cookie:(unit -> string option) ->
   request ->
   reply
-(** Answers one walk step from [content], re-read lazily per request.
+(** Answers one walk step from [content], re-read lazily per request
+    as a streaming sequence — hashing never materializes a list copy
+    of the serving side's content.
     [cookie] is consulted only on [Fetch]: it should mint (or reuse) a
     ReSync session pinned at the serving side's current CSN, so the
     consumer that installs the shipped entries can resume incremental
@@ -69,7 +71,7 @@ type report = {
 val reconcile :
   ?config:Tree.config ->
   ?max_rounds:int ->
-  local:(unit -> Entry.t list) ->
+  local:(unit -> Entry.t Seq.t) ->
   apply:
     (upserts:Entry.t list -> deletes:Dn.t list -> cookie:string option -> unit) ->
   rpc:(request -> (reply, string) result) ->

@@ -25,30 +25,11 @@ let depth _ = 3
 let hash64 s =
   Bytes.get_int64_be (Bytes.unsafe_of_string (Digest.string s)) 0
 
-let canonical_string e =
-  let b = Buffer.create 128 in
-  Buffer.add_string b (Dn.canonical (Entry.dn e));
-  let attrs =
-    List.sort compare
-      (List.map (fun (n, vs) -> (n, List.sort compare vs)) (Entry.attributes e))
-  in
-  List.iter
-    (fun (n, vs) ->
-      Buffer.add_char b '\x00';
-      Buffer.add_string b n;
-      List.iter
-        (fun v ->
-          Buffer.add_char b '\x01';
-          Buffer.add_string b v)
-        vs)
-    attrs;
-  Buffer.contents b
-
 (* Memoized on the entry: rebuilding trees across anti-entropy rounds
-   re-hashes only entries mutated since the last round.  The digest
-   bytes are exactly [hash64 (canonical_string e)]. *)
-let entry_hash e =
-  Entry.cached_hash e ~compute:(fun e -> hash64 (canonical_string e))
+   re-hashes only entries mutated since the last round.  The canonical
+   rendering lives with {!Entry} so snapshot-diff cursors share both
+   the definition and the per-record memo. *)
+let entry_hash = Entry.content_hash64
 
 (* The segment is keyed by the DN alone: mutating an entry's attributes
    changes its hash but never moves it between segments, so a single
@@ -68,15 +49,17 @@ type t = { config : config; seg : int64 array }
 
 let config t = t.config
 
-let of_entries ?(config = default_config) entries =
+let of_seq ?(config = default_config) entries =
   check_config config;
   let seg = Array.make config.segments 0L in
-  List.iter
+  Seq.iter
     (fun e ->
       let i = segment_of_dn config (Entry.dn e) in
       seg.(i) <- Int64.logxor seg.(i) (entry_hash e))
     entries;
   { config; seg }
+
+let of_entries ?config entries = of_seq ?config (List.to_seq entries)
 
 let segment t i =
   if i < 0 || i >= t.config.segments then

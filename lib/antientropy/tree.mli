@@ -39,9 +39,14 @@ val segment_of_dn : config -> Dn.t -> int
 
 type t
 
+val of_seq : ?config:config -> Entry.t Seq.t -> t
+(** Builds the tree over the given content in one streaming pass
+    (default {!default_config}) — no list copy of the content is ever
+    materialized, so building over a 500k-entry store costs the
+    segment array plus the iteration. *)
+
 val of_entries : ?config:config -> Entry.t list -> t
-(** Builds the tree over the given content in one pass
-    (default {!default_config}). *)
+(** {!of_seq} over a list. *)
 
 val config : t -> config
 (** The shape this tree was built with. *)

@@ -23,6 +23,8 @@ let default_config =
     target_share = 0.30;
   }
 
+let paper_scale_config = { default_config with employees = 500_000 }
+
 type employee = {
   emp_dn : Dn.t;
   emp_country : int;
@@ -56,19 +58,39 @@ let dept_number ~division ~dept = Printf.sprintf "%02d%02d" division dept
 let must = function Ok x -> x | Error e -> failwith ("Enterprise.build: " ^ e)
 let must_apply b op = ignore (must (Backend.apply b op))
 
-let build config =
-  let prng = Prng.create config.seed in
-  let schema = Schema.default in
-  let backend =
-    Backend.create
-      ~indexed:
-        [ "serialnumber"; "mail"; "departmentnumber"; "divisionnumber"; "uid"; "cn"; "location" ]
-      schema
+(* --- Streaming generator --------------------------------------------
+   One deterministic pass over the whole directory, yielding each entry
+   to a callback in build order — root, countries, divisions,
+   departments, locations, then employees country by country.  Nothing
+   is materialized, so generating 500k+ entries costs the PRNG draws
+   and the entries the consumer chooses to keep; [build] is one such
+   consumer, the scale sweep's backend seeder another. *)
+
+type generated = Structural of Entry.t | Person of employee * Entry.t
+
+let per_country_counts config =
+  Array.init config.countries (fun i ->
+      if i < config.target_countries then
+        int_of_float
+          (config.target_share *. float_of_int config.employees
+          /. float_of_int config.target_countries)
+      else
+        int_of_float
+          ((1.0 -. config.target_share) *. float_of_int config.employees
+          /. float_of_int (config.countries - config.target_countries)))
+
+let entry_count config =
+  let structural =
+    1 + config.countries + 1 + config.divisions
+    + (config.divisions * config.departments_per_division)
+    + 1 + config.locations
   in
+  structural + Array.fold_left ( + ) 0 (per_country_counts config)
+
+let generate config ~f =
+  let prng = Prng.create config.seed in
   let root = Dn.of_string_exn "o=xyz" in
-  must
-    (Backend.add_context backend
-       (Entry.make root [ ("objectclass", [ "organization" ]); ("o", [ "xyz" ]) ]));
+  f (Structural (Entry.make root [ ("objectclass", [ "organization" ]); ("o", [ "xyz" ]) ]));
   (* Countries. *)
   let country_codes = Array.init config.countries code_of_country in
   let country_dns =
@@ -76,16 +98,16 @@ let build config =
   in
   Array.iter
     (fun code ->
-      must_apply backend
-        (Update.add
+      f
+        (Structural
            (Entry.make
               (Dn.child_ava root "c" code)
               [ ("objectclass", [ "country" ]); ("c", [ code ]) ])))
     country_codes;
   (* Divisions and departments. *)
   let divisions_base = Dn.child_ava root "ou" "divisions" in
-  must_apply backend
-    (Update.add
+  f
+    (Structural
        (Entry.make divisions_base
           [ ("objectclass", [ "organizationalUnit" ]); ("ou", [ "divisions" ]) ]));
   let division_dns =
@@ -94,8 +116,8 @@ let build config =
   in
   Array.iteri
     (fun d dn ->
-      must_apply backend
-        (Update.add
+      f
+        (Structural
            (Entry.make dn
               [
                 ("objectclass", [ "organizationalUnit" ]);
@@ -103,14 +125,12 @@ let build config =
                 ("divisionNumber", [ Printf.sprintf "%02d" d ]);
               ])))
     division_dns;
-  let depts = ref [] in
   Array.iteri
     (fun d div_dn ->
       for k = 0 to config.departments_per_division - 1 do
         let number = dept_number ~division:d ~dept:k in
-        depts := number :: !depts;
-        must_apply backend
-          (Update.add
+        f
+          (Structural
              (Entry.make
                 (Dn.child_ava div_dn "ou" ("dept-" ^ number))
                 [
@@ -122,81 +142,117 @@ let build config =
                 ]))
       done)
     division_dns;
-  let depts = Array.of_list (List.rev !depts) in
   (* Locations: a small, hot subtree (section 7.2(c)). *)
   let locations_base = Dn.child_ava root "ou" "locations" in
-  must_apply backend
-    (Update.add
+  f
+    (Structural
        (Entry.make locations_base
           [ ("objectclass", [ "organizationalUnit" ]); ("ou", [ "locations" ]) ]));
+  for i = 0 to config.locations - 1 do
+    let name = Printf.sprintf "site-%02d" i in
+    f
+      (Structural
+         (Entry.make
+            (Dn.child_ava locations_base "l" name)
+            [
+              ("objectclass", [ "locality" ]);
+              ("l", [ name ]);
+              ("location", [ name ]);
+              ("description", [ "location " ^ name ]);
+            ]))
+  done;
+  (* Employees: target countries share [target_share] evenly, the rest
+     split the remainder. *)
+  let per_country = per_country_counts config in
+  Array.iteri
+    (fun ci n ->
+      let cdn = country_dns.(ci) in
+      let code = country_codes.(ci) in
+      for seq = 0 to n - 1 do
+        let given = Namegen.given_name prng and sur = Namegen.surname prng in
+        let serial = Namegen.serial ~country_index:ci ~seq in
+        let local = Namegen.mail_local_part prng ~given ~sur ~seq in
+        let mail = Printf.sprintf "%s@%s.xyz.com" local code in
+        let division = Prng.int prng config.divisions in
+        let dept =
+          dept_number ~division ~dept:(Prng.int prng config.departments_per_division)
+        in
+        let cn = Printf.sprintf "%s %s %s" given sur serial in
+        let dn = Dn.child_ava cdn "cn" cn in
+        let entry =
+          Entry.make dn
+            [
+              ("objectclass", [ "inetOrgPerson" ]);
+              ("cn", [ cn ]);
+              ("sn", [ sur ]);
+              ("givenName", [ given ]);
+              ("uid", [ Namegen.uid ~country_index:ci ~seq ]);
+              ("mail", [ mail ]);
+              ("serialNumber", [ serial ]);
+              ("departmentNumber", [ dept ]);
+              ("telephoneNumber",
+               [ Printf.sprintf "%03d-%04d" (Prng.int prng 1000) (Prng.int prng 10000) ]);
+              ("employeeType", [ (if Prng.bool prng 0.9 then "regular" else "contractor") ]);
+              ("description", [ "employee record for " ^ cn ]);
+            ]
+        in
+        f
+          (Person
+             ( { emp_dn = dn; emp_country = ci; emp_seq = seq; emp_serial = serial;
+                 emp_mail = mail; emp_dept = dept },
+               entry ))
+      done)
+    per_country
+
+let indexed_attrs =
+  [ "serialnumber"; "mail"; "departmentnumber"; "divisionnumber"; "uid"; "cn"; "location" ]
+
+let populate config backend =
+  let n = ref 0 in
+  generate config ~f:(fun g ->
+      incr n;
+      match g with
+      | Structural e when !n = 1 -> must (Backend.add_context backend e)
+      | Structural e | Person (_, e) -> must_apply backend (Update.add e));
+  (* Experiments measure only their own update streams. *)
+  Backend.trim_log backend ~before:(Csn.next (Backend.csn backend))
+
+let build config =
+  let schema = Schema.default in
+  let backend = Backend.create ~indexed:indexed_attrs schema in
+  let root = Dn.of_string_exn "o=xyz" in
+  let country_codes = Array.init config.countries code_of_country in
+  let country_dns =
+    Array.map (fun code -> Dn.child_ava root "c" code) country_codes
+  in
+  let divisions_base = Dn.child_ava root "ou" "divisions" in
+  let division_dns =
+    Array.init config.divisions (fun d ->
+        Dn.child_ava divisions_base "ou" (Printf.sprintf "div-%02d" d))
+  in
+  let depts =
+    Array.init
+      (config.divisions * config.departments_per_division)
+      (fun i ->
+        dept_number
+          ~division:(i / config.departments_per_division)
+          ~dept:(i mod config.departments_per_division))
+  in
+  let locations_base = Dn.child_ava root "ou" "locations" in
   let location_names =
     Array.init config.locations (fun i -> Printf.sprintf "site-%02d" i)
   in
-  Array.iter
-    (fun name ->
-      must_apply backend
-        (Update.add
-           (Entry.make
-              (Dn.child_ava locations_base "l" name)
-              [
-                ("objectclass", [ "locality" ]);
-                ("l", [ name ]);
-                ("location", [ name ]);
-                ("description", [ "location " ^ name ]);
-              ])))
-    location_names;
-  (* Employees: target countries share [target_share] evenly, the rest
-     split the remainder. *)
-  let per_country =
-    Array.init config.countries (fun i ->
-        if i < config.target_countries then
-          int_of_float
-            (config.target_share *. float_of_int config.employees
-            /. float_of_int config.target_countries)
-        else
-          int_of_float
-            ((1.0 -. config.target_share) *. float_of_int config.employees
-            /. float_of_int (config.countries - config.target_countries)))
-  in
-  let by_country =
-    Array.mapi
-      (fun ci n ->
-        let cdn = country_dns.(ci) in
-        let code = country_codes.(ci) in
-        Array.init n (fun seq ->
-            let given = Namegen.given_name prng and sur = Namegen.surname prng in
-            let serial = Namegen.serial ~country_index:ci ~seq in
-            let local = Namegen.mail_local_part prng ~given ~sur ~seq in
-            let mail = Printf.sprintf "%s@%s.xyz.com" local code in
-            let division = Prng.int prng config.divisions in
-            let dept =
-              dept_number ~division ~dept:(Prng.int prng config.departments_per_division)
-            in
-            let cn = Printf.sprintf "%s %s %s" given sur serial in
-            let dn = Dn.child_ava cdn "cn" cn in
-            let entry =
-              Entry.make dn
-                [
-                  ("objectclass", [ "inetOrgPerson" ]);
-                  ("cn", [ cn ]);
-                  ("sn", [ sur ]);
-                  ("givenName", [ given ]);
-                  ("uid", [ Namegen.uid ~country_index:ci ~seq ]);
-                  ("mail", [ mail ]);
-                  ("serialNumber", [ serial ]);
-                  ("departmentNumber", [ dept ]);
-                  ("telephoneNumber",
-                   [ Printf.sprintf "%03d-%04d" (Prng.int prng 1000) (Prng.int prng 10000) ]);
-                  ("employeeType", [ (if Prng.bool prng 0.9 then "regular" else "contractor") ]);
-                  ("description", [ "employee record for " ^ cn ]);
-                ]
-            in
-            must_apply backend (Update.add entry);
-            { emp_dn = dn; emp_country = ci; emp_seq = seq; emp_serial = serial;
-              emp_mail = mail; emp_dept = dept })
-          )
-      per_country
-  in
+  let by_country_rev = Array.make config.countries [] in
+  let n = ref 0 in
+  generate config ~f:(fun g ->
+      incr n;
+      match g with
+      | Structural e when !n = 1 -> must (Backend.add_context backend e)
+      | Structural e -> must_apply backend (Update.add e)
+      | Person (emp, e) ->
+          must_apply backend (Update.add e);
+          by_country_rev.(emp.emp_country) <- emp :: by_country_rev.(emp.emp_country));
+  let by_country = Array.map (fun l -> Array.of_list (List.rev l)) by_country_rev in
   (* Experiments measure only their own update streams. *)
   Backend.trim_log backend ~before:(Csn.next (Backend.csn backend));
   {

@@ -36,6 +36,11 @@ val default_config : config
     40 locations, 5 target countries holding 30% of employees,
     seed 42. *)
 
+val paper_scale_config : config
+(** {!default_config} scaled to 500000 employees — the directory size
+    of the paper's enterprise case study, used by the end-to-end scale
+    sweep. *)
+
 type employee = {
   emp_dn : Dn.t;
   emp_country : int;
@@ -47,27 +52,81 @@ type employee = {
 
 type t
 
+(** One generated entry: scaffolding (root, countries, divisions,
+    departments, locations) or an employee with its derived metadata. *)
+type generated = Structural of Entry.t | Person of employee * Entry.t
+
+val generate : config -> f:(generated -> unit) -> unit
+(** Streams the whole directory to [f] in build order — root first,
+    then countries, divisions, departments, locations, employees
+    country by country — without materializing anything.  One
+    deterministic PRNG pass: every consumer of the same config sees
+    byte-identical entries, so {!build} and a streaming seeder agree
+    exactly. *)
+
+val entry_count : config -> int
+(** Total entries {!generate} yields for the config (scaffolding
+    included), computed without generating. *)
+
+val populate : config -> Backend.t -> unit
+(** Streams {!generate} into an existing empty backend — the root
+    entry becomes its naming context, everything else is applied as a
+    normal add — then trims the update log, like {!build}, but with no
+    metadata arrays retained: the 500k+ seeding path. *)
+
+val indexed_attrs : string list
+(** The attribute indexes the generated directory is built with. *)
+
 val build : config -> t
-(** Constructs the whole DIT in a fresh indexed backend.  The build is
-    committed through normal update operations; the update log is
-    trimmed afterwards so experiments only observe their own update
-    streams. *)
+(** Constructs the whole DIT in a fresh indexed backend by consuming
+    {!generate}.  The build is committed through normal update
+    operations; the update log is trimmed afterwards so experiments
+    only observe their own update streams. *)
+
+(** {1 Accessors over a built directory} *)
 
 val config : t -> config
+(** The configuration the directory was built from. *)
+
 val backend : t -> Backend.t
+(** The populated, indexed backend. *)
+
 val schema : t -> Schema.t
+(** The backend's schema. *)
+
 val root_dn : t -> Dn.t
+(** The naming context, [o=xyz]. *)
+
 val country_dn : t -> int -> Dn.t
+(** DN of the [i]th country entry. *)
+
 val country_code : t -> int -> string
+(** Two-letter code of the [i]th country. *)
+
 val division_dn : t -> int -> Dn.t
+(** DN of the [d]th division entry. *)
+
 val locations_dn : t -> Dn.t
+(** Base of the hot locations subtree. *)
+
 val location_names : t -> string array
+(** Generated location names, in entry order. *)
 
 val employees : t -> employee array
+(** Every generated employee, countries concatenated in order. *)
+
 val employees_of_country : t -> int -> employee array
+(** The employees of one country, in generation order. *)
+
 val person_count : t -> int
+(** Employees generated (excludes scaffolding entries). *)
+
 val is_target_country : t -> int -> bool
+(** Whether country [i] belongs to the remote geography. *)
+
 val target_countries : t -> int list
+(** Indices of the remote-geography countries. *)
+
 val dept_numbers : t -> string array
 (** All department numbers, grouped by division prefix. *)
 

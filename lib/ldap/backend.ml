@@ -2,6 +2,7 @@ type t = {
   schema : Schema.t;
   mutable contexts : Dit.t list;  (* deepest suffix first *)
   index : Index.t;
+  estore : Content_store.t;  (* flat mirror of every context, spine in commit order *)
   mutable referral_dns : Dn.Set.t;  (* referral objects, for references *)
   log : Changelog.t;
   mutable csn : Csn.t;
@@ -14,6 +15,7 @@ let create ?(indexed = []) schema =
     schema;
     contexts = [];
     index = Index.create schema ~attrs:("objectclass" :: indexed);
+    estore = Content_store.create ();
     referral_dns = Dn.Set.empty;
     log = Changelog.create ();
     csn = Csn.zero;
@@ -25,6 +27,11 @@ let schema t = t.schema
 
 let note_entry t entry ~add =
   (if add then Index.insert else Index.remove) t.index entry;
+  (* The flat mirror follows every DIT mutation through this one choke
+     point; the stamp is the CSN about to commit (or, on restore, a
+     best-effort bound — the spine order is what cursors rely on). *)
+  (if add then Content_store.upsert t.estore ~csn:(Csn.next t.csn) entry
+   else Content_store.remove t.estore ~csn:(Csn.next t.csn) (Entry.dn entry));
   if Entry.is_referral entry then
     t.referral_dns <-
       (if add then Dn.Set.add else Dn.Set.remove) (Entry.dn entry) t.referral_dns
@@ -64,6 +71,9 @@ let total_entries t = List.fold_left (fun acc dit -> acc + Dit.size dit) 0 t.con
 
 let fold_entries t ~init ~f =
   List.fold_left (fun acc dit -> Dit.fold dit ~init:acc ~f) init t.contexts
+
+let entries_seq t = Content_store.to_seq t.estore
+let content_store t = t.estore
 
 (* --- Search --------------------------------------------------------- *)
 

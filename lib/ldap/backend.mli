@@ -25,8 +25,25 @@ val context_for : t -> Dn.t -> Dit.t option
 (** Most specific naming context whose namespace covers the DN. *)
 
 val find : t -> Dn.t -> Entry.t option
+(** O(1) lookup across all naming contexts. *)
+
 val total_entries : t -> int
+(** Entries held across all naming contexts. *)
+
 val fold_entries : t -> init:'a -> f:('a -> Entry.t -> 'a) -> 'a
+(** Folds over every entry in flat-mirror (insertion) order. *)
+
+val entries_seq : t -> Entry.t Seq.t
+(** All entries as a sequence over the backend's flat content mirror
+    (insertion order) — the streaming form full-content walks
+    (tombstone replay, anti-entropy tree construction) consume, with
+    no per-walk list copy and no DIT traversal. *)
+
+val content_store : t -> Content_store.t
+(** The flat {!Content_store} mirror of every naming context,
+    maintained on each commit and restore.  Its change spine is in
+    CSN commit order; readers use it for O(diff) change enumeration
+    and memory-residency reports. *)
 
 (** {1 Search} *)
 
@@ -46,6 +63,8 @@ type search_result = {
 }
 
 val search : t -> Query.t -> (search_result, search_error) Stdlib.result
+(** Evaluates the query against the covering naming context, using
+    attribute indexes where the filter allows. *)
 
 val compare_values : t -> Dn.t -> attr:string -> value:string -> (bool, string) result
 (** The LDAP compare operation (section 2.2): does the entry carry the

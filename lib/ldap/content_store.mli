@@ -1,0 +1,85 @@
+(** DN-keyed content store with interned ids and a change spine.
+
+    The shared shape for every layer that materializes a set of
+    entries — the backend's flat mirror, consumer replica content, and
+    the cursors topology nodes serve snapshot-diffs from.  A store
+    maps canonical DNs to entries through dense interned slot ids and
+    records every mutation on a bounded {e change spine}: a ring of
+    (revision, slot id, CSN stamp) events in commit order.  A reader
+    holding the revision it last consumed can enumerate exactly the
+    DNs changed since — O(diff), not O(directory) — and is told to
+    rescan when the spine was trimmed past its position, never served
+    a silent gap. *)
+
+type t
+
+val create : ?spine_cap:int -> unit -> t
+(** Fresh empty store.  [spine_cap] bounds the change spine: past
+    [2 * spine_cap] buffered events the oldest half is dropped
+    (default {!default_spine_cap}), advancing {!floor}. *)
+
+val default_spine_cap : int
+(** 16384 events. *)
+
+val upsert : t -> ?csn:Csn.t -> Entry.t -> unit
+(** Installs (or replaces) the entry under its DN and appends a spine
+    event stamped with [csn] when given. *)
+
+val remove : t -> ?csn:Csn.t -> Dn.t -> unit
+(** Removes the entry under [dn], appending a spine event.  No-op
+    (and no event) when the DN holds no entry.  The slot id survives
+    as a tombstone so later events can still name the DN. *)
+
+val find : t -> Dn.t -> Entry.t option
+(** O(1) lookup by DN. *)
+
+val mem : t -> Dn.t -> bool
+
+val size : t -> int
+(** Live entries held. *)
+
+val interned : t -> int
+(** Slot ids allocated — live entries plus tombstoned DNs. *)
+
+val iter : t -> (Entry.t -> unit) -> unit
+(** Iterates live entries in slot (insertion) order. *)
+
+val fold : t -> init:'a -> f:('a -> Entry.t -> 'a) -> 'a
+(** Folds over live entries in slot order. *)
+
+val to_seq : t -> Entry.t Seq.t
+(** Live entries as a sequence in slot order, built lazily over the
+    slot array — the ordered iterator replica evaluation and
+    anti-entropy tree construction stream from.  The sequence reads
+    the live array: do not mutate the store while consuming it. *)
+
+val to_list : t -> Entry.t list
+
+val rev : t -> int
+(** Current revision: total mutation events recorded.  A cursor holds
+    the revision it consumed and passes it to {!changes_since}. *)
+
+val floor : t -> int
+(** Oldest revision still covered by the spine; positions before it
+    were trimmed and can only be recovered by rescanning. *)
+
+val spine_length : t -> int
+(** Buffered spine events, [rev - floor]. *)
+
+val changes_since : t -> int -> Dn.t list option
+(** [changes_since t r] is [Some dns] — the distinct DNs mutated after
+    revision [r], oldest-first by first occurrence — when the spine
+    still reaches back to [r]; [None] when [r] predates {!floor} and
+    the caller must rescan.  [Some []] when nothing changed. *)
+
+val trim_spine : t -> keep:int -> unit
+(** Drops all but the newest [keep] spine events, advancing {!floor}. *)
+
+val spine_csn_range : t -> (Csn.t * Csn.t) option
+(** CSN stamps of the oldest and newest buffered events ({!Csn.zero}
+    for events recorded without a stamp); [None] when empty. *)
+
+val approx_bytes : t -> int
+(** Approximate heap footprint of everything reachable from the store
+    (slots, spine, and the entries themselves), for memory-residency
+    reports.  Walks the object graph — O(size), diagnostic use only. *)

@@ -170,6 +170,32 @@ let cached_hash t ~compute =
       t.memo.content_hash <- Some h;
       h
 
+(* Canonical rendering: canonical DN, then attributes sorted by name
+   with values sorted within each attribute — exactly the data [equal]
+   compares, so the digest is a pure function of the equality class.
+   The anti-entropy tree and the node cursor's sent-image table both
+   hash through here, sharing the per-record memo. *)
+let canonical_rendering t =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (Dn.canonical t.dn);
+  List.iter
+    (fun (n, vs) ->
+      Buffer.add_char b '\x00';
+      Buffer.add_string b n;
+      List.iter
+        (fun v ->
+          Buffer.add_char b '\x01';
+          Buffer.add_string b v)
+        vs)
+    (normalized_attrs t);
+  Buffer.contents b
+
+let hash64_of_string s =
+  Bytes.get_int64_be (Bytes.unsafe_of_string (Digest.string s)) 0
+
+let content_hash64 t =
+  cached_hash t ~compute:(fun t -> hash64_of_string (canonical_rendering t))
+
 let pp ppf t =
   Format.fprintf ppf "dn: %s" (Dn.to_string t.dn);
   List.iter

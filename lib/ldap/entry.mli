@@ -14,6 +14,7 @@ val make : Dn.t -> (string * string list) list -> t
 
 val dn : t -> Dn.t
 val with_dn : t -> Dn.t -> t
+(** The same attributes under a new DN (modify-DN support). *)
 
 val attributes : t -> (string * string list) list
 (** All attributes in insertion order, names lowercased. *)
@@ -70,6 +71,15 @@ val cached_hash : t -> compute:(t -> int64) -> int64
     entry record (used by the anti-entropy tree).  All callers must
     pass the same [compute]; the cache is invalidated by mutators
     along with the compiled view. *)
+
+val content_hash64 : t -> int64
+(** 64-bit digest over the entry's canonical rendering (canonical DN,
+    attributes sorted by name, values sorted within each attribute),
+    memoized via {!cached_hash}.  A pure function of the {!equal}
+    equivalence class: equal entries always hash equal, and (modulo
+    64-bit digest collisions) unequal entries hash differently — the
+    property that lets snapshot-diff serving and the anti-entropy tree
+    compare content by hash instead of by entry. *)
 
 val pp : Format.formatter -> t -> unit
 (** LDIF-ish rendering for debugging and the CLI. *)

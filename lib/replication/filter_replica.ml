@@ -220,7 +220,7 @@ let answer t q =
   match containing_consumer t q with
   | Some (_, consumer) ->
       let entries =
-        Replica.eval_over_entries t.schema q (Resync.Consumer.entries consumer)
+        Replica.eval_over_entries t.schema q (Resync.Consumer.entries_seq consumer)
       in
       Stats.record_query t.stats ~hit:true ~returned:(List.length entries);
       Replica.Answered entries

@@ -37,7 +37,7 @@ let answer t q =
     in
     match C.Containment_index.find_container_where t.index q ~pred:evaluable with
     | None -> None
-    | Some (_, entries) -> Some (Replica.eval_over_entries t.schema q entries)
+    | Some (_, entries) -> Some (Replica.eval_over_entries t.schema q (List.to_seq entries))
 
 let comparisons t = C.Containment_index.comparisons t.index
 

@@ -18,11 +18,15 @@ let widen_attrs (q : Query.t) =
 
 let eval_over_entries schema (q : Query.t) entries =
   (* Compile the filter once for the whole pass; each entry then
-     evaluates through its cached compiled view. *)
+     evaluates through its cached compiled view.  The candidates come
+     in as a sequence so callers stream straight out of their content
+     store instead of building an intermediate list per evaluation. *)
   let matches = Filter.matcher schema q.Query.filter in
-  List.filter_map
-    (fun e ->
+  let attrs = Query.attr_list q.Query.attrs in
+  Seq.fold_left
+    (fun acc e ->
       if Query.in_scope q (Entry.dn e) && matches e then
-        Some (Entry.select e (Query.attr_list q.Query.attrs))
-      else None)
-    entries
+        Entry.select e attrs :: acc
+      else acc)
+    [] entries
+  |> List.rev

@@ -15,10 +15,13 @@ type answer =
 
 val is_hit : answer -> bool
 
-val eval_over_entries : Schema.t -> Query.t -> Entry.t list -> Entry.t list
-(** Evaluates a query locally over a set of candidate entries: scope
-    check, filter match and attribute selection.  Used by replicas to
-    answer a query from the content of a containing stored query. *)
+val eval_over_entries : Schema.t -> Query.t -> Entry.t Seq.t -> Entry.t list
+(** Evaluates a query locally over a stream of candidate entries:
+    scope check, filter match and attribute selection, with the filter
+    compiled once for the pass.  Used by replicas to answer a query
+    from the content of a containing stored query; callers hand in the
+    content store's iterator directly, so evaluation never copies the
+    candidate set into an intermediate list. *)
 
 val filter_attrs_available : available:Query.attrs -> Query.t -> bool
 (** Whether the attributes the incoming query's filter mentions are all

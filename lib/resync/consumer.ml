@@ -2,7 +2,7 @@ open Ldap
 
 type t = {
   query : Query.t;
-  mutable entries : Entry.t Dn.Map.t;
+  entries : Content_store.t;
   mutable cookie : string option;
   mutable conn : Transport.conn option;
   mutable loopback : (Master.t * Transport.t) option;
@@ -32,7 +32,7 @@ let create schema query =
   ignore schema;
   {
     query;
-    entries = Dn.Map.empty;
+    entries = Content_store.create ();
     cookie = None;
     conn = None;
     loopback = None;
@@ -53,27 +53,30 @@ let notify t ~before ~after =
 let apply_action t = function
   | Action.Add e | Action.Modify e ->
       let dn = Entry.dn e in
-      let before = Dn.Map.find_opt dn t.entries in
-      t.entries <- Dn.Map.add dn e t.entries;
+      let before = Content_store.find t.entries dn in
+      Content_store.upsert t.entries e;
       notify t ~before ~after:(Some e)
   | Action.Delete dn ->
-      let before = Dn.Map.find_opt dn t.entries in
-      t.entries <- Dn.Map.remove dn t.entries;
+      let before = Content_store.find t.entries dn in
+      Content_store.remove t.entries dn;
       notify t ~before ~after:None
   | Action.Retain _ -> ()
 
 (* Drops every entry not satisfying [keep], reporting each prune to the
    observer — a pruned entry is a content change even though no delete
    action was transmitted for it (eq. (3)'s "everything neither
-   retained nor added"). *)
+   retained nor added").  Victims are collected first: the store must
+   not be mutated under its own iterator. *)
 let prune t ~keep =
-  t.entries <-
-    Dn.Map.filter
-      (fun dn e ->
-        let kept = keep dn in
-        if not kept then notify t ~before:(Some e) ~after:None;
-        kept)
-      t.entries
+  let victims =
+    Content_store.fold t.entries ~init:[] ~f:(fun acc e ->
+        if keep (Entry.dn e) then acc else e :: acc)
+  in
+  List.iter
+    (fun e ->
+      Content_store.remove t.entries (Entry.dn e);
+      notify t ~before:(Some e) ~after:None)
+    victims
 
 (* --- Durability ------------------------------------------------------ *)
 
@@ -219,7 +222,7 @@ let merkle_sync ?config ?max_rounds ?(from = "consumer") t transport ~host =
   let old_cookie = t.cookie in
   let result =
     Ldap_antientropy.Exchange.reconcile ?config ?max_rounds
-      ~local:(fun () -> List.map snd (Dn.Map.bindings t.entries))
+      ~local:(fun () -> Content_store.to_seq t.entries)
       ~apply:(fun ~upserts ~deletes ~cookie ->
         let actions =
           List.map (fun dn -> Action.Delete dn) deletes
@@ -305,11 +308,15 @@ let checkpoint t =
       Ldap_store.Store.checkpoint_w s (fun w ->
           let m = DW.mark w in
           let me = DW.mark w in
-          (* Backwards writer: bindings emitted in reverse so the image
-             lists them in ascending DN order, as before. *)
-          List.iter
-            (fun (_, e) -> DW.entry w e)
-            (List.rev (Dn.Map.bindings t.entries));
+          (* Backwards writer: bindings emitted in descending DN order
+             so the image lists them ascending — byte-identical to the
+             Dn.Map-era snapshots whatever the store's slot order. *)
+          let sorted =
+            List.sort
+              (fun a b -> Dn.compare (Entry.dn b) (Entry.dn a))
+              (Content_store.to_list t.entries)
+          in
+          List.iter (fun e -> DW.entry w e) sorted;
           DW.close_seq w me;
           DW.option w (DW.octets w) t.cookie;
           DW.close_seq w m)
@@ -340,8 +347,7 @@ let recover schema query store =
             t.cookie <- Store_codec.read_cookie_opt inner;
             let entries = Der.read_seq inner in
             while not (Der.at_end entries) do
-              let e = Der.read_entry entries in
-              t.entries <- Dn.Map.add (Entry.dn e) e t.entries
+              Content_store.upsert t.entries (Der.read_entry entries)
             done)
           payload
   in
@@ -355,7 +361,13 @@ let recover schema query store =
   t.store <- Some store;
   Ok (t, recovery)
 
-let entries t = List.map snd (Dn.Map.bindings t.entries)
-let dns t = Dn.Map.fold (fun dn _ acc -> Dn.Set.add dn acc) t.entries Dn.Set.empty
-let find t dn = Dn.Map.find_opt dn t.entries
-let size t = Dn.Map.cardinal t.entries
+let entries t = Content_store.to_list t.entries
+let entries_seq t = Content_store.to_seq t.entries
+let content t = t.entries
+
+let dns t =
+  Content_store.fold t.entries ~init:Dn.Set.empty ~f:(fun acc e ->
+      Dn.Set.add (Entry.dn e) acc)
+
+let find t dn = Content_store.find t.entries dn
+let size t = Content_store.size t.entries

@@ -37,8 +37,14 @@ type sync_error =
 val sync_error_to_string : sync_error -> string
 
 val create : Schema.t -> Query.t -> t
+(** Fresh consumer for one subscription query, with empty content. *)
+
 val query : t -> Query.t
+(** The subscription query. *)
+
 val cookie : t -> string option
+(** Opaque resume cookie from the last reply; [None] before the first
+    sync. *)
 
 val set_cookie : t -> string option -> unit
 (** Overrides the stored resume cookie.  Used when a consumer is
@@ -157,8 +163,25 @@ val ensure_persist :
     {!connect_persist} and returns its outcome. *)
 
 val entries : t -> Entry.t list
+(** The held content as a list (store slot order).  Prefer
+    {!entries_seq} on hot paths — this copies. *)
+
+val entries_seq : t -> Entry.t Seq.t
+(** The held content as a streaming sequence over the backing
+    {!Ldap.Content_store} — what replica evaluation, anti-entropy tree
+    construction and snapshot-diff serving iterate, with no list
+    copy.  Do not mutate the consumer while consuming it. *)
+
+val content : t -> Content_store.t
+(** The backing content store itself.  Topology nodes hold cursor
+    positions on its change spine to serve downstream snapshot-diffs
+    in O(diff); its {!Ldap.Content_store.approx_bytes} feeds memory
+    residency reports. *)
+
 val dns : t -> Dn.Set.t
 val find : t -> Dn.t -> Entry.t option
+(** O(1) lookup in the local content. *)
+
 val size : t -> int
 
 (** {1 Durability}

@@ -8,6 +8,7 @@ type session = {
   query : Query.t;
   matcher : Content.matcher;  (* query compiled once, reused per update *)
   mutable pending : Action.t list;  (* newest first; Session_history only *)
+  mutable pending_len : int;  (* tracked so the high-water check is O(1) *)
   mutable synced_csn : Csn.t;
   mutable persist_push : (Action.t -> unit) option;
   mutable last_active : int;
@@ -27,6 +28,13 @@ type t = {
   mutable next_id : int;
   mutable clock : int;  (* protocol activity ticks *)
   mutable store : Ldap_store.Store.t option;
+  mutable history_limit : int option;
+      (* high-water mark on one session's pending buffer; a session
+         exceeding it is escalated to snapshot-diff on its next poll *)
+  mutable overflowed : int list;
+      (* sessions that blew the mark during the current update's
+         dispatch — removal is deferred past the session-table
+         iteration and performed at the end of [on_update] *)
 }
 
 let backend t = t.backend
@@ -159,7 +167,22 @@ let classify_for t (record : Update.record) session =
   | None ->
       if actions <> [] && t.strategy = Session_history then begin
         session.pending <- List.rev_append actions session.pending;
-        journal_w t (fun w -> pending_record w session.id actions)
+        session.pending_len <- session.pending_len + List.length actions;
+        journal_w t (fun w -> pending_record w session.id actions);
+        match t.history_limit with
+        | Some limit when session.pending_len > limit ->
+            (* Past the high-water mark the buffered history is worth
+               less than the memory it pins: drop it and let the next
+               poll find no session, which serves a degraded
+               snapshot-diff from the cookie's CSN (eq. (3)) — the
+               slow consumer pays the resync, not the master's heap.
+               Removal is deferred: this runs inside the session-table
+               iteration. *)
+            session.pending <- [];
+            session.pending_len <- 0;
+            if not (List.mem session.id t.overflowed) then
+              t.overflowed <- session.id :: t.overflowed
+        | Some _ | None -> ()
       end
 
 let add_tombstone t ts =
@@ -202,9 +225,15 @@ let on_update t (record : Update.record) =
             journal_w t (fun w -> synced_record w id record.csn ~clear:false)
           end)
         t.persist);
+  (match t.overflowed with
+  | [] -> ()
+  | ids ->
+      t.overflowed <- [];
+      List.iter (remove_session t) ids);
   gc_tombstones t
 
-let create ?(strategy = Session_history) ?(dispatch = Routed) backend =
+let create ?history_limit ?(strategy = Session_history) ?(dispatch = Routed)
+    backend =
   let t =
     {
       backend;
@@ -219,10 +248,15 @@ let create ?(strategy = Session_history) ?(dispatch = Routed) backend =
       next_id = 1;
       clock = 0;
       store = None;
+      history_limit;
+      overflowed = [];
     }
   in
   Backend.subscribe backend (on_update t);
   t
+
+let history_limit t = t.history_limit
+let set_history_limit t limit = t.history_limit <- limit
 
 (* --- Per-DN coalescing of buffered actions --------------------------
    A session's pending actions are replayed as the minimal update set:
@@ -393,6 +427,7 @@ let new_session t query ~persist_push =
       query;
       matcher = Content.matcher (Backend.schema t.backend) query;
       pending = [];
+      pending_len = 0;
       synced_csn = Backend.csn t.backend;
       persist_push = None;
       last_active = t.clock;
@@ -446,6 +481,7 @@ let incremental_reply t session ~mode =
         (* Pending actions were selected when buffered. *)
         let a = coalesce (List.rev session.pending) in
         session.pending <- [];
+        session.pending_len <- 0;
         (Protocol.Incremental, a)
     | Changelog ->
         if Backend.log_complete_since t.backend session.synced_csn then
@@ -525,7 +561,8 @@ let antientropy_serve t request query =
   let select e = Entry.select e (Query.attr_list query.Query.attrs) in
   Ok
     (Ldap_antientropy.Exchange.serve
-       ~content:(fun () -> List.map select (Content.current t.backend query))
+       ~content:(fun () ->
+         Seq.map select (List.to_seq (Content.current t.backend query)))
        ~cookie:(fun () ->
          let session = new_session t query ~persist_push:None in
          session_cookie session ~mode:Protocol.Poll)
@@ -666,6 +703,7 @@ let replay_record t payload =
               query;
               matcher = Content.matcher (Backend.schema t.backend) query;
               pending = [];
+              pending_len = 0;
               synced_csn = csn;
               persist_push = None;
               last_active = t.clock;
@@ -682,7 +720,9 @@ let replay_record t payload =
           let id = Der.read_integer inner in
           let actions = Store_codec.read_actions inner in
           match Hashtbl.find_opt t.sessions id with
-          | Some s -> s.pending <- List.rev_append actions s.pending
+          | Some s ->
+              s.pending <- List.rev_append actions s.pending;
+              s.pending_len <- s.pending_len + List.length actions
           | None -> ())
       | 3 -> (
           let id = Der.read_integer inner in
@@ -691,7 +731,10 @@ let replay_record t payload =
           match Hashtbl.find_opt t.sessions id with
           | Some s ->
               s.synced_csn <- csn;
-              if clear then s.pending <- []
+              if clear then begin
+                s.pending <- [];
+                s.pending_len <- 0
+              end
           | None -> ())
       | 4 ->
           let dn =
@@ -732,6 +775,7 @@ let recover ?strategy ?dispatch backend store =
               query;
               matcher = Content.matcher (Backend.schema backend) query;
               pending = List.rev pending_oldest;
+              pending_len = List.length pending_oldest;
               synced_csn = synced;
               persist_push = None;
               last_active;
@@ -754,6 +798,14 @@ let recover ?strategy ?dispatch backend store =
   gc_tombstones t;
   t.store <- Some store;
   Ok (t, recovery)
+
+(* Per-session history residency: (total buffered actions, largest
+   single session's buffer) — what the scale report shows operators. *)
+let pending_stats t =
+  Hashtbl.fold
+    (fun _ s (total, biggest) ->
+      (total + s.pending_len, max biggest s.pending_len))
+    t.sessions (0, 0)
 
 let history_size t =
   match t.strategy with

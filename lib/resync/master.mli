@@ -58,12 +58,23 @@ type dispatch =
 
 type t
 
-val create : ?strategy:strategy -> ?dispatch:dispatch -> Backend.t -> t
+val create :
+  ?history_limit:int -> ?strategy:strategy -> ?dispatch:dispatch -> Backend.t -> t
 (** Subscribes to the backend's committed updates.  Default strategy is
-    [Session_history]; default dispatch is [Routed]. *)
+    [Session_history]; default dispatch is [Routed].  [history_limit]
+    is the per-session history high-water mark: a [Session_history]
+    session whose pending buffer exceeds it has the buffer dropped and
+    the session retired, so its next poll escalates to a degraded
+    snapshot-diff resynchronization (eq. (3)) instead of the master's
+    memory growing with the slowest consumer (default: unbounded). *)
+
+val history_limit : t -> int option
+val set_history_limit : t -> int option -> unit
+(** Adjusts the per-session history high-water mark at runtime. *)
 
 val backend : t -> Backend.t
 val strategy : t -> strategy
+(** The history strategy this master was created with. *)
 
 val handle :
   t ->
@@ -117,6 +128,11 @@ val history_size : t -> int
 (** Current size of the history the strategy maintains: buffered
     actions (session history), retained log records (changelog) or
     tombstones.  The section 5.2 comparison metric. *)
+
+val pending_stats : t -> int * int
+(** Per-session history residency as (total buffered actions, largest
+    single session's buffer) — what the scale report shows operators
+    watching for a slow consumer pinning master memory. *)
 
 val parse_cookie : string -> (int * Csn.t) option
 (** Exposed for tests: session id and CSN embedded in a cookie. *)

@@ -162,10 +162,32 @@ let route_of_op t op =
       | Some (kind, _) -> kind
       | None -> Structural)
 
+(* A modifyDN's target may be held by a shard other than the one owning
+   the renamed entry, where the owning shard's local existence check
+   cannot see it.  The owner table is the router's global view of held
+   DNs, so the duplicate target is rejected here with the same error a
+   single master's backend raises — keeping the router observationally
+   equivalent. *)
+let rename_target_clash t op =
+  match op with
+  | Update.Modify_dn { dn; new_rdn; new_superior; _ } ->
+      let parent_dn =
+        match new_superior with
+        | Some sup -> sup
+        | None -> Option.value ~default:Dn.root (Dn.parent dn)
+      in
+      let new_dn = Dn.child parent_dn new_rdn in
+      if Hashtbl.mem t.owners (Dn.canonical new_dn) then Some new_dn else None
+  | Update.Add _ | Update.Delete _ | Update.Modify _ -> None
+
 let apply t op =
-  match route_of_op t op with
-  | Structural -> apply_structural t op
-  | Owned s -> apply_owned t s op
+  match rename_target_clash t op with
+  | Some new_dn ->
+      Error (Printf.sprintf "entry already exists: %s" (Dn.to_string new_dn))
+  | None -> (
+      match route_of_op t op with
+      | Structural -> apply_structural t op
+      | Owned s -> apply_owned t s op)
 
 let apply_at t ~now op =
   let s = match route_of_op t op with Structural -> 0 | Owned s -> s in

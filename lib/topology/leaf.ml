@@ -68,6 +68,11 @@ let content t q =
   | Some c -> Resync.Consumer.entries c
   | None -> []
 
+let content_seq t q =
+  match R.Filter_replica.consumer_for t.replica q with
+  | Some c -> Resync.Consumer.entries_seq c
+  | None -> Seq.empty
+
 (* --- Durability ------------------------------------------------------ *)
 
 let attach_store ?sync t medium =

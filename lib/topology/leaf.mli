@@ -69,6 +69,10 @@ val content : t -> Query.t -> Entry.t list
 (** Current local content of one subscription (empty when not
     installed) — what convergence checks compare against the root. *)
 
+val content_seq : t -> Query.t -> Entry.t Seq.t
+(** Streaming form of {!content} over the consumer's backing store —
+    no list copy; what scale-sweep convergence evaluation uses. *)
+
 (** {1 Durability} *)
 
 val attach_store : ?sync:bool -> t -> Ldap_store.Medium.t -> unit

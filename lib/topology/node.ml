@@ -3,12 +3,21 @@ module C = Ldap_containment
 module Resync = Ldap_resync
 module R = Ldap_replication
 
+(* A downstream session tracks what it has sent as a cursor over the
+   stored consumer's content-store change spine plus a table of sent
+   image hashes — never a full entry-map snapshot.  Serving a poll
+   walks only the DNs mutated since [spine_pos] (O(diff)); the hash
+   table arbitrates Add vs Modify vs no-op per changed DN and costs
+   one DN string and a hash per member instead of the entries
+   themselves. *)
 type session = {
   id : int;
   query : Query.t;
   matcher : Resync.Content.matcher;  (* query compiled once per session *)
   stored : Query.t;  (* the node's stored query this session is served from *)
-  mutable snapshot : Entry.t Dn.Map.t;  (* entries sent downstream, selected *)
+  mutable seen : (string, Dn.t * int64) Hashtbl.t;
+      (* canonical DN -> (DN, content hash of the sent selected image) *)
+  mutable spine_pos : int;  (* store revision this session has consumed *)
   mutable synced_csn : Csn.t;
   mutable persist_push : (Resync.Action.t -> unit) option;
 }
@@ -21,6 +30,17 @@ type t = {
   dispatch : C.Predicate_index.t option;  (* [Routed] only *)
   mutable next_id : int;
   mutable clock : int;
+  (* Serving cost counters, the O(diff) evidence the scale sweep
+     gates on. *)
+  mutable inc_polls : int;  (* incremental polls served *)
+  mutable inc_scanned : int;  (* DNs/entries examined serving them *)
+  mutable inc_rescans : int;  (* cursor fell off the spine: full diff *)
+  mutable serve_seconds : float;  (* wall clock inside [handle] *)
+  mutable serve_samples : float list;  (* per-serve wall seconds, newest first *)
+  mutable incr_serve_samples : float list;
+      (* serve_samples restricted to incremental replies — the
+         O(diff)-cost population, free of O(selection) initial and
+         degraded transfers *)
 }
 
 let replica t = t.replica
@@ -59,6 +79,13 @@ let remove_session t id =
   Hashtbl.remove t.persist id;
   Option.iter (fun idx -> C.Predicate_index.remove idx id) t.dispatch
 
+let store_for t stored =
+  Option.map Resync.Consumer.content
+    (R.Filter_replica.consumer_for t.replica stored)
+
+let store_rev t stored =
+  match store_for t stored with Some st -> Content_store.rev st | None -> 0
+
 let new_session t query ~stored ~persist_push ~csn =
   (* Id 0 is the reserved foreign-session marker (reparent translation):
      an intermediate master must never hand it out either. *)
@@ -71,7 +98,8 @@ let new_session t query ~stored ~persist_push ~csn =
       query;
       matcher = Resync.Content.matcher (schema t) query;
       stored;
-      snapshot = Dn.Map.empty;
+      seen = Hashtbl.create 64;
+      spine_pos = store_rev t stored;
       synced_csn = csn;
       persist_push = None;
     }
@@ -102,11 +130,8 @@ let current_content t session =
   match R.Filter_replica.consumer_for t.replica session.stored with
   | Some c ->
       R.Replica.eval_over_entries (schema t) session.query
-        (Resync.Consumer.entries c)
+        (Resync.Consumer.entries_seq c)
   | None -> []
-
-let map_of entries =
-  List.fold_left (fun m e -> Dn.Map.add (Entry.dn e) e m) Dn.Map.empty entries
 
 let select_action (q : Query.t) = function
   | Resync.Action.Add e ->
@@ -114,6 +139,17 @@ let select_action (q : Query.t) = function
   | Resync.Action.Modify e ->
       Resync.Action.Modify (Entry.select e (Query.attr_list q.Query.attrs))
   | (Resync.Action.Delete _ | Resync.Action.Retain _) as a -> a
+
+(* Entries are already selected when hashed, so the hash identifies
+   the image as sent downstream, not the stored one. *)
+let note_sent session e =
+  Hashtbl.replace session.seen
+    (Dn.canonical (Entry.dn e))
+    (Entry.dn e, Entry.content_hash64 e)
+
+let reset_seen session entries =
+  session.seen <- Hashtbl.create (max 64 (2 * List.length entries));
+  List.iter (note_sent session) entries
 
 (* --- Replies -------------------------------------------------------- *)
 
@@ -124,8 +160,12 @@ let session_cookie session ~mode =
   | Resync.Protocol.Sync_end -> None
 
 let initial_reply t session ~mode =
+  (* The cursor position is pinned before the content is read: changes
+     racing the read are re-examined on the next poll instead of
+     falling between snapshot and cursor. *)
+  session.spine_pos <- store_rev t session.stored;
   let entries = current_content t session in
-  session.snapshot <- map_of entries;
+  reset_seen session entries;
   session.synced_csn <- node_csn t session.stored;
   {
     Resync.Protocol.kind = Resync.Protocol.Initial_content;
@@ -133,33 +173,93 @@ let initial_reply t session ~mode =
     cookie = session_cookie session ~mode;
   }
 
-(* Incremental replies come from diffing the per-session snapshot (what
-   this session has acknowledged) against the node's current content —
-   the node keeps no per-session action history, its replica content
-   {e is} the history.  Deletes first, like the master's coalescer. *)
-let incremental_reply t session ~mode =
+(* Incremental replies stream the stored consumer's change spine from
+   the session's cursor: only the DNs mutated since its last poll are
+   examined, the [seen] hash table resolving each to Add / Modify /
+   Delete / no-op — the node keeps no per-session action history and
+   no per-session content copy, the replica's store {e is} the
+   history.  A cursor that fell off the trimmed spine rebuilds by one
+   full diff against the hash table and resumes streaming.  Deletes
+   first, like the master's coalescer. *)
+let incremental_from_spine t session changed =
+  let select = Query.attr_list session.query.Query.attrs in
+  let st = store_for t session.stored in
+  let deletes = ref [] and upserts = ref [] in
+  List.iter
+    (fun dn ->
+      t.inc_scanned <- t.inc_scanned + 1;
+      let key = Dn.canonical dn in
+      let now =
+        match st with
+        | Some st -> (
+            match Content_store.find st dn with
+            | Some e when Resync.Content.matches session.matcher e ->
+                Some (Entry.select e select)
+            | Some _ | None -> None)
+        | None -> None
+      in
+      match (now, Hashtbl.find_opt session.seen key) with
+      | Some img, Some (_, h0) ->
+          if not (Int64.equal (Entry.content_hash64 img) h0) then begin
+            note_sent session img;
+            upserts := Resync.Action.Modify img :: !upserts
+          end
+      | Some img, None ->
+          note_sent session img;
+          upserts := Resync.Action.Add img :: !upserts
+      | None, Some (dn0, _) ->
+          Hashtbl.remove session.seen key;
+          deletes := Resync.Action.Delete dn0 :: !deletes
+      | None, None -> ())
+    changed;
+  List.rev !deletes @ List.rev !upserts
+
+let incremental_by_rescan t session =
+  t.inc_rescans <- t.inc_rescans + 1;
   let current = current_content t session in
-  let cur_map = map_of current in
-  let deletes =
-    Dn.Map.fold
-      (fun dn _ acc ->
-        if Dn.Map.mem dn cur_map then acc else Resync.Action.Delete dn :: acc)
-      session.snapshot []
-  in
+  let fresh = Hashtbl.create (max 64 (2 * List.length current)) in
   let upserts =
     List.filter_map
       (fun e ->
-        match Dn.Map.find_opt (Entry.dn e) session.snapshot with
-        | None -> Some (Resync.Action.Add e)
-        | Some old ->
-            if Entry.equal old e then None else Some (Resync.Action.Modify e))
+        t.inc_scanned <- t.inc_scanned + 1;
+        let key = Dn.canonical (Entry.dn e) in
+        let h = Entry.content_hash64 e in
+        let action =
+          match Hashtbl.find_opt session.seen key with
+          | Some (_, h0) when Int64.equal h h0 -> None
+          | Some _ -> Some (Resync.Action.Modify e)
+          | None -> Some (Resync.Action.Add e)
+        in
+        Hashtbl.replace fresh key (Entry.dn e, h);
+        action)
       current
   in
-  session.snapshot <- cur_map;
+  let deletes =
+    Hashtbl.fold
+      (fun key (dn, _) acc ->
+        t.inc_scanned <- t.inc_scanned + 1;
+        if Hashtbl.mem fresh key then acc else Resync.Action.Delete dn :: acc)
+      session.seen []
+  in
+  session.seen <- fresh;
+  deletes @ upserts
+
+let incremental_reply t session ~mode =
+  t.inc_polls <- t.inc_polls + 1;
+  let pos = session.spine_pos in
+  session.spine_pos <- store_rev t session.stored;
+  let actions =
+    match store_for t session.stored with
+    | None -> incremental_by_rescan t session
+    | Some st -> (
+        match Content_store.changes_since st pos with
+        | Some changed -> incremental_from_spine t session changed
+        | None -> incremental_by_rescan t session)
+  in
   session.synced_csn <- node_csn t session.stored;
   {
     Resync.Protocol.kind = Resync.Protocol.Incremental;
-    actions = deletes @ upserts;
+    actions;
     cookie = session_cookie session ~mode;
   }
 
@@ -171,6 +271,7 @@ let degraded_reply t query ~stored ~since ~mode ~persist_push =
   let session =
     new_session t query ~stored ~persist_push ~csn:(node_csn t stored)
   in
+  session.spine_pos <- store_rev t stored;
   let members = current_content t session in
   let actions =
     List.map
@@ -187,7 +288,7 @@ let degraded_reply t query ~stored ~since ~mode ~persist_push =
         else Resync.Action.Retain (Entry.dn e))
       members
   in
-  session.snapshot <- map_of members;
+  reset_seen session members;
   session.synced_csn <- node_csn t stored;
   {
     Resync.Protocol.kind = Resync.Protocol.Degraded;
@@ -197,7 +298,7 @@ let degraded_reply t query ~stored ~since ~mode ~persist_push =
 
 (* --- Serving -------------------------------------------------------- *)
 
-let handle t ?push (request : Resync.Protocol.request) query =
+let handle_inner t ?push (request : Resync.Protocol.request) query =
   t.clock <- t.clock + 1;
   let mode = request.Resync.Protocol.mode in
   match mode with
@@ -250,8 +351,8 @@ let handle t ?push (request : Resync.Protocol.request) query =
                           (* The downstream acknowledges a CSN other
                              than the one this session advanced to: a
                              reply or pushed action was lost.  The
-                             snapshot reflects sent-not-received state,
-                             so diffing against it would silently
+                             sent-image table reflects sent-not-received
+                             state, so diffing against it would silently
                              diverge — resynchronize degraded from the
                              CSN the downstream actually holds. *)
                           remove_session t session.id;
@@ -271,6 +372,18 @@ let handle t ?push (request : Resync.Protocol.request) query =
             Result.iter (R.Stats.record_served_reply (stats t)) reply;
             reply))
 
+let handle t ?push request query =
+  let t0 = Sys.time () in
+  let reply = handle_inner t ?push request query in
+  let dt = Sys.time () -. t0 in
+  t.serve_seconds <- t.serve_seconds +. dt;
+  t.serve_samples <- dt :: t.serve_samples;
+  (match reply with
+  | Ok r when r.Resync.Protocol.kind = Resync.Protocol.Incremental ->
+      t.incr_serve_samples <- dt :: t.incr_serve_samples
+  | Ok _ | Error _ -> ());
+  reply
+
 let abandon t ~cookie =
   match Resync.Protocol.parse_cookie cookie with
   | Some (id, _) -> remove_session t id
@@ -280,15 +393,17 @@ let abandon t ~cookie =
    replica content, so anti-entropy cascades tier-by-tier: a leaf
    repairs against its node while the node independently repairs
    against its parent.  Same containment check and referral escape as
-   [handle]; a [Fetch] mints a session whose snapshot is the content
-   being shipped, so the repaired downstream resumes incrementally. *)
+   [handle]; a [Fetch] mints a session whose sent-image table is the
+   content being shipped, so the repaired downstream resumes
+   incrementally. *)
 let antientropy_serve t request query =
   match R.Filter_replica.containing_consumer t.replica query with
   | None -> Error (referral_error (Referral.make ~host:(upstream t) ()))
   | Some (stored, c) ->
       let content () =
-        R.Replica.eval_over_entries (schema t) query
-          (Resync.Consumer.entries c)
+        List.to_seq
+          (R.Replica.eval_over_entries (schema t) query
+             (Resync.Consumer.entries_seq c))
       in
       Ok
         (Ldap_antientropy.Exchange.serve ~content
@@ -297,7 +412,8 @@ let antientropy_serve t request query =
                new_session t query ~stored ~persist_push:None
                  ~csn:(node_csn t stored)
              in
-             session.snapshot <- map_of (content ());
+             session.spine_pos <- store_rev t stored;
+             reset_seen session (List.of_seq (content ()));
              session_cookie session ~mode:Resync.Protocol.Poll)
            request)
 
@@ -306,7 +422,7 @@ let estimate t query =
   | Some (_, c) ->
       List.length
         (R.Replica.eval_over_entries (schema t) query
-           (Resync.Consumer.entries c))
+           (Resync.Consumer.entries_seq c))
   | None -> 0
 
 (* --- Persist relay --------------------------------------------------
@@ -315,12 +431,14 @@ let estimate t query =
    stored query.  With [Routed] dispatch only the sessions whose filter
    anchors the predicate index reports are classified exactly; the rest
    see [Stays_out] by the index's superset guarantee.  Either way every
-   persist session of the stored query acknowledges the node's CSN
-   (other stored queries advance independently — their own consumers
-   define their synchronization point). *)
+   persist session of the stored query acknowledges the node's CSN and
+   advances its spine cursor — the pushed actions carry everything the
+   spine recorded (other stored queries advance independently — their
+   own consumers define their synchronization point). *)
 let relay t ~stored ~before ~after =
   if Hashtbl.length t.persist > 0 then begin
     let csn = node_csn t stored in
+    let rev = store_rev t stored in
     let candidates =
       Option.map
         (fun idx -> C.Predicate_index.affected idx ~before ~after)
@@ -346,20 +464,35 @@ let relay t ~stored ~before ~after =
                (fun a ->
                  (match a with
                  | Resync.Action.Add e | Resync.Action.Modify e ->
-                     session.snapshot <-
-                       Dn.Map.add (Entry.dn e) e session.snapshot
+                     note_sent session e
                  | Resync.Action.Delete dn ->
-                     session.snapshot <- Dn.Map.remove dn session.snapshot
+                     Hashtbl.remove session.seen (Dn.canonical dn)
                  | Resync.Action.Retain _ -> ());
                  (match session.persist_push with
                  | Some push -> push a
                  | None -> ());
                  R.Stats.record_served_push (stats t) a)
                actions);
-          session.synced_csn <- csn
+          session.synced_csn <- csn;
+          session.spine_pos <- rev
         end)
       t.persist
   end
+
+(* --- Scale reporting ------------------------------------------------- *)
+
+let cursor_stats t = (t.inc_polls, t.inc_scanned, t.inc_rescans)
+let serve_seconds t = t.serve_seconds
+let serve_samples t = t.serve_samples
+let incremental_serve_samples t = t.incr_serve_samples
+
+let cursor_depths t =
+  Hashtbl.fold
+    (fun _ s acc -> (store_rev t s.stored - s.spine_pos) :: acc)
+    t.sessions []
+
+let seen_residency t =
+  Hashtbl.fold (fun _ s acc -> acc + Hashtbl.length s.seen) t.sessions 0
 
 (* --- Construction --------------------------------------------------- *)
 
@@ -391,6 +524,12 @@ let create ?(cache_capacity = 0) ?(dispatch = Resync.Master.Routed) transport
         | Resync.Master.Naive -> None);
       next_id = 1;
       clock = 0;
+      inc_polls = 0;
+      inc_scanned = 0;
+      inc_rescans = 0;
+      serve_seconds = 0.0;
+      serve_samples = [];
+      incr_serve_samples = [];
     }
   in
   R.Filter_replica.set_on_change replica (fun ~stored ~before ~after ->

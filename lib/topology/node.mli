@@ -19,11 +19,16 @@
     after {!Ldap_resync.Protocol.reparent_cookie} translation.
 
     Unlike the root master, the node keeps no per-session action
-    history: its replica content {e is} the history.  Poll replies are
-    produced by diffing a per-session snapshot (what the session has
-    acknowledged) against current content; sessions presenting an
-    unknown cookie — or one whose CSN the node cannot match — are
-    answered in degraded mode (eq. (3)) from the cookie's CSN.
+    history: its replica content {e is} the history.  Each session
+    holds a cursor on the stored consumer's {!Ldap.Content_store}
+    change spine plus a table of sent image hashes; a poll walks only
+    the DNs mutated since the cursor — O(diff in the stored content),
+    not O(directory) — with the hash table deciding Add vs Modify vs
+    no-op per changed DN.  A cursor that fell off the trimmed spine
+    rebuilds with one full diff against the hash table and resumes
+    streaming.  Sessions presenting an unknown cookie — or one whose
+    CSN the node cannot match — are answered in degraded mode
+    (eq. (3)) from the cookie's CSN.
     Persist-mode sessions are relayed live: the replica's change
     observer classifies each upstream-applied change against the
     persistent sessions — routed through a
@@ -113,6 +118,35 @@ val session_count : t -> int
 (** Live downstream sessions at this node. *)
 
 val persistent_count : t -> int
+
+val cursor_stats : t -> int * int * int
+(** Incremental-serving cost counters as (polls served, DNs/entries
+    scanned serving them, spine-rescan fallbacks).  Deterministic —
+    the scale sweep's O(diff) evidence: scanned stays proportional to
+    the change volume, not the directory size, and rescans stay 0
+    while cursors keep up with the spine. *)
+
+val serve_seconds : t -> float
+(** Total wall-clock seconds spent inside {!handle}. *)
+
+val serve_samples : t -> float list
+(** Per-serve wall-clock seconds, newest first — the sample set the
+    bench harness computes poll-response percentiles from. *)
+
+val incremental_serve_samples : t -> float list
+(** {!serve_samples} restricted to serves that answered with an
+    incremental reply — the O(diff)-cost population the scale sweep
+    gates on, excluding initial-content and degraded transfers whose
+    cost is legitimately O(selection). *)
+
+val cursor_depths : t -> int list
+(** Per-session lag behind the stored consumer's change spine, in
+    spine events (store revision minus the session's cursor). *)
+
+val seen_residency : t -> int
+(** Total sent-image hash-table entries across sessions — the node's
+    per-session serving memory, one DN + hash per member per session
+    rather than full entry snapshots. *)
 
 val referral_error : string -> string
 (** Wraps an LDAP URL into the rejection message carried over the

@@ -1011,3 +1011,494 @@ let json_of_points points =
     points;
   Buffer.add_string b "  ]";
   Buffer.contents b
+
+(* --- Paper-scale content-plane sweep -----------------------------------
+   End-to-end run of the paper's enterprise at its real size: the full
+   directory behind one root master, a tier of interior nodes splitting
+   the department filters, and a leaf fleet subscribing them
+   round-robin.  Leaves attach in batches so memory can be sampled at
+   growing consumer counts on ONE topology; the update stream is
+   diurnally modulated over the virtual horizon and the Table 1 query
+   mix (with Zipf drift) executes against the leaf replicas (department
+   lookups) and the indexed root (everything else). *)
+
+type scale_config = {
+  sc_base : D.Enterprise.config;  (* shape; employees/seed overridden *)
+  sc_employees : int;
+  sc_baseline_employees : int;
+  sc_nodes : int;
+  sc_leaf_points : int list;
+  sc_seed : int;
+  sc_poll_every : int;
+  sc_update_every : int;
+  sc_updates : int;
+  sc_queries : int;
+  sc_horizon : int;
+  sc_history_limit : int;
+  sc_full : bool;
+}
+
+let scale_default_config =
+  {
+    sc_base = D.Enterprise.default_config;
+    sc_employees = 500_000;
+    sc_baseline_employees = 60_000;
+    sc_nodes = 10;
+    sc_leaf_points = [ 250; 500; 1000 ];
+    sc_seed = 11;
+    sc_poll_every = 50;
+    sc_update_every = 10;
+    sc_updates = 200;
+    sc_queries = 5000;
+    sc_horizon = 3000;
+    sc_history_limit = 512;
+    sc_full = true;
+  }
+
+let scale_smoke_config =
+  {
+    sc_base =
+      {
+        D.Enterprise.default_config with
+        countries = 4;
+        divisions = 4;
+        departments_per_division = 12;
+        locations = 8;
+        target_countries = 2;
+      };
+    sc_employees = 1_500;
+    sc_baseline_employees = 800;
+    sc_nodes = 4;
+    sc_leaf_points = [ 12; 24; 48 ];
+    sc_seed = 11;
+    sc_poll_every = 40;
+    sc_update_every = 20;
+    sc_updates = 24;
+    sc_queries = 200;
+    sc_horizon = 600;
+    sc_history_limit = 64;
+    sc_full = false;
+  }
+
+type scale_run = {
+  sr_employees : int;
+  sr_entries : int;
+  sr_filters : int;
+  sr_nodes : int;
+  sr_leaves : int;
+  sr_memory : (int * int * int) list;
+      (* (leaves, live words after compaction, VmRSS kB or 0) *)
+  sr_store_bytes : int;
+  sr_build_seconds : float;
+  sr_polls : int;
+  sr_scanned : int;
+  sr_rescans : int;
+  sr_resp_p50 : int;
+  sr_resp_p90 : int;
+  sr_resp_p99 : int;
+  sr_stale_samples : int;
+  sr_stale_censored : int;
+  sr_stale_p50 : int;
+  sr_stale_p99 : int;
+  sr_updates : int;
+  sr_queries : int;
+  sr_query_hits : int;
+  sr_mix : (string * float) list;
+  sr_query_seconds : float;
+  sr_serve_p50_us : float;
+  sr_serve_p99_us : float;
+  sr_serve_all_p99_us : float;
+  sr_pending_total : int;
+  sr_pending_max : int;
+  sr_history_size : int;
+  sr_seen_residency : int;
+  sr_cursor_depth_max : int;
+}
+
+(* /proc/self/status sampling: virtual-clock-safe (a file read consumes
+   no simulated time) and absent-proc-safe (0 outside Linux). *)
+let proc_status_kb key =
+  match open_in "/proc/self/status" with
+  | exception _ -> 0
+  | ic ->
+      let prefix = key ^ ":" in
+      let rec go () =
+        match input_line ic with
+        | exception End_of_file -> 0
+        | line ->
+            if
+              String.length line >= String.length prefix
+              && String.sub line 0 (String.length prefix) = prefix
+            then
+              String.fold_left
+                (fun acc c ->
+                  if c >= '0' && c <= '9' then (acc * 10) + Char.code c - 48
+                  else acc)
+                0 line
+            else go ()
+      in
+      let v = go () in
+      close_in ic;
+      v
+
+let current_rss_kb () = proc_status_kb "VmRSS"
+let peak_rss_kb () = proc_status_kb "VmHWM"
+
+let fpercentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (Float.round (p *. float_of_int (n - 1)))))
+
+let run_scale_at cfg ~employees =
+  let module Sim = Ldap_sim.Engine in
+  let t0 = Sys.time () in
+  let ent =
+    D.Enterprise.build { cfg.sc_base with employees; seed = cfg.sc_seed }
+  in
+  let build_seconds = Sys.time () -. t0 in
+  let backend = D.Enterprise.backend ent in
+  let schema = D.Enterprise.schema ent in
+  let base = D.Enterprise.root_dn ent in
+  let all_depts = D.Enterprise.dept_numbers ent in
+  let filters = Array.length all_depts in
+  let dept_queries =
+    Array.map
+      (fun d ->
+        Query.make ~base
+          (Filter.of_string_exn (Printf.sprintf "(departmentNumber=%s)" d)))
+      all_depts
+  in
+  let t = Topology.create backend in
+  (* Bounded per-session history at the root: past the high-water mark
+     the master escalates stragglers to a snapshot-diff instead of
+     buffering for them. *)
+  Resync.Master.set_history_limit (Topology.master t) (Some cfg.sc_history_limit);
+  let node_count = min cfg.sc_nodes filters in
+  for i = 0 to node_count - 1 do
+    let covers =
+      List.filter_map
+        (fun j -> if j mod node_count = i then Some dept_queries.(j) else None)
+        (List.init filters Fun.id)
+    in
+    match
+      Topology.add_node t
+        ~name:(Printf.sprintf "node%d" i)
+        ~parent:(Topology.root t) ~covers
+    with
+    | Ok _ -> ()
+    | Error e -> failwith ("scale: add_node: " ^ e)
+  done;
+  (* Leaves join in batches; after each batch the heap is compacted and
+     sampled, so the growth of live words with consumer count is
+     measured inside one topology (replicas share interned entries —
+     the curve must stay well under linear). *)
+  let leaf_points = List.sort_uniq compare cfg.sc_leaf_points in
+  let leaves_by_dept = Array.make filters [] in
+  let added = ref 0 in
+  let memory = ref [] in
+  List.iter
+    (fun target ->
+      while !added < target do
+        let i = !added in
+        let fidx = i mod filters in
+        let parent = Printf.sprintf "node%d" (fidx mod node_count) in
+        (match
+           Topology.add_leaf t ~name:(Printf.sprintf "leaf%d" i) ~parent
+             dept_queries.(fidx)
+         with
+        | Ok leaf -> leaves_by_dept.(fidx) <- leaf :: leaves_by_dept.(fidx)
+        | Error e -> failwith ("scale: add_leaf: " ^ e));
+        incr added
+      done;
+      Gc.compact ();
+      let live = (Gc.stat ()).Gc.live_words in
+      memory :=
+        (target, live, if cfg.sc_full then current_rss_kb () else 0) :: !memory)
+    leaf_points;
+  (* From here on, exchanges cost virtual time. *)
+  let engine = Sim.create ~seed:(cfg.sc_seed + 2) () in
+  Network.attach_engine (Topology.network t) engine;
+  Network.set_default_latency (Topology.network t)
+    (Ldap_sim.Latency.Uniform { lo = 1; hi = 4 });
+  (* Diurnal load: the gap between updates shrinks and stretches with a
+     sinusoidal factor in [0.25, 1.75] over a two-day horizon, so polls
+     see both quiet and busy spine segments. *)
+  let day = max 2 (cfg.sc_horizon / 2) in
+  let diurnal now =
+    let phase =
+      2.0 *. Float.pi *. float_of_int (now mod day) /. float_of_int day
+    in
+    1.0 +. (0.75 *. sin phase)
+  in
+  let modulated gap now =
+    max 1 (int_of_float (Float.round (float_of_int gap /. diurnal now)))
+  in
+  let stream =
+    D.Update_stream.create ent
+      { D.Update_stream.default_config with seed = cfg.sc_seed + 1 }
+  in
+  let update_times = ref [] in
+  let updates_done = ref 0 in
+  let rec update_tick remaining =
+    if remaining > 0 then
+      Sim.after engine
+        ~delay:(modulated cfg.sc_update_every (Sim.now engine))
+        (fun () ->
+          D.Update_stream.steps stream 1;
+          incr updates_done;
+          update_times :=
+            (Csn.to_int (Backend.csn backend), Sim.now engine) :: !update_times;
+          update_tick (remaining - 1))
+  in
+  update_tick cfg.sc_updates;
+  (* Table 1 query mix with periodic department-popularity drift.
+     Department lookups hit a subscribed leaf replica (round-robin over
+     the department's leaves); serial/mail/location queries go to the
+     indexed root, the paper's split between replica-served and
+     directory-served traffic. *)
+  let items =
+    D.Workload.generate ent
+      {
+        D.Workload.default_config with
+        seed = cfg.sc_seed + 4;
+        length = cfg.sc_queries;
+        dept_drift_every = max 1 (cfg.sc_queries / 8);
+      }
+  in
+  let mix =
+    List.map
+      (fun (k, f) -> (D.Workload.kind_name k, f))
+      (D.Workload.mix_of items)
+  in
+  let dept_index = Hashtbl.create (2 * filters) in
+  Array.iteri (fun j d -> Hashtbl.replace dept_index d j) all_depts;
+  let dept_of_item (it : D.Workload.item) =
+    Filter.fold_pred
+      (fun acc p ->
+        match (acc, p) with
+        | None, Filter.Equality (a, v)
+          when String.lowercase_ascii a = "departmentnumber" ->
+            Hashtbl.find_opt dept_index v
+        | _ -> acc)
+      None it.D.Workload.query.Query.filter
+  in
+  let rr = Array.make filters 0 in
+  let query_hits = ref 0 in
+  let query_wall = ref 0.0 in
+  let queries_done = ref 0 in
+  let run_query (it : D.Workload.item) =
+    let q0 = Sys.time () in
+    let n =
+      match dept_of_item it with
+      | Some fidx when leaves_by_dept.(fidx) <> [] ->
+          let ls = leaves_by_dept.(fidx) in
+          let k = rr.(fidx) in
+          rr.(fidx) <- k + 1;
+          let leaf = List.nth ls (k mod List.length ls) in
+          List.length
+            (R.Replica.eval_over_entries schema it.D.Workload.query
+               (Leaf.content_seq leaf dept_queries.(fidx)))
+      | _ -> (
+          match Backend.search backend it.D.Workload.query with
+          | Ok r -> List.length r.Backend.entries
+          | Error _ -> 0)
+    in
+    query_wall := !query_wall +. (Sys.time () -. q0);
+    query_hits := !query_hits + n;
+    incr queries_done
+  in
+  let q_gap = max 1 (cfg.sc_horizon / max 1 cfg.sc_queries) in
+  let qi = ref 0 in
+  let rec query_tick () =
+    if !qi < Array.length items then
+      Sim.after engine ~delay:(modulated q_gap (Sim.now engine)) (fun () ->
+          run_query items.(!qi);
+          incr qi;
+          query_tick ())
+  in
+  query_tick ();
+  let resp_samples = ref [] in
+  let last_acked = Hashtbl.create 1024 in
+  let ack_events = Hashtbl.create 1024 in
+  let on_leaf_poll leaf ~start ~finish =
+    resp_samples := (finish - start) :: !resp_samples;
+    let name = Leaf.name leaf in
+    let csn = Csn.to_int (Leaf.acked_csn leaf) in
+    let prev = Option.value ~default:(-1) (Hashtbl.find_opt last_acked name) in
+    if csn > prev then begin
+      Hashtbl.replace last_acked name csn;
+      let past = Option.value ~default:[] (Hashtbl.find_opt ack_events name) in
+      Hashtbl.replace ack_events name ((csn, finish) :: past)
+    end
+  in
+  Topology.drive_events ~on_leaf_poll t engine ~poll_every:cfg.sc_poll_every
+    ~until:cfg.sc_horizon;
+  Sim.run engine;
+  (* Commit-to-leaf staleness, as in the latency sweep: per update and
+     leaf, virtual time from commit to the first poll acknowledging a
+     CSN at or past it; horizon-uncovered pairs count censored. *)
+  let updates_chrono = List.rev !update_times in
+  let stale_samples = ref [] in
+  let censored = ref 0 in
+  List.iter
+    (fun leaf ->
+      let acks =
+        List.rev
+          (Option.value ~default:[]
+             (Hashtbl.find_opt ack_events (Leaf.name leaf)))
+      in
+      let rec go updates acks =
+        match (updates, acks) with
+        | [], _ -> ()
+        | rest, [] -> censored := !censored + List.length rest
+        | (u_csn, u_t) :: urest, ((a_csn, a_t) :: _ as acks) ->
+            if a_csn >= u_csn then begin
+              stale_samples := (a_t - u_t) :: !stale_samples;
+              go urest acks
+            end
+            else go updates (List.tl acks)
+      in
+      go updates_chrono acks)
+    (Topology.leaves t);
+  let resp_p50, resp_p90, resp_p99, _ = summarize !resp_samples in
+  let stale_p50, _, stale_p99, _ = summarize !stale_samples in
+  let polls, scanned, rescans =
+    List.fold_left
+      (fun (a, b, c) n ->
+        let p, s, r = Node.cursor_stats n in
+        (a + p, b + s, c + r))
+      (0, 0, 0) (Topology.nodes t)
+  in
+  let sorted_samples of_node =
+    let arr = Array.of_list (List.concat_map of_node (Topology.nodes t)) in
+    Array.sort compare arr;
+    arr
+  in
+  (* Gate serve cost on the incremental population only: initial and
+     degraded transfers are O(selection) by design and would otherwise
+     drown the O(diff) claim at full directory size. *)
+  let serve_sorted = sorted_samples Node.incremental_serve_samples in
+  let serve_all_sorted = sorted_samples Node.serve_samples in
+  let pending_total, pending_max =
+    Resync.Master.pending_stats (Topology.master t)
+  in
+  let seen_residency =
+    List.fold_left (fun acc n -> acc + Node.seen_residency n) 0 (Topology.nodes t)
+  in
+  let cursor_depth_max =
+    List.fold_left
+      (fun acc n -> List.fold_left max acc (Node.cursor_depths n))
+      0 (Topology.nodes t)
+  in
+  let store = Backend.content_store backend in
+  {
+    sr_employees = employees;
+    sr_entries = Ldap.Content_store.size store;
+    sr_filters = filters;
+    sr_nodes = node_count;
+    sr_leaves = !added;
+    sr_memory = List.rev !memory;
+    sr_store_bytes = Ldap.Content_store.approx_bytes store;
+    sr_build_seconds = build_seconds;
+    sr_polls = polls;
+    sr_scanned = scanned;
+    sr_rescans = rescans;
+    sr_resp_p50 = resp_p50;
+    sr_resp_p90 = resp_p90;
+    sr_resp_p99 = resp_p99;
+    sr_stale_samples = List.length !stale_samples;
+    sr_stale_censored = !censored;
+    sr_stale_p50 = stale_p50;
+    sr_stale_p99 = stale_p99;
+    sr_updates = !updates_done;
+    sr_queries = !queries_done;
+    sr_query_hits = !query_hits;
+    sr_mix = mix;
+    sr_query_seconds = !query_wall;
+    sr_serve_p50_us = 1e6 *. fpercentile serve_sorted 0.5;
+    sr_serve_p99_us = 1e6 *. fpercentile serve_sorted 0.99;
+    sr_serve_all_p99_us = 1e6 *. fpercentile serve_all_sorted 0.99;
+    sr_pending_total = pending_total;
+    sr_pending_max = pending_max;
+    sr_history_size = Resync.Master.history_size (Topology.master t);
+    sr_seen_residency = seen_residency;
+    sr_cursor_depth_max = cursor_depth_max;
+  }
+
+let scale ?(config = scale_default_config) () =
+  (* Baseline first: the peak RSS of the process then belongs to the
+     full-size run, which is what BENCH_PR9 reports. *)
+  let baseline = run_scale_at config ~employees:config.sc_baseline_employees in
+  Gc.compact ();
+  let main = run_scale_at config ~employees:config.sc_employees in
+  (baseline, main)
+
+let scanned_per_poll r =
+  if r.sr_polls = 0 then 0.0
+  else float_of_int r.sr_scanned /. float_of_int r.sr_polls
+
+let json_of_scale_run ~full r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "      \"employees\": %d, \"entries\": %d, \"filters\": %d, \
+        \"nodes\": %d, \"leaves\": %d,\n"
+       r.sr_employees r.sr_entries r.sr_filters r.sr_nodes r.sr_leaves);
+  if full then begin
+    Buffer.add_string b "      \"memory\": [";
+    List.iteri
+      (fun i (leaves, live, rss) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s{\"leaves\": %d, \"live_words\": %d, \"vm_rss_kb\": %d}"
+             (if i = 0 then "" else ", ")
+             leaves live rss))
+      r.sr_memory;
+    Buffer.add_string b "],\n";
+    Buffer.add_string b
+      (Printf.sprintf
+         "      \"store_bytes\": %d, \"build_seconds\": %.2f, \
+          \"query_seconds\": %.3f, \"search_per_second\": %.0f,\n"
+         r.sr_store_bytes r.sr_build_seconds r.sr_query_seconds
+         (if r.sr_query_seconds > 0.0 then
+            float_of_int r.sr_queries /. r.sr_query_seconds
+          else 0.0));
+    Buffer.add_string b
+      (Printf.sprintf
+         "      \"serve_p50_us\": %.1f, \"serve_p99_us\": %.1f, \
+          \"serve_all_p99_us\": %.1f,\n"
+         r.sr_serve_p50_us r.sr_serve_p99_us r.sr_serve_all_p99_us)
+  end;
+  Buffer.add_string b
+    (Printf.sprintf
+       "      \"polls\": %d, \"scanned\": %d, \"rescans\": %d, \
+        \"scanned_per_poll\": %.2f,\n"
+       r.sr_polls r.sr_scanned r.sr_rescans (scanned_per_poll r));
+  Buffer.add_string b
+    (Printf.sprintf
+       "      \"response_p50\": %d, \"response_p90\": %d, \"response_p99\": %d,\n"
+       r.sr_resp_p50 r.sr_resp_p90 r.sr_resp_p99);
+  Buffer.add_string b
+    (Printf.sprintf
+       "      \"stale_samples\": %d, \"stale_censored\": %d, \
+        \"stale_p50\": %d, \"stale_p99\": %d,\n"
+       r.sr_stale_samples r.sr_stale_censored r.sr_stale_p50 r.sr_stale_p99);
+  Buffer.add_string b
+    (Printf.sprintf
+       "      \"updates\": %d, \"queries\": %d, \"query_hits\": %d,\n"
+       r.sr_updates r.sr_queries r.sr_query_hits);
+  Buffer.add_string b "      \"mix\": {";
+  List.iteri
+    (fun i (k, f) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s\"%s\": %.3f" (if i = 0 then "" else ", ") k f))
+    r.sr_mix;
+  Buffer.add_string b "},\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "      \"session_pending_total\": %d, \"session_pending_max\": %d, \
+        \"history_size\": %d, \"seen_residency\": %d, \"cursor_depth_max\": %d\n"
+       r.sr_pending_total r.sr_pending_max r.sr_history_size r.sr_seen_residency
+       r.sr_cursor_depth_max);
+  Buffer.add_string b "    }";
+  Buffer.contents b

@@ -242,3 +242,105 @@ val anti_entropy : ?config:ae_config -> unit -> ae_point list
 val json_of_ae_points : ae_point list -> string
 (** A JSON array (indented for embedding as the [BENCH_PR6.json]
     [points] field). *)
+
+(** {1 Paper-scale content-plane sweep}
+
+    End-to-end run at the paper's directory size: the full enterprise
+    behind the root master, [sc_nodes] interior nodes splitting the
+    department filters evenly, and a leaf fleet subscribing them
+    round-robin.  Leaves attach in batches ([sc_leaf_points]) with the
+    heap compacted and sampled after each batch, so memory growth with
+    consumer count is measured inside one topology; the update stream
+    is diurnally modulated (sinusoidal gap factor in [0.25, 1.75] over
+    a two-virtual-day horizon) and the Table 1 query mix with Zipf
+    department drift executes during the run — department lookups
+    against leaf replicas, serial/mail/location against the indexed
+    root. *)
+
+type scale_config = {
+  sc_base : Ldap_dirgen.Enterprise.config;
+      (** Directory shape; employees and seed are overridden per run. *)
+  sc_employees : int;  (** Full-size run. *)
+  sc_baseline_employees : int;  (** Same topology, smaller directory. *)
+  sc_nodes : int;  (** Interior nodes splitting the dept filters. *)
+  sc_leaf_points : int list;  (** Cumulative leaf counts to sample at. *)
+  sc_seed : int;
+  sc_poll_every : int;
+  sc_update_every : int;  (** Nominal gap; diurnally modulated. *)
+  sc_updates : int;
+  sc_queries : int;  (** Table 1 workload length. *)
+  sc_horizon : int;
+  sc_history_limit : int;  (** Root master session-history high-water mark. *)
+  sc_full : bool;
+      (** Include wall-clock and RSS measurements (excluded under smoke
+          so the emitted JSON is bit-deterministic for CI diffing). *)
+}
+
+val scale_default_config : scale_config
+(** 500k employees (60k baseline), 10 nodes over 400 department
+    filters, leaves sampled at 250/500/1000. *)
+
+val scale_smoke_config : scale_config
+(** Scaled down for [dune runtest] and the CI determinism check. *)
+
+type scale_run = {
+  sr_employees : int;
+  sr_entries : int;  (** Root content-store size after the run. *)
+  sr_filters : int;
+  sr_nodes : int;
+  sr_leaves : int;
+  sr_memory : (int * int * int) list;
+      (** Per leaf point: (leaves, live words after [Gc.compact],
+          VmRSS kB — 0 unless [sc_full]). *)
+  sr_store_bytes : int;  (** Reachable bytes of the root content store. *)
+  sr_build_seconds : float;
+  sr_polls : int;  (** Incremental polls served across all nodes. *)
+  sr_scanned : int;  (** Spine entries walked serving them. *)
+  sr_rescans : int;  (** Full-content rescan fallbacks (0 = all O(diff)). *)
+  sr_resp_p50 : int;
+  sr_resp_p90 : int;
+  sr_resp_p99 : int;  (** Leaf poll response, virtual ticks. *)
+  sr_stale_samples : int;
+  sr_stale_censored : int;
+  sr_stale_p50 : int;
+  sr_stale_p99 : int;  (** Commit-to-leaf staleness, virtual ticks. *)
+  sr_updates : int;
+  sr_queries : int;
+  sr_query_hits : int;  (** Entries returned across the workload. *)
+  sr_mix : (string * float) list;  (** Observed Table 1 mix. *)
+  sr_query_seconds : float;  (** Wall seconds executing the workload. *)
+  sr_serve_p50_us : float;
+  sr_serve_p99_us : float;
+      (** Node serve wall time per {e incremental} poll, µs — the
+          O(diff)-cost population the gate compares across directory
+          sizes. *)
+  sr_serve_all_p99_us : float;
+      (** p99 over every serve including initial-content and degraded
+          transfers, whose cost is O(selection); reported, not gated. *)
+  sr_pending_total : int;
+  sr_pending_max : int;  (** Root master buffered-action stats. *)
+  sr_history_size : int;
+  sr_seen_residency : int;  (** Sent-image table entries across nodes. *)
+  sr_cursor_depth_max : int;  (** Deepest spine lag of any session. *)
+}
+
+val scale : ?config:scale_config -> unit -> scale_run * scale_run
+(** Runs the baseline first, then the full size, in one process —
+    (baseline, main) — so the process peak RSS belongs to the full
+    run. *)
+
+val scanned_per_poll : scale_run -> float
+(** Spine entries walked per incremental poll — the O(diff) figure the
+    gate compares across directory sizes. *)
+
+val json_of_scale_run : full:bool -> scale_run -> string
+(** One run as a JSON object.  With [full = false] the wall-clock,
+    RSS and memory fields are omitted so smoke output is
+    bit-deterministic. *)
+
+val current_rss_kb : unit -> int
+(** VmRSS of this process from /proc/self/status (0 where absent).
+    Reading it consumes no virtual time. *)
+
+val peak_rss_kb : unit -> int
+(** VmHWM — process peak RSS — same caveats as {!current_rss_kb}. *)

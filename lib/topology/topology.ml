@@ -407,7 +407,7 @@ let leaf_converged t leaf =
   in
   List.for_all
     (fun q ->
-      let got = canon (R.Replica.eval_over_entries schema q (Leaf.content leaf q)) in
+      let got = canon (R.Replica.eval_over_entries schema q (Leaf.content_seq leaf q)) in
       let want = canon (Resync.Content.current backend q) in
       List.length got = List.length want && List.for_all2 Entry.equal got want)
     (Leaf.subscriptions leaf)

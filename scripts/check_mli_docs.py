@@ -8,7 +8,11 @@ directly above it or in the item's trailing lines (before the next
 top-level declaration).  A cheap stand-in for `dune build @doc` with
 warnings-as-errors, which needs odoc installed.
 
-Usage: check_mli_docs.py DIR [DIR...]
+Usage: check_mli_docs.py PATH [PATH...]
+
+Each PATH is a directory (every .mli directly under it is checked) or
+a single .mli file — the latter lets CI pin newly documented modules
+inside a library whose older interfaces are not yet up to standard.
 """
 
 import re
@@ -48,13 +52,20 @@ def check(path):
     return errors
 
 
-def main(dirs):
+def main(paths):
     errors = []
     mlis = []
-    for d in dirs:
-        mlis.extend(sorted(Path(d).glob("*.mli")))
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            mlis.extend(sorted(path.glob("*.mli")))
+        elif path.suffix == ".mli" and path.is_file():
+            mlis.append(path)
+        else:
+            print(f"{p}: not a directory or .mli file", file=sys.stderr)
+            return 1
     if not mlis:
-        print(f"no .mli files under {' '.join(dirs)}", file=sys.stderr)
+        print(f"no .mli files under {' '.join(paths)}", file=sys.stderr)
         return 1
     for mli in mlis:
         errors.extend(check(mli))

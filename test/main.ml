@@ -10,6 +10,7 @@ let () =
       ("containment", Test_containment.suite);
       ("symbolic", Test_symbolic.suite);
       ("dit+index", Test_dit.suite);
+      ("content-store", Test_content_store.suite);
       ("backend", Test_backend.suite);
       ("network", Test_network.suite);
       ("sim", Test_sim.suite);

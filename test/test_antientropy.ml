@@ -54,7 +54,7 @@ let test_serve_root () =
   let entries = List.init 20 (fun i -> mk_entry i ~sn:"s" ~mail:"m@x") in
   let reply =
     AE.Exchange.serve
-      ~content:(fun () -> entries)
+      ~content:(fun () -> List.to_seq entries)
       ~cookie:(fun () -> None)
       AE.Exchange.Root
   in
@@ -187,7 +187,7 @@ let prop_reconcile_reconverges =
       let client = ref entries in
       let result =
         AE.Exchange.reconcile ~config:small_config
-          ~local:(fun () -> !client)
+          ~local:(fun () -> List.to_seq !client)
           ~apply:(fun ~upserts ~deletes ~cookie:_ ->
             let dead dn =
               List.exists (fun d -> Dn.compare d dn = 0) deletes
@@ -203,7 +203,7 @@ let prop_reconcile_reconverges =
           ~rpc:(fun request ->
             Ok
               (AE.Exchange.serve
-                 ~content:(fun () -> server)
+                 ~content:(fun () -> List.to_seq server)
                  ~cookie:(fun () -> None)
                  request))
           ()

@@ -252,6 +252,38 @@ let test_update_stream_mix () =
   check_bool "deletes present" true (count "delete" > 50);
   check_bool "renames present" true (count "modifyDN" > 10)
 
+(* --- Streaming generator = build ------------------------------------- *)
+
+(* The streaming seeder ([generate]/[populate]) and the materializing
+   [build] must describe byte-identical directories: same entry count
+   (predicted without generating), same entries under the same DNs. *)
+let test_generate_matches_build () =
+  let cfg =
+    { D.Enterprise.default_config with D.Enterprise.employees = 500; countries = 6 }
+  in
+  let streamed = ref 0 in
+  D.Enterprise.generate cfg ~f:(fun _ -> incr streamed);
+  check_int "entry_count predicts the stream" (D.Enterprise.entry_count cfg)
+    !streamed;
+  let built = D.Enterprise.backend (D.Enterprise.build cfg) in
+  let populated = Backend.create ~indexed:D.Enterprise.indexed_attrs Schema.default in
+  D.Enterprise.populate cfg populated;
+  check_int "same entry totals" (Backend.total_entries built)
+    (Backend.total_entries populated);
+  check_int "stream totals match" !streamed (Backend.total_entries built);
+  let dump b =
+    List.sort compare
+      (List.of_seq
+         (Seq.map
+            (fun e -> (Dn.canonical (Entry.dn e), Entry.content_hash64 e))
+            (Backend.entries_seq b)))
+  in
+  check_bool "populate content = build content" true (dump built = dump populated);
+  (* Both paths leave the update log trimmed: experiments see only
+     their own updates. *)
+  check_int "populated log trimmed" 0
+    (List.length (Backend.log_since populated Csn.zero))
+
 let suite =
   [
     Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
@@ -263,6 +295,7 @@ let suite =
     Alcotest.test_case "serials organized" `Quick test_enterprise_serials_organized;
     Alcotest.test_case "enterprise searchable" `Quick test_enterprise_searchable;
     Alcotest.test_case "enterprise deterministic" `Quick test_enterprise_deterministic;
+    Alcotest.test_case "generate = build = populate" `Quick test_generate_matches_build;
     Alcotest.test_case "workload mix" `Quick test_workload_mix;
     Alcotest.test_case "workload answerable" `Quick test_workload_queries_answerable;
     Alcotest.test_case "workload repeats" `Quick test_workload_repeats;

@@ -425,6 +425,230 @@ let chain_equivalence_test =
        QCheck.Gen.(list_size (60 -- 100) op_gen))
     equivalent_chain_run
 
+(* --- Streaming = materialized across history strategies ---------------
+   For a random update script and random poll points, the streamed
+   action multiset applied to the previous snapshot must reproduce the
+   materialized selection (eval_over_entries over the backend's entry
+   stream) exactly — under all three history strategies.  The lossy
+   strategies (Changelog, Tombstone) may over-send conservative
+   deletes and unchanged re-adds but must still reconcile; for the
+   lossless Session_history strategy the incremental stream's per-DN
+   net effect is additionally required to be exactly the diff, with
+   no gratuitous resends. *)
+
+type sm_op =
+  | Sm_add of int * int
+  | Sm_del of int
+  | Sm_move of int * int
+  | Sm_mail of int
+  | Sm_poll
+
+let sm_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map2 (fun i d -> Sm_add (i, d)) (0 -- 15) (7 -- 9));
+        (2, map (fun i -> Sm_del i) (0 -- 15));
+        (3, map2 (fun i d -> Sm_move (i, d)) (0 -- 15) (7 -- 9));
+        (2, map (fun i -> Sm_mail i) (0 -- 15));
+        (4, return Sm_poll);
+      ])
+
+let sm_print = function
+  | Sm_add (i, d) -> Printf.sprintf "add(%d,%d)" i d
+  | Sm_del i -> Printf.sprintf "del(%d)" i
+  | Sm_move (i, d) -> Printf.sprintf "move(%d,%d)" i d
+  | Sm_mail i -> Printf.sprintf "mail(%d)" i
+  | Sm_poll -> "poll"
+
+let sm_queries =
+  [ "(departmentnumber=7)"; "(departmentnumber>=8)"; "(sn=p1*)" ]
+
+(* dn -> content hash of the selected image. *)
+let oracle_map q b =
+  let h = Hashtbl.create 32 in
+  List.iter
+    (fun e -> Hashtbl.replace h (Dn.canonical (Entry.dn e)) (Entry.content_hash64 e))
+    (R.Replica.eval_over_entries schema q (Backend.entries_seq b));
+  h
+
+let hashtbl_dump h =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [])
+
+let sm_run_strategy strategy ops =
+  let b = make_backend () in
+  List.iter (fun i -> apply b (Update.add (chain_person i ~dept:7))) [ 0; 1; 2 ];
+  let m = Master.create ~strategy b in
+  let mail_seq = ref 0 in
+  let sessions =
+    List.map
+      (fun fs ->
+        let q = Query.make ~base:(dn "o=xyz") (f fs) in
+        (q, Consumer.create schema q, Hashtbl.create 32))
+      sm_queries
+  in
+  let poll () =
+    List.iter
+      (fun (q, consumer, snapshot) ->
+        let reply =
+          match Consumer.sync consumer m with
+          | Ok r -> r
+          | Error e -> failwith e
+        in
+        let prev = Hashtbl.copy snapshot in
+        List.iter
+          (fun a ->
+            match a with
+            | Action.Add e | Action.Modify e ->
+                Hashtbl.replace snapshot
+                  (Dn.canonical (Entry.dn e))
+                  (Entry.content_hash64 e)
+            | Action.Delete d -> Hashtbl.remove snapshot (Dn.canonical d)
+            | Action.Retain _ -> ())
+          reply.Protocol.actions;
+        let oracle = oracle_map q b in
+        if hashtbl_dump snapshot <> hashtbl_dump oracle then
+          QCheck.Test.fail_reportf
+            "%s: streamed snapshot diverged from materialized selection for %s"
+            (match strategy with
+            | Master.Session_history -> "session-history"
+            | Master.Changelog -> "changelog"
+            | Master.Tombstone -> "tombstone")
+            (Filter.to_string q.Query.filter);
+        (* The consumer's own application must agree with both. *)
+        if not (Dn.Set.equal (Content.current_dns b q) (Consumer.dns consumer))
+        then QCheck.Test.fail_reportf "consumer content diverged";
+        (* Lossless strategy: the incremental stream carries the net
+           diff and nothing gratuitous.  The buffer is per-update, so
+           one DN may receive several actions (delete then re-add);
+           the per-DN *net* effect must match the materialized diff,
+           and a DN outside the diff may only appear through such a
+           multi-action chain — a single-action resend of an unchanged
+           image would be a redundant transmission. *)
+        if
+          strategy = Master.Session_history
+          && reply.Protocol.kind = Protocol.Incremental
+        then begin
+          let net = Hashtbl.create 8 and counts = Hashtbl.create 8 in
+          List.iter
+            (fun a ->
+              let record k v =
+                Hashtbl.replace net k v;
+                Hashtbl.replace counts k
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+              in
+              match a with
+              | Action.Add e | Action.Modify e ->
+                  record
+                    (Dn.canonical (Entry.dn e))
+                    (Some (Entry.content_hash64 e))
+              | Action.Delete d -> record (Dn.canonical d) None
+              | Action.Retain _ -> ())
+            reply.Protocol.actions;
+          let fail fmt = QCheck.Test.fail_reportf fmt (Filter.to_string q.Query.filter) in
+          let in_diff = Hashtbl.create 8 in
+          Hashtbl.iter
+            (fun k v ->
+              match Hashtbl.find_opt prev k with
+              | Some v' when v' = v -> ()
+              | _ ->
+                  Hashtbl.replace in_diff k ();
+                  if Hashtbl.find_opt net k <> Some (Some v) then
+                    fail "session-history stream for %s misses a changed member")
+            oracle;
+          Hashtbl.iter
+            (fun k _ ->
+              if not (Hashtbl.mem oracle k) then begin
+                Hashtbl.replace in_diff k ();
+                if Hashtbl.find_opt net k <> Some None then
+                  fail "session-history stream for %s misses a departure"
+              end)
+            prev;
+          Hashtbl.iter
+            (fun k _ ->
+              if
+                (not (Hashtbl.mem in_diff k))
+                && Hashtbl.find_opt counts k = Some 1
+              then fail "session-history stream for %s resends an unchanged entry")
+            net
+        end)
+      sessions
+  in
+  let name i = Printf.sprintf "cn=p%d,o=xyz" i in
+  poll ();
+  List.iter
+    (fun op ->
+      match op with
+      | Sm_add (i, d) -> ignore (Backend.apply b (Update.add (chain_person i ~dept:d)))
+      | Sm_del i -> ignore (Backend.apply b (Update.delete (dn (name i))))
+      | Sm_move (i, d) ->
+          ignore
+            (Backend.apply b
+               (Update.modify (dn (name i))
+                  [ Update.replace_values "departmentNumber" [ string_of_int d ] ]))
+      | Sm_mail i ->
+          incr mail_seq;
+          ignore
+            (Backend.apply b
+               (Update.modify (dn (name i))
+                  [
+                    Update.replace_values "mail"
+                      [ Printf.sprintf "p%d-%d@xyz" i !mail_seq ];
+                  ]))
+      | Sm_poll -> poll ())
+    ops;
+  poll ();
+  true
+
+let sm_run ops =
+  List.for_all
+    (fun strategy -> sm_run_strategy strategy ops)
+    [ Master.Session_history; Master.Changelog; Master.Tombstone ]
+
+let streaming_materialized_test =
+  QCheck.Test.make ~count:15
+    ~name:"poll stream = materialized selection (3 strategies)"
+    (QCheck.make
+       ~print:(fun ops -> String.concat " " (List.map sm_print ops))
+       QCheck.Gen.(list_size (40 -- 80) sm_gen))
+    sm_run
+
+(* --- Session-history high-water mark ----------------------------------
+   A leaf that stops polling must not balloon the master: its pending
+   buffer is capped at the high-water mark, after which the session is
+   retired and the next poll escalates to a degraded snapshot-diff. *)
+
+let test_history_hwm_bounds_master () =
+  let b = build_directory () in
+  let m = Master.create ~history_limit:8 b in
+  check_bool "limit recorded" true (Master.history_limit m = Some 8);
+  let fast = Consumer.create schema (dept_query 7) in
+  let slow = Consumer.create schema (dept_query 8) in
+  let sync c = match Consumer.sync c m with Ok r -> r | Error e -> failwith e in
+  ignore (sync fast);
+  ignore (sync slow);
+  check_int "both sessions live" 2 (Master.session_count m);
+  (* 120 updates inside the slow session's content while only the fast
+     consumer keeps polling. *)
+  let peak = ref 0 in
+  for i = 1 to 120 do
+    apply b (Update.add (person (Printf.sprintf "hwm%d" i) ~dept:"8" ()));
+    if i mod 5 = 0 then ignore (sync fast);
+    let _, per_session_max = Master.pending_stats m in
+    peak := max !peak per_session_max
+  done;
+  check_bool "pending never exceeded the high-water mark" true (!peak <= 8);
+  check_int "slow session was retired" 1 (Master.session_count m);
+  (* The slow consumer escalates to a degraded snapshot-diff and still
+     converges. *)
+  let reply = sync slow in
+  check_bool "escalated to degraded" true
+    (reply.Protocol.kind = Protocol.Degraded);
+  check_bool "slow consumer converged" true
+    (Dn.Set.equal (Content.current_dns b (dept_query 8)) (Consumer.dns slow));
+  check_bool "fast consumer stayed incremental" true
+    ((sync fast).Protocol.kind = Protocol.Incremental)
+
 let suite =
   [
     Alcotest.test_case "tree matches star (1000 leaves)" `Slow test_tree_matches_star;
@@ -441,5 +665,8 @@ let suite =
       test_trimmed_root_history_heals_through_node;
     Alcotest.test_case "killed node re-parents leaves" `Quick
       test_kill_node_reparents_and_converges;
+    Alcotest.test_case "history high-water mark bounds master" `Quick
+      test_history_hwm_bounds_master;
     QCheck_alcotest.to_alcotest chain_equivalence_test;
+    QCheck_alcotest.to_alcotest streaming_materialized_test;
   ]
