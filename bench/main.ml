@@ -18,7 +18,8 @@
                    | crash-restart [--smoke] [--json]
                    | anti-entropy [--smoke] [--json]
                    | shard [--smoke] [--json]
-                   | scale [--smoke] [--json]]
+                   | scale [--smoke] [--json] [--long-haul]
+                   | adapt [--smoke] [--json]]
 
    micro runs the compiled-vs-interpreted comparison for the hot paths
    (filter bytecode vs AST interpretation, zero-copy DER writer vs
@@ -63,6 +64,23 @@
    within 2x of the baseline — initial-content and degraded transfers
    are O(selection) by design and are reported ungated as
    serve_all_p99_us.
+
+   scale --long-haul instead runs the long write-pressure scenario
+   (Ldap_adaptive.Drift.run_long_haul): a sustained committed-update
+   stream against a master with both the session-history high-water
+   mark and the persist queue bound set, a laggard leaf that never
+   polls and a persist leaf that stops draining.  Gates: both
+   escalation counters fire, both buffers stay within one action of
+   their bounds, and every participant reconverges.
+
+   adapt runs the drift scenario sweep (Ldap_adaptive.Drift): the
+   five-phase shifting workload in delta-transition and cold-swap
+   modes plus both persist-backpressure scenarios and the long-haul
+   point; with --json it writes BENCH_PR10.json.  Gates: the
+   geography-flip delta transition ships at most half the cold-swap
+   bytes, every drift phase's tail hit ratio recovers, the stalled
+   leaf's master-side queue stays bounded and drains, and no
+   transition leaves failed installs.
 
    Every full (non-smoke) JSON dump also records the process peak RSS
    (VmHWM) so memory regressions show up across PRs; smoke JSON omits
@@ -914,6 +932,183 @@ let run_scale ~smoke ~json () =
     Printf.printf "wrote %s\n%!" path
   end
 
+(* --- Adaptive replication under drift --------------------------------- *)
+
+module Drift = Ldap_adaptive.Drift
+
+let report_cell (r : Ldap_adaptive.Transition.report) =
+  Printf.sprintf "%dk %dr %ds %dc -%d" r.kept r.rescoped r.seeded r.cold
+    r.removed
+
+let run_adapt ~smoke ~json () =
+  let config = if smoke then Drift.smoke_config else Drift.default_config in
+  let sweep = Drift.run ~config () in
+  let phase_row mode (p : Drift.phase_point) =
+    [
+      mode;
+      p.pp_name;
+      string_of_int p.pp_queries;
+      Printf.sprintf "%.2f" p.pp_head_hit;
+      Printf.sprintf "%.2f" p.pp_tail_hit;
+      string_of_int p.pp_update_bytes;
+      string_of_int p.pp_transition_bytes;
+      Printf.sprintf "%d (%d)" p.pp_adaptations p.pp_drift_adaptations;
+      report_cell p.pp_report;
+    ]
+  in
+  let run_rows label (r : Drift.run_result) =
+    (* The join-mid-drift row is the joining replica's own phase; the
+       primary's filters are frozen while it catches up. *)
+    List.map
+      (fun (p : Drift.phase_point) ->
+        phase_row
+          (if String.equal p.pp_name "join-mid-drift" then label ^ "-joiner"
+           else label)
+          p)
+      r.rr_phases
+  in
+  Eval.Report.print
+    (Eval.Report.make ~title:"Drift sweep: delta transitions vs cold swap"
+       ~notes:
+         [
+           "five-phase scripted workload (warmup, flash crowd, geography";
+           "flip, rename storm, replica joining mid-drift), identical seeds";
+           "in both modes; head/tail are the phase's first-half and";
+           "last-third hit ratios — recovery means the tail climbs back;";
+           "plan column: kept / rescoped / seeded / cold installs, -removes";
+         ]
+       ~columns:
+         [
+           "run"; "phase"; "queries"; "head"; "tail"; "update B"; "trans B";
+           "adapt (drift)"; "plan";
+         ]
+       ~rows:(run_rows "delta" sweep.Drift.sw_delta
+              @ run_rows "cold" sweep.Drift.sw_cold)
+       ());
+  let bp_row label (p : Drift.bp_point) =
+    [
+      label;
+      string_of_int p.bp_limit;
+      string_of_int p.bp_updates;
+      string_of_int p.bp_queue_peak;
+      string_of_int p.bp_queue_total_after;
+      string_of_int p.bp_overflows;
+      string_of_int p.bp_resets;
+      (if p.bp_escalated then "yes" else "no");
+      (if p.bp_converged then "yes" else "no");
+    ]
+  in
+  Eval.Report.print
+    (Eval.Report.make ~title:"Persist backpressure: stalled leaf at the master"
+       ~notes:
+         [
+           "a paused persist connection under a committed-update burst:";
+           "within the bound the queue parks and drains on resume; past it";
+           "the session is retired and reconnection escalates to a degraded";
+           "resync — either way master memory stays O(bound)";
+         ]
+       ~columns:
+         [
+           "burst"; "limit"; "updates"; "peak"; "after"; "overflows";
+           "resets"; "escalated"; "converged";
+         ]
+       ~rows:
+         [
+           bp_row "within-bound" sweep.Drift.sw_bp_stall;
+           bp_row "overflow" sweep.Drift.sw_bp_overflow;
+         ]
+       ());
+  (* Gates. *)
+  let g = sweep.Drift.sw_gates in
+  let geo r = (Drift.find_phase r "geo-flip").Drift.pp_transition_bytes in
+  if not g.Drift.g_geo_delta_le_half_cold then
+    failwith
+      (Printf.sprintf
+         "adapt: geo-flip delta transition shipped %d B vs %d B cold — over \
+          the 50%% gate"
+         (geo sweep.Drift.sw_delta)
+         (geo sweep.Drift.sw_cold));
+  if not g.Drift.g_hit_ratio_recovers then
+    failwith "adapt: a drift phase's tail hit ratio did not recover";
+  if not g.Drift.g_queue_bounded then
+    failwith "adapt: stalled-leaf persist queue was not bounded at the master";
+  if not g.Drift.g_no_failed_installs then
+    failwith "adapt: a transition plan left failed installs";
+  let lh_config =
+    if smoke then Drift.lh_smoke_config else Drift.lh_default_config
+  in
+  let lh = Drift.run_long_haul lh_config in
+  if not (Drift.lh_gates_pass lh_config lh) then
+    failwith ("adapt: long-haul gates failed: " ^ Drift.json_of_lh lh_config lh);
+  Printf.printf
+    "adapt gates: geo-flip delta %d B <= 50%% of cold %d B, tails recovered, \
+     queue peak %d <= %d+1, long-haul converged %d/%d\n%!"
+    (geo sweep.Drift.sw_delta)
+    (geo sweep.Drift.sw_cold)
+    sweep.Drift.sw_bp_overflow.Drift.bp_queue_peak
+    sweep.Drift.sw_bp_overflow.Drift.bp_limit lh.Drift.lh_converged
+    lh.Drift.lh_participants;
+  if json then begin
+    let path = "BENCH_PR10.json" in
+    let oc = open_out path in
+    let body = Drift.json_of_sweep sweep in
+    (* Splice the long-haul point and (full runs) peak RSS into the
+       sweep object: drop its closing "\n}". *)
+    let body = String.sub body 0 (String.length body - 2) in
+    Printf.fprintf oc "%s,\n  \"long_haul\": %s%s\n}\n" body
+      (Drift.json_of_lh lh_config lh)
+      (rss_fragment ~smoke);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  end
+
+let run_scale_long_haul ~smoke ~json () =
+  ignore json;
+  let config =
+    if smoke then Drift.lh_smoke_config else Drift.lh_default_config
+  in
+  let p = Drift.run_long_haul config in
+  Eval.Report.print
+    (Eval.Report.make
+       ~title:"Long-haul write pressure: history HWM + persist queue bounds"
+       ~notes:
+         [
+           "a long committed-update stream with one leaf that never polls";
+           "(history HWM must escalate it) and a persist leaf that stops";
+           "draining (queue must overflow); both buffers stay within one";
+           "action of their bounds and every participant reconverges";
+         ]
+       ~columns:
+         [
+           "updates"; "hist limit"; "q limit"; "hist ovf"; "push ovf";
+           "pend max"; "push peak"; "converged";
+         ]
+       ~rows:
+         [
+           [
+             string_of_int p.Drift.lh_committed;
+             string_of_int config.Drift.lh_history_limit;
+             string_of_int config.Drift.lh_queue_limit;
+             string_of_int p.Drift.lh_history_overflows;
+             string_of_int p.Drift.lh_push_overflows;
+             string_of_int p.Drift.lh_pending_max_seen;
+             string_of_int p.Drift.lh_push_peak;
+             Printf.sprintf "%d/%d" p.Drift.lh_converged
+               p.Drift.lh_participants;
+           ];
+         ]
+       ());
+  if not (Drift.lh_gates_pass config p) then
+    failwith
+      ("scale --long-haul: gates failed: " ^ Drift.json_of_lh config p);
+  Printf.printf
+    "long-haul gates: %d history + %d push overflows, pending max %d <= \
+     %d+1, push peak %d <= %d+1, converged %d/%d\n%!"
+    p.Drift.lh_history_overflows p.Drift.lh_push_overflows
+    p.Drift.lh_pending_max_seen config.Drift.lh_history_limit
+    p.Drift.lh_push_peak config.Drift.lh_queue_limit p.Drift.lh_converged
+    p.Drift.lh_participants
+
 (* --- Compiled vs interpreted hot paths -------------------------------- *)
 
 (* A spread of entries for the filter-eval pair: half match the complex
@@ -1166,7 +1361,11 @@ let () =
       ~smoke:(quick || List.mem "--smoke" args)
       ~json:(List.mem "--json" args) ()
   else if List.mem "scale" args then
-    run_scale
+    (if List.mem "--long-haul" args then run_scale_long_haul else run_scale)
+      ~smoke:(quick || List.mem "--smoke" args)
+      ~json:(List.mem "--json" args) ()
+  else if List.mem "adapt" args then
+    run_adapt
       ~smoke:(quick || List.mem "--smoke" args)
       ~json:(List.mem "--json" args) ()
   else if List.mem "micro" args then

@@ -15,7 +15,10 @@
      shard      - partition a directory over shards and report the router
      scale      - build the paper-scale topology and report content-plane
                   residency (per-tier entries, session history, cursors,
-                  store bytes) *)
+                  store bytes)
+     adapt      - drive the drifting workload against an adaptive replica
+                  and report hit-ratio recovery, transition traffic and
+                  plan outcomes (incl. failed installs) *)
 
 open Cmdliner
 open Ldap
@@ -972,6 +975,126 @@ let scale_cmd =
       const run $ employees_arg $ seed_arg $ nodes_arg $ leaves_arg
       $ updates_arg $ history_arg)
 
+(* --- adapt --------------------------------------------------------------- *)
+
+let adapt_cmd =
+  let module A = Ldap_adaptive in
+  let queries_arg =
+    Arg.(
+      value & opt int 240
+      & info [ "queries" ] ~doc:"Queries driven per workload phase.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 3_000
+      & info [ "budget" ] ~doc:"Selection size budget, estimated entries.")
+  in
+  let mode_arg =
+    let modes =
+      [ ("delta", A.Controller.Delta); ("cold", A.Controller.Cold_swap) ]
+    in
+    Arg.(
+      value
+      & opt (enum modes) A.Controller.Delta
+      & info [ "mode" ]
+          ~doc:
+            "Transition mode: $(b,delta) (containment-planned rescopes and \
+             seeds) or $(b,cold) (blunt remove+install swaps).")
+  in
+  let run employees seed queries budget mode =
+    let config =
+      {
+        A.Drift.default_config with
+        A.Drift.dr_employees = employees;
+        dr_seed = seed;
+        dr_phase_queries = queries;
+        dr_budget = budget;
+      }
+    in
+    let r = A.Drift.run_mode config mode in
+    let phase_row tag (p : A.Drift.phase_point) =
+      [
+        tag;
+        p.A.Drift.pp_name;
+        string_of_int p.A.Drift.pp_queries;
+        Printf.sprintf "%.2f" p.A.Drift.pp_head_hit;
+        Printf.sprintf "%.2f" p.A.Drift.pp_tail_hit;
+        string_of_int p.A.Drift.pp_update_bytes;
+        string_of_int p.A.Drift.pp_transition_bytes;
+        Printf.sprintf "%d (%d drift)" p.A.Drift.pp_adaptations
+          p.A.Drift.pp_drift_adaptations;
+        A.Transition.report_to_string p.A.Drift.pp_report;
+      ]
+    in
+    Eval.Report.print
+      (Eval.Report.make
+         ~title:
+           (Printf.sprintf "Adaptive replication under drift (%s mode)"
+              (A.Controller.mode_to_string mode))
+         ~notes:
+           [
+             "five scripted phases: warmup, flash crowd, geography flip,";
+             "rename storm, and a second replica joining mid-drift;";
+             "head/tail: the phase's first-half vs last-third hit ratio";
+           ]
+         ~columns:
+           [
+             "replica"; "phase"; "queries"; "head"; "tail"; "update B";
+             "trans B"; "adapt"; "plan outcomes";
+           ]
+         ~rows:
+           (List.map
+              (fun (p : A.Drift.phase_point) ->
+                phase_row
+                  (if String.equal p.A.Drift.pp_name "join-mid-drift" then
+                     "joiner"
+                   else "primary")
+                  p)
+              r.A.Drift.rr_phases)
+         ());
+    let t = r.A.Drift.rr_totals in
+    Eval.Report.print
+      (Eval.Report.make ~title:"Adaptation summary"
+         ~notes:
+           [
+             "unchanged: drift checks and revolutions whose target set";
+             "matched the stored set, so no transition ran; failed installs";
+             "are plan steps whose install errored (should be zero)";
+           ]
+         ~columns:[ "metric"; "value" ]
+         ~rows:
+           [
+             [ "adaptations"; string_of_int r.A.Drift.rr_adaptations ];
+             [
+               "  drift-triggered"; string_of_int r.A.Drift.rr_drift_adaptations;
+             ];
+             [ "unchanged checks"; string_of_int r.A.Drift.rr_unchanged_checks ];
+             [ "transition bytes"; string_of_int r.A.Drift.rr_transition_bytes ];
+             [ "installs kept"; string_of_int t.A.Transition.kept ];
+             [ "installs rescoped"; string_of_int t.A.Transition.rescoped ];
+             [ "installs seeded"; string_of_int t.A.Transition.seeded ];
+             [ "installs cold"; string_of_int t.A.Transition.cold ];
+             [ "filters removed"; string_of_int t.A.Transition.removed ];
+             [ "failed installs"; string_of_int r.A.Drift.rr_failed_installs ];
+           ]
+         ());
+    if r.A.Drift.rr_failed_installs > 0 then begin
+      Printf.eprintf "warning: %d install(s) failed during transitions\n"
+        r.A.Drift.rr_failed_installs;
+      exit 1
+    end
+  in
+  let doc =
+    "Drive the drifting workload (flash crowd, geography flip, rename storm, \
+     mid-drift join) against an interest-tracked adaptive replica and report \
+     per-phase hit-ratio recovery, transition traffic and plan outcomes — \
+     including any failed installs, which otherwise die silently."
+  in
+  Cmd.v (Cmd.info "adapt" ~doc)
+    Term.(
+      const run $ employees_arg $ seed_arg $ queries_arg $ budget_arg
+      $ mode_arg)
+
 let () =
   let doc = "Filter-based LDAP directory replication (ICDCS 2005 reproduction)." in
   let info = Cmd.info "ldapctl" ~version:"1.0.0" ~doc in
@@ -982,4 +1105,5 @@ let () =
             gen_cmd; search_cmd; export_cmd; compare_cmd; contains_cmd;
             condition_cmd; resync_cmd; workload_cmd; replay_cmd; experiment_cmd;
             topology_cmd; store_cmd; antientropy_cmd; shard_cmd; scale_cmd;
+            adapt_cmd;
           ]))

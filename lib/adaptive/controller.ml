@@ -1,0 +1,187 @@
+open Ldap
+module C = Ldap_containment
+module FR = Ldap_replication.Filter_replica
+module Generalize = Ldap_selection.Generalize
+
+type mode = Delta | Cold_swap
+type trigger = Periodic | Drift | Forced
+
+type config = {
+  rules : Generalize.rule list;
+  include_queries : bool;
+  half_life : int;
+  min_score : float;
+  size_budget : int;
+  revolution_interval : int;
+  drift_check_interval : int;
+  drift_ratio : float;
+  mode : mode;
+}
+
+let default_config =
+  {
+    rules = [];
+    include_queries = true;
+    half_life = 256;
+    min_score = 1.0;
+    size_budget = 1000;
+    revolution_interval = 200;
+    drift_check_interval = 25;
+    drift_ratio = 2.0;
+    mode = Delta;
+  }
+
+type adaptation = {
+  at : int;
+  trigger : trigger;
+  target : Query.t list;
+  plan : Transition.plan;
+  report : Transition.report;
+}
+
+type t = {
+  config : config;
+  replica : FR.t;
+  interest : Interest.t;
+  mutable observed : int;
+  mutable adaptations : adaptation list;  (* newest first *)
+  mutable drift_checks : int;
+  mutable unchanged_checks : int;
+}
+
+let create config replica =
+  {
+    config;
+    replica;
+    interest = Interest.create ~half_life:config.half_life ();
+    observed = 0;
+    adaptations = [];
+    drift_checks = 0;
+    unchanged_checks = 0;
+  }
+
+let config t = t.config
+let replica t = t.replica
+let interest t = t.interest
+let observations t = t.observed
+let adaptations t = List.rev t.adaptations
+let adaptation_count t = List.length t.adaptations
+let drift_checks t = t.drift_checks
+let unchanged_checks t = t.unchanged_checks
+
+let totals t =
+  List.fold_left
+    (fun acc a -> Transition.add_report acc a.report)
+    Transition.empty_report t.adaptations
+
+let covered schema stored q =
+  List.exists
+    (fun s -> C.Query_containment.contained schema ~query:q ~stored:s)
+    stored
+
+(* Greedy benefit/size selection under the size budget, the section
+   6.2 shape with decayed interest as the benefit.  Candidates already
+   contained in a picked one are free and skipped; sizes are asked of
+   the upstream estimator fresh at every selection (the stale-cache
+   lesson of the Candidate table). *)
+let select t =
+  let schema = FR.schema t.replica in
+  let viable =
+    List.filter (fun (_, s) -> s >= t.config.min_score)
+      (Interest.ranked t.interest)
+  in
+  let priced =
+    List.map
+      (fun (q, score) ->
+        let size = max 1 (FR.estimate_size t.replica q) in
+        (q, score /. float_of_int size, size))
+      viable
+  in
+  let priced =
+    List.sort
+      (fun (qa, ra, _) (qb, rb, _) ->
+        match compare rb ra with
+        | 0 -> compare (Query.to_string qa) (Query.to_string qb)
+        | c -> c)
+      priced
+  in
+  let picked, _ =
+    List.fold_left
+      (fun (picked, used) (q, _, size) ->
+        if covered schema picked q then (picked, used)
+        else if used + size <= t.config.size_budget then (q :: picked, used + size)
+        else (picked, used))
+      ([], 0) priced
+  in
+  List.rev picked
+
+let same_set a b =
+  List.length a = List.length b
+  && List.for_all (fun q -> List.exists (Query.equal q) b) a
+
+let adapt t ~trigger =
+  let target = select t in
+  let current = FR.stored_filters t.replica in
+  if same_set current target then begin
+    t.unchanged_checks <- t.unchanged_checks + 1;
+    None
+  end
+  else begin
+    let schema = FR.schema t.replica in
+    let plan = Transition.plan schema ~current ~target in
+    let report =
+      match t.config.mode with
+      | Delta -> Transition.apply t.replica plan
+      | Cold_swap -> Transition.apply_cold t.replica plan
+    in
+    let a = { at = t.observed; trigger; target; plan; report } in
+    t.adaptations <- a :: t.adaptations;
+    Some a
+  end
+
+let force_adapt t = adapt t ~trigger:Forced
+
+(* Early re-selection fires when some uncovered candidate's decayed
+   score dominates the best candidate the stored set already covers —
+   the flash-crowd / geography-flip signal that should not wait for
+   the periodic revolution. *)
+let drifted t =
+  let schema = FR.schema t.replica in
+  let stored = FR.stored_filters t.replica in
+  let viable =
+    List.filter (fun (_, s) -> s >= t.config.min_score)
+      (Interest.ranked t.interest)
+  in
+  let best_uncovered, best_covered =
+    List.fold_left
+      (fun (bu, bc) (q, score) ->
+        if covered schema stored q then (bu, max bc score)
+        else (max bu score, bc))
+      (0.0, 0.0) viable
+  in
+  best_uncovered >= t.config.min_score
+  && best_uncovered > t.config.drift_ratio *. best_covered
+
+let observe t q =
+  let candidates = Generalize.candidates t.config.rules q in
+  let candidates = if t.config.include_queries then q :: candidates else candidates in
+  (match candidates with
+  | [] -> Interest.touch t.interest
+  | cs -> List.iter (Interest.observe t.interest) cs);
+  t.observed <- t.observed + 1;
+  let due every = every > 0 && t.observed mod every = 0 in
+  if due t.config.drift_check_interval then begin
+    t.drift_checks <- t.drift_checks + 1;
+    if drifted t then ignore (adapt t ~trigger:Drift)
+    else if due t.config.revolution_interval then
+      ignore (adapt t ~trigger:Periodic)
+  end
+  else if due t.config.revolution_interval then
+    ignore (adapt t ~trigger:Periodic)
+
+let trigger_to_string = function
+  | Periodic -> "periodic"
+  | Drift -> "drift"
+  | Forced -> "forced"
+
+let mode_to_string = function Delta -> "delta" | Cold_swap -> "cold-swap"

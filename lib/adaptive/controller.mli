@@ -1,0 +1,104 @@
+(** Adaptive re-selection under workload drift.
+
+    Glues the pieces of the adaptive subsystem together: every
+    observed user query feeds the decayed {!Interest} tracker (itself
+    and its section 6.1 generalizations), and the stored filter set is
+    re-chosen greedily by decayed-benefit/size ratio under a size
+    budget — periodically, like a section 6.2 revolution, {e and}
+    early whenever the drift trigger fires: some uncovered candidate's
+    score dominating everything the stored set covers means the
+    workload has moved (flash crowd, geography flip) and waiting for
+    the next revolution just accumulates misses.  Transitions execute
+    as containment-seeded deltas ({!Transition.apply}) or, for the
+    baseline the sweep compares against, cold swaps. *)
+
+open Ldap
+
+(** How filter-set transitions are executed. *)
+type mode =
+  | Delta  (** Containment-seeded delta installs ({!Transition.apply}). *)
+  | Cold_swap  (** Remove + refetch baseline ({!Transition.apply_cold}). *)
+
+(** Why an adaptation ran. *)
+type trigger =
+  | Periodic  (** The [revolution_interval] came due. *)
+  | Drift  (** The drift test fired at a [drift_check_interval]. *)
+  | Forced  (** {!force_adapt}. *)
+
+type config = {
+  rules : Ldap_selection.Generalize.rule list;
+      (** Section 6.1 generalizations applied to observed queries. *)
+  include_queries : bool;
+      (** Track each observed query itself as a candidate too. *)
+  half_life : int;  (** Interest decay half-life, in observations. *)
+  min_score : float;
+      (** Candidates below this decayed score are never selected. *)
+  size_budget : int;  (** Max total replicated entries (estimated). *)
+  revolution_interval : int;
+      (** Periodic re-selection every this many observations
+          (0 disables). *)
+  drift_check_interval : int;
+      (** Drift test every this many observations (0 disables). *)
+  drift_ratio : float;
+      (** Trigger when best uncovered score > ratio × best covered. *)
+  mode : mode;
+}
+
+val default_config : config
+(** [Delta] mode, half-life 256, budget 1000 entries, revolution every
+    200 observations, drift checks every 25 at ratio 2.0. *)
+
+(** One executed re-selection. *)
+type adaptation = {
+  at : int;  (** Observation count when it ran. *)
+  trigger : trigger;
+  target : Query.t list;  (** The newly selected filter set. *)
+  plan : Transition.plan;
+  report : Transition.report;  (** What the execution actually did. *)
+}
+
+type t
+
+val create : config -> Ldap_replication.Filter_replica.t -> t
+(** The controller drives the given replica's stored filter set; it
+    does not own query answering — callers keep calling
+    {!Ldap_replication.Filter_replica.answer} and feed {!observe}. *)
+
+val config : t -> config
+
+val replica : t -> Ldap_replication.Filter_replica.t
+(** The driven replica. *)
+
+val interest : t -> Interest.t
+(** The live interest tracker (inspection and tests). *)
+
+val observe : t -> Query.t -> unit
+(** Feed one user query: interest is credited to the query and its
+    generalizations, then the drift test and the periodic revolution
+    run if their intervals came due.  A re-selection that would keep
+    the stored set identical is skipped (counted in
+    {!unchanged_checks}) — no-op transitions cost nothing. *)
+
+val force_adapt : t -> adaptation option
+(** Re-selects immediately; [None] when the selected set equals the
+    stored set. *)
+
+val observations : t -> int
+val adaptations : t -> adaptation list
+(** Executed adaptations, oldest first. *)
+
+val adaptation_count : t -> int
+val drift_checks : t -> int
+(** Drift tests run (not all of them fire). *)
+
+val unchanged_checks : t -> int
+(** Re-selections skipped because the target equalled the stored set. *)
+
+val totals : t -> Transition.report
+(** Sum of all executed adaptations' reports. *)
+
+val trigger_to_string : trigger -> string
+(** ["periodic"], ["drift"] or ["forced"], for reports. *)
+
+val mode_to_string : mode -> string
+(** ["delta"] or ["cold"], for reports. *)

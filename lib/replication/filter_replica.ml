@@ -163,23 +163,111 @@ let sync_consumer t consumer ~fetch =
       Ok ()
   | Error e -> Error e
 
+(* The session fetches the stored query's attributes plus the ones
+   its filter mentions, so contained queries can be re-evaluated
+   locally; answers still project to the caller's selection. *)
+let make_consumer t q =
+  let consumer = Resync.Consumer.create t.schema (Replica.widen_attrs q) in
+  Resync.Consumer.set_on_change consumer (fun ~before ~after ->
+      match t.on_change with
+      | Some f -> f ~stored:q ~before ~after
+      | None -> ());
+  consumer
+
+let register_consumer t q consumer =
+  C.Containment_index.add t.index q consumer;
+  install_durable t q consumer
+
 let install_filter t q =
   if C.Containment_index.mem t.index q then Ok ()
   else
-    (* The session fetches the stored query's attributes plus the ones
-       its filter mentions, so contained queries can be re-evaluated
-       locally; answers still project to the caller's selection. *)
-    let consumer = Resync.Consumer.create t.schema (Replica.widen_attrs q) in
-    Resync.Consumer.set_on_change consumer (fun ~before ~after ->
-        match t.on_change with
-        | Some f -> f ~stored:q ~before ~after
-        | None -> ());
+    let consumer = make_consumer t q in
     match sync_consumer t consumer ~fetch:true with
     | Ok () ->
-        C.Containment_index.add t.index q consumer;
-        install_durable t q consumer;
+        register_consumer t q consumer;
         Ok ()
     | Error e -> Error (Resync.Consumer.sync_error_to_string e)
+
+(* --- Delta installs ---------------------------------------------------
+   A filter-set transition does not have to fetch regions the replica
+   already holds.  [install_filter_rescoped] covers the narrowing case:
+   the new query is contained in a stored one, so its content is
+   seeded wholesale from the donor consumer and the session opened
+   with the reserved foreign-session cookie at the donor's
+   acknowledged CSN — the upstream answers degraded from exactly
+   there, shipping full entries only for members changed since and
+   DN-only retains for the (already held) rest.  [install_filter_seeded]
+   covers overlap without containment: seed whatever the donors hold
+   that matches, then let Merkle anti-entropy ship only the differing
+   segments.  Both fall back to a cold install when the cheap path's
+   preconditions fail. *)
+
+type install_how = Kept | Rescoped | Seeded | Cold
+
+(* A donor can only seed entries whose attributes survive its own
+   projection: seeding from a narrower selection would bake
+   missing-attribute images into content the degraded reply then
+   retains as "unchanged". *)
+let donor_attrs_cover ~donor q =
+  match (Replica.widen_attrs donor).Query.attrs with
+  | Query.All -> true
+  | Query.Select avail -> (
+      match Query.attr_list (Replica.widen_attrs q).Query.attrs with
+      | None -> false
+      | Some needed -> List.for_all (fun a -> List.mem a avail) needed)
+
+let donor_csn consumer =
+  match Resync.Consumer.cookie consumer with
+  | Some ck -> Option.map snd (Resync.Protocol.parse_cookie ck)
+  | None -> None
+
+let seed_entries t q donors =
+  let wq = Replica.widen_attrs q in
+  let seen = Hashtbl.create 64 in
+  List.concat_map
+    (fun donor ->
+      List.filter_map
+        (fun e ->
+          let k = Dn.canonical (Entry.dn e) in
+          if Hashtbl.mem seen k then None
+          else begin
+            Hashtbl.replace seen k ();
+            Some (Resync.Action.Add e)
+          end)
+        (Replica.eval_over_entries t.schema wq
+           (Resync.Consumer.entries_seq donor)))
+    donors
+
+let install_cold t q consumer =
+  Resync.Consumer.set_cookie consumer None;
+  match sync_consumer t consumer ~fetch:true with
+  | Ok () ->
+      register_consumer t q consumer;
+      Ok Cold
+  | Error e -> Error (Resync.Consumer.sync_error_to_string e)
+
+let install_filter_rescoped t q ~donor =
+  if C.Containment_index.mem t.index q then Ok Kept
+  else
+    let fallback () = Result.map (fun () -> Cold) (install_filter t q) in
+    match C.Containment_index.find t.index donor with
+    | None -> fallback ()
+    | Some dc -> (
+        match (donor_attrs_cover ~donor q, donor_csn dc) with
+        | true, Some csn -> (
+            let consumer = make_consumer t q in
+            Resync.Consumer.apply_reply consumer
+              {
+                Resync.Protocol.kind = Resync.Protocol.Initial_content;
+                actions = seed_entries t q [ dc ];
+                cookie = Some (Resync.Protocol.cookie_of ~id:0 ~csn);
+              };
+            match sync_consumer t consumer ~fetch:false with
+            | Ok () ->
+                register_consumer t q consumer;
+                Ok Rescoped
+            | Error e -> Error (Resync.Consumer.sync_error_to_string e))
+        | false, _ | _, None -> fallback ())
 
 let remove_filter t q =
   (* End the session at the upstream before dropping local state (a
@@ -288,6 +376,43 @@ let merkle_consumer t consumer =
       if report.Ldap_antientropy.Exchange.converged then Ok report
       else Error "anti-entropy did not converge within the round budget"
   | Error e -> Error e
+
+let install_filter_seeded t q ~donors =
+  if C.Containment_index.mem t.index q then Ok Kept
+  else
+    let dcs =
+      List.filter_map
+        (fun donor ->
+          if donor_attrs_cover ~donor q then
+            C.Containment_index.find t.index donor
+          else None)
+        donors
+    in
+    let consumer = make_consumer t q in
+    match dcs with
+    | [] -> install_cold t q consumer
+    | dcs -> (
+        (* Seed whatever the donors already hold for [q]; the Merkle
+           walk then ships only the differing segments and mints the
+           resume cookie.  No foreign-session cookie here: without
+           containment there is no single CSN the seed is complete
+           at.  An empty seed means the region pre-filter was wrong —
+           a plain initial fetch is strictly cheaper than a Merkle
+           walk over nothing. *)
+        match seed_entries t q dcs with
+        | [] -> install_cold t q consumer
+        | seed -> (
+            Resync.Consumer.apply_reply consumer
+              {
+                Resync.Protocol.kind = Resync.Protocol.Initial_content;
+                actions = seed;
+                cookie = None;
+              };
+            match merkle_consumer t consumer with
+            | Ok _ ->
+                register_consumer t q consumer;
+                Ok Seeded
+            | Error _ -> install_cold t q consumer))
 
 let merkle_sync_filter t q =
   match C.Containment_index.find t.index q with

@@ -86,6 +86,49 @@ val install_filter : t -> Query.t -> (unit, string) result
 val remove_filter : t -> Query.t -> unit
 (** Stops replicating the query (ends its ReSync session upstream). *)
 
+(** {1 Delta installs}
+
+    A filter-set transition (selection revolution, drift-triggered
+    re-scope) does not have to refetch regions the replica already
+    holds: containment over the old and new filter sets classifies
+    each incoming query against what is stored, and the install is
+    seeded from the overlapping donors so only the net-new content
+    crosses the wire. *)
+
+(** How a delta install actually brought the content in. *)
+type install_how =
+  | Kept  (** Already stored — nothing to do. *)
+  | Rescoped
+      (** Seeded wholesale from a containing donor and opened with a
+          foreign-session cookie at the donor's acknowledged CSN; the
+          upstream answered degraded from there (changed members as
+          full entries, the rest as DN-only retains). *)
+  | Seeded
+      (** Seeded from overlapping donors, then Merkle-reconciled so
+          only the differing segments shipped. *)
+  | Cold  (** Preconditions failed: plain initial-content fetch. *)
+
+val install_filter_rescoped :
+  t -> Query.t -> donor:Query.t -> (install_how, string) result
+(** Installs [q] seeded from the stored [donor] that contains it: the
+    donor's entries are evaluated under [q] locally, and the new
+    session opens with {!Ldap_resync.Protocol.cookie_of} at the
+    donor's acknowledged CSN, so the upstream's degraded reply ships
+    full entries only for members changed since then.  Falls back to
+    {!install_filter} when the donor is not stored, holds no cookie
+    yet, or its attribute projection cannot supply [q]'s widened
+    selection (seeding from a narrower projection would bake
+    missing-attribute images into retained content). *)
+
+val install_filter_seeded :
+  t -> Query.t -> donors:Query.t list -> (install_how, string) result
+(** Installs [q] seeded from the union of the stored [donors]' entries
+    evaluated under [q] (deduplicated by DN), then reconciled by
+    Merkle anti-entropy — only the segments the seed got wrong ship.
+    Donors not stored or with insufficient attribute projections are
+    ignored; with no usable donor, or when the walk fails, the install
+    degrades to a cold fetch. *)
+
 val stored_filters : t -> Query.t list
 val filter_count : t -> int
 (** Stored filters plus cached user queries — the section 7.4 x-axis. *)

@@ -252,6 +252,12 @@ let merkle_sync ?config ?max_rounds ?(from = "consumer") t transport ~host =
 let persist_alive t =
   match t.conn with Some c -> Transport.conn_alive c | None -> false
 
+let pause_connection t =
+  match t.conn with Some c -> Transport.pause c | None -> ()
+
+let resume_connection t =
+  match t.conn with Some c -> Transport.resume c | None -> ()
+
 let connect_persist ?(max_attempts = default_attempts) ?(backoff = default_backoff)
     ?(from = "consumer") ?(observe = fun (_ : Action.t) -> ()) t transport ~host =
   let had_cookie = t.cookie <> None in

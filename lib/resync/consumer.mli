@@ -150,6 +150,16 @@ val persist_alive : t -> bool
     A lost push or partition kills it; detection happens when traffic
     flows, like a half-open TCP connection. *)
 
+val pause_connection : t -> unit
+(** Stops draining the persistent connection ({!Transport.pause}):
+    server-side sends start answering [Push_stalled], exercising the
+    master's bounded outbound queues.  No-op without a connection. *)
+
+val resume_connection : t -> unit
+(** Clears {!pause_connection}.  Actions the master queued while the
+    consumer was stalled arrive when the master next touches the
+    session ({!Master.flush_pushes} or an update dispatch). *)
+
 val ensure_persist :
   ?max_attempts:int ->
   ?backoff:int ->

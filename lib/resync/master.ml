@@ -10,7 +10,11 @@ type session = {
   mutable pending : Action.t list;  (* newest first; Session_history only *)
   mutable pending_len : int;  (* tracked so the high-water check is O(1) *)
   mutable synced_csn : Csn.t;
-  mutable persist_push : (Action.t -> unit) option;
+  mutable persist_push : Protocol.push_channel option;
+  outq : Action.t Queue.t;
+      (* persist notifications the channel reported [Push_stalled] for;
+         oldest first, drained before anything new is sent *)
+  mutable outq_len : int;
   mutable last_active : int;
 }
 
@@ -35,6 +39,16 @@ type t = {
       (* sessions that blew the mark during the current update's
          dispatch — removal is deferred past the session-table
          iteration and performed at the end of [on_update] *)
+  stalled : (int, session) Hashtbl.t;
+      (* persist sessions with a non-empty outbound queue, so drains
+         and residency stats never scan the whole session table *)
+  mutable persist_queue_limit : int option;
+      (* bound on one persist session's outbound queue; past it the
+         session is retired instead of the queue growing with drift *)
+  mutable hwm_overflows : int;  (* pending buffers dropped at the HWM *)
+  mutable push_overflows : int;  (* persist queues that blew the bound *)
+  mutable push_resets : int;  (* persist channels found dead on send *)
+  mutable push_queue_peak : int;  (* largest outbound queue ever seen *)
 }
 
 let backend t = t.backend
@@ -103,16 +117,30 @@ let ts_record w ts =
 
 (* The [persist] table and the dispatch index shadow [sessions]; all
    membership changes go through these helpers to keep them in sync. *)
+let clear_outq t session =
+  Queue.clear session.outq;
+  session.outq_len <- 0;
+  Hashtbl.remove t.stalled session.id
+
 let set_persist t session push =
   session.persist_push <- push;
   match push with
-  | Some _ -> Hashtbl.replace t.persist session.id session
+  | Some _ ->
+      (* A replaced channel's undelivered queue belongs to the dead
+         connection; the (re)establishment reply covers that interval,
+         so the queue is dropped rather than replayed out of band. *)
+      clear_outq t session;
+      Hashtbl.replace t.persist session.id session
   | None -> Hashtbl.remove t.persist session.id
 
 let remove_session t id =
   if Hashtbl.mem t.sessions id then journal_w t (fun w -> removed_record w id);
+  (match Hashtbl.find_opt t.sessions id with
+  | Some s -> clear_outq t s
+  | None -> ());
   Hashtbl.remove t.sessions id;
   Hashtbl.remove t.persist id;
+  Hashtbl.remove t.stalled id;
   Option.iter
     (fun idx -> Ldap_containment.Predicate_index.remove idx id)
     t.dispatch
@@ -146,6 +174,47 @@ let gc_tombstones t =
       | None -> []
       | Some m -> List.filter (fun ts -> Csn.( < ) m ts.ts_csn) t.tombstones)
 
+(* --- Bounded persist-push queues -------------------------------------
+   A persist channel's send can stall (receiver not draining) or fail
+   (connection reset).  Stalled actions go to the session's outbound
+   queue, bounded by [persist_queue_limit]: past the bound the channel
+   is closed and the session retired, so the consumer's reconnection
+   escalates to a degraded resync — the stalled leaf pays the resync,
+   not the master's heap (the same shape as the pending-history HWM). *)
+
+let enqueue_push t session a =
+  Queue.push a session.outq;
+  session.outq_len <- session.outq_len + 1;
+  if session.outq_len = 1 then Hashtbl.replace t.stalled session.id session;
+  if session.outq_len > t.push_queue_peak then
+    t.push_queue_peak <- session.outq_len
+
+(* Sends the queued backlog, oldest first; answers the channel status
+   left after the attempt. *)
+let drain_outq t session ch =
+  let status = ref `Ok in
+  while !status = `Ok && session.outq_len > 0 do
+    match ch.Protocol.pc_send (Queue.peek session.outq) with
+    | Protocol.Push_ok ->
+        ignore (Queue.pop session.outq);
+        session.outq_len <- session.outq_len - 1;
+        if session.outq_len = 0 then Hashtbl.remove t.stalled session.id
+    | Protocol.Push_stalled -> status := `Stalled
+    | Protocol.Push_gone -> status := `Gone
+  done;
+  !status
+
+let defer_remove t session =
+  if not (List.mem session.id t.overflowed) then
+    t.overflowed <- session.id :: t.overflowed
+
+(* Retire a persist session whose channel is unusable (reset, or queue
+   past the bound).  Removal is deferred when called mid-dispatch. *)
+let retire_persist t session ch ~deferred =
+  ch.Protocol.pc_close ();
+  clear_outq t session;
+  if deferred then defer_remove t session else remove_session t session.id
+
 (* Classify a committed update against one session, via the session's
    compiled matcher — the bytecode program built once at session
    creation rather than re-walking the filter AST per update. *)
@@ -157,13 +226,47 @@ let classify_for t (record : Update.record) session =
     List.map (select_action session.query) (Content.actions_of_transition transition)
   in
   match session.persist_push with
-  | Some push ->
-      List.iter push actions;
-      (* Every update — even one producing no actions for this
-         filter — is pushed through up to its CSN, so the session
-         must not pin retained history at an older CSN. *)
-      session.synced_csn <- record.csn;
-      journal_w t (fun w -> synced_record w session.id record.csn ~clear:false)
+  | Some ch -> (
+      let status =
+        List.fold_left
+          (fun st a ->
+            match st with
+            | `Gone -> `Gone
+            | `Stalled ->
+                enqueue_push t session a;
+                `Stalled
+            | `Ok -> (
+                match ch.Protocol.pc_send a with
+                | Protocol.Push_ok -> `Ok
+                | Protocol.Push_stalled ->
+                    enqueue_push t session a;
+                    `Stalled
+                | Protocol.Push_gone -> `Gone))
+          (drain_outq t session ch)
+          actions
+      in
+      match status with
+      | `Gone ->
+          (* Write after reset: the consumer is gone, and everything
+             sent since the reset was lost anyway.  Retiring the
+             session makes its reconnection a degraded resync instead
+             of the master pushing into the void. *)
+          t.push_resets <- t.push_resets + 1;
+          retire_persist t session ch ~deferred:true
+      | `Ok | `Stalled -> (
+          (* Every update — even one producing no actions for this
+             filter — is pushed through up to its CSN, so the session
+             must not pin retained history at an older CSN.  Queued
+             actions still count as progress: either they drain later
+             or the session is retired, and a reconnection resyncs
+             degraded from the CSN the consumer acknowledges. *)
+          session.synced_csn <- record.csn;
+          journal_w t (fun w -> synced_record w session.id record.csn ~clear:false);
+          match t.persist_queue_limit with
+          | Some limit when session.outq_len > limit ->
+              t.push_overflows <- t.push_overflows + 1;
+              retire_persist t session ch ~deferred:true
+          | Some _ | None -> ()))
   | None ->
       if actions <> [] && t.strategy = Session_history then begin
         session.pending <- List.rev_append actions session.pending;
@@ -180,8 +283,8 @@ let classify_for t (record : Update.record) session =
                iteration. *)
             session.pending <- [];
             session.pending_len <- 0;
-            if not (List.mem session.id t.overflowed) then
-              t.overflowed <- session.id :: t.overflowed
+            t.hwm_overflows <- t.hwm_overflows + 1;
+            defer_remove t session
         | Some _ | None -> ()
       end
 
@@ -232,8 +335,8 @@ let on_update t (record : Update.record) =
       List.iter (remove_session t) ids);
   gc_tombstones t
 
-let create ?history_limit ?(strategy = Session_history) ?(dispatch = Routed)
-    backend =
+let create ?history_limit ?persist_queue_limit ?(strategy = Session_history)
+    ?(dispatch = Routed) backend =
   let t =
     {
       backend;
@@ -250,6 +353,12 @@ let create ?history_limit ?(strategy = Session_history) ?(dispatch = Routed)
       store = None;
       history_limit;
       overflowed = [];
+      stalled = Hashtbl.create 4;
+      persist_queue_limit;
+      hwm_overflows = 0;
+      push_overflows = 0;
+      push_resets = 0;
+      push_queue_peak = 0;
     }
   in
   Backend.subscribe backend (on_update t);
@@ -257,6 +366,35 @@ let create ?history_limit ?(strategy = Session_history) ?(dispatch = Routed)
 
 let history_limit t = t.history_limit
 let set_history_limit t limit = t.history_limit <- limit
+let persist_queue_limit t = t.persist_queue_limit
+let set_persist_queue_limit t limit = t.persist_queue_limit <- limit
+
+(* Re-attempts every stalled session's backlog — what a driver calls
+   after a paused consumer resumes.  Channels found dead retire their
+   session on the spot (no dispatch is running here). *)
+let flush_pushes t =
+  let stalled = Hashtbl.fold (fun _ s acc -> s :: acc) t.stalled [] in
+  List.iter
+    (fun session ->
+      match session.persist_push with
+      | None -> clear_outq t session
+      | Some ch -> (
+          match drain_outq t session ch with
+          | `Ok | `Stalled -> ()
+          | `Gone ->
+              t.push_resets <- t.push_resets + 1;
+              retire_persist t session ch ~deferred:false))
+    stalled
+
+let push_queue_stats t =
+  Hashtbl.fold
+    (fun _ s (total, biggest) -> (total + s.outq_len, max biggest s.outq_len))
+    t.stalled (0, 0)
+
+let push_queue_peak t = t.push_queue_peak
+let push_overflows t = t.push_overflows
+let push_resets t = t.push_resets
+let history_overflows t = t.hwm_overflows
 
 (* --- Per-DN coalescing of buffered actions --------------------------
    A session's pending actions are replayed as the minimal update set:
@@ -430,6 +568,8 @@ let new_session t query ~persist_push =
       pending_len = 0;
       synced_csn = Backend.csn t.backend;
       persist_push = None;
+      outq = Queue.create ();
+      outq_len = 0;
       last_active = t.clock;
     }
   in
@@ -513,7 +653,7 @@ let handle t ?push (request : Protocol.request) query =
                 remove_session t id;
                 Ok { Protocol.kind = Protocol.Incremental; actions = []; cookie = None }))
     | Protocol.Poll | Protocol.Persist -> (
-        if mode = Protocol.Persist && push = None then
+        if mode = Protocol.Persist && Option.is_none push then
           Error "persist mode requires a push channel"
         else
           let persist_push = if mode = Protocol.Persist then push else None in
@@ -706,6 +846,8 @@ let replay_record t payload =
               pending_len = 0;
               synced_csn = csn;
               persist_push = None;
+              outq = Queue.create ();
+              outq_len = 0;
               last_active = t.clock;
             }
           in
@@ -778,6 +920,8 @@ let recover ?strategy ?dispatch backend store =
               pending_len = List.length pending_oldest;
               synced_csn = synced;
               persist_push = None;
+              outq = Queue.create ();
+              outq_len = 0;
               last_active;
             }
           in

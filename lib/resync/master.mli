@@ -59,18 +59,30 @@ type dispatch =
 type t
 
 val create :
-  ?history_limit:int -> ?strategy:strategy -> ?dispatch:dispatch -> Backend.t -> t
+  ?history_limit:int ->
+  ?persist_queue_limit:int ->
+  ?strategy:strategy ->
+  ?dispatch:dispatch ->
+  Backend.t ->
+  t
 (** Subscribes to the backend's committed updates.  Default strategy is
     [Session_history]; default dispatch is [Routed].  [history_limit]
     is the per-session history high-water mark: a [Session_history]
     session whose pending buffer exceeds it has the buffer dropped and
     the session retired, so its next poll escalates to a degraded
     snapshot-diff resynchronization (eq. (3)) instead of the master's
-    memory growing with the slowest consumer (default: unbounded). *)
+    memory growing with the slowest consumer (default: unbounded).
+    [persist_queue_limit] is the analogous bound on one persist
+    session's outbound push queue (see {!push_queue_stats}; default:
+    unbounded). *)
 
 val history_limit : t -> int option
 val set_history_limit : t -> int option -> unit
 (** Adjusts the per-session history high-water mark at runtime. *)
+
+val persist_queue_limit : t -> int option
+val set_persist_queue_limit : t -> int option -> unit
+(** Adjusts the per-session persist outbound queue bound at runtime. *)
 
 val backend : t -> Backend.t
 val strategy : t -> strategy
@@ -78,16 +90,54 @@ val strategy : t -> strategy
 
 val handle :
   t ->
-  ?push:(Action.t -> unit) ->
+  ?push:Protocol.push_channel ->
   Protocol.request ->
   Query.t ->
   (Protocol.reply, string) result
 (** Processes a resync search request.  [push] must be supplied for
-    [Persist] mode and receives subsequent change notifications.
-    [Poll] and [Persist] replies carry a cookie — a resume handle for
-    polls, a reconnection handle for persistent sessions whose
-    connection breaks.  [Sync_end] with a valid cookie terminates the
-    session and returns an empty reply. *)
+    [Persist] mode and receives subsequent change notifications; wrap
+    a bare function with {!Protocol.push_of_fn} when flow control is
+    not modelled.  [Poll] and [Persist] replies carry a cookie — a
+    resume handle for polls, a reconnection handle for persistent
+    sessions whose connection breaks.  [Sync_end] with a valid cookie
+    terminates the session and returns an empty reply.
+
+    A send answered [Push_stalled] parks the action on the session's
+    outbound queue; the queue drains ahead of new notifications on
+    later updates and on {!flush_pushes}.  A queue growing past the
+    [persist_queue_limit] — or a send answered [Push_gone] — closes
+    the channel and retires the session, so the consumer's
+    reconnection escalates to a degraded resync (eq. (3)) and a
+    stalled leaf costs O(bound) master memory instead of O(drift). *)
+
+val flush_pushes : t -> unit
+(** Re-attempts every stalled persist session's queued backlog — what
+    a driver calls after a paused consumer resumes draining.  Queues
+    also drain opportunistically whenever an update dispatch touches
+    their session. *)
+
+val push_queue_stats : t -> int * int
+(** Outbound persist-queue residency as (total queued actions, largest
+    single session's queue) — the bounded-backpressure counterpart of
+    {!pending_stats}. *)
+
+val push_queue_peak : t -> int
+(** Largest single-session outbound queue ever observed — with a
+    [persist_queue_limit] set this never exceeds [limit + updates per
+    dispatch], the O(bound) memory claim made observable. *)
+
+val push_overflows : t -> int
+(** Persist sessions retired because their outbound queue grew past
+    the [persist_queue_limit]. *)
+
+val push_resets : t -> int
+(** Persist sessions retired because a send found the connection dead
+    ([Push_gone]). *)
+
+val history_overflows : t -> int
+(** Pending-history buffers dropped at the [history_limit] high-water
+    mark (each retires its session into degraded escalation) — the
+    observable the write-heavy long-haul sweep gates on. *)
 
 val abandon : t -> cookie:string -> unit
 (** Client abandoned a persistent search: equivalent to sync_end. *)

@@ -118,3 +118,14 @@ let pp_reply ppf r =
     | Degraded -> "degraded"
   in
   Format.fprintf ppf "%s (%d actions)" kind (List.length r.actions)
+
+(* --- Persist push channels ------------------------------------------- *)
+
+type push_status = Push_ok | Push_stalled | Push_gone
+
+type push_channel = {
+  pc_send : Action.t -> push_status;
+  pc_close : unit -> unit;
+}
+
+let push_of_fn f = { pc_send = (fun a -> f a; Push_ok); pc_close = (fun () -> ()) }

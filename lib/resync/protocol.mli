@@ -81,3 +81,35 @@ val reply_bytes : reply -> int
 
 val mode_to_string : mode -> string
 val pp_reply : Format.formatter -> reply -> unit
+
+(** {1 Persist push channels}
+
+    The master side of a persist session holds a {!push_channel} rather
+    than a bare function: each send reports whether the notification
+    was written, could not be written right now, or can never be
+    written again — the three answers a TCP socket gives a writer.
+    The status is what lets the master run a {e bounded} outbound queue
+    per session (stall → buffer up to a limit; overflow or reset →
+    retire the session) instead of blocking on, or buffering without
+    bound for, its slowest consumer. *)
+
+type push_status =
+  | Push_ok  (** Accepted for delivery (possibly in flight). *)
+  | Push_stalled
+      (** The receiver is not draining (flow control): nothing was
+          sent, and the caller must buffer or drop the action. *)
+  | Push_gone
+      (** The connection is dead: this and all later sends are lost,
+          like a write after ECONNRESET. *)
+
+type push_channel = {
+  pc_send : Action.t -> push_status;  (** Delivers one notification. *)
+  pc_close : unit -> unit;
+      (** Server-side teardown: marks the connection dead so the
+          consumer's next liveness check sees it and reconnects. *)
+}
+
+val push_of_fn : (Action.t -> unit) -> push_channel
+(** Wraps an infallible delivery function (co-located consumers,
+    tests) as a channel that always answers [Push_ok] and whose close
+    is a no-op. *)

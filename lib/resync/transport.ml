@@ -9,7 +9,7 @@ let error_to_string = function
 type endpoint = {
   ep_schema : Schema.t;
   ep_handle :
-    push:(Action.t -> unit) option ->
+    push:Protocol.push_channel option ->
     Protocol.request ->
     Query.t ->
     (Protocol.reply, string) result;
@@ -128,18 +128,29 @@ let tree_exchange t ~host ?(from = "consumer") request query =
 
 (* --- Persistent connections ------------------------------------------ *)
 
-type conn = { mutable alive : bool; mutable last_delivery : int }
+type conn = {
+  mutable alive : bool;
+  mutable paused : bool;
+  mutable last_delivery : int;
+}
 
 let conn_alive c = c.alive
 let kill c = c.alive <- false
+let pause c = c.paused <- true
+let resume c = c.paused <- false
 
 let connect t ~host ?(from = "consumer") ~push request query =
-  let conn = { alive = true; last_delivery = 0 } in
+  let conn = { alive = true; paused = false; last_delivery = 0 } in
   (* Notifications cross the same lossy link as everything else; the
      first one that does not arrive intact breaks the connection, and
-     everything after it is lost until the consumer reconnects. *)
-  let guarded action =
-    if conn.alive then begin
+     everything after it is lost until the consumer reconnects.  The
+     send status follows TCP write semantics: the push that is lost in
+     flight still reports [Push_ok] (the writer cannot tell), and only
+     the *next* send observes the dead connection. *)
+  let send action =
+    if not conn.alive then Protocol.Push_gone
+    else if conn.paused then Protocol.Push_stalled
+    else begin
       let delivered =
         match t.faults with
         | None -> true
@@ -148,7 +159,7 @@ let connect t ~host ?(from = "consumer") ~push request query =
             && Network.Faults.next_outcome f = Network.Faults.Deliver
       in
       if delivered then begin
-        match Network.engine t.net with
+        (match Network.engine t.net with
         | Some e ->
             (* Scheduled delivery, one link-latency draw per push; the
                per-connection clamp keeps pushes FIFO even when a later
@@ -164,15 +175,23 @@ let connect t ~host ?(from = "consumer") ~push request query =
                 end)
         | None ->
             Network.account_push t.net ~bytes:(Action.bytes_cost action);
-            push action
+            push action);
+        Protocol.Push_ok
       end
       else begin
         conn.alive <- false;
-        Network.account_dropped t.net
+        Network.account_dropped t.net;
+        Protocol.Push_ok
       end
     end
   in
-  match exchange_with t ~host ~from ~push:(Some guarded) request query with
+  let channel =
+    {
+      Protocol.pc_send = send;
+      pc_close = (fun () -> conn.alive <- false);
+    }
+  in
+  match exchange_with t ~host ~from ~push:(Some channel) request query with
   | Ok reply -> Ok (reply, conn)
   | Error e ->
       (* If the reply was lost the server may hold a session pushing

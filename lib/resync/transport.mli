@@ -33,12 +33,14 @@ val error_to_string : error -> string
 type endpoint = {
   ep_schema : Schema.t;  (** Schema governing the served content. *)
   ep_handle :
-    push:(Action.t -> unit) option ->
+    push:Protocol.push_channel option ->
     Protocol.request ->
     Query.t ->
     (Protocol.reply, string) result;
       (** Serves one resync exchange; [push] is the notification channel
-          of a persist-mode session. *)
+          of a persist-mode session.  Its send status (see
+          {!Protocol.push_status}) is what the server's bounded
+          outbound queues key off. *)
   ep_abandon : cookie:string -> unit;
       (** Control-plane session teardown (client abandoned). *)
   ep_estimate : Query.t -> int;
@@ -118,6 +120,17 @@ type conn
 val conn_alive : conn -> bool
 val kill : conn -> unit
 (** Client-side teardown: subsequent pushes are discarded. *)
+
+val pause : conn -> unit
+(** Models a receiver that stopped draining its socket: while paused,
+    every server-side send on this connection answers
+    [Protocol.Push_stalled] and delivers nothing — the flow-control
+    signal the master's bounded persist queues absorb. *)
+
+val resume : conn -> unit
+(** Clears {!pause}.  Queued actions at the server are delivered the
+    next time it touches the session (an update dispatch or an explicit
+    flush), not by this call. *)
 
 val connect :
   t ->

@@ -31,6 +31,9 @@ let size_of t q ~estimate =
 
 let reset_hits t = Hashtbl.iter (fun _ (_, s) -> s.hits <- 0) t.table
 
+let invalidate_sizes t =
+  Hashtbl.iter (fun _ (_, s) -> s.size <- None) t.table
+
 let fold t ~init ~f = Hashtbl.fold (fun _ (q, s) acc -> f acc q s) t.table init
 let count t = Hashtbl.length t.table
 

@@ -21,6 +21,13 @@ val size_of : t -> Query.t -> estimate:(Query.t -> int) -> int
 val reset_hits : t -> unit
 (** Start of a new revolution interval. *)
 
+val invalidate_sizes : t -> unit
+(** Drops every cached size estimate, forcing the next {!size_of} (or
+    {!ranked}) to re-ask the estimator.  Called at each revolution:
+    without it, benefit/size ranking keeps pricing candidates at
+    whatever the directory looked like when they were first observed,
+    and drifts as it churns. *)
+
 val fold : t -> init:'a -> f:('a -> Query.t -> stats -> 'a) -> 'a
 val count : t -> int
 

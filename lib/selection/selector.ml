@@ -15,6 +15,7 @@ type t = {
   candidates : Candidate.t;
   mutable since_revolution : int;
   mutable revolutions : int;
+  mutable failed_installs : int;
 }
 
 let create config replica =
@@ -24,6 +25,7 @@ let create config replica =
     candidates = Candidate.create ();
     since_revolution = 0;
     revolutions = 0;
+    failed_installs = 0;
   }
 
 let config t = t.config
@@ -48,6 +50,9 @@ let select t =
 
 let revolution t =
   t.revolutions <- t.revolutions + 1;
+  (* Size estimates age across the interval as the directory churns;
+     re-price every candidate before re-choosing. *)
+  Candidate.invalidate_sizes t.candidates;
   let chosen = select t in
   let stored = R.Filter_replica.stored_filters t.replica in
   let keep q = List.exists (Query.equal q) chosen in
@@ -58,9 +63,11 @@ let revolution t =
         match R.Filter_replica.install_filter t.replica q with
         | Ok () -> ()
         | Error _ ->
-            (* Unsatisfiable or failed fetch: drop silently; the
-               candidate will be re-ranked next interval. *)
-            ())
+            (* Unsatisfiable or failed fetch: the candidate will be
+               re-ranked next interval, but the miss is counted — a
+               replica that keeps failing its installs looks exactly
+               like one that chose badly unless the report says so. *)
+            t.failed_installs <- t.failed_installs + 1)
     chosen;
   Candidate.reset_hits t.candidates
 
@@ -81,6 +88,7 @@ let schedule_revolutions t engine ~every ~until =
       t.since_revolution <- 0;
       revolution t)
 let revolutions t = t.revolutions
+let failed_installs t = t.failed_installs
 let candidate_count t = Candidate.count t.candidates
 
 let install_static replica queries =

@@ -41,6 +41,12 @@ val schedule_revolutions : t -> Ldap_sim.Engine.t -> every:int -> until:int -> u
 
 
 val revolutions : t -> int
+
+val failed_installs : t -> int
+(** Install attempts that failed across all revolutions (unsatisfiable
+    candidate or fetch error).  Failures no longer vanish silently:
+    the [ldapctl adapt] report surfaces this count. *)
+
 val candidate_count : t -> int
 
 val install_static : Ldap_replication.Filter_replica.t -> Query.t list -> (unit, string) result

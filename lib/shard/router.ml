@@ -293,11 +293,26 @@ let shard_exchange t ~push ~mode s ~cookie q =
   let qs = restrict t s q in
   match (mode, push) with
   | Protocol.Persist, Some dpush -> (
+      (* Relay shard pushes into the downstream channel.  A downstream
+         that stopped draining (or reset) kills the shard-side
+         connection too, so the shard master sees [Push_gone] on its
+         next send and retires the leg instead of pushing into the
+         void — backpressure propagates through the router. *)
+      let conn_ref = ref None in
+      let forward a =
+        match dpush.Protocol.pc_send a with
+        | Protocol.Push_ok -> ()
+        | Protocol.Push_stalled | Protocol.Push_gone ->
+            dpush.Protocol.pc_close ();
+            Option.iter Transport.kill !conn_ref
+      in
       match
         Transport.connect t.transport ~host:(shard_host t s) ~from:t.rt_host
-          ~push:dpush req qs
+          ~push:forward req qs
       with
-      | Ok (reply, conn) -> Ok (reply, Some conn)
+      | Ok (reply, conn) ->
+          conn_ref := Some conn;
+          Ok (reply, Some conn)
       | Error e -> Error e)
   | _ -> (
       match

@@ -19,7 +19,7 @@ type session = {
       (* canonical DN -> (DN, content hash of the sent selected image) *)
   mutable spine_pos : int;  (* store revision this session has consumed *)
   mutable synced_csn : Csn.t;
-  mutable persist_push : (Resync.Action.t -> unit) option;
+  mutable persist_push : Resync.Protocol.push_channel option;
 }
 
 type t = {
@@ -317,7 +317,7 @@ let handle_inner t ?push (request : Resync.Protocol.request) query =
                   cookie = None;
                 }))
   | Resync.Protocol.Poll | Resync.Protocol.Persist -> (
-      if mode = Resync.Protocol.Persist && push = None then
+      if mode = Resync.Protocol.Persist && Option.is_none push then
         Error "persist mode requires a push channel"
       else
         match R.Filter_replica.containing_consumer t.replica query with
@@ -444,6 +444,7 @@ let relay t ~stored ~before ~after =
         (fun idx -> C.Predicate_index.affected idx ~before ~after)
         t.dispatch
     in
+    let dead = ref [] in
     Hashtbl.iter
       (fun id session ->
         if Query.equal session.stored stored then begin
@@ -460,6 +461,7 @@ let relay t ~stored ~before ~after =
                List.map (select_action session.query)
                  (Resync.Content.actions_of_transition transition)
              in
+             let alive = ref true in
              List.iter
                (fun a ->
                  (match a with
@@ -469,14 +471,26 @@ let relay t ~stored ~before ~after =
                      Hashtbl.remove session.seen (Dn.canonical dn)
                  | Resync.Action.Retain _ -> ());
                  (match session.persist_push with
-                 | Some push -> push a
-                 | None -> ());
+                 | Some ch when !alive -> (
+                     match ch.Resync.Protocol.pc_send a with
+                     | Resync.Protocol.Push_ok -> ()
+                     | Resync.Protocol.Push_stalled | Resync.Protocol.Push_gone ->
+                         (* An intermediate node keeps no outbound
+                            queue of its own: a downstream that stopped
+                            draining (or reset) is cut here and resyncs
+                            degraded when it reconnects.  Bounded
+                            buffering lives at the root master. *)
+                         alive := false;
+                         ch.Resync.Protocol.pc_close ();
+                         dead := id :: !dead)
+                 | Some _ | None -> ());
                  R.Stats.record_served_push (stats t) a)
                actions);
           session.synced_csn <- csn;
           session.spine_pos <- rev
         end)
-      t.persist
+      t.persist;
+    List.iter (remove_session t) !dead
   end
 
 (* --- Scale reporting ------------------------------------------------- *)

@@ -87,7 +87,7 @@ val retarget : t -> upstream:string -> unit
 
 val handle :
   t ->
-  ?push:(Ldap_resync.Action.t -> unit) ->
+  ?push:Ldap_resync.Protocol.push_channel ->
   Ldap_resync.Protocol.request ->
   Query.t ->
   (Ldap_resync.Protocol.reply, string) result

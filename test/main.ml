@@ -28,4 +28,5 @@ let () =
       ("recovery", Test_recovery.suite);
       ("eval", Test_eval.suite);
       ("shard", Test_shard.suite);
+      ("adaptive", Test_adaptive.suite);
     ]

@@ -1,0 +1,490 @@
+(* Tests for the adaptive subsystem: decayed interest tracking, delta
+   transition planning/execution, the drift-triggered controller and
+   the master's bounded persist-push backpressure.
+
+   The centerpiece is a QCheck property: executing a delta transition
+   plan (kept / rescoped / seeded / cold installs) leaves every target
+   query's content identical to what a cold re-subscribe would hold,
+   under random update interleavings and across all three history
+   strategies. *)
+open Ldap
+module Resync = Ldap_resync
+module FR = Ldap_replication.Filter_replica
+module A = Ldap_adaptive
+module S = Ldap_selection
+
+let schema = Schema.default
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let dn = Dn.of_string_exn
+let f = Filter.of_string_exn
+
+let org =
+  Entry.make (dn "o=xyz") [ ("objectclass", [ "organization" ]); ("o", [ "xyz" ]) ]
+
+let person name ?(dept = "100") () =
+  Entry.make
+    (dn (Printf.sprintf "cn=%s,o=xyz" name))
+    [
+      ("objectclass", [ "inetOrgPerson" ]);
+      ("cn", [ name ]);
+      ("sn", [ name ]);
+      ("departmentNumber", [ dept ]);
+    ]
+
+let make_backend () =
+  let b = Backend.create ~indexed:[ "departmentnumber" ] schema in
+  (match Backend.add_context b org with Ok () -> () | Error e -> failwith e);
+  b
+
+let apply b op = match Backend.apply b op with Ok _ -> () | Error e -> failwith e
+
+let dept_query dept =
+  Query.make ~base:(dn "o=xyz") (f (Printf.sprintf "(departmentNumber=%s)" dept))
+
+let prefix_query p =
+  Query.make ~base:(dn "o=xyz") (f (Printf.sprintf "(departmentNumber=%s*)" p))
+
+(* --- Interest ----------------------------------------------------------- *)
+
+let test_interest_decay () =
+  let t = A.Interest.create ~half_life:4 () in
+  let q = dept_query "7" in
+  A.Interest.observe t q;
+  check_bool "fresh score is the weight" true
+    (abs_float (A.Interest.score t q -. 1.0) < 1e-9);
+  for _ = 1 to 4 do
+    A.Interest.touch t
+  done;
+  check_bool "halved after one half-life" true
+    (abs_float (A.Interest.score t q -. 0.5) < 1e-9);
+  for _ = 1 to 4 do
+    A.Interest.touch t
+  done;
+  check_bool "quartered after two" true
+    (abs_float (A.Interest.score t q -. 0.25) < 1e-9)
+
+let test_interest_ranked_and_prune () =
+  let t = A.Interest.create ~half_life:100 () in
+  let a = dept_query "7" and b = dept_query "8" in
+  A.Interest.observe t a;
+  A.Interest.observe t b;
+  A.Interest.observe t b;
+  (match A.Interest.ranked t with
+  | (first, _) :: (second, _) :: [] ->
+      check_bool "hotter first" true (Query.equal first b);
+      check_bool "then colder" true (Query.equal second a)
+  | _ -> Alcotest.fail "expected two ranked entries");
+  (* Decay [a] below the floor; [b] survives the prune. *)
+  let pruned = A.Interest.prune t ~below:1.5 in
+  check_int "one pruned" 1 pruned;
+  check_int "one left" 1 (A.Interest.count t);
+  check_bool "survivor is b" true (A.Interest.score t b > 1.5)
+
+let test_interest_rejects_bad_half_life () =
+  check_bool "half_life 0 rejected" true
+    (try
+       ignore (A.Interest.create ~half_life:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Transition planning ------------------------------------------------ *)
+
+let test_plan_classification () =
+  let pref7 = prefix_query "7" and d71 = dept_query "71" in
+  let d81 = dept_query "81" and pref8 = prefix_query "8" in
+  let current = [ pref7; d81 ] in
+  let target = [ pref7; d71; pref8 ] in
+  let plan = A.Transition.plan schema ~current ~target in
+  let step_for q =
+    List.find (fun s -> Query.equal (A.Transition.step_query s) q)
+      plan.A.Transition.steps
+  in
+  (match step_for pref7 with
+  | A.Transition.Keep _ -> ()
+  | _ -> Alcotest.fail "stored query should be kept");
+  (match step_for d71 with
+  | A.Transition.Rescope { donor; _ } ->
+      check_bool "donor is the containing prefix" true (Query.equal donor pref7)
+  | _ -> Alcotest.fail "contained query should rescope");
+  (match step_for pref8 with
+  | A.Transition.Seed { donors; _ } ->
+      check_bool "overlapping dept is a donor" true
+        (List.exists (Query.equal d81) donors)
+  | _ -> Alcotest.fail "overlapping query should seed");
+  check_int "dropped stored query is removed" 1
+    (List.length plan.A.Transition.removes);
+  check_bool "removed is d81" true
+    (Query.equal (List.hd plan.A.Transition.removes) d81)
+
+let test_plan_cold_without_donors () =
+  let plan =
+    A.Transition.plan schema ~current:[] ~target:[ dept_query "71" ]
+  in
+  match plan.A.Transition.steps with
+  | [ A.Transition.Fetch _ ] -> ()
+  | _ -> Alcotest.fail "no stored set means a cold fetch"
+
+(* --- Delta installs vs cold re-subscribe (property) --------------------- *)
+
+let pool_depts = [| "71"; "72"; "81"; "82" |]
+
+let pool_queries =
+  [|
+    dept_query "71"; dept_query "72"; dept_query "81"; dept_query "82";
+    prefix_query "7"; prefix_query "8";
+  |]
+
+let queries_of_mask mask =
+  List.filteri (fun i _ -> mask land (1 lsl i) <> 0)
+    (Array.to_list pool_queries)
+
+type aop = A_add of int * int | A_del of int | A_move of int * int
+
+let aop_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map2 (fun i d -> A_add (i, d)) (0 -- 15) (0 -- 3));
+        (2, map (fun i -> A_del i) (0 -- 15));
+        (3, map2 (fun i d -> A_move (i, d)) (0 -- 15) (0 -- 3));
+      ])
+
+let print_aop = function
+  | A_add (i, d) -> Printf.sprintf "add(%d,%s)" i pool_depts.(d)
+  | A_del i -> Printf.sprintf "del(%d)" i
+  | A_move (i, d) -> Printf.sprintf "move(%d,%s)" i pool_depts.(d)
+
+let run_aop b = function
+  | A_add (i, d) ->
+      ignore
+        (Backend.apply b
+           (Update.add (person (Printf.sprintf "p%d" i) ~dept:pool_depts.(d) ())))
+  | A_del i ->
+      ignore (Backend.apply b (Update.delete (dn (Printf.sprintf "cn=p%d,o=xyz" i))))
+  | A_move (i, d) ->
+      ignore
+        (Backend.apply b
+           (Update.modify
+              (dn (Printf.sprintf "cn=p%d,o=xyz" i))
+              [ Update.replace_values "departmentNumber" [ pool_depts.(d) ] ]))
+
+let content_equal consumer b q =
+  let expected =
+    List.sort
+      (fun a b -> Dn.compare (Entry.dn a) (Entry.dn b))
+      (Resync.Content.current b q)
+  in
+  let actual =
+    List.sort
+      (fun a b -> Dn.compare (Entry.dn a) (Entry.dn b))
+      (Resync.Consumer.entries consumer)
+  in
+  List.length expected = List.length actual
+  && List.for_all2 Entry.equal expected actual
+
+(* Install a random current set cold, churn, transition to a random
+   target set through the delta planner, churn again and poll: every
+   target query's consumer must hold exactly what a fresh subscription
+   would — the master's current content for the query. *)
+let run_transition_sim strategy (mask1, ops1, mask2, ops2) =
+  let b = make_backend () in
+  let master = Resync.Master.create ~strategy b in
+  let replica = FR.create master in
+  List.iter
+    (fun q ->
+      match FR.install_filter replica q with
+      | Ok () -> ()
+      | Error e -> failwith e)
+    (queries_of_mask mask1);
+  List.iter (run_aop b) ops1;
+  FR.sync replica;
+  let target = queries_of_mask mask2 in
+  let plan =
+    A.Transition.plan schema ~current:(FR.stored_filters replica) ~target
+  in
+  let report = A.Transition.apply replica plan in
+  if report.A.Transition.failed > 0 then failwith "failed installs";
+  List.iter (run_aop b) ops2;
+  FR.sync replica;
+  List.length (FR.stored_filters replica) = List.length target
+  && List.for_all
+       (fun q ->
+         match FR.consumer_for replica q with
+         | Some c -> content_equal c b q
+         | None -> false)
+       target
+
+let transition_case strategy name count =
+  QCheck.Test.make ~name ~count
+    (QCheck.make
+       ~print:(fun (m1, o1, m2, o2) ->
+         Printf.sprintf "cur=%x [%s] tgt=%x [%s]" m1
+           (String.concat ";" (List.map print_aop o1))
+           m2
+           (String.concat ";" (List.map print_aop o2)))
+       QCheck.Gen.(
+         quad (0 -- 63)
+           (list_size (0 -- 20) aop_gen)
+           (0 -- 63)
+           (list_size (0 -- 20) aop_gen)))
+    (run_transition_sim strategy)
+
+let prop_delta_session_history =
+  transition_case Resync.Master.Session_history
+    "adaptive: delta transition ≡ cold re-subscribe (session history)" 150
+
+let prop_delta_changelog =
+  transition_case Resync.Master.Changelog
+    "adaptive: delta transition ≡ cold re-subscribe (changelog)" 100
+
+let prop_delta_tombstone =
+  transition_case Resync.Master.Tombstone
+    "adaptive: delta transition ≡ cold re-subscribe (tombstone)" 100
+
+(* --- Rescope attribute guard -------------------------------------------- *)
+
+let test_rescope_narrow_donor_goes_cold () =
+  let b = make_backend () in
+  apply b (Update.add (person "a" ~dept:"71" ()));
+  apply b (Update.add (person "b" ~dept:"72" ()));
+  let replica = FR.create (Resync.Master.create b) in
+  (* The donor only replicates cn: it cannot seed a target that needs
+     full entries, so the install must degrade to a cold fetch instead
+     of baking missing-attribute images into retained content. *)
+  let donor =
+    Query.make ~base:(dn "o=xyz")
+      ~attrs:(Query.Select [ "cn" ])
+      (f "(departmentNumber=7*)")
+  in
+  (match FR.install_filter replica donor with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let narrow = dept_query "71" in
+  (match FR.install_filter_rescoped replica narrow ~donor with
+  | Ok FR.Cold -> ()
+  | Ok _ -> Alcotest.fail "narrow-attrs donor must not rescope"
+  | Error e -> failwith e);
+  match FR.consumer_for replica narrow with
+  | Some c -> check_bool "cold content complete" true (content_equal c b narrow)
+  | None -> Alcotest.fail "target not installed"
+
+let test_rescope_from_covering_donor () =
+  let b = make_backend () in
+  apply b (Update.add (person "a" ~dept:"71" ()));
+  apply b (Update.add (person "b" ~dept:"72" ()));
+  let replica = FR.create (Resync.Master.create b) in
+  let donor = prefix_query "7" in
+  (match FR.install_filter replica donor with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  (* Change one member after the donor's sync: the rescoped install
+     resumes degraded from the donor's CSN and still converges. *)
+  apply b
+    (Update.modify (dn "cn=a,o=xyz") [ Update.replace_values "mail" [ "a@x" ] ]);
+  let narrow = dept_query "71" in
+  (match FR.install_filter_rescoped replica narrow ~donor with
+  | Ok FR.Rescoped -> ()
+  | Ok _ -> Alcotest.fail "covering donor should rescope"
+  | Error e -> failwith e);
+  match FR.consumer_for replica narrow with
+  | Some c -> check_bool "rescoped content complete" true (content_equal c b narrow)
+  | None -> Alcotest.fail "target not installed"
+
+(* --- Controller edge cases ---------------------------------------------- *)
+
+let quiet_config =
+  {
+    A.Controller.default_config with
+    A.Controller.revolution_interval = 0;
+    drift_check_interval = 0;
+    min_score = 0.5;
+    size_budget = 100;
+  }
+
+let test_controller_zero_candidates () =
+  let b = make_backend () in
+  let ctl = A.Controller.create quiet_config (FR.create (Resync.Master.create b)) in
+  check_bool "nothing to adapt to" true (A.Controller.force_adapt ctl = None);
+  check_int "no adaptations" 0 (A.Controller.adaptation_count ctl)
+
+let test_controller_budget_below_smallest () =
+  let b = make_backend () in
+  apply b (Update.add (person "a" ~dept:"71" ()));
+  apply b (Update.add (person "b" ~dept:"71" ()));
+  let replica = FR.create (Resync.Master.create b) in
+  let ctl =
+    A.Controller.create
+      { quiet_config with A.Controller.size_budget = 1 }
+      replica
+  in
+  let q = dept_query "71" in
+  A.Controller.observe ctl q;
+  A.Controller.observe ctl q;
+  (* The only viable candidate estimates at 2 entries against a budget
+     of 1: selection must pick nothing and the no-op must not count as
+     an adaptation. *)
+  check_bool "no adaptation fits" true (A.Controller.force_adapt ctl = None);
+  check_int "nothing stored" 0 (List.length (FR.stored_filters replica))
+
+let test_controller_sizes_refreshed () =
+  let b = make_backend () in
+  apply b (Update.add (person "a" ~dept:"71" ()));
+  let replica = FR.create (Resync.Master.create b) in
+  let ctl =
+    A.Controller.create
+      { quiet_config with A.Controller.size_budget = 2 }
+      replica
+  in
+  let q = dept_query "71" in
+  A.Controller.observe ctl q;
+  A.Controller.observe ctl q;
+  (match A.Controller.force_adapt ctl with
+  | Some a ->
+      check_bool "drifted in" true
+        (List.exists (Query.equal q) a.A.Controller.target)
+  | None -> Alcotest.fail "expected an adaptation");
+  (* The department grows past the budget; a re-selection asking the
+     estimator fresh must now drop the filter rather than keep serving
+     a stale 1-entry price. *)
+  for i = 0 to 4 do
+    apply b (Update.add (person (Printf.sprintf "g%d" i) ~dept:"71" ()))
+  done;
+  (match A.Controller.force_adapt ctl with
+  | Some a -> check_int "target emptied" 0 (List.length a.A.Controller.target)
+  | None -> Alcotest.fail "expected a shrinking adaptation");
+  check_int "filter dropped" 0 (List.length (FR.stored_filters replica))
+
+let test_controller_drift_trigger () =
+  let b = make_backend () in
+  for i = 0 to 2 do
+    apply b (Update.add (person (Printf.sprintf "a%d" i) ~dept:"71" ()))
+  done;
+  for i = 0 to 2 do
+    apply b (Update.add (person (Printf.sprintf "b%d" i) ~dept:"81" ()))
+  done;
+  let replica = FR.create (Resync.Master.create b) in
+  let ctl =
+    A.Controller.create
+      {
+        quiet_config with
+        A.Controller.drift_check_interval = 5;
+        drift_ratio = 1.5;
+        size_budget = 100;
+      }
+      replica
+  in
+  let q71 = dept_query "71" and q81 = dept_query "81" in
+  for _ = 1 to 10 do
+    A.Controller.observe ctl q71
+  done;
+  check_bool "first drift adaptation installed the hot dept" true
+    (List.exists (Query.equal q71) (FR.stored_filters replica));
+  (* The workload flips: the uncovered candidate's score must trip the
+     drift test well before any periodic revolution (disabled here). *)
+  for _ = 1 to 30 do
+    A.Controller.observe ctl q81
+  done;
+  check_bool "flip admitted" true
+    (List.exists (Query.equal q81) (FR.stored_filters replica));
+  let triggers =
+    List.map (fun a -> a.A.Controller.trigger) (A.Controller.adaptations ctl)
+  in
+  check_bool "ran at all" true (triggers <> []);
+  check_bool "all drift-triggered" true
+    (List.for_all (fun t -> t = A.Controller.Drift) triggers);
+  check_int "no failed installs" 0 (A.Controller.totals ctl).A.Transition.failed
+
+(* --- Persist backpressure ----------------------------------------------- *)
+
+let persist_fixture ~limit =
+  let b = make_backend () in
+  for i = 0 to 2 do
+    apply b (Update.add (person (Printf.sprintf "p%d" i) ~dept:"71" ()))
+  done;
+  let master = Resync.Master.create b in
+  Resync.Master.set_persist_queue_limit master (Some limit);
+  let transport = Resync.Transport.create (Network.create ()) in
+  Resync.Transport.add_master transport ~name:"m" master;
+  let consumer = Resync.Consumer.create schema (dept_query "71") in
+  (match
+     Resync.Consumer.connect_persist consumer transport ~host:"m" ~from:"leaf"
+   with
+  | Ok _ -> ()
+  | Error e -> failwith (Resync.Consumer.sync_error_to_string e));
+  (b, master, transport, consumer)
+
+let test_backpressure_parks_and_drains () =
+  let b, master, _transport, consumer = persist_fixture ~limit:8 in
+  Resync.Consumer.pause_connection consumer;
+  for i = 0 to 2 do
+    apply b
+      (Update.modify
+         (dn (Printf.sprintf "cn=p%d,o=xyz" i))
+         [ Update.replace_values "mail" [ Printf.sprintf "p%d@x" i ] ])
+  done;
+  let total, biggest = Resync.Master.push_queue_stats master in
+  check_int "all parked" 3 total;
+  check_int "one session holds them" 3 biggest;
+  check_int "no overflow within bound" 0 (Resync.Master.push_overflows master);
+  Resync.Consumer.resume_connection consumer;
+  Resync.Master.flush_pushes master;
+  check_int "queue drained" 0 (fst (Resync.Master.push_queue_stats master));
+  check_bool "connection survived" true (Resync.Consumer.persist_alive consumer);
+  check_bool "content caught up" true (content_equal consumer b (dept_query "71"))
+
+let test_backpressure_overflow_escalates () =
+  let b, master, transport, consumer = persist_fixture ~limit:2 in
+  Resync.Consumer.pause_connection consumer;
+  for i = 0 to 5 do
+    apply b
+      (Update.modify (dn "cn=p0,o=xyz")
+         [ Update.replace_values "mail" [ Printf.sprintf "v%d@x" i ] ])
+  done;
+  check_int "session retired at the bound" 1 (Resync.Master.push_overflows master);
+  check_int "queue freed on retirement" 0
+    (fst (Resync.Master.push_queue_stats master));
+  check_bool "peak stayed O(bound)" true (Resync.Master.push_queue_peak master <= 3);
+  Resync.Consumer.resume_connection consumer;
+  Resync.Master.flush_pushes master;
+  check_bool "consumer noticed the cut" true
+    (not (Resync.Consumer.persist_alive consumer));
+  (match
+     Resync.Consumer.ensure_persist consumer transport ~host:"m" ~from:"leaf"
+   with
+  | Ok (Some outcome) ->
+      check_bool "reconnect resynced degraded" true outcome.Resync.Consumer.resynced
+  | Ok None -> Alcotest.fail "expected a reconnection"
+  | Error e -> failwith (Resync.Consumer.sync_error_to_string e));
+  check_bool "content converged after escalation" true
+    (content_equal consumer b (dept_query "71"))
+
+let suite =
+  [
+    Alcotest.test_case "interest decay" `Quick test_interest_decay;
+    Alcotest.test_case "interest ranked+prune" `Quick test_interest_ranked_and_prune;
+    Alcotest.test_case "interest bad half-life" `Quick
+      test_interest_rejects_bad_half_life;
+    Alcotest.test_case "plan classification" `Quick test_plan_classification;
+    Alcotest.test_case "plan cold without donors" `Quick
+      test_plan_cold_without_donors;
+    QCheck_alcotest.to_alcotest prop_delta_session_history;
+    QCheck_alcotest.to_alcotest prop_delta_changelog;
+    QCheck_alcotest.to_alcotest prop_delta_tombstone;
+    Alcotest.test_case "rescope narrow donor goes cold" `Quick
+      test_rescope_narrow_donor_goes_cold;
+    Alcotest.test_case "rescope from covering donor" `Quick
+      test_rescope_from_covering_donor;
+    Alcotest.test_case "controller zero candidates" `Quick
+      test_controller_zero_candidates;
+    Alcotest.test_case "controller budget too small" `Quick
+      test_controller_budget_below_smallest;
+    Alcotest.test_case "controller refreshes sizes" `Quick
+      test_controller_sizes_refreshed;
+    Alcotest.test_case "controller drift trigger" `Quick
+      test_controller_drift_trigger;
+    Alcotest.test_case "backpressure parks+drains" `Quick
+      test_backpressure_parks_and_drains;
+    Alcotest.test_case "backpressure overflow escalates" `Quick
+      test_backpressure_overflow_escalates;
+  ]

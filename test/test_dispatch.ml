@@ -221,7 +221,11 @@ type twin_session = {
 
 let sync_session master session ~cookie ~pushed =
   let mode = if session.persist then Protocol.Persist else Protocol.Poll in
-  let push = if session.persist then Some (fun a -> pushed := a :: !pushed) else None in
+  let push =
+    if session.persist then
+      Some (Protocol.push_of_fn (fun a -> pushed := a :: !pushed))
+    else None
+  in
   match Master.handle master ?push { Protocol.mode; cookie } session.query with
   | Ok reply -> reply
   | Error e -> failwith e

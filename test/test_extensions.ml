@@ -161,7 +161,7 @@ let test_persistent_count () =
   let master = Resync.Master.create b in
   check_int "none" 0 (Resync.Master.persistent_count master);
   (match
-     Resync.Master.handle master ~push:(fun _ -> ())
+     Resync.Master.handle master ~push:(Resync.Protocol.push_of_fn (fun _ -> ()))
        { Resync.Protocol.mode = Resync.Protocol.Persist; cookie = None }
        (Query.make ~base:(dn "o=x") (f "(sn=alice)"))
    with

@@ -150,7 +150,9 @@ let test_persist_push () =
   let master = Master.create b in
   let pushed = ref [] in
   let request = { Protocol.mode = Protocol.Persist; cookie = None } in
-  (match Master.handle master ~push:(fun a -> pushed := a :: !pushed) request (dept_query "7") with
+  (match Master.handle master
+           ~push:(Protocol.push_of_fn (fun a -> pushed := a :: !pushed))
+           request (dept_query "7") with
   | Ok reply -> check_int "initial empty" 0 (List.length reply.Protocol.actions)
   | Error e -> failwith e);
   apply b (Update.add (person "p" ~dept:"7" ()));
@@ -166,7 +168,9 @@ let test_persist_filters_out_of_content () =
   let master = Master.create b in
   let pushed = ref [] in
   let request = { Protocol.mode = Protocol.Persist; cookie = None } in
-  (match Master.handle master ~push:(fun a -> pushed := a :: !pushed) request (dept_query "7") with
+  (match Master.handle master
+           ~push:(Protocol.push_of_fn (fun a -> pushed := a :: !pushed))
+           request (dept_query "7") with
   | Ok _ -> ()
   | Error e -> failwith e);
   apply b (Update.add (person "q" ~dept:"9" ()));

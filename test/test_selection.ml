@@ -79,6 +79,24 @@ let test_candidate_stats () =
   let ranked = S.Candidate.ranked t ~estimate in
   check_bool "reset" true (List.for_all (fun (_, s, _) -> s.S.Candidate.hits = 0) ranked)
 
+let test_invalidate_sizes () =
+  let t = S.Candidate.create () in
+  let a = q "o=xyz" "(serialNumber=24*)" in
+  S.Candidate.observe t a;
+  check_int "first estimate cached" 10 (S.Candidate.size_of t a ~estimate:(fun _ -> 10));
+  (* Without invalidation the stale price sticks — the regression that
+     let a revolution keep ranking candidates at day-one sizes. *)
+  check_int "stale until invalidated" 10 (S.Candidate.size_of t a ~estimate:(fun _ -> 50));
+  S.Candidate.invalidate_sizes t;
+  check_int "re-asked after invalidation" 50
+    (S.Candidate.size_of t a ~estimate:(fun _ -> 50));
+  (match S.Candidate.ranked t ~estimate:(fun _ -> 99) with
+  | [ (_, _, ratio) ] ->
+      check_bool "ranking uses refreshed size" true
+        (abs_float (ratio -. (1.0 /. 50.0)) < 1e-9)
+  | _ -> Alcotest.fail "expected one candidate");
+  ()
+
 (* --- Selector ----------------------------------------------------------- *)
 
 let make_master_with_depts () =
@@ -211,6 +229,7 @@ let suite =
     Alcotest.test_case "presence generalization" `Quick test_presence_generalization;
     Alcotest.test_case "candidates contain query" `Quick test_candidates_contain_query;
     Alcotest.test_case "candidate stats" `Quick test_candidate_stats;
+    Alcotest.test_case "invalidate sizes" `Quick test_invalidate_sizes;
     Alcotest.test_case "selector revolution" `Quick test_selector_revolution;
     Alcotest.test_case "selector budget" `Quick test_selector_budget;
     Alcotest.test_case "selector adapts" `Quick test_selector_adapts;

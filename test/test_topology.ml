@@ -338,7 +338,9 @@ let make_chain dispatch =
 let sync_session node session ~cookie ~pushed =
   let mode = if session.persist then Protocol.Persist else Protocol.Poll in
   let push =
-    if session.persist then Some (fun a -> pushed := a :: !pushed) else None
+    if session.persist then
+      Some (Protocol.push_of_fn (fun a -> pushed := a :: !pushed))
+    else None
   in
   match T.Node.handle node ?push { Protocol.mode; cookie } session.query with
   | Ok reply -> reply
